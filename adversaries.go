@@ -1,0 +1,41 @@
+package byzcons
+
+import "byzcons/internal/adversary"
+
+// Re-exported Byzantine behaviours for fault-injection scenarios. Each
+// implements Adversary and may be combined with Attacks{...}. See the
+// internal/adversary package for the attack semantics; in short:
+//
+//   - Equivocator sends conflicting matching-stage symbols to victims,
+//   - MatchLiar lies in the broadcast match vectors,
+//   - FalseDetector raises spurious inconsistency alarms (and is provably
+//     isolated for it, line 3(f)),
+//   - TrustLiar broadcasts false accusations in the diagnosis stage,
+//   - SymbolLiar re-broadcasts a different symbol than it sent (R# lie),
+//   - Silent models crashed processors,
+//   - RandomByz fuzzes every faulty message and broadcast bit,
+//   - EdgeMiser is the worst-case budget adversary that forces the exact
+//     Theorem 1 maximum of T(T+1) diagnosis stages.
+type (
+	// Equivocator sends corrupted matching-stage symbols to Victims only.
+	Equivocator = adversary.Equivocator
+	// MatchLiar flips faulty processors' broadcast M-vector entries.
+	MatchLiar = adversary.MatchLiar
+	// FalseDetector claims Detected=true in clean generations.
+	FalseDetector = adversary.FalseDetector
+	// TrustLiar falsely accuses every Pmatch member during diagnosis.
+	TrustLiar = adversary.TrustLiar
+	// SymbolLiar broadcasts corrupted R# symbols during diagnosis.
+	SymbolLiar = adversary.SymbolLiar
+	// Silent drops all faulty traffic (crash faults).
+	Silent = adversary.Silent
+	// RandomByz randomly corrupts faulty traffic with probability P.
+	RandomByz = adversary.RandomByz
+	// EdgeMiser spends exactly one faulty-incident edge per generation,
+	// reaching the t(t+1) diagnosis bound of Theorem 1.
+	EdgeMiser = adversary.EdgeMiser
+)
+
+// Attacks composes several adversaries; each sees the traffic as rewritten
+// by the previous one.
+type Attacks = adversary.Chain

@@ -1,0 +1,97 @@
+package byzcons
+
+import (
+	"byzcons/internal/fitzihirt"
+	"byzcons/internal/naive"
+	"byzcons/internal/sim"
+)
+
+// FHConfig configures the Fitzi-Hirt (PODC 2006) style probabilistic
+// baseline: consensus on universal-hash digests followed by coded value
+// dissemination. Unlike Algorithm 1 it has a non-zero error probability
+// (~ L/(κ·2^κ) per processor pair) — compare Result.Consistent across seeds.
+type FHConfig struct {
+	N, T int
+	// Kappa is the universal-hash width in bits (1..16; 0 = 16). Smaller κ
+	// makes hash collisions — and thus consistency violations — observable.
+	Kappa         uint
+	SymBits       uint
+	Broadcast     BroadcastKind
+	BroadcastCost int64
+	Default       []byte
+	Seed          int64
+}
+
+// FitziHirt runs the FH06-style baseline on the given inputs.
+func FitziHirt(cfg FHConfig, inputs [][]byte, L int, sc Scenario) (*Result, error) {
+	c := Config{N: cfg.N, T: cfg.T, Seed: cfg.Seed}
+	if err := c.validateInputs(inputs, L); err != nil {
+		return nil, err
+	}
+	par := fitzihirt.Params{
+		N: cfg.N, T: cfg.T, Kappa: cfg.Kappa, SymBits: cfg.SymBits,
+		BSB: cfg.Broadcast, BSBCost: cfg.BroadcastCost, Default: cfg.Default,
+	}
+	run := sim.Run(sim.RunConfig{N: cfg.N, Faulty: sc.Faulty, Adversary: sc.Behavior, Seed: cfg.Seed},
+		func(p *sim.Proc) any {
+			return fitzihirt.Run(p, par, inputs[p.ID], L)
+		})
+	if run.Err != nil {
+		return nil, run.Err
+	}
+	return buildResult(c, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+		o := v.(*fitzihirt.Output)
+		return o.Value, o.Defaulted, 1, 0, nil
+	})
+}
+
+// PredictFitziHirt returns the baseline's modelled fault-free cost in bits.
+func PredictFitziHirt(cfg FHConfig, L int64) int64 {
+	par := fitzihirt.Params{
+		N: cfg.N, T: cfg.T, Kappa: cfg.Kappa, SymBits: cfg.SymBits,
+		BSB: cfg.Broadcast, BSBCost: cfg.BroadcastCost,
+	}
+	return par.PredictCost(L)
+}
+
+// NaiveConfig configures the introduction's baseline: L independent 1-bit
+// consensus instances, costing Ω(n²·L) bits.
+type NaiveConfig struct {
+	N, T int
+	// ConsensusCost is the charged bits per 1-bit consensus (0 = the
+	// Dolev-Reischuk lower-bound figure 2n², deliberately generous).
+	ConsensusCost int64
+	// UseBSB switches to a real construction from 1-bit broadcast at
+	// n·B(n) bits per bit.
+	UseBSB    bool
+	Broadcast BroadcastKind
+	Seed      int64
+}
+
+// NaiveBitwise runs the bitwise baseline on the given inputs.
+func NaiveBitwise(cfg NaiveConfig, inputs [][]byte, L int, sc Scenario) (*Result, error) {
+	c := Config{N: cfg.N, T: cfg.T, Seed: cfg.Seed}
+	if err := c.validateInputs(inputs, L); err != nil {
+		return nil, err
+	}
+	par := naive.Params{
+		N: cfg.N, T: cfg.T, ConsensusCost: cfg.ConsensusCost,
+		UseBSB: cfg.UseBSB, BSB: cfg.Broadcast,
+	}
+	run := sim.Run(sim.RunConfig{N: cfg.N, Faulty: sc.Faulty, Adversary: sc.Behavior, Seed: cfg.Seed},
+		func(p *sim.Proc) any {
+			return naive.Run(p, par, inputs[p.ID], L)
+		})
+	if run.Err != nil {
+		return nil, run.Err
+	}
+	return buildResult(c, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+		o := v.(*naive.Output)
+		return o.Value, false, 1, 0, nil
+	})
+}
+
+// PredictNaive returns the bitwise baseline's modelled cost γ(n)·L.
+func PredictNaive(cfg NaiveConfig, L int64) int64 {
+	return naive.Params{N: cfg.N, T: cfg.T, ConsensusCost: cfg.ConsensusCost}.Cost(L)
+}

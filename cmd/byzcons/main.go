@@ -1,0 +1,188 @@
+// Command byzcons runs a single simulated execution of the paper's
+// consensus (or one of its companions) and prints the decision, the exact
+// communication cost by protocol stage, and the paper's closed-form
+// predictions for comparison.
+//
+// Examples:
+//
+//	byzcons -mode consensus -n 7 -t 2 -L 8192 -faulty 1,4 -adv equivocator
+//	byzcons -mode broadcast -n 10 -t 3 -source 2 -L 100000
+//	byzcons -mode fitzihirt -n 7 -t 2 -kappa 8 -L 65536
+//	byzcons -mode naive -n 7 -t 2 -L 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"byzcons"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "byzcons:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive")
+		n      = flag.Int("n", 7, "number of processors")
+		t      = flag.Int("t", 2, "Byzantine fault bound (t < n/3)")
+		L      = flag.Int("L", 8192, "value length in bits")
+		lanes  = flag.Int("lanes", 0, "generation lanes (0 = optimal D* of Eq. 2)")
+		sym    = flag.Uint("sym", 0, "Reed-Solomon symbol bits (0 = auto, 8 or 16)")
+		bsbStr = flag.String("bsb", "oracle", "1-bit broadcast: oracle | eig | phaseking")
+		advStr = flag.String("adv", "none", "adversary: "+strings.Join(advNames(), " | "))
+		faulty = flag.String("faulty", "", "comma-separated faulty processor ids")
+		seed   = flag.Int64("seed", 1, "deterministic run seed")
+		source = flag.Int("source", 0, "broadcast source processor")
+		kappa  = flag.Uint("kappa", 16, "fitzihirt hash width in bits")
+		eps    = flag.Float64("eps", 0, "proboracle per-receiver failure probability")
+		trace  = flag.Bool("trace", false, "print per-generation progress to stderr")
+	)
+	flag.Parse()
+
+	kind, err := byzcons.ParseBroadcastKind(*bsbStr)
+	if err != nil {
+		return err
+	}
+	faultyIDs, err := parseIDs(*faulty)
+	if err != nil {
+		return err
+	}
+	behavior, err := makeAdversary(*advStr, *t)
+	if err != nil {
+		return err
+	}
+	sc := byzcons.Scenario{Faulty: faultyIDs, Behavior: behavior}
+
+	// Deterministic per-processor inputs: all equal (the validity case).
+	val := make([]byte, (*L+7)/8)
+	for i := range val {
+		val[i] = byte(0x41 + i%26)
+	}
+	inputs := make([][]byte, *n)
+	for i := range inputs {
+		inputs[i] = val
+	}
+
+	var traceW io.Writer
+	if *trace {
+		traceW = os.Stderr
+	}
+	var res *byzcons.Result
+	switch *mode {
+	case "consensus":
+		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
+			BroadcastEpsilon: *eps, Seed: *seed, Trace: traceW}
+		res, err = byzcons.Consensus(cfg, inputs, *L, sc)
+	case "broadcast":
+		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
+			BroadcastEpsilon: *eps, Seed: *seed}
+		res, err = byzcons.Broadcast(cfg, *source, val, *L, sc)
+	case "fitzihirt":
+		cfg := byzcons.FHConfig{N: *n, T: *t, Kappa: *kappa, Broadcast: kind, Seed: *seed}
+		res, err = byzcons.FitziHirt(cfg, inputs, *L, sc)
+	case "naive":
+		cfg := byzcons.NaiveConfig{N: *n, T: *t, Seed: *seed}
+		res, err = byzcons.NaiveBitwise(cfg, inputs, *L, sc)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	report(os.Stdout, *mode, *n, *t, *L, kind, res)
+	return nil
+}
+
+// report renders a run summary with the paper's closed-form predictions.
+func report(w io.Writer, mode string, n, t, L int, kind byzcons.BroadcastKind, res *byzcons.Result) {
+	fmt.Fprintf(w, "mode=%s n=%d t=%d L=%d bits bsb=%v\n", mode, n, t, L, kind)
+	fmt.Fprintf(w, "consistent=%v defaulted=%v", res.Consistent, res.Defaulted)
+	if res.Consistent && len(res.Value) > 0 {
+		snippet := res.Value
+		if len(snippet) > 16 {
+			snippet = snippet[:16]
+		}
+		fmt.Fprintf(w, " value[0:16]=%x", snippet)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "generations=%d diagnosisRuns=%d (bound t(t+1)=%d) isolated=%v\n",
+		res.Generations, res.DiagnosisRuns, t*(t+1), res.Isolated)
+	fmt.Fprintf(w, "rounds=%d totalBits=%d honestBits=%d\n", res.Rounds, res.Bits, res.HonestBits)
+
+	tags := make([]string, 0, len(res.BitsByTag))
+	for tag := range res.BitsByTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	fmt.Fprintln(w, "bits by stage:")
+	for _, tag := range tags {
+		fmt.Fprintf(w, "  %-12s %12d  (%.1f%%)\n", tag, res.BitsByTag[tag],
+			100*float64(res.BitsByTag[tag])/float64(res.Bits))
+	}
+
+	if mode == "consensus" {
+		B := byzcons.DefaultBroadcastCost(n)
+		D := byzcons.OptimalD(n, t, 8, int64(L), B)
+		fmt.Fprintln(w, "paper predictions:")
+		fmt.Fprintf(w, "  Eq.1 worst case Ccon  = %d bits (D=%d, B=%d)\n", byzcons.PredictCcon(n, t, int64(L), D, B), D, B)
+		fmt.Fprintf(w, "  Eq.3 leading term     = %d bits (n(n-1)/(n-2t)·L)\n", byzcons.PredictLeading(n, t, int64(L)))
+		fmt.Fprintf(w, "  naive bitwise baseline = %d bits (2n²L)\n", byzcons.PredictNaive(byzcons.NaiveConfig{N: n, T: t}, int64(L)))
+	}
+}
+
+func parseIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad faulty id %q", p)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func advNames() []string {
+	return []string{"none", "equivocator", "matchliar", "falsedetector", "trustliar",
+		"symbolliar", "silent", "random", "edgemiser"}
+}
+
+func makeAdversary(name string, t int) (byzcons.Adversary, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "equivocator":
+		return byzcons.Equivocator{}, nil
+	case "matchliar":
+		return byzcons.MatchLiar{}, nil
+	case "falsedetector":
+		return byzcons.FalseDetector{}, nil
+	case "trustliar":
+		return byzcons.Attacks{byzcons.Equivocator{}, byzcons.TrustLiar{}}, nil
+	case "symbolliar":
+		return byzcons.Attacks{byzcons.Equivocator{}, byzcons.SymbolLiar{}}, nil
+	case "silent":
+		return byzcons.Silent{}, nil
+	case "random":
+		return byzcons.RandomByz{P: 0.4}, nil
+	case "edgemiser":
+		return byzcons.EdgeMiser{T: t}, nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q (want %s)", name, strings.Join(advNames(), ", "))
+	}
+}

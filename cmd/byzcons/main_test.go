@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"byzcons"
+)
+
+func TestParseIDs(t *testing.T) {
+	got, err := parseIDs("1, 4,6")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("parseIDs = %v, %v", got, err)
+	}
+	if got, err := parseIDs(""); err != nil || got != nil {
+		t.Errorf("empty parse = %v, %v", got, err)
+	}
+	if _, err := parseIDs("1,x"); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestMakeAdversaryCoversAllNames(t *testing.T) {
+	for _, name := range advNames() {
+		adv, err := makeAdversary(name, 2)
+		if err != nil {
+			t.Errorf("makeAdversary(%q): %v", name, err)
+		}
+		if name != "none" && adv == nil {
+			t.Errorf("makeAdversary(%q) returned nil", name)
+		}
+	}
+	if _, err := makeAdversary("bogus", 2); err == nil {
+		t.Error("bogus adversary accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	val := bytes.Repeat([]byte{0xAB}, 32)
+	inputs := make([][]byte, 4)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	res, err := byzcons.Consensus(byzcons.Config{N: 4, T: 1}, inputs, 256, byzcons.Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report(&buf, "consensus", 4, 1, 256, byzcons.BroadcastOracle, res)
+	out := buf.String()
+	for _, want := range []string{"consistent=true", "bits by stage", "match.sym", "paper predictions", "Eq.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	val := bytes.Repeat([]byte{0xCD}, 24)
+	inputs := make([][]byte, 7)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	var trace bytes.Buffer
+	cfg := byzcons.Config{N: 7, T: 2, Lanes: 1, SymBits: 8, Trace: &trace}
+	_, err := byzcons.Consensus(cfg, inputs, 192, byzcons.Scenario{
+		Faulty:   []int{5, 6},
+		Behavior: byzcons.FalseDetector{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	if !strings.Contains(out, "diagnosis") || !strings.Contains(out, "isolated=[5 6]") {
+		t.Errorf("trace missing diagnosis lines:\n%s", out)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("trace missing clean generations:\n%s", out)
+	}
+}

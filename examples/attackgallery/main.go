@@ -1,0 +1,88 @@
+// Attackgallery: runs the full Byzantine attack library against Algorithm 1
+// and prints, for each attack, what the diagnosis machinery learned and that
+// the error-free guarantees held. It finishes with the contrast experiment:
+// the Fitzi-Hirt hash-based baseline visibly failing under hash collisions
+// that Algorithm 1 is immune to by construction.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"byzcons"
+)
+
+func main() {
+	const n, t = 7, 2
+	value := bytes.Repeat([]byte("byzantine-proof "), 64) // 1 KiB
+	L := len(value) * 8
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = value
+	}
+
+	attacks := []struct {
+		name     string
+		faulty   []int
+		behavior byzcons.Adversary
+	}{
+		{"passive (protocol-conformant faults)", []int{2, 5}, nil},
+		{"silent (crash)", []int{2, 5}, byzcons.Silent{}},
+		{"equivocator", []int{0, 1}, byzcons.Equivocator{Victims: []int{5, 6}}},
+		{"match-vector liar", []int{3, 6}, byzcons.MatchLiar{}},
+		{"false detector", []int{5, 6}, byzcons.FalseDetector{}},
+		{"trust liar", []int{1, 4}, byzcons.Attacks{byzcons.Equivocator{Victims: []int{6}}, byzcons.TrustLiar{}}},
+		{"R# symbol liar", []int{0, 2}, byzcons.Attacks{byzcons.Equivocator{Victims: []int{6}}, byzcons.SymbolLiar{}}},
+		{"random byzantine (p=0.5)", []int{2, 4}, byzcons.RandomByz{P: 0.5}},
+		{"edge-miser (worst case, Theorem 1)", []int{0, 1}, byzcons.EdgeMiser{T: t}},
+	}
+
+	fmt.Printf("=== Algorithm 1 under attack (n=%d, t=%d, L=%d bits) ===\n\n", n, t, L)
+	for _, a := range attacks {
+		cfg := byzcons.Config{N: n, T: t, Lanes: 4, SymBits: 8, Seed: 99}
+		res, err := byzcons.Consensus(cfg, inputs, L, byzcons.Scenario{Faulty: a.faulty, Behavior: a.behavior})
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		ok := res.Consistent && !res.Defaulted && bytes.Equal(res.Value, value)
+		fmt.Printf("%-38s faulty=%v\n", a.name, a.faulty)
+		fmt.Printf("    valid+consistent: %-5v  diagnoses: %2d/%d  isolated: %v  bits: %d\n",
+			ok, res.DiagnosisRuns, t*(t+1), res.Isolated, res.Bits)
+		if !ok {
+			log.Fatal("error-free guarantee violated — impossible")
+		}
+	}
+
+	// The contrast: hash-based matching (Fitzi-Hirt style) errs on colliding
+	// inputs. Two honest camps hold different values; a correct protocol must
+	// default. With a 4-bit hash, some seeds collide and break agreement.
+	fmt.Println("\n=== Fitzi-Hirt baseline vs hash collisions (honest inputs differ) ===")
+	small := bytes.Repeat([]byte{0xAA}, 64)
+	large := bytes.Repeat([]byte{0x55}, 64)
+	fhInputs := [][]byte{small, large, small, large, small, large, small}
+	trials, fhErrs := 150, 0
+	for seed := 0; seed < trials; seed++ {
+		res, err := byzcons.FitziHirt(byzcons.FHConfig{N: n, T: t, Kappa: 4, Seed: int64(seed)},
+			fhInputs, len(small)*8, byzcons.Scenario{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Consistent || !res.Defaulted {
+			fhErrs++
+		}
+	}
+	ourErrs := 0
+	for seed := 0; seed < trials; seed++ {
+		res, err := byzcons.Consensus(byzcons.Config{N: n, T: t, Seed: int64(seed)},
+			fhInputs, len(small)*8, byzcons.Scenario{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Consistent || !res.Defaulted {
+			ourErrs++
+		}
+	}
+	fmt.Printf("fitzi-hirt (kappa=4): %d/%d runs erred (collision-induced)\n", fhErrs, trials)
+	fmt.Printf("algorithm 1 (ours):   %d/%d runs erred — error-free by construction\n", ourErrs, trials)
+}

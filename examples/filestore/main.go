@@ -1,0 +1,62 @@
+// Filestore: the paper's fault-tolerant distributed storage motivation.
+// Ten replicas agree on a 64 KiB file blob before committing it; three are
+// Byzantine. The example shows where the paper's O(nL) complexity pays off:
+// the per-replica traffic stays near 3 file-sizes, an order of magnitude
+// under the naive Ω(n²L) approach, and the breakdown shows the L-dependent
+// matching data dominating the fixed broadcast overhead for a large value.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"byzcons"
+)
+
+func main() {
+	const n, t = 10, 3
+	const size = 64 << 10 // 64 KiB file
+	L := size * 8
+
+	// The file every replica fetched from the primary (identical content;
+	// consensus certifies it before commit).
+	file := make([]byte, size)
+	for i := range file {
+		file[i] = byte(i*2654435761 ^ i>>8)
+	}
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = file
+	}
+
+	res, err := byzcons.Consensus(
+		byzcons.Config{N: n, T: t, Seed: 42},
+		inputs, L,
+		byzcons.Scenario{
+			Faulty:   []int{1, 4, 8},
+			Behavior: byzcons.RandomByz{P: 0.3}, // arbitrary corruption attempts
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Consistent || !bytes.Equal(res.Value, file) {
+		log.Fatal("commit failed: replicas disagree (this must be impossible)")
+	}
+
+	naive := byzcons.PredictNaive(byzcons.NaiveConfig{N: n, T: t}, int64(L))
+	fmt.Printf("committed %d KiB file across %d replicas (%d Byzantine)\n", size>>10, n, t)
+	fmt.Printf("total traffic:      %d bits = %.1f file sizes\n", res.Bits, float64(res.Bits)/float64(L))
+	fmt.Printf("per-replica:        %.1f file sizes\n", float64(res.Bits)/float64(L)/float64(n))
+	fmt.Printf("naive bitwise:      %d bits = %.0f file sizes (%.1fx more)\n",
+		naive, float64(naive)/float64(L), float64(naive)/float64(res.Bits))
+	fmt.Printf("diagnosis stages:   %d (bound %d); isolated replicas: %v\n",
+		res.DiagnosisRuns, t*(t+1), res.Isolated)
+	fmt.Println("traffic by stage:")
+	for _, tag := range []string{"match.sym", "match.M", "check.det", "diag.sym", "diag.trust"} {
+		if bits, ok := res.BitsByTag[tag]; ok {
+			fmt.Printf("  %-10s %12d bits (%.2f%%)\n", tag, bits, 100*float64(bits)/float64(res.Bits))
+		}
+	}
+}

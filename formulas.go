@@ -1,0 +1,42 @@
+package byzcons
+
+import (
+	"byzcons/internal/bsb"
+	"byzcons/internal/consensus"
+)
+
+// StageCost is the closed-form per-generation cost of each protocol stage
+// from the paper's Section 3.4 analysis (Eq. 1).
+type StageCost = consensus.GenCost
+
+// PredictStageCost evaluates Eq. 1's per-stage terms for one generation of
+// D bits with 1-bit broadcast cost B.
+func PredictStageCost(n, t int, D, B int64) StageCost {
+	return consensus.PredictGenCost(n, t, D, B)
+}
+
+// PredictCcon evaluates Eq. 1: worst-case total bits for L-bit consensus
+// with generation size D and broadcast cost B (diagnosis at its t(t+1) max).
+func PredictCcon(n, t int, L, D, B int64) int64 {
+	return consensus.PredictCcon(n, t, L, D, B)
+}
+
+// PredictLeading returns Eq. 3's leading term n(n-1)/(n-2t)·L, the
+// asymptotic communication for large L.
+func PredictLeading(n, t int, L int64) int64 {
+	return consensus.PredictCconLeading(n, t, L)
+}
+
+// OptimalD returns the generation size D (in bits) selected by Eq. 2's D*
+// for an L-bit value, as realised by the implementation (a whole number of
+// interleaving lanes over the (n-2t, c) code geometry).
+func OptimalD(n, t int, symBits uint, L, B int64) int64 {
+	if symBits == 0 {
+		symBits = 8
+	}
+	lanes := consensus.OptimalLanes(n, t, symBits, L, B)
+	return int64(n-2*t) * int64(lanes) * int64(symBits)
+}
+
+// DefaultBroadcastCost returns the default oracle B(n) = 2n² bits/bit.
+func DefaultBroadcastCost(n int) int64 { return bsb.DefaultOracleCost(n) }

@@ -1,0 +1,148 @@
+// Package adversary is the attack library: implementations of sim.Adversary
+// that model Byzantine strategies against Algorithm 1 and its substrates.
+//
+// The simulator hands the adversary every message and broadcast contribution
+// submitted in a step — including the honest ones, modelling the paper's
+// rushing adversary with complete knowledge — and lets it rewrite the traffic
+// of faulty processors. Faulty processors execute the honest protocol code,
+// so the adversary receives protocol-conformant traffic and deviates from it,
+// which is exactly the set of behaviours available to a Byzantine processor
+// in a synchronous network (it can alter message contents, not the round
+// structure).
+package adversary
+
+import (
+	"strconv"
+	"strings"
+
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+// Func adapts plain functions to sim.Adversary; nil fields mean no deviation.
+type Func struct {
+	Exchange func(ctx *sim.ExchangeCtx)
+	Sync     func(ctx *sim.SyncCtx)
+}
+
+// ReworkExchange implements sim.Adversary.
+func (f Func) ReworkExchange(ctx *sim.ExchangeCtx) {
+	if f.Exchange != nil {
+		f.Exchange(ctx)
+	}
+}
+
+// ReworkSync implements sim.Adversary.
+func (f Func) ReworkSync(ctx *sim.SyncCtx) {
+	if f.Sync != nil {
+		f.Sync(ctx)
+	}
+}
+
+// Chain composes adversaries; each sees the traffic as left by the previous.
+type Chain []sim.Adversary
+
+// ReworkExchange implements sim.Adversary.
+func (c Chain) ReworkExchange(ctx *sim.ExchangeCtx) {
+	for _, a := range c {
+		a.ReworkExchange(ctx)
+	}
+}
+
+// ReworkSync implements sim.Adversary.
+func (c Chain) ReworkSync(ctx *sim.SyncCtx) {
+	for _, a := range c {
+		a.ReworkSync(ctx)
+	}
+}
+
+// Phase extracts the protocol phase from a step id: "g12/match.sym" yields
+// "match.sym"; broadcaster-internal suffixes are stripped ("g3/match.M/eig.r2"
+// also yields "match.M").
+func Phase(step sim.StepID) string {
+	s := string(step)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// Generation extracts the generation index from a step id ("g12/..." yields
+// 12); it returns -1 when the step has no generation prefix.
+func Generation(step sim.StepID) int {
+	s := string(step)
+	if !strings.HasPrefix(s, "g") {
+		return -1
+	}
+	s = s[1:]
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	g, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return g
+}
+
+// Insts returns the batch instance descriptors attached to a broadcast step,
+// or nil when the step carries none.
+func Insts(meta any) []bsb.Inst {
+	insts, _ := meta.([]bsb.Inst)
+	return insts
+}
+
+// EditSyncBits rewrites the oracle-broadcast contributions of faulty sources:
+// for every instance whose source is faulty, fn receives the instance and the
+// currently contributed bit and returns the bit to deliver. Contributions of
+// honest sources are never touched.
+func EditSyncBits(ctx *sim.SyncCtx, fn func(inst bsb.Inst, cur bool) bool) {
+	insts := Insts(ctx.Meta)
+	if insts == nil {
+		return
+	}
+	// Per-source position counters mirror the oracle's assembly order.
+	next := make([]int, ctx.N)
+	edited := make(map[int][]bool, ctx.N)
+	for _, inst := range insts {
+		src := inst.Src
+		if src < 0 || src >= ctx.N {
+			continue
+		}
+		i := next[src]
+		next[src]++
+		if !ctx.Faulty[src] {
+			continue
+		}
+		bits, ok := edited[src]
+		if !ok {
+			orig, _ := ctx.Vals[src].([]bool)
+			bits = append([]bool(nil), orig...)
+			edited[src] = bits
+		}
+		for len(bits) <= i {
+			bits = append(bits, false)
+		}
+		bits[i] = fn(inst, bits[i])
+		edited[src] = bits
+	}
+	for src, bits := range edited {
+		ctx.Vals[src] = bits
+	}
+}
+
+// EachFaultyMessage calls fn with a pointer to every message sent by a faulty
+// processor in this step, allowing in-place mutation.
+func EachFaultyMessage(ctx *sim.ExchangeCtx, fn func(from int, m *sim.Message)) {
+	for from := range ctx.Out {
+		if !ctx.Faulty[from] {
+			continue
+		}
+		for i := range ctx.Out[from] {
+			fn(from, &ctx.Out[from][i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"testing"
+
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+func TestPhaseParsing(t *testing.T) {
+	cases := map[sim.StepID]string{
+		"g12/match.sym":       "match.sym",
+		"g0/match.M":          "match.M",
+		"g3/match.M/eig.r2":   "match.M",
+		"g7/check.det/pk.src": "check.det",
+		"g1/diag.trust/align": "diag.trust",
+		"fh/keys":             "keys",
+		"nogeneration":        "nogeneration",
+	}
+	for step, want := range cases {
+		if got := Phase(step); got != want {
+			t.Errorf("Phase(%q) = %q, want %q", step, got, want)
+		}
+	}
+}
+
+func TestGenerationParsing(t *testing.T) {
+	cases := map[sim.StepID]int{
+		"g12/match.sym": 12,
+		"g0/x":          0,
+		"fh/keys":       -1,
+		"gX/y":          -1,
+		"g5":            5,
+	}
+	for step, want := range cases {
+		if got := Generation(step); got != want {
+			t.Errorf("Generation(%q) = %d, want %d", step, got, want)
+		}
+	}
+}
+
+func TestEditSyncBitsTouchesOnlyFaultySources(t *testing.T) {
+	insts := []bsb.Inst{
+		{Src: 0, Kind: "M", B: 1}, {Src: 1, Kind: "M", B: 0},
+		{Src: 0, Kind: "M", B: 2}, {Src: 2, Kind: "M", B: 0},
+	}
+	ctx := &sim.SyncCtx{
+		N:      3,
+		Faulty: []bool{true, false, false},
+		Vals:   []any{[]bool{true, true}, []bool{true}, []bool{false}},
+		Meta:   insts,
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return !cur })
+	got := ctx.Vals[0].([]bool)
+	if got[0] != false || got[1] != false {
+		t.Errorf("faulty contributions not flipped: %v", got)
+	}
+	if ctx.Vals[1].([]bool)[0] != true || ctx.Vals[2].([]bool)[0] != false {
+		t.Error("honest contributions were modified")
+	}
+}
+
+func TestEditSyncBitsHandlesMissingContributions(t *testing.T) {
+	insts := []bsb.Inst{{Src: 0, Kind: "D"}, {Src: 0, Kind: "D"}}
+	ctx := &sim.SyncCtx{
+		N:      1,
+		Faulty: []bool{true},
+		Vals:   []any{nil}, // silent faulty: no contribution at all
+		Meta:   insts,
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return true })
+	got := ctx.Vals[0].([]bool)
+	if len(got) != 2 || !got[0] || !got[1] {
+		t.Errorf("missing contribution not synthesized: %v", got)
+	}
+}
+
+func TestEditSyncBitsNoMetaNoop(t *testing.T) {
+	ctx := &sim.SyncCtx{N: 1, Faulty: []bool{true}, Vals: []any{[]bool{true}}}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return !cur })
+	if ctx.Vals[0].([]bool)[0] != true {
+		t.Error("edited without instance metadata")
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var trace []string
+	a := Func{Sync: func(*sim.SyncCtx) { trace = append(trace, "a") }}
+	b := Func{Sync: func(*sim.SyncCtx) { trace = append(trace, "b") }}
+	Chain{a, b}.ReworkSync(&sim.SyncCtx{})
+	if len(trace) != 2 || trace[0] != "a" || trace[1] != "b" {
+		t.Errorf("chain order = %v", trace)
+	}
+}
+
+func TestEachFaultyMessage(t *testing.T) {
+	ctx := &sim.ExchangeCtx{
+		N:      2,
+		Faulty: []bool{false, true},
+		Out: [][]sim.Message{
+			{{To: 1, Bits: 1}},
+			{{To: 0, Bits: 1}, {To: 0, Bits: 2}},
+		},
+	}
+	count := 0
+	EachFaultyMessage(ctx, func(from int, m *sim.Message) {
+		count++
+		m.Bits = 99
+	})
+	if count != 2 {
+		t.Errorf("visited %d messages, want 2", count)
+	}
+	if ctx.Out[0][0].Bits != 1 {
+		t.Error("honest message mutated")
+	}
+	if ctx.Out[1][0].Bits != 99 || ctx.Out[1][1].Bits != 99 {
+		t.Error("faulty messages not mutated")
+	}
+}

@@ -1,0 +1,271 @@
+package adversary
+
+import (
+	"byzcons/internal/bsb"
+	"byzcons/internal/gf"
+	"byzcons/internal/sim"
+)
+
+// corruptWord returns a corrupted copy of a matching-stage word payload
+// ([]gf.Sym): every symbol is XORed with 1, which stays within any GF(2^c).
+func corruptWord(payload any) any {
+	w, ok := payload.([]gf.Sym)
+	if !ok {
+		return payload
+	}
+	c := make([]gf.Sym, len(w))
+	for i, s := range w {
+		c[i] = s ^ 1
+	}
+	return c
+}
+
+// Equivocator makes every faulty processor send a corrupted matching-stage
+// symbol to the victim processors while sending the correct symbol to
+// everyone else — the canonical equivocation the checking stage is built to
+// catch (proof of Lemma 4, case 1). Victims lists target processor ids;
+// empty means the highest-numbered processor. Generations outside
+// [FromGen, ToGen] (ToGen 0 = unbounded) are left untouched, which lets
+// tests interleave clean and attacked generations.
+type Equivocator struct {
+	Victims []int
+	FromGen int
+	ToGen   int
+}
+
+// ReworkExchange implements sim.Adversary.
+func (e Equivocator) ReworkExchange(ctx *sim.ExchangeCtx) {
+	if Phase(ctx.Step) != "match.sym" {
+		return
+	}
+	if g := Generation(ctx.Step); g < e.FromGen || (e.ToGen > 0 && g > e.ToGen) {
+		return
+	}
+	victims := e.Victims
+	if len(victims) == 0 {
+		victims = []int{ctx.N - 1}
+	}
+	isVictim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	EachFaultyMessage(ctx, func(from int, m *sim.Message) {
+		if isVictim[m.To] {
+			m.Payload = corruptWord(m.Payload)
+		}
+	})
+}
+
+// ReworkSync implements sim.Adversary.
+func (Equivocator) ReworkSync(*sim.SyncCtx) {}
+
+// MatchLiar flips the broadcast M-vector entries of faulty processors:
+// they claim to match processors they do not and deny matches they have.
+// The checking stage must still keep honest decisions consistent.
+type MatchLiar struct{}
+
+// ReworkExchange implements sim.Adversary.
+func (MatchLiar) ReworkExchange(*sim.ExchangeCtx) {}
+
+// ReworkSync implements sim.Adversary.
+func (MatchLiar) ReworkSync(ctx *sim.SyncCtx) {
+	if Phase(ctx.Step) != "match.M" {
+		return
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return !cur })
+}
+
+// FalseDetector makes faulty non-members of Pmatch claim Detected = true in
+// clean generations. Per line 3(f), such processors must be isolated by the
+// very diagnosis stage they trigger.
+type FalseDetector struct{}
+
+// ReworkExchange implements sim.Adversary.
+func (FalseDetector) ReworkExchange(*sim.ExchangeCtx) {}
+
+// ReworkSync implements sim.Adversary.
+func (FalseDetector) ReworkSync(ctx *sim.SyncCtx) {
+	if Phase(ctx.Step) != "check.det" {
+		return
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return true })
+}
+
+// TrustLiar makes faulty processors broadcast false accusations in the
+// diagnosis stage: they claim to distrust every member of Pmatch. Lemma 4
+// guarantees only faulty-incident edges are removed as a result.
+type TrustLiar struct{}
+
+// ReworkExchange implements sim.Adversary.
+func (TrustLiar) ReworkExchange(*sim.ExchangeCtx) {}
+
+// ReworkSync implements sim.Adversary.
+func (TrustLiar) ReworkSync(ctx *sim.SyncCtx) {
+	if Phase(ctx.Step) != "diag.trust" {
+		return
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return false })
+}
+
+// SymbolLiar makes faulty Pmatch members broadcast a corrupted R# symbol in
+// the diagnosis stage (different from what they sent in the matching stage),
+// which must cost them edges to every honest receiver.
+type SymbolLiar struct{}
+
+// ReworkExchange implements sim.Adversary.
+func (SymbolLiar) ReworkExchange(*sim.ExchangeCtx) {}
+
+// ReworkSync implements sim.Adversary.
+func (SymbolLiar) ReworkSync(ctx *sim.SyncCtx) {
+	if Phase(ctx.Step) != "diag.sym" {
+		return
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool { return !cur })
+}
+
+// Silent drops every message sent by faulty processors and zeroes their
+// broadcast contributions — crash-like behaviour expressed in the Byzantine
+// model.
+type Silent struct{}
+
+// ReworkExchange implements sim.Adversary.
+func (Silent) ReworkExchange(ctx *sim.ExchangeCtx) {
+	for from := range ctx.Out {
+		if ctx.Faulty[from] {
+			ctx.Out[from] = nil
+		}
+	}
+}
+
+// ReworkSync implements sim.Adversary.
+func (Silent) ReworkSync(ctx *sim.SyncCtx) {
+	for i, f := range ctx.Faulty {
+		if f {
+			ctx.Vals[i] = nil
+		}
+	}
+}
+
+// RandomByz is a fuzzing adversary: with probability P (default 0.3 when 0)
+// it corrupts each faulty message payload and flips each faulty broadcast
+// contribution bit. Useful for property tests: whatever it does, honest
+// consistency and the diagnosis-graph invariants must hold.
+type RandomByz struct {
+	P float64
+}
+
+func (r RandomByz) p() float64 {
+	if r.P <= 0 {
+		return 0.3
+	}
+	return r.P
+}
+
+// ReworkExchange implements sim.Adversary.
+func (r RandomByz) ReworkExchange(ctx *sim.ExchangeCtx) {
+	EachFaultyMessage(ctx, func(from int, m *sim.Message) {
+		if ctx.Rand.Float64() >= r.p() {
+			return
+		}
+		switch payload := m.Payload.(type) {
+		case []gf.Sym:
+			c := make([]gf.Sym, len(payload))
+			for i, s := range payload {
+				c[i] = s ^ gf.Sym(ctx.Rand.Intn(256))
+			}
+			m.Payload = c
+		case []bool:
+			c := make([]bool, len(payload))
+			for i, b := range payload {
+				c[i] = b != (ctx.Rand.Float64() < 0.5)
+			}
+			m.Payload = c
+		}
+	})
+}
+
+// ReworkSync implements sim.Adversary.
+func (r RandomByz) ReworkSync(ctx *sim.SyncCtx) {
+	if Insts(ctx.Meta) == nil {
+		return
+	}
+	EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool {
+		if ctx.Rand.Float64() < r.p() {
+			return !cur
+		}
+		return cur
+	})
+}
+
+// EdgeMiser is the worst-case budget adversary for Theorem 1: it triggers the
+// maximum possible number of diagnosis stages, t(t+1), spending exactly one
+// faulty-incident edge per generation. In generation g = f*(t+1)+r the
+// designated faulty processor f (ids 0..t-1 must be the faulty set):
+//
+//   - broadcasts an all-false M vector, keeping itself out of Pmatch,
+//   - claims Detected = true as a non-member, and
+//   - falsely distrusts one Pmatch member in its Trust vector, so line 3(e)
+//     removes exactly one edge at f — which, per line 3(f), also shields f
+//     from immediate isolation.
+//
+// After t+1 such generations f has lost t+1 edges and line 3(g) isolates it.
+// Total: t(t+1) diagnosis stages, matching the Theorem 1 bound exactly.
+type EdgeMiser struct {
+	T int // the fault bound t (faulty ids are 0..T-1)
+}
+
+func (e EdgeMiser) actor(step sim.StepID) int {
+	g := Generation(step)
+	if g < 0 || e.T == 0 {
+		return -1
+	}
+	f := g / (e.T + 1)
+	if f >= e.T {
+		return -1 // budget exhausted; all faulty isolated by now
+	}
+	return f
+}
+
+// ReworkExchange implements sim.Adversary.
+func (EdgeMiser) ReworkExchange(*sim.ExchangeCtx) {}
+
+// ReworkSync implements sim.Adversary.
+func (e EdgeMiser) ReworkSync(ctx *sim.SyncCtx) {
+	f := e.actor(ctx.Step)
+	if f < 0 {
+		return
+	}
+	switch Phase(ctx.Step) {
+	case "match.M":
+		EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool {
+			if inst.Src == f {
+				return false // accuse everyone: stay out of Pmatch
+			}
+			return cur
+		})
+	case "check.det":
+		EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool {
+			if inst.Src == f {
+				return true // false alarm: trigger diagnosis
+			}
+			return cur
+		})
+	case "diag.trust":
+		// Falsely distrust exactly one still-trusted honest member (cur is
+		// f's honestly computed trust bit, so cur=true means the edge is
+		// fresh; ids >= T are honest). Accusing a fresh honest victim each
+		// turn removes exactly one new (faulty, honest) edge per diagnosis —
+		// never wasting budget on an already-removed or faulty-faulty edge,
+		// which would trigger early isolation via line 3(f) or shared edge
+		// counts. Pmatch always has >= n-2t >= t+1 honest members, so f
+		// finds a fresh victim in each of its t+1 turns.
+		done := false
+		EditSyncBits(ctx, func(inst bsb.Inst, cur bool) bool {
+			if inst.Src == f && inst.A == f && !done && inst.B >= e.T && cur {
+				done = true
+				return false
+			}
+			return cur
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"byzcons/internal/bsb"
+	"byzcons/internal/gf"
+	"byzcons/internal/rs"
+	"byzcons/internal/sim"
+)
+
+// exchangeCtx builds a synthetic matching-stage step with one faulty sender
+// (processor 0) sending word {0x10, 0x20} to processors 1 and 2.
+func exchangeCtx(step sim.StepID) *sim.ExchangeCtx {
+	return &sim.ExchangeCtx{
+		Step:   step,
+		N:      3,
+		Faulty: []bool{true, false, false},
+		Out: [][]sim.Message{
+			{
+				{To: 1, Payload: []gf.Sym{0x10, 0x20}, Bits: 16},
+				{To: 2, Payload: []gf.Sym{0x10, 0x20}, Bits: 16},
+			},
+			{{To: 0, Payload: []gf.Sym{0x30}, Bits: 8}},
+			{},
+		},
+		Rand: rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestEquivocatorTargetsVictimsOnly(t *testing.T) {
+	ctx := exchangeCtx("g0/match.sym")
+	Equivocator{Victims: []int{2}}.ReworkExchange(ctx)
+	toward1 := ctx.Out[0][0].Payload.([]gf.Sym)
+	toward2 := ctx.Out[0][1].Payload.([]gf.Sym)
+	if toward1[0] != 0x10 {
+		t.Error("non-victim message was corrupted")
+	}
+	if toward2[0] == 0x10 {
+		t.Error("victim message was not corrupted")
+	}
+	if honest := ctx.Out[1][0].Payload.([]gf.Sym); honest[0] != 0x30 {
+		t.Error("honest sender's message was touched")
+	}
+}
+
+func TestEquivocatorGenerationWindow(t *testing.T) {
+	ctx := exchangeCtx("g5/match.sym")
+	Equivocator{Victims: []int{2}, FromGen: 6}.ReworkExchange(ctx)
+	if w := ctx.Out[0][1].Payload.([]gf.Sym); w[0] != 0x10 {
+		t.Error("attack fired before FromGen")
+	}
+	ctx = exchangeCtx("g5/match.sym")
+	Equivocator{Victims: []int{2}, FromGen: 2, ToGen: 4}.ReworkExchange(ctx)
+	if w := ctx.Out[0][1].Payload.([]gf.Sym); w[0] != 0x10 {
+		t.Error("attack fired after ToGen")
+	}
+}
+
+func TestEquivocatorIgnoresOtherPhases(t *testing.T) {
+	ctx := exchangeCtx("g0/diag.sym")
+	Equivocator{Victims: []int{2}}.ReworkExchange(ctx)
+	if w := ctx.Out[0][1].Payload.([]gf.Sym); w[0] != 0x10 {
+		t.Error("attack fired outside match.sym")
+	}
+}
+
+func TestEquivocatorDefaultVictim(t *testing.T) {
+	ctx := exchangeCtx("g0/match.sym")
+	Equivocator{}.ReworkExchange(ctx) // default victim: highest id (2)
+	if w := ctx.Out[0][1].Payload.([]gf.Sym); w[0] == 0x10 {
+		t.Error("default victim not attacked")
+	}
+}
+
+// syncCtx builds a broadcast batch where processor 0 (faulty) owns the first
+// two instances of the given kind.
+func syncCtx(step sim.StepID, kind string) *sim.SyncCtx {
+	insts := []bsb.Inst{
+		{Src: 0, Kind: kind, A: 0, B: 1},
+		{Src: 0, Kind: kind, A: 0, B: 2},
+		{Src: 1, Kind: kind, A: 1, B: 0},
+	}
+	return &sim.SyncCtx{
+		Step:   step,
+		N:      3,
+		Faulty: []bool{true, false, false},
+		Vals:   []any{[]bool{true, true}, []bool{true}, nil},
+		Meta:   insts,
+		Rand:   rand.New(rand.NewSource(2)),
+	}
+}
+
+func TestMatchLiarFlipsOwnEntries(t *testing.T) {
+	ctx := syncCtx("g0/match.M", "M")
+	MatchLiar{}.ReworkSync(ctx)
+	got := ctx.Vals[0].([]bool)
+	if got[0] || got[1] {
+		t.Error("faulty M entries not flipped")
+	}
+	if honest := ctx.Vals[1].([]bool); !honest[0] {
+		t.Error("honest M entries touched")
+	}
+	// Wrong phase: untouched.
+	ctx = syncCtx("g0/check.det", "Det")
+	MatchLiar{}.ReworkSync(ctx)
+	if got := ctx.Vals[0].([]bool); !got[0] {
+		t.Error("MatchLiar fired outside match.M")
+	}
+}
+
+func TestFalseDetectorForcesTrue(t *testing.T) {
+	ctx := syncCtx("g3/check.det", "Det")
+	ctx.Vals[0] = []bool{false, false}
+	FalseDetector{}.ReworkSync(ctx)
+	got := ctx.Vals[0].([]bool)
+	if !got[0] || !got[1] {
+		t.Error("Detected flags not forced true")
+	}
+}
+
+func TestTrustLiarForcesFalse(t *testing.T) {
+	ctx := syncCtx("g3/diag.trust", "Trust")
+	TrustLiar{}.ReworkSync(ctx)
+	got := ctx.Vals[0].([]bool)
+	if got[0] || got[1] {
+		t.Error("Trust entries not forced false")
+	}
+}
+
+func TestSymbolLiarFlipsRsym(t *testing.T) {
+	ctx := syncCtx("g3/diag.sym", "Rsym")
+	SymbolLiar{}.ReworkSync(ctx)
+	got := ctx.Vals[0].([]bool)
+	if got[0] || got[1] {
+		t.Error("R# bits not flipped")
+	}
+}
+
+func TestSilentDropsEverything(t *testing.T) {
+	ectx := exchangeCtx("g0/match.sym")
+	Silent{}.ReworkExchange(ectx)
+	if ectx.Out[0] != nil {
+		t.Error("faulty messages not dropped")
+	}
+	if len(ectx.Out[1]) != 1 {
+		t.Error("honest messages dropped")
+	}
+	sctx := syncCtx("g0/match.M", "M")
+	Silent{}.ReworkSync(sctx)
+	if sctx.Vals[0] != nil {
+		t.Error("faulty contribution not dropped")
+	}
+	if sctx.Vals[1] == nil {
+		t.Error("honest contribution dropped")
+	}
+}
+
+func TestRandomByzCorruptsEventually(t *testing.T) {
+	changed := false
+	for seed := int64(0); seed < 20 && !changed; seed++ {
+		ctx := exchangeCtx("g0/match.sym")
+		ctx.Rand = rand.New(rand.NewSource(seed))
+		RandomByz{P: 0.9}.ReworkExchange(ctx)
+		w := ctx.Out[0][0].Payload.([]gf.Sym)
+		changed = w[0] != 0x10 || w[1] != 0x20
+	}
+	if !changed {
+		t.Error("RandomByz never corrupted anything at P=0.9")
+	}
+	// Bool payloads too (broadcast relays).
+	ctx := exchangeCtx("g0/match.M/eig.r2")
+	ctx.Out[0] = []sim.Message{{To: 1, Payload: []bool{true, true, true, true}, Bits: 4}}
+	RandomByz{P: 1}.ReworkExchange(ctx)
+	if _, ok := ctx.Out[0][0].Payload.([]bool); !ok {
+		t.Error("bool payload type lost")
+	}
+}
+
+func TestEdgeMiserSchedule(t *testing.T) {
+	e := EdgeMiser{T: 2}
+	for g, want := range map[int]int{0: 0, 1: 0, 2: 0, 3: 1, 5: 1, 6: -1, 100: -1} {
+		step := sim.StepID("g" + itoa(g) + "/match.M")
+		if got := e.actor(step); got != want {
+			t.Errorf("actor(g%d) = %d, want %d", g, got, want)
+		}
+	}
+	if (EdgeMiser{T: 0}).actor("g0/match.M") != -1 {
+		t.Error("T=0 should never act")
+	}
+	if e.actor("fh/keys") != -1 {
+		t.Error("non-generation step should never act")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestEdgeMiserTrustLieIsSingleFreshHonest(t *testing.T) {
+	// Trust batch: actor f=0 owns entries toward members 1 (faulty), 2, 3.
+	insts := []bsb.Inst{
+		{Src: 0, Kind: "Trust", A: 0, B: 1},
+		{Src: 0, Kind: "Trust", A: 0, B: 2},
+		{Src: 0, Kind: "Trust", A: 0, B: 3},
+		{Src: 2, Kind: "Trust", A: 2, B: 1},
+	}
+	ctx := &sim.SyncCtx{
+		Step:   "g0/diag.trust",
+		N:      4,
+		Faulty: []bool{true, true, false, false},
+		// Entry toward member 2 is already false (edge gone): must skip it.
+		Vals: []any{[]bool{true, false, true}, nil, []bool{true}, nil},
+		Meta: insts,
+	}
+	EdgeMiser{T: 2}.ReworkSync(ctx)
+	got := ctx.Vals[0].([]bool)
+	if got[0] != true {
+		t.Error("accused a faulty co-conspirator (would share edge budget)")
+	}
+	if got[1] != false {
+		t.Error("re-accused an already-removed edge")
+	}
+	if got[2] != false {
+		t.Error("did not accuse the fresh honest member")
+	}
+}
+
+func TestCodewordForkShiftsByValidCodeword(t *testing.T) {
+	const n, tf = 7, 2
+	f, _ := gf.New(8)
+	code, _ := rs.New(f, n, n-2*tf)
+	delta := make([]gf.Sym, n-2*tf)
+	delta[0] = 1
+	z := code.Encode(delta)
+
+	ctx := &sim.ExchangeCtx{
+		Step:   "g0/match.sym",
+		N:      n,
+		Faulty: []bool{true, false, false, false, false, false, false},
+		Out: [][]sim.Message{
+			{
+				{To: 5, Payload: []gf.Sym{0x11, 0x22}, Bits: 16},
+				{To: 6, Payload: []gf.Sym{0x11, 0x22}, Bits: 16},
+			},
+		},
+	}
+	CodewordFork{N: n, T: tf, Lanes: 2, SymBits: 8, Victims: []int{6}}.ReworkExchange(ctx)
+	unshifted := ctx.Out[0][0].Payload.([]gf.Sym)
+	shifted := ctx.Out[0][1].Payload.([]gf.Sym)
+	if unshifted[0] != 0x11 {
+		t.Error("non-victim shifted")
+	}
+	want0 := gf.Sym(0x11) ^ z[0]
+	want1 := gf.Sym(0x22) ^ z[0]
+	if shifted[0] != want0 || shifted[1] != want1 {
+		t.Errorf("victim word = %v, want shift by z[0]=%#x", shifted, z[0])
+	}
+}

@@ -1,0 +1,79 @@
+package adversary
+
+import (
+	"byzcons/internal/gf"
+	"byzcons/internal/rs"
+	"byzcons/internal/sim"
+)
+
+// CodewordFork is the strongest consistent-equivocation attack against the
+// matching/checking stages: faulty processors offset the symbols they send
+// to the victim set by a *valid nonzero codeword* Z = C2t(delta). Because
+// the code is linear, the victims receive symbols of S+Z — itself a perfect
+// codeword — so if the attack succeeded, victims would decode a different
+// value than everyone else without ever detecting an inconsistency (a value
+// fork, the worst possible outcome for a consensus protocol).
+//
+// Lemma 2/3's algebra makes this impossible: the victims' view mixes honest
+// symbols (on S) with shifted ones (on S+Z), and any codeword explaining the
+// mixture would have to differ from S by a codeword vanishing on the
+// >= n-2t honest member positions — but a nonzero codeword is a polynomial
+// of degree < n-2t and has at most n-2t-1 roots. The mixture is therefore
+// never consistent, the checking stage fires, and the diagnosis stage
+// removes faulty-incident edges. TestForkAttackImpossible asserts exactly
+// this outcome.
+type CodewordFork struct {
+	N, T    int
+	Lanes   int
+	SymBits uint
+	// Victims are the processors receiving the shifted codeword; empty
+	// selects the top quarter of processor ids.
+	Victims []int
+}
+
+// ReworkExchange implements sim.Adversary.
+func (a CodewordFork) ReworkExchange(ctx *sim.ExchangeCtx) {
+	if Phase(ctx.Step) != "match.sym" {
+		return
+	}
+	f, err := gf.New(a.SymBits)
+	if err != nil {
+		return
+	}
+	code, err := rs.New(f, a.N, a.N-2*a.T)
+	if err != nil {
+		return
+	}
+	// Z = C2t(delta) for delta = (1, 0, ..., 0): a valid nonzero codeword.
+	delta := make([]gf.Sym, a.N-2*a.T)
+	delta[0] = 1
+	z := code.Encode(delta)
+
+	victims := a.Victims
+	if len(victims) == 0 {
+		for v := a.N - 1; v >= a.N-1-a.N/4 && v >= 0; v-- {
+			victims = append(victims, v)
+		}
+	}
+	isVictim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	EachFaultyMessage(ctx, func(from int, m *sim.Message) {
+		if !isVictim[m.To] {
+			return
+		}
+		w, ok := m.Payload.([]gf.Sym)
+		if !ok {
+			return
+		}
+		shifted := make([]gf.Sym, len(w))
+		for l := range w {
+			shifted[l] = w[l] ^ z[from] // add Z's symbol at the sender's position, every lane
+		}
+		m.Payload = shifted
+	})
+}
+
+// ReworkSync implements sim.Adversary.
+func (CodewordFork) ReworkSync(*sim.SyncCtx) {}

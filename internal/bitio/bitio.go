@@ -1,0 +1,89 @@
+// Package bitio provides bit-granular readers and writers used to pack
+// L-bit consensus values into c-bit field symbols and back. Bits are
+// consumed most-significant-bit first within each byte, so packing followed
+// by unpacking is the identity for any symbol width.
+package bitio
+
+import "fmt"
+
+// Reader reads fixed-width bit chunks from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int // bit position
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.data)*8 - r.pos }
+
+// Read returns the next width bits as an integer (MSB first). Reading past
+// the end yields zero bits, which implements the zero-padding of the final
+// consensus generation.
+func (r *Reader) Read(width uint) uint32 {
+	if width > 32 {
+		panic(fmt.Sprintf("bitio: width %d > 32", width))
+	}
+	var v uint32
+	for i := uint(0); i < width; i++ {
+		v <<= 1
+		byteIdx := r.pos / 8
+		if byteIdx < len(r.data) {
+			bit := (r.data[byteIdx] >> (7 - uint(r.pos)%8)) & 1
+			v |= uint32(bit)
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Writer writes fixed-width bit chunks to a growing byte slice.
+type Writer struct {
+	data []byte
+	pos  int // bit position
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Write appends the low width bits of v (MSB first).
+func (w *Writer) Write(v uint32, width uint) {
+	if width > 32 {
+		panic(fmt.Sprintf("bitio: width %d > 32", width))
+	}
+	for i := int(width) - 1; i >= 0; i-- {
+		byteIdx := w.pos / 8
+		if byteIdx >= len(w.data) {
+			w.data = append(w.data, 0)
+		}
+		if v>>(uint(i))&1 != 0 {
+			w.data[byteIdx] |= 1 << (7 - uint(w.pos)%8)
+		}
+		w.pos++
+	}
+}
+
+// Bits returns the number of bits written.
+func (w *Writer) Bits() int { return w.pos }
+
+// Bytes returns the written data, zero-padded to a whole number of bytes.
+func (w *Writer) Bytes() []byte { return w.data }
+
+// Truncate returns the first nbits of the written data, zero-padded to a
+// whole number of bytes, without modifying the writer.
+func (w *Writer) Truncate(nbits int) []byte {
+	nbytes := (nbits + 7) / 8
+	out := make([]byte, nbytes)
+	copy(out, w.data)
+	if nbytes > len(w.data) {
+		return out
+	}
+	// Clear any bits past nbits in the final byte.
+	if rem := nbits % 8; rem != 0 {
+		out[nbytes-1] &= byte(0xFF << (8 - uint(rem)))
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Write(0b101, 3)
+	w.Write(0xFF, 8)
+	w.Write(0, 2)
+	w.Write(0b1, 1)
+	if w.Bits() != 14 {
+		t.Fatalf("bits = %d, want 14", w.Bits())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.Read(3); got != 0b101 {
+		t.Errorf("read 3 = %b", got)
+	}
+	if got := r.Read(8); got != 0xFF {
+		t.Errorf("read 8 = %x", got)
+	}
+	if got := r.Read(2); got != 0 {
+		t.Errorf("read 2 = %b", got)
+	}
+	if got := r.Read(1); got != 1 {
+		t.Errorf("read 1 = %b", got)
+	}
+}
+
+func TestReadPastEndYieldsZeros(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if got := r.Read(8); got != 0xFF {
+		t.Fatalf("first byte = %x", got)
+	}
+	if got := r.Read(16); got != 0 {
+		t.Errorf("past-end read = %x, want 0 (zero padding)", got)
+	}
+	if r.Remaining() >= 0 && r.Remaining() > 8 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Packing arbitrary data into width-c chunks and writing them back is the
+	// identity (this is exactly what the generation split/merge does).
+	r := rand.New(rand.NewSource(3))
+	err := quick.Check(func(data []byte, widthSeed uint8) bool {
+		width := uint(widthSeed%16) + 1
+		rd := NewReader(data)
+		w := NewWriter()
+		for w.Bits() < len(data)*8 {
+			w.Write(rd.Read(width), width)
+		}
+		return bytes.Equal(w.Truncate(len(data)*8), data)
+	}, &quick.Config{MaxCount: 300, Rand: r})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w := NewWriter()
+	w.Write(0xFFFF, 16)
+	got := w.Truncate(12)
+	want := []byte{0xFF, 0xF0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Truncate(12) = %x, want %x", got, want)
+	}
+	if got := w.Truncate(20); len(got) != 3 {
+		t.Errorf("Truncate(20) len = %d, want 3 (zero-padded)", len(got))
+	}
+	if got := w.Truncate(0); len(got) != 0 {
+		t.Errorf("Truncate(0) len = %d", len(got))
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for width > 32")
+		}
+	}()
+	NewWriter().Write(0, 33)
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	// Writing 4-bit nibbles 0xA, 0xB must produce byte 0xAB (MSB first).
+	w := NewWriter()
+	w.Write(0xA, 4)
+	w.Write(0xB, 4)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xAB {
+		t.Errorf("bytes = %x, want AB", got)
+	}
+}

@@ -1,0 +1,48 @@
+package bitio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: reading any data in width-c chunks and writing the chunks
+// back must reproduce the input exactly — the property the generation
+// splitter/merger depends on for validity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, uint8(8))
+	f.Add([]byte{0x01}, uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0xFF}, uint8(13))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, widthSeed uint8) {
+		width := uint(widthSeed%32) + 1
+		r := NewReader(data)
+		w := NewWriter()
+		for w.Bits() < len(data)*8 {
+			w.Write(r.Read(width), width)
+		}
+		if !bytes.Equal(w.Truncate(len(data)*8), data) {
+			t.Fatalf("round trip failed for width %d", width)
+		}
+	})
+}
+
+// FuzzTruncateInvariant: truncation never exposes bits past the limit.
+func FuzzTruncateInvariant(f *testing.F) {
+	f.Add([]byte{0xFF, 0xFF}, uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, nbitsSeed uint8) {
+		w := NewWriter()
+		for _, b := range data {
+			w.Write(uint32(b), 8)
+		}
+		nbits := int(nbitsSeed) % (len(data)*8 + 9)
+		out := w.Truncate(nbits)
+		if len(out) != (nbits+7)/8 {
+			t.Fatalf("Truncate(%d) returned %d bytes", nbits, len(out))
+		}
+		if rem := nbits % 8; rem != 0 && len(out) > 0 {
+			if out[len(out)-1]&(0xFF>>uint(rem)) != 0 {
+				t.Fatalf("bits beyond %d not cleared", nbits)
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package bitset provides a small fixed-capacity bit set used for vertex and
+// processor sets. Sets are value types backed by a slice; the zero value of
+// Set is unusable, construct with New.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a set of small non-negative integers (processor / vertex ids).
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set that can hold elements 0..n-1.
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Full returns the set {0, ..., n-1}.
+func Full(n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// FromSlice returns a set containing the given elements.
+func FromSlice(n int, elems []int) Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Cap returns the capacity (maximum element + 1) of the set.
+func (s Set) Cap() int { return s.n }
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts i into the set.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes i from the set.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// And returns the intersection of s and o as a new set.
+func (s Set) And(o Set) Set {
+	s.mustMatch(o)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] & o.words[i]
+	}
+	return r
+}
+
+// AndNot returns s \ o as a new set.
+func (s Set) AndNot(o Set) Set {
+	s.mustMatch(o)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] &^ o.words[i]
+	}
+	return r
+}
+
+// Or returns the union of s and o as a new set.
+func (s Set) Or(o Set) Set {
+	s.mustMatch(o)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] | o.words[i]
+	}
+	return r
+}
+
+// Equal reports whether s and o contain the same elements.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every element of s is in o.
+func (s Set) Subset(o Set) bool {
+	s.mustMatch(o)
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) mustMatch(o Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// RemoveThrough clears all elements <= v, in place.
+func (s Set) RemoveThrough(v int) {
+	if v < 0 {
+		return
+	}
+	if v >= s.n {
+		v = s.n - 1
+	}
+	word := (v + 1) / 64
+	for i := 0; i < word && i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	if word < len(s.words) {
+		if rem := uint(v+1) % 64; rem != 0 {
+			s.words[word] &^= (1 << rem) - 1
+		}
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Slice returns the elements in ascending order.
+func (s Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each element in ascending order; if fn returns false
+// iteration stops early.
+func (s Set) ForEach(fn func(i int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*64 + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as "{0, 3, 5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

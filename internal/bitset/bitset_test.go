@@ -1,0 +1,171 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(100)
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(99)
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 99} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Error("spurious elements")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("remove failed")
+	}
+	if s.Min() != 0 {
+		t.Errorf("Min = %d, want 0", s.Min())
+	}
+	s.Remove(0)
+	if s.Min() != 64 {
+		t.Errorf("Min = %d, want 64", s.Min())
+	}
+}
+
+func TestFullAndSlice(t *testing.T) {
+	s := Full(70)
+	if s.Count() != 70 {
+		t.Fatalf("Full(70).Count() = %d", s.Count())
+	}
+	sl := s.Slice()
+	for i, v := range sl {
+		if v != i {
+			t.Fatalf("Slice[%d] = %d", i, v)
+		}
+	}
+	if New(0).Min() != -1 {
+		t.Error("empty Min != -1")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(10, []int{1, 3, 5, 7})
+	b := FromSlice(10, []int{3, 4, 5, 6})
+	if got := a.And(b).Slice(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.AndNot(b).Slice(); len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Errorf("AndNot = %v", got)
+	}
+	if got := a.Or(b).Count(); got != 6 {
+		t.Errorf("Or count = %d", got)
+	}
+	if !a.And(b).Subset(a) || !a.And(b).Subset(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if a.Subset(b) {
+		t.Error("a wrongly subset of b")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	c := a.Clone()
+	c.Add(2)
+	if a.Equal(c) || a.Has(2) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestRemoveThrough(t *testing.T) {
+	for _, v := range []int{-1, 0, 5, 63, 64, 65, 99, 150} {
+		s := Full(100)
+		s.RemoveThrough(v)
+		for i := 0; i < 100; i++ {
+			want := i > v
+			if s.Has(i) != want {
+				t.Fatalf("RemoveThrough(%d): Has(%d) = %v, want %v", v, i, s.Has(i), want)
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(10, []int{2, 4, 6})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return i < 4
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 4 {
+		t.Errorf("early stop visited %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{1, 5}).String(); got != "{1, 5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Has(10) },
+		func() { New(5).And(New(6)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on out-of-range")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSliceRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	err := quick.Check(func(raw []uint8) bool {
+		n := 130
+		var elems []int
+		for _, b := range raw {
+			elems = append(elems, int(b)%n)
+		}
+		s := FromSlice(n, elems)
+		// Every listed element present; count matches distinct elements.
+		distinct := map[int]bool{}
+		for _, e := range elems {
+			distinct[e] = true
+			if !s.Has(e) {
+				return false
+			}
+		}
+		if s.Count() != len(distinct) {
+			return false
+		}
+		// Slice is sorted ascending and reconstructs the same set.
+		sl := s.Slice()
+		for i := 1; i < len(sl); i++ {
+			if sl[i-1] >= sl[i] {
+				return false
+			}
+		}
+		return FromSlice(n, sl).Equal(s)
+	}, &quick.Config{MaxCount: 300, Rand: r})
+	if err != nil {
+		t.Error(err)
+	}
+}

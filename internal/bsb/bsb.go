@@ -1,0 +1,162 @@
+// Package bsb implements Broadcast_Single_Bit, the error-free 1-bit Byzantine
+// broadcast primitive that Algorithm 1 uses to distribute all of its control
+// information (match vectors, detection flags, diagnostic symbols and trust
+// vectors). The paper treats this primitive as a black box with communication
+// cost B = Θ(n²) bits per broadcast bit, citing Berman-Garay-Perry and
+// Coan-Welch; it guarantees:
+//
+//   - Consistency: all honest processors output the same bit, and
+//   - Validity: if the source is honest, that bit is the source's input.
+//
+// Three interchangeable implementations are provided:
+//
+//   - Oracle: an ideal broadcast charged at a configurable B(n) (default 2n²)
+//     with exactly the contract above — a faulty source yields one
+//     adversary-chosen bit delivered identically to all. Used by the
+//     complexity experiments, mirroring the paper's B = Θ(n²) accounting.
+//   - EIG: the Lamport-Shostak-Pease oral-messages algorithm on the
+//     exponential information gathering tree. Error-free at the optimal
+//     resilience t < n/3, but with message complexity exponential in t;
+//     used to validate the full stack end-to-end under attack at small n.
+//   - PhaseKing: Berman-Garay-Perry phase-king consensus prefixed with a
+//     source round. Error-free with polynomial cost O(t·n²) bits per bit,
+//     at resilience t < n/4.
+//
+// All implementations run whole batches of instances in shared rounds, so a
+// generation's n(n-1) match-vector broadcasts cost the same number of
+// synchronous rounds as a single one.
+package bsb
+
+import (
+	"fmt"
+
+	"byzcons/internal/sim"
+)
+
+// Inst identifies one broadcast instance in a batch. Src is the broadcasting
+// processor. Kind and the A/B indices are protocol-level labels (for example
+// {Kind: "M", A: i, B: j} for entry M_i[j]) that are exposed to the adversary
+// as step metadata, so attacks can target specific protocol fields.
+type Inst struct {
+	Src  int
+	Kind string
+	A, B int
+}
+
+// Broadcaster runs batches of 1-bit Byzantine broadcasts. One Broadcaster is
+// constructed per processor per run; all processors must call Broadcast with
+// identical step, insts and tag (they derive them from common state).
+type Broadcaster interface {
+	// Broadcast runs one batch. mine[i] is this processor's input for
+	// instance i and is consulted only where insts[i].Src is this processor.
+	// The returned slice holds the decided bit of every instance and is
+	// identical at all honest processors.
+	Broadcast(step sim.StepID, insts []Inst, mine []bool, tag string) []bool
+	// CostPerBit returns the (worst-case) communication cost B of
+	// broadcasting one bit, used by the D* tuning formula (Eq. 2).
+	CostPerBit() int64
+	// MaxFaulty returns the largest t this implementation tolerates.
+	MaxFaulty() int
+}
+
+// Kind selects a Broadcast_Single_Bit implementation.
+type Kind int
+
+// Available broadcaster kinds.
+const (
+	Oracle Kind = iota + 1
+	EIG
+	PhaseKing
+	// ProbOracle is the Section 4 substitution: a probabilistically correct
+	// broadcast tolerating t < n/2, failing (delivering inconsistently) with
+	// a configurable probability. See NewProbOracle.
+	ProbOracle
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Oracle:
+		return "oracle"
+	case EIG:
+		return "eig"
+	case PhaseKing:
+		return "phaseking"
+	case ProbOracle:
+		return "proboracle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "oracle":
+		return Oracle, nil
+	case "eig":
+		return EIG, nil
+	case "phaseking":
+		return PhaseKing, nil
+	case "proboracle":
+		return ProbOracle, nil
+	default:
+		return 0, fmt.Errorf("bsb: unknown broadcaster %q (want oracle, eig, phaseking or proboracle)", s)
+	}
+}
+
+// New constructs the given kind of broadcaster for processor p in a network
+// of n processors with at most t faults. ProbOracle is constructed with a
+// zero failure probability here; use NewProbOracle directly to set one.
+func New(kind Kind, p *sim.Proc, n, t int) (Broadcaster, error) {
+	switch kind {
+	case Oracle:
+		return NewOracle(p, n, t, 0), nil
+	case EIG:
+		return NewEIG(p, n, t)
+	case PhaseKing:
+		return NewPhaseKing(p, n, t)
+	case ProbOracle:
+		return NewProbOracle(p, n, t, 0, 0), nil
+	default:
+		return nil, fmt.Errorf("bsb: unknown kind %d", kind)
+	}
+}
+
+// boolsAt returns v[i] treating out-of-range or missing entries as the
+// default bit (false). Broadcast implementations use it so that malformed
+// adversarial payloads degrade to a consistent default instead of a panic.
+func boolsAt(v []bool, i int) bool {
+	if i < 0 || i >= len(v) {
+		return false
+	}
+	return v[i]
+}
+
+// asBools converts an arbitrary payload to []bool, returning nil when the
+// payload is not a bool slice (adversaries may submit anything).
+func asBools(payload any) []bool {
+	b, _ := payload.([]bool)
+	return b
+}
+
+// alignFaulty keeps the simulation synchronised: EIG and phase-king give
+// agreement guarantees to honest processors only, so a faulty processor's
+// locally resolved bits may diverge — and since faulty goroutines execute the
+// honest code to preserve the round structure, a diverging view would split
+// their control flow. A zero-cost Sync lets faulty processors adopt an honest
+// processor's decision vector; honest processors keep their own. This is
+// harness scaffolding, not protocol traffic (0 bits), and mirrors the fact
+// that a real Byzantine processor's local "decision" is meaningless anyway.
+func alignFaulty(p *sim.Proc, step sim.StepID, decided []bool) []bool {
+	vals := p.Sync(step+"/align", decided, 0, "align", nil)
+	if !p.Faulty {
+		return decided
+	}
+	if h := p.FirstHonest(); h >= 0 {
+		if v, ok := vals[h].([]bool); ok && len(v) == len(decided) {
+			return v
+		}
+	}
+	return decided
+}

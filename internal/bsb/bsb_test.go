@@ -1,0 +1,317 @@
+package bsb
+
+import (
+	"fmt"
+	"testing"
+
+	"byzcons/internal/metrics"
+	"byzcons/internal/sim"
+)
+
+// runBroadcast executes one batch of broadcasts under the given kind and
+// returns the honest processors' decided vectors plus the meter.
+func runBroadcast(t *testing.T, kind Kind, n, tf int, insts []Inst, bits func(p int, i int) bool,
+	faulty []int, adv sim.Adversary, seed int64) ([][]bool, *metrics.Meter) {
+	t.Helper()
+	res := sim.Run(sim.RunConfig{N: n, Faulty: faulty, Adversary: adv, Seed: seed}, func(p *sim.Proc) any {
+		b, err := New(kind, p, n, tf)
+		if err != nil {
+			p.Abort(err)
+		}
+		mine := make([]bool, len(insts))
+		for i, inst := range insts {
+			if inst.Src == p.ID {
+				mine[i] = bits(p.ID, i)
+			}
+		}
+		return b.Broadcast("step", insts, mine, "tag")
+	})
+	if res.Err != nil {
+		t.Fatalf("broadcast run failed: %v", res.Err)
+	}
+	out := make([][]bool, n)
+	for i, v := range res.Values {
+		out[i], _ = v.([]bool)
+	}
+	return out, res.Meter
+}
+
+func isFaultyIn(faulty []int, p int) bool {
+	for _, f := range faulty {
+		if f == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBroadcast asserts consistency among honest processors and validity
+// for honest sources.
+func checkBroadcast(t *testing.T, insts []Inst, decided [][]bool, want func(i int) bool, faulty []int) {
+	t.Helper()
+	var ref []bool
+	refID := -1
+	for p, d := range decided {
+		if isFaultyIn(faulty, p) || d == nil {
+			continue
+		}
+		if ref == nil {
+			ref, refID = d, p
+			continue
+		}
+		for i := range insts {
+			if d[i] != ref[i] {
+				t.Fatalf("consistency violated: inst %d differs between procs %d and %d", i, refID, p)
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no honest decisions")
+	}
+	for i, inst := range insts {
+		if !isFaultyIn(faulty, inst.Src) && want != nil {
+			if ref[i] != want(i) {
+				t.Errorf("validity violated: inst %d (src %d) decided %v, want %v", i, inst.Src, ref[i], want(i))
+			}
+		}
+	}
+}
+
+// mixedInsts builds one instance per (source, idx) pair covering all sources.
+func mixedInsts(n, perSrc int) []Inst {
+	var insts []Inst
+	for s := 0; s < n; s++ {
+		for i := 0; i < perSrc; i++ {
+			insts = append(insts, Inst{Src: s, Kind: "T", A: s, B: i})
+		}
+	}
+	return insts
+}
+
+// patternBits gives a deterministic, source- and index-dependent bit.
+func patternBits(p, i int) bool { return (p+i)%3 == 0 }
+
+func TestAllKindsFaultFree(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		n, t int
+	}{
+		{Oracle, 4, 1}, {Oracle, 7, 2}, {EIG, 4, 1}, {EIG, 7, 2}, {EIG, 5, 1},
+		{PhaseKing, 5, 1}, {PhaseKing, 9, 2}, {Oracle, 1, 0}, {EIG, 2, 0}, {PhaseKing, 2, 0},
+	} {
+		t.Run(fmt.Sprintf("%v_n%d_t%d", tc.kind, tc.n, tc.t), func(t *testing.T) {
+			insts := mixedInsts(tc.n, 3)
+			decided, _ := runBroadcast(t, tc.kind, tc.n, tc.t, insts, patternBits, nil, nil, 1)
+			checkBroadcast(t, insts, decided, func(i int) bool { return patternBits(insts[i].Src, i) }, nil)
+		})
+	}
+}
+
+// equivocatingSource makes faulty sources send different bits to different
+// receivers in the initial dispersal round of EIG / PhaseKing.
+type equivocatingSource struct{}
+
+func (equivocatingSource) ReworkExchange(ctx *sim.ExchangeCtx) {
+	step := string(ctx.Step)
+	if !(len(step) > 3 && (step[len(step)-3:] == ".r1" || step[len(step)-4:] == ".src")) {
+		return
+	}
+	for from := range ctx.Out {
+		if !ctx.Faulty[from] {
+			continue
+		}
+		for i := range ctx.Out[from] {
+			m := &ctx.Out[from][i]
+			if bits, ok := m.Payload.([]bool); ok {
+				flipped := make([]bool, len(bits))
+				for j, b := range bits {
+					flipped[j] = b != (m.To%2 == 0) // lie to even receivers
+				}
+				m.Payload = flipped
+			}
+		}
+	}
+}
+
+func (equivocatingSource) ReworkSync(ctx *sim.SyncCtx) {}
+
+func TestEquivocatingSourceStillConsistent(t *testing.T) {
+	// A Byzantine source sends different bits to different receivers; all
+	// honest processors must still decide identically (the broadcast's whole
+	// point). Validity is only claimed for honest sources.
+	for _, tc := range []struct {
+		kind Kind
+		n, t int
+	}{
+		{EIG, 4, 1}, {EIG, 7, 2}, {PhaseKing, 5, 1}, {PhaseKing, 9, 2},
+	} {
+		t.Run(fmt.Sprintf("%v_n%d_t%d", tc.kind, tc.n, tc.t), func(t *testing.T) {
+			insts := mixedInsts(tc.n, 2)
+			faulty := []int{0}
+			decided, _ := runBroadcast(t, tc.kind, tc.n, tc.t, insts, patternBits, faulty, equivocatingSource{}, 3)
+			checkBroadcast(t, insts, decided, func(i int) bool { return patternBits(insts[i].Src, i) }, faulty)
+		})
+	}
+}
+
+// relayCorrupter randomly corrupts every bool payload sent by faulty
+// processors in any round (dispersal and relay alike).
+type relayCorrupter struct{}
+
+func (relayCorrupter) ReworkExchange(ctx *sim.ExchangeCtx) {
+	for from := range ctx.Out {
+		if !ctx.Faulty[from] {
+			continue
+		}
+		for i := range ctx.Out[from] {
+			m := &ctx.Out[from][i]
+			if bits, ok := m.Payload.([]bool); ok {
+				flipped := make([]bool, len(bits))
+				for j, b := range bits {
+					flipped[j] = b != (ctx.Rand.Float64() < 0.5)
+				}
+				m.Payload = flipped
+			}
+		}
+	}
+}
+
+func (relayCorrupter) ReworkSync(ctx *sim.SyncCtx) {}
+
+func TestCorruptRelaysTolerated(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		n, t int
+	}{
+		{EIG, 4, 1}, {EIG, 7, 2}, {PhaseKing, 5, 1}, {PhaseKing, 9, 2},
+	} {
+		for seed := int64(0); seed < 5; seed++ {
+			t.Run(fmt.Sprintf("%v_n%d_t%d_s%d", tc.kind, tc.n, tc.t, seed), func(t *testing.T) {
+				insts := mixedInsts(tc.n, 2)
+				faulty := []int{tc.n - 1} // honest sources include 0..n-2
+				decided, _ := runBroadcast(t, tc.kind, tc.n, tc.t, insts, patternBits, faulty, relayCorrupter{}, seed)
+				checkBroadcast(t, insts, decided, func(i int) bool { return patternBits(insts[i].Src, i) }, faulty)
+			})
+		}
+	}
+}
+
+func TestTwoFaultyRelaysEIG(t *testing.T) {
+	insts := mixedInsts(7, 1)
+	faulty := []int{2, 4}
+	for seed := int64(0); seed < 5; seed++ {
+		decided, _ := runBroadcast(t, EIG, 7, 2, insts, patternBits, faulty, relayCorrupter{}, seed)
+		checkBroadcast(t, insts, decided, func(i int) bool { return patternBits(insts[i].Src, i) }, faulty)
+	}
+}
+
+func TestOracleCostAccounting(t *testing.T) {
+	n, tf := 7, 2
+	insts := mixedInsts(n, 4) // 28 instances
+	_, meter := runBroadcast(t, Oracle, n, tf, insts, patternBits, nil, nil, 1)
+	want := DefaultOracleCost(n) * int64(len(insts))
+	if got := meter.TotalBits(); got != want {
+		t.Errorf("oracle metered %d bits, want %d", got, want)
+	}
+}
+
+func TestResilienceValidation(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 4, Seed: 1}, func(p *sim.Proc) any {
+		_, err := NewEIG(p, 4, 2) // 4 <= 3*2
+		return err
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for _, v := range res.Values {
+		if v == nil {
+			t.Error("EIG accepted n <= 3t")
+		}
+	}
+	res = sim.Run(sim.RunConfig{N: 8, Seed: 1}, func(p *sim.Proc) any {
+		_, err := NewPhaseKing(p, 8, 2) // 8 <= 4*2
+		return err
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for _, v := range res.Values {
+		if v == nil {
+			t.Error("PhaseKing accepted n <= 4t")
+		}
+	}
+}
+
+func TestEmptyBatchIsFree(t *testing.T) {
+	for _, kind := range []Kind{Oracle, EIG, PhaseKing} {
+		decided, meter := runBroadcast(t, kind, 5, 1, nil, patternBits, nil, nil, 1)
+		for _, d := range decided {
+			if len(d) != 0 {
+				t.Errorf("%v: non-empty result for empty batch", kind)
+			}
+		}
+		if meter.TotalBits() != 0 {
+			t.Errorf("%v: empty batch cost %d bits", kind, meter.TotalBits())
+		}
+	}
+}
+
+func TestCostPerBitPositive(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 7, Seed: 1}, func(p *sim.Proc) any {
+		var out []int64
+		for _, kind := range []Kind{Oracle, EIG, PhaseKing} {
+			b, err := New(kind, p, 7, 1)
+			if err != nil {
+				p.Abort(err)
+			}
+			out = append(out, b.CostPerBit())
+		}
+		return out
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	costs := res.Values[0].([]int64)
+	if costs[0] != 2*49 {
+		t.Errorf("oracle cost = %d, want 98", costs[0])
+	}
+	for i, c := range costs {
+		if c <= 0 {
+			t.Errorf("cost[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"oracle", "eig", "phaseking"} {
+		k, err := ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMeasuredCostWithinCostPerBit(t *testing.T) {
+	// The closed-form CostPerBit must upper-bound the measured per-instance
+	// cost for the real broadcasters (it assumes worst-case relay counts).
+	for _, tc := range []struct {
+		kind Kind
+		n, t int
+	}{
+		{EIG, 7, 2}, {PhaseKing, 9, 2},
+	} {
+		insts := mixedInsts(tc.n, 2)
+		_, meter := runBroadcast(t, tc.kind, tc.n, tc.t, insts, patternBits, nil, nil, 1)
+		res := sim.Run(sim.RunConfig{N: tc.n, Seed: 1}, func(p *sim.Proc) any {
+			b, _ := New(tc.kind, p, tc.n, tc.t)
+			return b.CostPerBit()
+		})
+		bound := res.Values[0].(int64) * int64(len(insts))
+		if got := meter.TotalBits(); got > bound {
+			t.Errorf("%v: measured %d bits > closed-form bound %d", tc.kind, got, bound)
+		}
+	}
+}

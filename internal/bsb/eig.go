@@ -1,0 +1,206 @@
+package bsb
+
+import (
+	"fmt"
+
+	"byzcons/internal/sim"
+)
+
+// eig implements Broadcast_Single_Bit with the Lamport-Shostak-Pease
+// oral-messages algorithm, expressed on the exponential information
+// gathering (EIG) tree. It is deterministic, error-free and tolerates the
+// optimal t < n/3, at the price of message complexity exponential in t —
+// which is why the paper replaces it with Θ(n²)-bit constructions; here it
+// serves as the ground-truth broadcast for end-to-end validation at small n.
+//
+// Tree shape: nodes are labelled by sequences of distinct processor ids
+// beginning with the source; the value a processor holds at node σ·j is
+// "what j told me it holds at node σ". After t+1 relay rounds, values are
+// resolved bottom-up by strict majority (ties and missing values resolve to
+// the default, false) and the decision is the resolved root.
+type eig struct {
+	p    *sim.Proc
+	n, t int
+	// levels caches, per source, the node labels of each tree level
+	// (level l holds labels of length l), in lexicographic order. The
+	// enumeration is identical at every processor, which is what lets
+	// payloads be flat bit vectors.
+	levels map[int][][]string
+}
+
+// NewEIG returns the EIG broadcaster; it requires n > 3t.
+func NewEIG(p *sim.Proc, n, t int) (Broadcaster, error) {
+	if n <= 3*t {
+		return nil, fmt.Errorf("bsb: EIG requires n > 3t, got n=%d t=%d", n, t)
+	}
+	return &eig{p: p, n: n, t: t, levels: make(map[int][][]string)}, nil
+}
+
+func (e *eig) MaxFaulty() int { return (e.n - 1) / 3 }
+
+// CostPerBit returns the worst-case bits to broadcast one bit: at round r,
+// every processor sends each level-(r-1) node value to n-1 others.
+func (e *eig) CostPerBit() int64 {
+	var total int64
+	levelSize := int64(1)
+	remaining := int64(e.n - 1)
+	// Round 1: the source sends 1 bit to n-1 processors.
+	total = int64(e.n - 1)
+	for r := 2; r <= e.t+1; r++ {
+		// Level r-1 has levelSize nodes; each of n processors relays at most
+		// all of them to n-1 others.
+		total += levelSize * int64(e.n) * int64(e.n-1)
+		levelSize *= remaining
+		remaining--
+	}
+	return total
+}
+
+// levelNodes returns the labels of tree level l (1-based; level 1 is {⟨src⟩})
+// for the given source, cached.
+func (e *eig) levelNodes(src, l int) []string {
+	lv, ok := e.levels[src]
+	if !ok {
+		lv = make([][]string, e.t+2)
+		lv[1] = []string{string([]byte{byte(src)})}
+		for d := 2; d <= e.t+1; d++ {
+			var next []string
+			for _, σ := range lv[d-1] {
+				for j := 0; j < e.n; j++ {
+					if !pathContains(σ, j) {
+						next = append(next, σ+string([]byte{byte(j)}))
+					}
+				}
+			}
+			lv[d] = next
+		}
+		e.levels[src] = lv
+	}
+	return lv[l]
+}
+
+func pathContains(σ string, j int) bool {
+	for i := 0; i < len(σ); i++ {
+		if int(σ[i]) == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *eig) Broadcast(step sim.StepID, insts []Inst, mine []bool, tag string) []bool {
+	if len(insts) == 0 {
+		return nil
+	}
+	vals := make([]map[string]bool, len(insts))
+	for i := range vals {
+		vals[i] = make(map[string]bool)
+	}
+
+	// Round 1: each source sends its bit for each of its instances to all.
+	var myBits []bool
+	for i, inst := range insts {
+		if inst.Src == e.p.ID {
+			b := boolsAt(mine, i)
+			myBits = append(myBits, b)
+			vals[i][pathKey(inst.Src)] = b
+		}
+	}
+	out := make([]sim.Message, 0, e.n-1)
+	for r := 0; r < e.n; r++ {
+		if r != e.p.ID && len(myBits) > 0 {
+			out = append(out, sim.Message{To: r, Payload: myBits, Bits: int64(len(myBits)), Tag: tag})
+		}
+	}
+	in := e.p.Exchange(step+"/eig.r1", out, insts)
+	bySender := payloadsBySender(in, e.n)
+	counter := make([]int, e.n)
+	for i, inst := range insts {
+		if inst.Src != e.p.ID {
+			vals[i][pathKey(inst.Src)] = boolsAt(bySender[inst.Src], counter[inst.Src])
+			counter[inst.Src]++
+		}
+	}
+
+	// Rounds 2..t+1: relay the previous level. A processor also "relays to
+	// itself": val[σ·me] = val[σ] (omitting this self-child biases the
+	// majority resolution toward the default and breaks validity).
+	for round := 2; round <= e.t+1; round++ {
+		var payload []bool
+		for i, inst := range insts {
+			for _, σ := range e.levelNodes(inst.Src, round-1) {
+				if !pathContains(σ, e.p.ID) {
+					payload = append(payload, vals[i][σ])
+					vals[i][σ+string([]byte{byte(e.p.ID)})] = vals[i][σ]
+				}
+			}
+		}
+		out = out[:0]
+		for r := 0; r < e.n; r++ {
+			if r != e.p.ID && len(payload) > 0 {
+				out = append(out, sim.Message{To: r, Payload: payload, Bits: int64(len(payload)), Tag: tag})
+			}
+		}
+		in = e.p.Exchange(sim.StepID(fmt.Sprintf("%s/eig.r%d", step, round)), out, insts)
+		bySender = payloadsBySender(in, e.n)
+		for j := 0; j < e.n; j++ {
+			if j == e.p.ID {
+				continue
+			}
+			pj := bySender[j]
+			idx := 0
+			for i, inst := range insts {
+				for _, σ := range e.levelNodes(inst.Src, round-1) {
+					if pathContains(σ, j) {
+						continue
+					}
+					vals[i][σ+string([]byte{byte(j)})] = boolsAt(pj, idx)
+					idx++
+				}
+			}
+		}
+	}
+
+	// Resolve bottom-up.
+	decided := make([]bool, len(insts))
+	for i, inst := range insts {
+		decided[i] = e.resolve(vals[i], pathKey(inst.Src), 1)
+	}
+	return alignFaulty(e.p, step, decided)
+}
+
+// resolve computes the resolved value of node σ at level l: leaves use the
+// stored value; internal nodes take the strict majority of their children,
+// defaulting to false on ties.
+func (e *eig) resolve(vals map[string]bool, σ string, l int) bool {
+	if l == e.t+1 {
+		return vals[σ]
+	}
+	trues, total := 0, 0
+	for j := 0; j < e.n; j++ {
+		if pathContains(σ, j) {
+			continue
+		}
+		total++
+		if e.resolve(vals, σ+string([]byte{byte(j)}), l+1) {
+			trues++
+		}
+	}
+	return 2*trues > total
+}
+
+func pathKey(src int) string { return string([]byte{byte(src)}) }
+
+// payloadsBySender indexes the received bool-vector payloads by sender,
+// ignoring duplicate or non-conforming messages (a duplicate sender entry is
+// Byzantine behaviour; the first message wins deterministically since
+// inboxes are sorted by sender).
+func payloadsBySender(in []sim.Message, n int) [][]bool {
+	out := make([][]bool, n)
+	for _, m := range in {
+		if m.From >= 0 && m.From < n && out[m.From] == nil {
+			out[m.From] = asBools(m.Payload)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package bsb
+
+import (
+	"fmt"
+
+	"byzcons/internal/sim"
+)
+
+// phaseKing implements Broadcast_Single_Bit as a source round followed by
+// Berman-Garay-Perry phase-king binary consensus on the received bits. It is
+// deterministic and error-free with polynomial communication O(t·n²) bits per
+// broadcast bit, at resilience t < n/4 (the simple, non-recursive phase king;
+// the recursive variant the paper cites reaches t < n/3 at Θ(n²) bits but is
+// substantially more intricate — see DESIGN.md §3).
+//
+// Each phase k (k = 0..t) has two rounds: all processors exchange their
+// current preferences and compute the majority value and its multiplicity;
+// then the phase's king (processor k) announces its majority value, which a
+// processor adopts unless its own multiplicity exceeded n/2 + t. With t+1
+// phases at least one king is honest, which establishes agreement; the
+// n/2 + t threshold preserves it afterwards, and unanimity is never broken
+// (validity) because n > 4t.
+type phaseKing struct {
+	p    *sim.Proc
+	n, t int
+}
+
+// NewPhaseKing returns the phase-king broadcaster; it requires n > 4t.
+func NewPhaseKing(p *sim.Proc, n, t int) (Broadcaster, error) {
+	if n <= 4*t {
+		return nil, fmt.Errorf("bsb: phase king requires n > 4t, got n=%d t=%d", n, t)
+	}
+	return &phaseKing{p: p, n: n, t: t}, nil
+}
+
+func (pk *phaseKing) MaxFaulty() int { return (pk.n - 1) / 4 }
+
+// CostPerBit returns the bits needed to broadcast one bit: the source round
+// plus t+1 phases of an all-to-all round and a king round.
+func (pk *phaseKing) CostPerBit() int64 {
+	n := int64(pk.n)
+	return (n - 1) + int64(pk.t+1)*(n*(n-1)+(n-1))
+}
+
+func (pk *phaseKing) Broadcast(step sim.StepID, insts []Inst, mine []bool, tag string) []bool {
+	if len(insts) == 0 {
+		return nil
+	}
+	cur := make([]bool, len(insts))
+
+	// Source round: each source disperses its bits; everyone adopts the
+	// received bit as its initial preference for that instance.
+	var myBits []bool
+	for i, inst := range insts {
+		if inst.Src == pk.p.ID {
+			b := boolsAt(mine, i)
+			myBits = append(myBits, b)
+			cur[i] = b
+		}
+	}
+	out := make([]sim.Message, 0, pk.n-1)
+	for r := 0; r < pk.n; r++ {
+		if r != pk.p.ID && len(myBits) > 0 {
+			out = append(out, sim.Message{To: r, Payload: myBits, Bits: int64(len(myBits)), Tag: tag})
+		}
+	}
+	in := pk.p.Exchange(step+"/pk.src", out, insts)
+	bySender := payloadsBySender(in, pk.n)
+	counter := make([]int, pk.n)
+	for i, inst := range insts {
+		if inst.Src != pk.p.ID {
+			cur[i] = boolsAt(bySender[inst.Src], counter[inst.Src])
+			counter[inst.Src]++
+		}
+	}
+
+	maj := make([]bool, len(insts))
+	mult := make([]int, len(insts))
+	for k := 0; k <= pk.t; k++ {
+		// Round 1: everyone exchanges current preferences.
+		payload := make([]bool, len(insts))
+		copy(payload, cur)
+		out = out[:0]
+		for r := 0; r < pk.n; r++ {
+			if r != pk.p.ID {
+				out = append(out, sim.Message{To: r, Payload: payload, Bits: int64(len(payload)), Tag: tag})
+			}
+		}
+		in = pk.p.Exchange(sim.StepID(fmt.Sprintf("%s/pk.p%d.all", step, k)), out, insts)
+		bySender = payloadsBySender(in, pk.n)
+		for i := range insts {
+			trues := 0
+			if cur[i] {
+				trues++
+			}
+			for j := 0; j < pk.n; j++ {
+				if j != pk.p.ID && boolsAt(bySender[j], i) {
+					trues++
+				}
+			}
+			if 2*trues > pk.n {
+				maj[i], mult[i] = true, trues
+			} else {
+				maj[i], mult[i] = false, pk.n-trues
+			}
+		}
+
+		// Round 2: the king announces its majority values.
+		out = out[:0]
+		if pk.p.ID == k {
+			kingPayload := make([]bool, len(insts))
+			copy(kingPayload, maj)
+			for r := 0; r < pk.n; r++ {
+				if r != pk.p.ID {
+					out = append(out, sim.Message{To: r, Payload: kingPayload, Bits: int64(len(kingPayload)), Tag: tag})
+				}
+			}
+		}
+		in = pk.p.Exchange(sim.StepID(fmt.Sprintf("%s/pk.p%d.king", step, k)), out, insts)
+		bySender = payloadsBySender(in, pk.n)
+		kingMaj := bySender[k]
+		for i := range insts {
+			if mult[i] > pk.n/2+pk.t {
+				cur[i] = maj[i]
+			} else if pk.p.ID == k {
+				cur[i] = maj[i]
+			} else {
+				cur[i] = boolsAt(kingMaj, i)
+			}
+		}
+	}
+	return alignFaulty(pk.p, step, cur)
+}

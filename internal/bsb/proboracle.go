@@ -1,0 +1,55 @@
+package bsb
+
+import (
+	"byzcons/internal/sim"
+)
+
+// probOracle models the Section 4 modification: substituting the error-free
+// Broadcast_Single_Bit with a *probabilistically correct* 1-bit broadcast
+// that tolerates more failures (the paper suggests the authenticated
+// constructions of Pfitzmann-Waidner / Dolev-Strong, which reach t >= n/3 at
+// the price of a non-zero failure probability). The paper claims the
+// modified consensus then tolerates as many faults as the broadcast does and
+// errs only when a broadcast instance errs.
+//
+// The model: delivery works like the ideal oracle, but every receiver
+// independently flips each delivered bit with probability eps — a broadcast
+// instance has therefore failed (inconsistent delivery) with probability at
+// most n·eps. eps = 0 gives a perfect broadcast at resilience t < n/2,
+// isolating the fault-tolerance claim from the failure-probability claim.
+type probOracle struct {
+	inner Broadcaster
+	p     *sim.Proc
+	n     int
+	eps   float64
+}
+
+// NewProbOracle returns the probabilistic broadcaster; see probOracle.
+// costPerBit <= 0 selects DefaultOracleCost(n).
+func NewProbOracle(p *sim.Proc, n, t int, costPerBit int64, eps float64) Broadcaster {
+	return &probOracle{inner: NewOracle(p, n, t, costPerBit), p: p, n: n, eps: eps}
+}
+
+func (o *probOracle) CostPerBit() int64 { return o.inner.CostPerBit() }
+
+// MaxFaulty reflects the higher resilience of authenticated 1-bit broadcast:
+// the consensus construction on top still needs an honest majority
+// (n - 2t >= 1 code dimension and the diagnosis-graph counting arguments),
+// so t < n/2.
+func (o *probOracle) MaxFaulty() int { return (o.n - 1) / 2 }
+
+func (o *probOracle) Broadcast(step sim.StepID, insts []Inst, mine []bool, tag string) []bool {
+	decided := o.inner.Broadcast(step, insts, mine, tag)
+	if o.eps <= 0 {
+		return decided
+	}
+	// Independent per-receiver corruption; faulty processors' local views are
+	// irrelevant, and honest receivers flipping independently is exactly an
+	// inconsistent (failed) broadcast.
+	for i := range decided {
+		if o.p.Rand.Float64() < o.eps {
+			decided[i] = !decided[i]
+		}
+	}
+	return decided
+}

@@ -1,0 +1,87 @@
+package bsb
+
+import (
+	"testing"
+
+	"byzcons/internal/sim"
+)
+
+func TestProbOracleZeroEpsMatchesOracle(t *testing.T) {
+	insts := mixedInsts(5, 3)
+	res := sim.Run(sim.RunConfig{N: 5, Seed: 9}, func(p *sim.Proc) any {
+		b := NewProbOracle(p, 5, 2, 0, 0)
+		mine := make([]bool, len(insts))
+		for i, inst := range insts {
+			if inst.Src == p.ID {
+				mine[i] = patternBits(p.ID, i)
+			}
+		}
+		return b.Broadcast("step", insts, mine, "tag")
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	decided := make([][]bool, 5)
+	for i, v := range res.Values {
+		decided[i], _ = v.([]bool)
+	}
+	checkBroadcast(t, insts, decided, func(i int) bool { return patternBits(insts[i].Src, i) }, nil)
+}
+
+func TestProbOracleFlipsAtHighEps(t *testing.T) {
+	insts := mixedInsts(5, 10)
+	res := sim.Run(sim.RunConfig{N: 5, Seed: 11}, func(p *sim.Proc) any {
+		b := NewProbOracle(p, 5, 2, 0, 0.5)
+		mine := make([]bool, len(insts))
+		for i, inst := range insts {
+			if inst.Src == p.ID {
+				mine[i] = patternBits(p.ID, i)
+			}
+		}
+		return b.Broadcast("step", insts, mine, "tag")
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// With eps = 0.5 the processors' views must diverge somewhere.
+	a := res.Values[0].([]bool)
+	b := res.Values[1].([]bool)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("eps=0.5 produced perfectly consistent broadcast; flips not applied")
+	}
+}
+
+func TestProbOracleResilience(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 7, Seed: 1}, func(p *sim.Proc) any {
+		b := NewProbOracle(p, 7, 3, 0, 0)
+		return b.MaxFaulty()
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := res.Values[0].(int); got != 3 {
+		t.Errorf("MaxFaulty = %d, want 3 (t < n/2)", got)
+	}
+}
+
+func TestProbOracleCostMatchesOracle(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 7, Seed: 1}, func(p *sim.Proc) any {
+		return NewProbOracle(p, 7, 2, 0, 0.1).CostPerBit()
+	})
+	if got := res.Values[0].(int64); got != DefaultOracleCost(7) {
+		t.Errorf("CostPerBit = %d, want %d", got, DefaultOracleCost(7))
+	}
+}
+
+func TestParseProbOracle(t *testing.T) {
+	k, err := ParseKind("proboracle")
+	if err != nil || k != ProbOracle || k.String() != "proboracle" {
+		t.Errorf("ParseKind(proboracle) = %v, %v", k, err)
+	}
+}

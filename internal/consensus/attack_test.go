@@ -1,0 +1,216 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+)
+
+// checkDiagInvariants asserts the Lemma 4 properties on the final diagnosis
+// graphs of honest processors: honest-honest edges are never removed, no
+// honest processor is isolated, and all graphs are identical.
+func checkDiagInvariants(t *testing.T, outs []*Output, faulty []int) {
+	t.Helper()
+	isFaulty := make(map[int]bool)
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	var ref *Output
+	for i, o := range outs {
+		if isFaulty[i] || o == nil {
+			continue
+		}
+		if ref == nil {
+			ref = o
+		}
+		if !o.Graph.Equal(ref.Graph) {
+			t.Fatal("honest diagnosis graphs diverged")
+		}
+	}
+	if ref == nil {
+		t.Fatal("no honest output")
+	}
+	n := ref.Graph.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !isFaulty[i] && !isFaulty[j] && !ref.Graph.Trusts(i, j) {
+				t.Errorf("honest-honest edge (%d,%d) was removed (Lemma 4 violated)", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !isFaulty[i] && ref.Graph.Isolated(i) {
+			t.Errorf("honest processor %d was isolated", i)
+		}
+	}
+}
+
+func TestEquivocatorTriggersDiagnosisAndStaysValid(t *testing.T) {
+	val := bytes.Repeat([]byte{0x42, 0x17, 0x99}, 20)
+	L := len(val) * 8
+	for _, kind := range []bsb.Kind{bsb.Oracle, bsb.EIG} {
+		t.Run(kind.String(), func(t *testing.T) {
+			par := Params{N: 7, T: 2, BSB: kind, Lanes: 2, SymBits: 8}
+			faulty := []int{0, 1}
+			adv := adversary.Equivocator{Victims: []int{5, 6}}
+			outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adv, 21)
+			checkAgreement(t, outs, faulty, val, false)
+			checkDiagInvariants(t, outs, faulty)
+			if outs[2].DiagnosisRuns == 0 {
+				t.Error("expected at least one diagnosis stage under equivocation")
+			}
+			if outs[2].DiagnosisRuns > 2*3 {
+				t.Errorf("diagnosis ran %d times, above the t(t+1)=6 bound", outs[2].DiagnosisRuns)
+			}
+		})
+	}
+}
+
+func TestMatchLiar(t *testing.T) {
+	val := bytes.Repeat([]byte{0xAB}, 30)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, BSB: bsb.Oracle}
+	faulty := []int{3, 6}
+	outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adversary.MatchLiar{}, 2)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+}
+
+func TestFalseDetectorGetsIsolated(t *testing.T) {
+	val := bytes.Repeat([]byte{0x5A}, 24)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
+	faulty := []int{5, 6} // high ids stay out of the lexicographically-first Pmatch
+	outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adversary.FalseDetector{}, 4)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+	var honest *Output
+	for i, o := range outs {
+		if i != 5 && i != 6 {
+			honest = o
+			break
+		}
+	}
+	if !honest.Graph.Isolated(5) || !honest.Graph.Isolated(6) {
+		t.Errorf("false detectors not isolated: graph %v", honest.Graph)
+	}
+	if honest.DiagnosisRuns != 1 {
+		t.Errorf("diagnosis ran %d times, want exactly 1 (both liars isolated at once)", honest.DiagnosisRuns)
+	}
+}
+
+func TestTrustLiarOnlyBurnsFaultyEdges(t *testing.T) {
+	val := bytes.Repeat([]byte{0xC3}, 24)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
+	faulty := []int{1, 4}
+	adv := adversary.Chain{adversary.Equivocator{Victims: []int{6}}, adversary.TrustLiar{}}
+	outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adv, 8)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+}
+
+func TestSymbolLiar(t *testing.T) {
+	val := bytes.Repeat([]byte{0x3C}, 24)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
+	faulty := []int{0, 2}
+	adv := adversary.Chain{adversary.Equivocator{Victims: []int{6}}, adversary.SymbolLiar{}}
+	outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adv, 9)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+}
+
+func TestSilentFaulty(t *testing.T) {
+	val := bytes.Repeat([]byte{0x99, 0x11}, 20)
+	L := len(val) * 8
+	par := Params{N: 10, T: 3, BSB: bsb.Oracle}
+	faulty := []int{2, 5, 8}
+	outs, _ := runConsensus(t, par, sameInputs(10, val), L, faulty, adversary.Silent{}, 6)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+	if outs[0].DiagnosisRuns != 0 {
+		t.Errorf("silent faults caused %d diagnosis stages, want 0 (mismatch is not inconsistency)", outs[0].DiagnosisRuns)
+	}
+}
+
+func TestEdgeMiserHitsTheoremOneBound(t *testing.T) {
+	for _, tc := range []struct{ n, tf int }{{4, 1}, {7, 2}, {10, 3}} {
+		t.Run(fmt.Sprintf("n%d_t%d", tc.n, tc.tf), func(t *testing.T) {
+			bound := tc.tf * (tc.tf + 1)
+			par := Params{N: tc.n, T: tc.tf, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
+			// Enough generations for the full budget plus clean tail.
+			gens := bound + 2
+			L := par.D() * gens
+			val := bytes.Repeat([]byte{0x7E}, (L+7)/8)
+			faulty := make([]int, tc.tf)
+			for i := range faulty {
+				faulty[i] = i
+			}
+			outs, _ := runConsensus(t, par, sameInputs(tc.n, val), L, faulty, adversary.EdgeMiser{T: tc.tf}, 13)
+			want := val[:(L+7)/8]
+			checkAgreement(t, outs, faulty, want, false)
+			checkDiagInvariants(t, outs, faulty)
+			honest := outs[tc.n-1]
+			if honest.DiagnosisRuns != bound {
+				t.Errorf("diagnosis ran %d times, want the exact t(t+1)=%d bound", honest.DiagnosisRuns, bound)
+			}
+			for _, f := range faulty {
+				if !honest.Graph.Isolated(f) {
+					t.Errorf("faulty processor %d not isolated after exhausting its budget", f)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomByzFuzz(t *testing.T) {
+	val := bytes.Repeat([]byte{0xF0, 0x0D}, 12)
+	L := len(val) * 8
+	for seed := int64(0); seed < 12; seed++ {
+		par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 2, SymBits: 8}
+		faulty := []int{int(seed) % 7, (int(seed) + 3) % 7}
+		outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adversary.RandomByz{P: 0.5}, seed)
+		checkAgreement(t, outs, faulty, val, false)
+		checkDiagInvariants(t, outs, faulty)
+	}
+}
+
+func TestRandomByzFuzzEIG(t *testing.T) {
+	// End-to-end with the real (non-oracle) broadcast under random Byzantine
+	// noise, including corruption of EIG relay traffic.
+	val := bytes.Repeat([]byte{0x0F}, 6)
+	L := len(val) * 8
+	for seed := int64(0); seed < 6; seed++ {
+		par := Params{N: 4, T: 1, BSB: bsb.EIG, Lanes: 2, SymBits: 8}
+		faulty := []int{int(seed) % 4}
+		outs, _ := runConsensus(t, par, sameInputs(4, val), L, faulty, adversary.RandomByz{P: 0.4}, seed)
+		checkAgreement(t, outs, faulty, val, false)
+		checkDiagInvariants(t, outs, faulty)
+	}
+}
+
+func TestTwoFacedInputsStayConsistent(t *testing.T) {
+	// Honest processors split between two values; faulty processors may do
+	// anything. Validity is vacuous but consistency must hold: either a
+	// common default or one common value.
+	n := 7
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		if i%2 == 0 {
+			inputs[i] = bytes.Repeat([]byte{0x11}, 24)
+		} else {
+			inputs[i] = bytes.Repeat([]byte{0x22}, 24)
+		}
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		par := Params{N: n, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
+		faulty := []int{0, 3}
+		outs, _ := runConsensus(t, par, inputs, 24*8, faulty, adversary.RandomByz{P: 0.4}, seed)
+		checkAgreement(t, outs, faulty, nil, outs[1].Defaulted)
+		checkDiagInvariants(t, outs, faulty)
+	}
+}

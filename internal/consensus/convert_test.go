@@ -1,0 +1,71 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"byzcons/internal/gf"
+)
+
+// The diagnosis stage serialises words to bits for Broadcast_Single_Bit and
+// back (lines 3(a)/3(b)); any asymmetry there would corrupt R# and break
+// Lemma 5. Property: bitsToWord(wordToBits(w)) == w for all words and both
+// symbol widths.
+func TestWordBitsRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+	for _, c := range []uint{8, 16} {
+		c := c
+		err := quick.Check(func(raw []uint16, mSeed uint8) bool {
+			m := int(mSeed%8) + 1
+			w := make([]gf.Sym, m)
+			for i := range w {
+				if i < len(raw) {
+					w[i] = gf.Sym(raw[i])
+				}
+				if c == 8 {
+					w[i] &= 0xFF
+				}
+			}
+			bits := wordToBits(w, c)
+			if len(bits) != m*int(c) {
+				return false
+			}
+			got := bitsToWord(bits, m, c)
+			for i := range w {
+				if got[i] != w[i] {
+					return false
+				}
+			}
+			return true
+		}, cfg)
+		if err != nil {
+			t.Errorf("c=%d: %v", c, err)
+		}
+	}
+}
+
+func TestBitsToWordShortInputZeroPads(t *testing.T) {
+	// Broadcast results for absent (e.g. isolated) sources may be short;
+	// missing bits must read as zero, deterministically at every processor.
+	w := bitsToWord([]bool{true}, 2, 8)
+	if w[0] != 0x80 || w[1] != 0 {
+		t.Errorf("short bits decoded to %v", w)
+	}
+}
+
+func TestDefaultValuePadding(t *testing.T) {
+	got := defaultValue([]byte{0xAB}, 20)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	if got[0] != 0xAB || got[1] != 0 || got[2] != 0 {
+		t.Errorf("default = %x", got)
+	}
+	// Longer default truncated to L bits.
+	got = defaultValue([]byte{0xFF, 0xFF, 0xFF}, 12)
+	if len(got) != 2 || got[1] != 0xF0 {
+		t.Errorf("truncated default = %x", got)
+	}
+}

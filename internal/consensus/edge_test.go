@@ -1,0 +1,217 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+func TestSymBits16(t *testing.T) {
+	// GF(2^16) symbols: same protocol, wider lanes.
+	val := bytes.Repeat([]byte{0xCA, 0xFE, 0xBA, 0xBE}, 24)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, BSB: bsb.Oracle, SymBits: 16, Lanes: 2}
+	faulty := []int{0, 3}
+	outs, _ := runConsensus(t, par, sameInputs(7, val), L, faulty, adversary.Equivocator{Victims: []int{6}}, 3)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+}
+
+func TestLargeN(t *testing.T) {
+	// n=40, t=13: close to the t < n/3 boundary at a size where the clique
+	// search and code are well beyond toy dimensions.
+	val := bytes.Repeat([]byte{0x88, 0x44, 0x22}, 40)
+	L := len(val) * 8
+	n, tf := 40, 13
+	par := Params{N: n, T: tf, BSB: bsb.Oracle}
+	faulty := []int{5, 11, 17, 23, 29, 35}
+	outs, _ := runConsensus(t, par, sameInputs(n, val), L, faulty, adversary.Equivocator{Victims: []int{38, 39}}, 9)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+}
+
+func TestAutoSymBitsAboveByteLimit(t *testing.T) {
+	// n = 300 > 255 forces GF(2^16) automatically. Single generation,
+	// fail-free (keep it fast at this size).
+	n := 300
+	tf := 0
+	val := bytes.Repeat([]byte{0xAB}, 600)
+	L := len(val) * 8
+	par := Params{N: n, T: tf, BSB: bsb.Oracle}
+	outs, _ := runConsensus(t, par, sameInputs(n, val), L, nil, nil, 1)
+	checkAgreement(t, outs, nil, val, false)
+}
+
+func TestConfiguredDefaultValue(t *testing.T) {
+	n := 4
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{byte(i + 1)}, 8)
+	}
+	def := bytes.Repeat([]byte{0xEE}, 8)
+	par := Params{N: n, T: 1, BSB: bsb.Oracle, Default: def}
+	outs, _ := runConsensus(t, par, inputs, 64, nil, nil, 2)
+	checkAgreement(t, outs, nil, nil, true)
+	if !bytes.Equal(outs[0].Value, def) {
+		t.Fatalf("default = %x, want %x", outs[0].Value, def)
+	}
+}
+
+func TestOneBitValue(t *testing.T) {
+	par := Params{N: 4, T: 1, BSB: bsb.Oracle}
+	outs, _ := runConsensus(t, par, sameInputs(4, []byte{0x80}), 1, nil, nil, 1)
+	checkAgreement(t, outs, nil, []byte{0x80}, false)
+	if outs[0].Generations != 1 {
+		t.Errorf("generations = %d, want 1", outs[0].Generations)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	par := Params{N: 1, T: 0, BSB: bsb.Oracle}
+	outs, _ := runConsensus(t, par, sameInputs(1, []byte{0x5A}), 8, nil, nil, 1)
+	if !bytes.Equal(outs[0].Value, []byte{0x5A}) {
+		t.Fatal("n=1 wrong value")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		par  Params
+		L    int
+	}{
+		{"t too big", Params{N: 6, T: 2}, 8},
+		{"negative t", Params{N: 4, T: -1}, 8},
+		{"zero n", Params{N: 0, T: 0}, 8},
+		{"bad symbits", Params{N: 4, T: 1, SymBits: 12}, 8},
+		{"n over field", Params{N: 300, T: 0, SymBits: 8}, 8},
+		{"zero L", Params{N: 4, T: 1}, 0},
+		{"negative lanes", Params{N: 4, T: 1, Lanes: -1}, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := sim.Run(sim.RunConfig{N: max(tc.par.N, 1), Seed: 1}, func(p *sim.Proc) any {
+				return Run(p, tc.par, []byte{1}, tc.L)
+			})
+			if res.Err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestRandomizedScenarioSweep is the broad property test: across a random
+// grid of sizes, inputs patterns, fault sets and adversary stacks, every run
+// must satisfy Termination (implicitly), Consistency, Validity-when-equal,
+// the Lemma 4 graph invariants and the Theorem 1 bound.
+func TestRandomizedScenarioSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	advPool := []func(tf int) sim.Adversary{
+		func(int) sim.Adversary { return nil },
+		func(int) sim.Adversary { return adversary.Silent{} },
+		func(int) sim.Adversary { return adversary.RandomByz{P: 0.4} },
+		func(int) sim.Adversary { return adversary.MatchLiar{} },
+		func(int) sim.Adversary { return adversary.FalseDetector{} },
+		func(int) sim.Adversary {
+			return adversary.Chain{adversary.Equivocator{}, adversary.TrustLiar{}}
+		},
+		func(tf int) sim.Adversary { return adversary.EdgeMiser{T: tf} },
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(10)
+		tf := r.Intn((n-1)/3 + 1)
+		lanes := 1 + r.Intn(4)
+		gens := 1 + r.Intn(5)
+		L := (n - 2*tf) * lanes * 8 * gens
+		allEqual := r.Intn(3) > 0
+		inputs := make([][]byte, n)
+		base := bytes.Repeat([]byte{byte(trial + 1)}, (L+7)/8)
+		for i := range inputs {
+			if allEqual || i%2 == 0 {
+				inputs[i] = base
+			} else {
+				inputs[i] = bytes.Repeat([]byte{byte(trial + 101)}, (L+7)/8)
+			}
+		}
+		var faulty []int
+		for _, f := range r.Perm(n)[:tf] {
+			faulty = append(faulty, f)
+		}
+		adv := advPool[r.Intn(len(advPool))](tf)
+		par := Params{N: n, T: tf, BSB: bsb.Oracle, Lanes: lanes, SymBits: 8}
+
+		name := fmt.Sprintf("trial%d_n%d_t%d_eq%v", trial, n, tf, allEqual)
+		outs, _ := runConsensus(t, par, inputs, L, faulty, adv, int64(trial))
+		var want []byte
+		if allEqual {
+			want = base
+		}
+		checkAgreement(t, outs, faulty, want, outsDefaulted(outs, faulty))
+		checkDiagInvariants(t, outs, faulty)
+		for i, o := range outs {
+			if o != nil && o.DiagnosisRuns > tf*(tf+1) {
+				t.Fatalf("%s: proc %d saw %d diagnoses > bound %d", name, i, o.DiagnosisRuns, tf*(tf+1))
+			}
+		}
+	}
+}
+
+// outsDefaulted returns the defaulted flag of the first honest output so the
+// agreement check can assert it is uniform.
+func outsDefaulted(outs []*Output, faulty []int) bool {
+	isFaulty := map[int]bool{}
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	for i, o := range outs {
+		if o != nil && !isFaulty[i] {
+			return o.Defaulted
+		}
+	}
+	return false
+}
+
+func TestPhaseKingFullStackWithDiagnosis(t *testing.T) {
+	// Equivocation end-to-end over the real phase-king broadcast.
+	val := bytes.Repeat([]byte{0x21}, 15)
+	L := len(val) * 8
+	par := Params{N: 9, T: 2, BSB: bsb.PhaseKing, Lanes: 1, SymBits: 8}
+	faulty := []int{0, 1}
+	outs, _ := runConsensus(t, par, sameInputs(9, val), L, faulty, adversary.Equivocator{Victims: []int{8}}, 4)
+	checkAgreement(t, outs, faulty, val, false)
+	checkDiagInvariants(t, outs, faulty)
+	if outs[8].DiagnosisRuns == 0 {
+		t.Error("no diagnosis over phase-king stack")
+	}
+}
+
+func TestOptimalLanesProperties(t *testing.T) {
+	// D* grows like sqrt(L) and never exceeds the whole value.
+	l1 := OptimalLanes(16, 5, 8, 100_000, 512)
+	l2 := OptimalLanes(16, 5, 8, 400_000, 512)
+	if l2 < l1 || l2 > 2*l1+1 {
+		t.Errorf("D* scaling wrong: lanes(4L)=%d vs lanes(L)=%d (want ~2x)", l2, l1)
+	}
+	if OptimalLanes(4, 1, 8, 16, 32) != 1 {
+		t.Error("tiny L must clamp to one lane")
+	}
+	// t=0: k*c = 32 bits per lane, whole value in one generation.
+	if OptimalLanes(4, 0, 8, 1_000_000, 32) != (1_000_000+31)/32 {
+		t.Error("t=0 must put everything in one generation")
+	}
+}
+
+func TestPredictCconMatchesManualSum(t *testing.T) {
+	n, tf := 10, 3
+	D, B := int64(320), int64(200)
+	g := PredictGenCost(n, tf, D, B)
+	L := int64(3200) // 10 generations
+	want := 10*g.FailFree() + int64(tf*(tf+1))*g.Diagnosis()
+	if got := PredictCcon(n, tf, L, D, B); got != want {
+		t.Errorf("PredictCcon = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,119 @@
+package consensus
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+	"byzcons/internal/diag"
+	"byzcons/internal/sim"
+)
+
+// TestForkAttackImpossible mounts the strongest consistent-equivocation
+// attack: faulty Pmatch members shift the symbols sent to a victim group by
+// a valid nonzero codeword, so the victims' received word is itself a
+// perfect codeword of a DIFFERENT value. If the victims decoded it silently
+// the protocol would fork. Lemma 2/3's dimension argument says the mixture
+// of shifted and unshifted symbols can never be consistent: the attack MUST
+// be detected, diagnosed, and must not affect validity.
+func TestForkAttackImpossible(t *testing.T) {
+	val := bytes.Repeat([]byte{0xE9, 0x4D}, 30)
+	L := len(val) * 8
+	for _, tc := range []struct {
+		n, tf   int
+		faulty  []int
+		victims []int
+	}{
+		{7, 2, []int{0, 1}, []int{5, 6}},
+		{7, 2, []int{0, 1}, []int{6}},
+		{10, 3, []int{0, 1, 2}, []int{7, 8, 9}},
+		{4, 1, []int{0}, []int{3}},
+	} {
+		par := Params{N: tc.n, T: tc.tf, BSB: bsb.Oracle, Lanes: 2, SymBits: 8}
+		adv := adversary.CodewordFork{N: tc.n, T: tc.tf, Lanes: 2, SymBits: 8, Victims: tc.victims}
+		outs, _ := runConsensus(t, par, sameInputs(tc.n, val), L, tc.faulty, adv, 29)
+		checkAgreement(t, outs, tc.faulty, val, false)
+		checkDiagInvariants(t, outs, tc.faulty)
+		honest := outs[tc.victims[0]]
+		if honest.DiagnosisRuns == 0 {
+			t.Errorf("n=%d t=%d: fork attack went undetected — Lemma 2/3 violated", tc.n, tc.tf)
+		}
+	}
+}
+
+// TestGraphsIdenticalEveryGeneration strengthens the final-state check: the
+// honest processors' diagnosis graphs must be identical after EVERY
+// generation (they are driven purely by broadcast data), under randomized
+// Byzantine behaviour.
+func TestGraphsIdenticalEveryGeneration(t *testing.T) {
+	val := bytes.Repeat([]byte{0x3B}, 24)
+	L := len(val) * 8
+	n, tf := 7, 2
+	faulty := []int{2, 6}
+	isFaulty := map[int]bool{2: true, 6: true}
+
+	var mu sync.Mutex
+	graphs := make(map[int]map[int]*diag.Graph) // gen -> proc -> graph
+	diagnosed := make(map[int]map[int]bool)
+
+	par := Params{N: n, T: tf, BSB: bsb.Oracle, Lanes: 1, SymBits: 8,
+		Observer: func(procID, gen int, info GenInfo) {
+			mu.Lock()
+			defer mu.Unlock()
+			if graphs[gen] == nil {
+				graphs[gen] = make(map[int]*diag.Graph)
+				diagnosed[gen] = make(map[int]bool)
+			}
+			graphs[gen][procID] = info.Graph
+			diagnosed[gen][procID] = info.Diagnosed
+		}}
+	outs, _ := runConsensus(t, par, sameInputs(n, val), L, faulty, adversary.RandomByz{P: 0.5}, 31)
+	checkAgreement(t, outs, faulty, val, false)
+
+	for gen, perProc := range graphs {
+		var ref *diag.Graph
+		refDiag := false
+		for proc, g := range perProc {
+			if isFaulty[proc] {
+				continue
+			}
+			if ref == nil {
+				ref = g
+				refDiag = diagnosed[gen][proc]
+				continue
+			}
+			if !g.Equal(ref) {
+				t.Fatalf("generation %d: honest diagnosis graphs diverged", gen)
+			}
+			if diagnosed[gen][proc] != refDiag {
+				t.Fatalf("generation %d: honest processors disagree on whether diagnosis ran", gen)
+			}
+		}
+	}
+	if len(graphs) == 0 {
+		t.Fatal("observer never called")
+	}
+}
+
+// TestObserverDoesNotChangeOutcome guards the instrumentation contract.
+func TestObserverDoesNotChangeOutcome(t *testing.T) {
+	val := bytes.Repeat([]byte{0x77}, 16)
+	L := len(val) * 8
+	run := func(obs func(int, int, GenInfo)) int64 {
+		par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8, Observer: obs}
+		res := sim.Run(sim.RunConfig{N: 7, Faulty: []int{1}, Seed: 41}, func(p *sim.Proc) any {
+			return Run(p, par, val, L)
+		})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Meter.TotalBits()
+	}
+	withObs := run(func(int, int, GenInfo) {})
+	without := run(nil)
+	if withObs != without {
+		t.Errorf("observer changed metered traffic: %d vs %d", withObs, without)
+	}
+}

@@ -1,0 +1,52 @@
+package consensus
+
+// GenCost is the per-generation bit cost of each stage as given by the
+// paper's complexity analysis (Section 3.4). The experiments compare these
+// closed forms against metered traffic.
+type GenCost struct {
+	MatchData int64 // matching stage symbols:     n(n-1)/(n-2t) · D
+	MatchM    int64 // matching stage M vectors:   n(n-1) · B
+	CheckDet  int64 // checking stage flags:       t · B
+	DiagSym   int64 // diagnosis R# symbols:       (n-t)/(n-2t) · D · B
+	DiagTrust int64 // diagnosis trust vectors:    n(n-t) · B
+}
+
+// FailFree returns the bits of a generation in which no diagnosis runs.
+func (g GenCost) FailFree() int64 { return g.MatchData + g.MatchM + g.CheckDet }
+
+// Diagnosis returns the extra bits of one diagnosis stage.
+func (g GenCost) Diagnosis() int64 { return g.DiagSym + g.DiagTrust }
+
+// PredictGenCost evaluates Eq. 1's per-stage terms for one generation of D
+// bits with broadcast cost B.
+func PredictGenCost(n, t int, D, B int64) GenCost {
+	nn := int64(n)
+	tt := int64(t)
+	k := nn - 2*tt
+	return GenCost{
+		MatchData: nn * (nn - 1) * D / k,
+		MatchM:    nn * (nn - 1) * B,
+		CheckDet:  tt * B,
+		DiagSym:   (nn - tt) * D * B / k,
+		DiagTrust: nn * (nn - tt) * B,
+	}
+}
+
+// PredictCcon evaluates Eq. 1: the worst-case total communication for an
+// L-bit consensus run with generation size D and broadcast cost B, assuming
+// the matching and checking stages run in every one of the ceil(L/D)
+// generations and the diagnosis stage runs the maximal t(t+1) times.
+func PredictCcon(n, t int, L, D, B int64) int64 {
+	g := PredictGenCost(n, t, D, B)
+	gens := (L + D - 1) / D
+	diag := int64(t) * int64(t+1)
+	return g.FailFree()*gens + g.Diagnosis()*diag
+}
+
+// PredictCconLeading returns the leading term of Eq. 2/3,
+// n(n-1)/(n-2t) · L: the asymptotic cost for large L. Dividing measured
+// totals by L and comparing with this over growing L reproduces the paper's
+// headline "O(nL) for sufficiently large L" claim.
+func PredictCconLeading(n, t int, L int64) int64 {
+	return int64(n) * int64(n-1) * L / int64(n-2*t)
+}

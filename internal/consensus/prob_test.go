@@ -1,0 +1,114 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+// TestHighResilienceTolerated: Section 4 claims that substituting a 1-bit
+// broadcast of higher resilience lifts the whole algorithm's tolerance to
+// match. With the probabilistic oracle at eps=0 (perfect delivery), t >= n/3
+// must now be accepted and the error-free guarantees must hold under attack.
+func TestHighResilienceTolerated(t *testing.T) {
+	val := bytes.Repeat([]byte{0x6E, 0x21}, 24)
+	L := len(val) * 8
+	cases := []struct {
+		n, tf  int
+		faulty []int
+	}{
+		{7, 3, []int{0, 1, 2}}, // t = 3 >= n/3 = 2.33
+		{5, 2, []int{3, 4}},    // t = 2 >= n/3 = 1.67
+		{9, 4, []int{0, 2, 4, 6}},
+	}
+	attacks := map[string]sim.Adversary{
+		"passive":     nil,
+		"equivocator": adversary.Equivocator{Victims: []int{1}},
+		"random":      adversary.RandomByz{P: 0.5},
+		"falsedetect": adversary.FalseDetector{},
+		"symbolliar":  adversary.Chain{adversary.Equivocator{Victims: []int{1}}, adversary.SymbolLiar{}},
+	}
+	for _, tc := range cases {
+		for name, adv := range attacks {
+			t.Run(fmt.Sprintf("n%d_t%d_%s", tc.n, tc.tf, name), func(t *testing.T) {
+				par := Params{N: tc.n, T: tc.tf, BSB: bsb.ProbOracle, Lanes: 2, SymBits: 8}
+				outs, _ := runConsensus(t, par, sameInputs(tc.n, val), L, tc.faulty, adv, 17)
+				checkAgreement(t, outs, tc.faulty, val, false)
+			})
+		}
+	}
+}
+
+// TestHighResilienceRejectedByErrorFreeKinds: without the probabilistic
+// substitution, t >= n/3 must still be rejected (error-free consensus at
+// that resilience is impossible).
+func TestHighResilienceRejectedByErrorFreeKinds(t *testing.T) {
+	for _, kind := range []bsb.Kind{bsb.Oracle, bsb.EIG, bsb.PhaseKing} {
+		res := sim.Run(sim.RunConfig{N: 7, Seed: 1}, func(p *sim.Proc) any {
+			return Run(p, Params{N: 7, T: 3, BSB: kind}, []byte{1}, 8)
+		})
+		if res.Err == nil {
+			t.Errorf("%v accepted t >= n/3", kind)
+		}
+	}
+	// And t >= n/2 is out of reach even for the probabilistic kind.
+	res := sim.Run(sim.RunConfig{N: 6, Seed: 1}, func(p *sim.Proc) any {
+		return Run(p, Params{N: 6, T: 3, BSB: bsb.ProbOracle}, []byte{1}, 8)
+	})
+	if res.Err == nil {
+		t.Error("proboracle accepted t >= n/2")
+	}
+}
+
+// TestProbBroadcastFailuresCauseOnlyBoundedErrors: with eps > 0 some runs
+// err (inconsistent delivery can split honest control flow or decisions) —
+// exactly the paper's "makes an error only if the 1-bit broadcast fails".
+// Errors must show up as detectable outcomes (run abort or output
+// divergence), never as silent partial corruption of an agreed value, and
+// must vanish as eps -> 0.
+func TestProbBroadcastFailuresCauseOnlyBoundedErrors(t *testing.T) {
+	val := bytes.Repeat([]byte{0x42}, 16)
+	L := len(val) * 8
+	errsAt := func(eps float64, trials int) int {
+		errs := 0
+		for seed := 0; seed < trials; seed++ {
+			par := Params{N: 7, T: 3, BSB: bsb.ProbOracle, BSBEpsilon: eps, Lanes: 2, SymBits: 8}
+			res := sim.Run(sim.RunConfig{N: 7, Faulty: []int{0}, Seed: int64(seed)}, func(p *sim.Proc) any {
+				return Run(p, par, val, L)
+			})
+			if res.Err != nil {
+				errs++ // control-flow divergence: an honest-visible failure
+				continue
+			}
+			consistent := true
+			var ref *Output
+			for i, v := range res.Values {
+				if i == 0 {
+					continue
+				}
+				o := v.(*Output)
+				if ref == nil {
+					ref = o
+					continue
+				}
+				if !bytes.Equal(o.Value, ref.Value) || o.Defaulted != ref.Defaulted {
+					consistent = false
+				}
+			}
+			if !consistent || ref.Defaulted || !bytes.Equal(ref.Value, val) {
+				errs++
+			}
+		}
+		return errs
+	}
+	if got := errsAt(0.02, 30); got == 0 {
+		t.Error("eps=0.02: expected some broadcast-failure-induced errors, saw none")
+	}
+	if got := errsAt(0, 30); got != 0 {
+		t.Errorf("eps=0: saw %d errors; must be none", got)
+	}
+}

@@ -1,0 +1,425 @@
+package consensus
+
+import (
+	"fmt"
+
+	"byzcons/internal/bitio"
+	"byzcons/internal/bitset"
+	"byzcons/internal/bsb"
+	"byzcons/internal/diag"
+	"byzcons/internal/gf"
+	"byzcons/internal/rs"
+	"byzcons/internal/sim"
+)
+
+// Output is the per-processor result of a consensus run. Every honest
+// processor of the same run returns identical Value/Defaulted/Graph contents
+// (asserted extensively in tests).
+type Output struct {
+	Value         []byte      // decided value: exactly ceil(L/8) bytes, L meaningful bits
+	L             int         // value length in bits
+	Defaulted     bool        // true if decided the default (no Pmatch: honest inputs differ)
+	Generations   int         // generations executed, including a defaulting one
+	DiagnosisRuns int         // diagnosis stages executed (Theorem 1: <= t(t+1))
+	Graph         *diag.Graph // final diagnosis graph
+}
+
+// proto is the per-processor protocol state for one run.
+type proto struct {
+	p     *sim.Proc
+	par   Params
+	field *gf.Field
+	ic    *rs.Interleaved
+	bcast bsb.Broadcaster
+	g     *diag.Graph
+	diags int
+}
+
+// Run executes Algorithm 1 at processor p over the L-bit input. All
+// processors of a run must pass the same par and L. The same code runs at
+// honest and faulty processors; Byzantine deviation is injected by the
+// simulator's adversary.
+func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
+	par, err := par.normalized(L)
+	if err != nil {
+		p.Abort(err)
+	}
+	field, err := gf.New(par.SymBits)
+	if err != nil {
+		p.Abort(err)
+	}
+	code, err := rs.New(field, par.N, par.K())
+	if err != nil {
+		p.Abort(err)
+	}
+	ic, err := rs.NewInterleaved(code, par.Lanes)
+	if err != nil {
+		p.Abort(err)
+	}
+	bcast, err := bsb.New(par.BSB, p, par.N, par.T)
+	if err != nil {
+		p.Abort(err)
+	}
+	switch {
+	case par.BSB == bsb.Oracle && par.BSBCost > 0:
+		bcast = bsb.NewOracle(p, par.N, par.T, par.BSBCost)
+	case par.BSB == bsb.ProbOracle:
+		bcast = bsb.NewProbOracle(p, par.N, par.T, par.BSBCost, par.BSBEpsilon)
+	}
+	pr := &proto{p: p, par: par, field: field, ic: ic, bcast: bcast, g: diag.NewComplete(par.N)}
+
+	D := ic.DataBits()
+	gens := (L + D - 1) / D
+	reader := bitio.NewReader(input)
+	writer := bitio.NewWriter()
+	out := &Output{L: L}
+	for g := 0; g < gens; g++ {
+		data := make([]gf.Sym, ic.DataSyms())
+		for i := range data {
+			data[i] = gf.Sym(reader.Read(par.SymBits))
+		}
+		diagsBefore := pr.diags
+		decided, defaulted := pr.generation(g, data)
+		out.Generations++
+		if par.Observer != nil {
+			par.Observer(p.ID, g, GenInfo{
+				Defaulted: defaulted,
+				Diagnosed: pr.diags > diagsBefore,
+				Graph:     pr.g.Clone(),
+			})
+		}
+		if defaulted {
+			out.Defaulted = true
+			out.Value = defaultValue(par.Default, L)
+			out.DiagnosisRuns = pr.diags
+			out.Graph = pr.g
+			return out
+		}
+		for _, s := range decided {
+			writer.Write(uint32(s), par.SymBits)
+		}
+	}
+	out.Value = writer.Truncate(L)
+	out.DiagnosisRuns = pr.diags
+	out.Graph = pr.g
+	return out
+}
+
+// defaultValue pads/truncates def to exactly L bits.
+func defaultValue(def []byte, L int) []byte {
+	w := bitio.NewWriter()
+	r := bitio.NewReader(def)
+	for w.Bits() < L {
+		width := uint(8)
+		if rem := L - w.Bits(); rem < 8 {
+			width = uint(rem)
+		}
+		w.Write(r.Read(width), width)
+	}
+	return w.Truncate(L)
+}
+
+// generation runs Algorithm 1 for generation g on this processor's D-bit
+// input (as data symbols). It returns the decided data symbols, or
+// defaulted=true when no Pmatch exists.
+func (pr *proto) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted bool) {
+	n, t, k := pr.par.N, pr.par.T, pr.par.K()
+	me := pr.p.ID
+	prefix := sim.StepID(fmt.Sprintf("g%d", g))
+	active := pr.g.Active()
+
+	// --- Matching stage ---------------------------------------------------
+	// 1(a): encode and send my codeword symbol to every trusted processor.
+	S := pr.ic.Encode(data)
+	var out []sim.Message
+	active.ForEach(func(j int) bool {
+		if j != me && pr.g.Trusts(me, j) {
+			out = append(out, sim.Message{
+				To: j, Payload: S[me], Bits: int64(pr.ic.WordBits()), Tag: "match.sym",
+			})
+		}
+		return true
+	})
+	in := pr.p.Exchange(prefix+"/match.sym", out, nil)
+
+	// 1(b): received symbols; ⊥ (nil) for untrusted or malformed senders.
+	R := make([][]gf.Sym, n)
+	for _, m := range in {
+		if !pr.g.Trusts(me, m.From) || R[m.From] != nil {
+			continue
+		}
+		R[m.From] = pr.validWord(m.Payload)
+	}
+	R[me] = S[me]
+
+	// 1(c): M_i[j] — does j's symbol match my codeword?
+	M := make([]bool, n)
+	for j := 0; j < n; j++ {
+		switch {
+		case j == me:
+			M[j] = pr.g.Trusts(me, me)
+		default:
+			M[j] = pr.g.Trusts(me, j) && rs.WordsEqual(R[j], S[j])
+		}
+	}
+
+	// 1(d): broadcast M (n-1 bits per active processor; isolated processors
+	// neither broadcast nor appear as entries — everyone knows them faulty).
+	var insts []bsb.Inst
+	var mine []bool
+	active.ForEach(func(p int) bool {
+		active.ForEach(func(j int) bool {
+			if j != p {
+				insts = append(insts, bsb.Inst{Src: p, Kind: "M", A: p, B: j})
+				if p == me {
+					mine = append(mine, M[j])
+				} else {
+					mine = append(mine, false)
+				}
+			}
+			return true
+		})
+		return true
+	})
+	res := pr.bcast.Broadcast(prefix+"/match.M", insts, mine, "match.M")
+	Mall := make([][]bool, n)
+	for i := range Mall {
+		Mall[i] = make([]bool, n)
+	}
+	for idx, inst := range insts {
+		Mall[inst.A][inst.B] = res[idx]
+	}
+	active.ForEach(func(p int) bool {
+		Mall[p][p] = true
+		return true
+	})
+
+	// 1(e): find Pmatch, a clique of size n-t in the mutual-match graph.
+	adj := make([]bitset.Set, n)
+	for i := 0; i < n; i++ {
+		adj[i] = bitset.New(n)
+	}
+	active.ForEach(func(i int) bool {
+		active.ForEach(func(j int) bool {
+			if i < j && Mall[i][j] && Mall[j][i] {
+				adj[i].Add(j)
+				adj[j].Add(i)
+			}
+			return true
+		})
+		return true
+	})
+	pm := diag.FindClique(adj, active, n-t)
+	if pm == nil {
+		// 1(f): honest processors provably do not share one input value.
+		return nil, true
+	}
+	pmSet := bitset.FromSlice(n, pm)
+
+	// --- Checking stage ---------------------------------------------------
+	// 2(a)+2(b): non-members check consistency of Pmatch symbols and
+	// broadcast a 1-bit Detected flag.
+	nonMembers := active.AndNot(pmSet)
+	var dInsts []bsb.Inst
+	var dMine []bool
+	myDetected := false
+	if nonMembers.Has(me) {
+		pos, words := pr.trustedWords(pmSet, R)
+		myDetected = !pr.ic.Consistent(pos, words)
+	}
+	nonMembers.ForEach(func(j int) bool {
+		dInsts = append(dInsts, bsb.Inst{Src: j, Kind: "Det", A: j})
+		dMine = append(dMine, j == me && myDetected)
+		return true
+	})
+	dRes := pr.bcast.Broadcast(prefix+"/check.det", dInsts, dMine, "check.det")
+	detected := make([]bool, n)
+	anyDetected := false
+	for idx, inst := range dInsts {
+		detected[inst.A] = dRes[idx]
+		anyDetected = anyDetected || dRes[idx]
+	}
+
+	// 2(c): if nobody detected, decide directly.
+	if !anyDetected {
+		if pmSet.Has(me) {
+			// A member's own symbols match Pmatch (M_i[j] = true for all
+			// members), so its decode equals its own input (Lemma 3).
+			dec := make([]gf.Sym, len(data))
+			copy(dec, data)
+			return dec, false
+		}
+		pos, words := pr.trustedWords(pmSet, R)
+		if len(pos) < k {
+			// Only possible at an isolated (hence faulty) processor, whose
+			// return value is irrelevant; honest processors trust all >= n-2t
+			// honest members of Pmatch.
+			return make([]gf.Sym, len(data)), false
+		}
+		dec, err := pr.ic.Decode(pos, words)
+		if err != nil {
+			pr.p.Abort(fmt.Errorf("consensus: g%d: undetected inconsistency at decode: %v", g, err))
+		}
+		return dec, false
+	}
+
+	// --- Diagnosis stage ----------------------------------------------------
+	pr.diags++
+	wordBits := pr.ic.WordBits()
+
+	// 3(a)+3(b): members broadcast their own codeword symbol bit by bit; the
+	// results R#[j] are identical at all processors.
+	var sInsts []bsb.Inst
+	var sMine []bool
+	myWordBits := wordToBits(S[me], pr.par.SymBits)
+	for _, j := range pm {
+		for b := 0; b < wordBits; b++ {
+			sInsts = append(sInsts, bsb.Inst{Src: j, Kind: "Rsym", A: j, B: b})
+			sMine = append(sMine, j == me && myWordBits[b])
+		}
+	}
+	sRes := pr.bcast.Broadcast(prefix+"/diag.sym", sInsts, sMine, "diag.sym")
+	Rhash := make([][]gf.Sym, n)
+	for mi, j := range pm {
+		Rhash[j] = bitsToWord(sRes[mi*wordBits:(mi+1)*wordBits], pr.par.Lanes, pr.par.SymBits)
+	}
+
+	// 3(c)+3(d): broadcast trust vectors over Pmatch.
+	var tInsts []bsb.Inst
+	var tMine []bool
+	active.ForEach(func(p int) bool {
+		for _, j := range pm {
+			tInsts = append(tInsts, bsb.Inst{Src: p, Kind: "Trust", A: p, B: j})
+			tMine = append(tMine, p == me && pr.g.Trusts(me, j) && rs.WordsEqual(R[j], Rhash[j]))
+		}
+		return true
+	})
+	tRes := pr.bcast.Broadcast(prefix+"/diag.trust", tInsts, tMine, "diag.trust")
+	trust := make([][]bool, n)
+	for i := range trust {
+		trust[i] = make([]bool, n)
+	}
+	for idx, inst := range tInsts {
+		trust[inst.A][inst.B] = tRes[idx]
+	}
+
+	// 3(e): remove edges that lost trust; remember fresh removals per vertex.
+	removedNow := make([]int, n)
+	active.ForEach(func(p int) bool {
+		for _, j := range pm {
+			if p != j && !trust[p][j] {
+				if pr.g.RemoveEdge(p, j) {
+					removedNow[p]++
+					removedNow[j]++
+				}
+			}
+		}
+		return true
+	})
+
+	// 3(f): with a consistent R#, a non-member that claimed detection but had
+	// no incident edge removed lied, hence is faulty: isolate it.
+	pmPos := append([]int(nil), pm...)
+	pmWords := make([][]gf.Sym, len(pm))
+	for i, j := range pm {
+		pmWords[i] = Rhash[j]
+	}
+	if pr.ic.Consistent(pmPos, pmWords) {
+		nonMembers.ForEach(func(j int) bool {
+			if detected[j] && removedNow[j] == 0 {
+				pr.g.Isolate(j)
+			}
+			return true
+		})
+	}
+
+	// 3(g): a vertex that has lost more than t edges is certainly faulty.
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !pr.g.Isolated(v) && pr.g.RemovedCount(v) >= t+1 {
+				pr.g.Isolate(v)
+				changed = true
+			}
+		}
+	}
+
+	// 3(h): Pdecide — n-2t mutually trusting members in the updated graph.
+	pd := pr.g.Clique(pmSet.And(pr.g.Active()), k)
+	if pd == nil {
+		pr.p.Abort(fmt.Errorf("consensus: g%d: no Pdecide despite >= n-2t honest members (invariant broken)", g))
+	}
+
+	// 3(i): decide from the commonly-known R# restricted to Pdecide.
+	pdWords := make([][]gf.Sym, len(pd))
+	for i, j := range pd {
+		pdWords[i] = Rhash[j]
+	}
+	dec, err := pr.ic.Decode(pd, pdWords)
+	if err != nil {
+		pr.p.Abort(fmt.Errorf("consensus: g%d: Pdecide decode failed: %v", g, err))
+	}
+	return dec, false
+}
+
+// trustedWords returns the sorted positions within set that this processor
+// trusts, along with the corresponding received words (never nil for trusted
+// senders that delivered well-formed symbols; nil entries are skipped since
+// an honest processor's consistency check only uses symbols it actually
+// received from processors it trusts).
+func (pr *proto) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) {
+	var pos []int
+	var words [][]gf.Sym
+	set.ForEach(func(j int) bool {
+		if pr.g.Trusts(pr.p.ID, j) && R[j] != nil {
+			pos = append(pos, j)
+			words = append(words, R[j])
+		}
+		return true
+	})
+	return pos, words
+}
+
+// validWord checks an incoming matching-stage payload: it must be a word of
+// exactly Lanes symbols, each within the field. Anything else is ⊥.
+func (pr *proto) validWord(payload any) []gf.Sym {
+	w, ok := payload.([]gf.Sym)
+	if !ok || len(w) != pr.par.Lanes {
+		return nil
+	}
+	for _, s := range w {
+		if int(s) >= pr.field.Order() {
+			return nil
+		}
+	}
+	return w
+}
+
+// wordToBits flattens a word to bits, lane-major, MSB first per symbol.
+func wordToBits(w []gf.Sym, c uint) []bool {
+	bits := make([]bool, 0, len(w)*int(c))
+	for _, s := range w {
+		for b := int(c) - 1; b >= 0; b-- {
+			bits = append(bits, s>>uint(b)&1 == 1)
+		}
+	}
+	return bits
+}
+
+// bitsToWord reassembles m symbols of c bits each from bits.
+func bitsToWord(bits []bool, m int, c uint) []gf.Sym {
+	w := make([]gf.Sym, m)
+	idx := 0
+	for l := 0; l < m; l++ {
+		var s gf.Sym
+		for b := 0; b < int(c); b++ {
+			s <<= 1
+			if idx < len(bits) && bits[idx] {
+				s |= 1
+			}
+			idx++
+		}
+		w[l] = s
+	}
+	return w
+}

@@ -1,0 +1,58 @@
+package diag
+
+import "byzcons/internal/bitset"
+
+// FindClique finds a clique of exactly the given size among the candidate
+// vertices of the graph described by adj (adj[i] = neighbours of i). The
+// search is deterministic — vertices are tried in ascending order and the
+// lexicographically first clique is returned — so every honest processor,
+// running it on identical broadcast data, computes the identical set
+// (required for Pmatch in line 1(e) and Pdecide in line 3(h) of Algorithm 1).
+// It returns nil if no such clique exists.
+//
+// Finding a maximum clique is NP-hard in general; the paper does not account
+// for local computation, and n is small in practice (<= 64 here). The
+// branch-and-bound below prunes with the standard |current| + |candidates|
+// bound, which is fast on the near-complete graphs that arise in fault-free
+// generations and acceptable on adversarial ones at these sizes.
+func FindClique(adj []bitset.Set, candidates bitset.Set, size int) []int {
+	if size <= 0 {
+		return []int{}
+	}
+	if candidates.Count() < size {
+		return nil
+	}
+	cur := make([]int, 0, size)
+	if res := cliqueSearch(adj, candidates, cur, size); res != nil {
+		return res
+	}
+	return nil
+}
+
+// cliqueSearch extends cur with vertices from cand (all pairwise adjacent to
+// cur) until size is reached. cand only ever contains vertices greater than
+// the last element of cur, which makes the enumeration canonical.
+func cliqueSearch(adj []bitset.Set, cand bitset.Set, cur []int, size int) []int {
+	if len(cur) == size {
+		out := make([]int, size)
+		copy(out, cur)
+		return out
+	}
+	if len(cur)+cand.Count() < size {
+		return nil
+	}
+	var result []int
+	cand.ForEach(func(v int) bool {
+		// Candidates for the extended clique: strictly greater than v (to
+		// enumerate each clique once, in lexicographic order) and adjacent
+		// to v (and, inductively, to everything in cur).
+		next := cand.And(adj[v])
+		next.RemoveThrough(v)
+		if res := cliqueSearch(adj, next, append(cur, v), size); res != nil {
+			result = res
+			return false
+		}
+		return true
+	})
+	return result
+}

@@ -1,0 +1,163 @@
+// Package diag implements the paper's diagnosis graph: an undirected graph on
+// the n processors in which an edge means mutual trust. It starts complete;
+// the diagnosis stage removes edges, and the consensus layer maintains the
+// invariants proved in Lemma 4:
+//
+//   - every removed edge has at least one faulty endpoint,
+//   - honest-honest edges are never removed, and
+//   - a vertex that has lost more than t edges is certainly faulty and is
+//     isolated (all edges removed; honest processors stop talking to it).
+//
+// All mutations are driven exclusively by broadcast data, so every honest
+// processor holds an identical copy; Equal supports asserting that in tests.
+package diag
+
+import (
+	"fmt"
+
+	"byzcons/internal/bitset"
+)
+
+// Graph is a diagnosis graph over n vertices.
+type Graph struct {
+	n        int
+	adj      []bitset.Set
+	removed  []int // cumulative removed-edge count per vertex
+	isolated bitset.Set
+}
+
+// NewComplete returns the initial diagnosis graph: complete on n vertices.
+func NewComplete(n int) *Graph {
+	g := &Graph{
+		n:        n,
+		adj:      make([]bitset.Set, n),
+		removed:  make([]int, n),
+		isolated: bitset.New(n),
+	}
+	for i := 0; i < n; i++ {
+		g.adj[i] = bitset.Full(n)
+		g.adj[i].Remove(i)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Trusts reports whether i and j trust each other. A vertex trusts itself
+// unless it has been isolated.
+func (g *Graph) Trusts(i, j int) bool {
+	if i == j {
+		return !g.isolated.Has(i)
+	}
+	return g.adj[i].Has(j)
+}
+
+// RemoveEdge removes the undirected edge (i, j) and bumps both endpoints'
+// removed counts. It reports whether the edge was present (repeat removals
+// are no-ops, so accusation replays never inflate counts).
+func (g *Graph) RemoveEdge(i, j int) bool {
+	if i == j || !g.adj[i].Has(j) {
+		return false
+	}
+	g.adj[i].Remove(j)
+	g.adj[j].Remove(i)
+	g.removed[i]++
+	g.removed[j]++
+	return true
+}
+
+// RemovedCount returns the number of edges removed at vertex i so far.
+func (g *Graph) RemovedCount(i int) int { return g.removed[i] }
+
+// Isolate removes every remaining edge at vertex i and marks it isolated.
+// Honest processors call this only for vertices proven faulty.
+//
+// Unlike RemoveEdge, isolation does not bump the removed-edge counts of i's
+// neighbours: those edges disappear as a consequence of identifying i, not as
+// accusations against the neighbour. Counting them would still be sound for
+// the "more than t removals ⇒ faulty" rule but would deflate the diagnosis
+// budget of i's co-conspirators below the paper's per-processor t+1, making
+// Theorem 1's t(t+1) bound unreachable; with this accounting the bound is
+// exactly tight (exercised by the EdgeMiser adversary in tests and E3).
+func (g *Graph) Isolate(i int) {
+	if g.isolated.Has(i) {
+		return
+	}
+	g.adj[i].Clone().ForEach(func(j int) bool {
+		g.adj[i].Remove(j)
+		g.adj[j].Remove(i)
+		g.removed[i]++
+		return true
+	})
+	g.isolated.Add(i)
+}
+
+// Isolated reports whether vertex i has been isolated.
+func (g *Graph) Isolated(i int) bool { return g.isolated.Has(i) }
+
+// Active returns the set of non-isolated vertices.
+func (g *Graph) Active() bitset.Set {
+	return bitset.Full(g.n).AndNot(g.isolated)
+}
+
+// Neighbors returns a copy of i's trusted set.
+func (g *Graph) Neighbors(i int) bitset.Set { return g.adj[i].Clone() }
+
+// TrustedWithin returns the subset of s that i trusts (excluding i itself).
+func (g *Graph) TrustedWithin(i int, s bitset.Set) bitset.Set {
+	return g.adj[i].And(s)
+}
+
+// Clique finds a clique of exactly the given size among candidates in the
+// diagnosis graph, in deterministic (lexicographically first) order.
+// It returns nil if none exists.
+func (g *Graph) Clique(candidates bitset.Set, size int) []int {
+	return FindClique(g.adj, candidates, size)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:        g.n,
+		adj:      make([]bitset.Set, g.n),
+		removed:  make([]int, g.n),
+		isolated: g.isolated.Clone(),
+	}
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].Clone()
+	}
+	copy(c.removed, g.removed)
+	return c
+}
+
+// Equal reports whether two graphs are identical (edges, counts, isolation).
+func (g *Graph) Equal(o *Graph) bool {
+	if g.n != o.n || !g.isolated.Equal(o.isolated) {
+		return false
+	}
+	for i := range g.adj {
+		if !g.adj[i].Equal(o.adj[i]) || g.removed[i] != o.removed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the removed edges and isolated set, for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("diag{n=%d isolated=%v removedEdges=[", g.n, g.isolated)
+	first := true
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if !g.adj[i].Has(j) {
+				if !first {
+					s += " "
+				}
+				first = false
+				s += fmt.Sprintf("(%d,%d)", i, j)
+			}
+		}
+	}
+	return s + "]}"
+}

@@ -1,0 +1,225 @@
+package diag
+
+import (
+	"math/rand"
+	"testing"
+
+	"byzcons/internal/bitset"
+)
+
+func TestNewCompleteTrustsEverything(t *testing.T) {
+	g := NewComplete(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if !g.Trusts(i, j) {
+				t.Errorf("(%d,%d) not trusted in complete graph", i, j)
+			}
+		}
+		if g.RemovedCount(i) != 0 || g.Isolated(i) {
+			t.Errorf("vertex %d has removals or isolation at start", i)
+		}
+	}
+	if g.Active().Count() != 5 {
+		t.Error("not all vertices active")
+	}
+}
+
+func TestRemoveEdgeCountsOnce(t *testing.T) {
+	g := NewComplete(5)
+	if !g.RemoveEdge(1, 3) {
+		t.Fatal("first removal reported absent")
+	}
+	if g.RemoveEdge(1, 3) || g.RemoveEdge(3, 1) {
+		t.Error("repeat removal reported present (would inflate accusation counts)")
+	}
+	if g.Trusts(1, 3) || g.Trusts(3, 1) {
+		t.Error("edge still trusted")
+	}
+	if g.RemovedCount(1) != 1 || g.RemovedCount(3) != 1 {
+		t.Error("counts wrong")
+	}
+	if g.RemoveEdge(2, 2) {
+		t.Error("self-loop removal reported present")
+	}
+}
+
+func TestIsolateCountsOnlyIsolatedVertex(t *testing.T) {
+	g := NewComplete(6)
+	g.RemoveEdge(0, 1)
+	g.Isolate(0)
+	if !g.Isolated(0) || g.Trusts(0, 0) {
+		t.Error("vertex 0 not isolated")
+	}
+	for j := 1; j < 6; j++ {
+		if g.Trusts(0, j) {
+			t.Errorf("edge (0,%d) survived isolation", j)
+		}
+	}
+	// Neighbours' accusation budgets must be unaffected by the isolation
+	// (only vertex 1 keeps its count from the explicit removal).
+	if g.RemovedCount(1) != 1 {
+		t.Errorf("vertex 1 count = %d, want 1", g.RemovedCount(1))
+	}
+	for j := 2; j < 6; j++ {
+		if g.RemovedCount(j) != 0 {
+			t.Errorf("vertex %d count = %d, want 0 after neighbour isolation", j, g.RemovedCount(j))
+		}
+	}
+	if g.RemovedCount(0) != 5 {
+		t.Errorf("vertex 0 count = %d, want 5", g.RemovedCount(0))
+	}
+	if g.Active().Has(0) || g.Active().Count() != 5 {
+		t.Error("active set wrong")
+	}
+	// Idempotent.
+	g.Isolate(0)
+	if g.RemovedCount(0) != 5 {
+		t.Error("re-isolation changed counts")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := NewComplete(5)
+	g.RemoveEdge(1, 2)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.RemoveEdge(3, 4)
+	if g.Equal(c) {
+		t.Error("mutation of clone affected equality check")
+	}
+	if g.Trusts(3, 4) == false {
+		t.Error("clone aliases original adjacency")
+	}
+}
+
+func TestCliqueOnDiagGraph(t *testing.T) {
+	g := NewComplete(7)
+	// Remove edges at 5 and 6 so the unique 5-clique is {0,1,2,3,4}.
+	g.RemoveEdge(5, 6)
+	g.RemoveEdge(5, 0)
+	g.RemoveEdge(6, 1)
+	got := g.Clique(g.Active(), 5)
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != 5 {
+		t.Fatalf("clique = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clique = %v, want %v", got, want)
+		}
+	}
+}
+
+// bruteClique finds the lexicographically first clique of the given size by
+// exhaustive enumeration.
+func bruteClique(adj []bitset.Set, candidates []int, size int) []int {
+	idx := make([]int, size)
+	var rec func(start, depth int) []int
+	rec = func(start, depth int) []int {
+		if depth == size {
+			out := make([]int, size)
+			for i, v := range idx[:size] {
+				out[i] = candidates[v]
+			}
+			return out
+		}
+		for i := start; i < len(candidates); i++ {
+			v := candidates[i]
+			ok := true
+			for _, prev := range idx[:depth] {
+				if !adj[candidates[prev]].Has(v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			idx[depth] = i
+			if res := rec(i+1, depth+1); res != nil {
+				return res
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}
+
+func TestFindCliqueMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 6 + r.Intn(6)
+		adj := make([]bitset.Set, n)
+		for i := range adj {
+			adj[i] = bitset.New(n)
+		}
+		p := 0.3 + r.Float64()*0.6
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < p {
+					adj[i].Add(j)
+					adj[j].Add(i)
+				}
+			}
+		}
+		size := 2 + r.Intn(n-2)
+		cands := bitset.Full(n)
+		got := FindClique(adj, cands, size)
+		want := bruteClique(adj, cands.Slice(), size)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("trial %d: existence mismatch: got %v, want %v", trial, got, want)
+		}
+		if got == nil {
+			continue
+		}
+		// Same (lexicographically first) clique, and it must actually be one.
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+		for i := 0; i < len(got); i++ {
+			for j := i + 1; j < len(got); j++ {
+				if !adj[got[i]].Has(got[j]) {
+					t.Fatalf("trial %d: returned non-clique %v", trial, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFindCliqueRespectsCandidates(t *testing.T) {
+	adj := make([]bitset.Set, 5)
+	for i := range adj {
+		adj[i] = bitset.Full(5)
+		adj[i].Remove(i)
+	}
+	cands := bitset.FromSlice(5, []int{1, 2, 4})
+	got := FindClique(adj, cands, 3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("clique = %v, want [1 2 4]", got)
+	}
+	if FindClique(adj, cands, 4) != nil {
+		t.Error("found 4-clique among 3 candidates")
+	}
+}
+
+func TestFindCliqueEdgeCases(t *testing.T) {
+	adj := []bitset.Set{bitset.New(1)}
+	if got := FindClique(adj, bitset.Full(1), 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton clique = %v", got)
+	}
+	if got := FindClique(adj, bitset.Full(1), 0); got == nil || len(got) != 0 {
+		t.Errorf("size-0 clique = %v, want empty non-nil", got)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	g := NewComplete(3)
+	g.RemoveEdge(0, 2)
+	if s := g.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

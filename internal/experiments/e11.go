@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"byzcons"
+	"byzcons/internal/metrics"
+)
+
+// E11HighResilience reproduces Section 4's second claim: replacing
+// Broadcast_Single_Bit with a probabilistically correct broadcast of higher
+// resilience lifts the consensus fault tolerance to match (here t < n/2),
+// and the algorithm "makes an error only if the 1-bit broadcast algorithm
+// fails". The sweep varies the broadcast's per-receiver failure probability
+// eps at n=7, t=3 (t >= n/3, beyond error-free reach) with one actively
+// Byzantine processor; an error is any run where honest processors diverge
+// (in control flow or outputs) or settle on a wrong value.
+func E11HighResilience(o Opts) *metrics.Table {
+	n, t := 7, 3
+	L := 16 * 8
+	trials := 150
+	if o.Quick {
+		trials = 30
+	}
+	tbl := metrics.NewTable(fmt.Sprintf(
+		"E11 — t=%d >= n/3 via probabilistic broadcast (n=%d, %d trials, RandomByz faulty)", t, n, trials),
+		"broadcast eps", "errors", "error rate", "note")
+	val := patternValue(L, 0x42)
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	for _, eps := range []float64{0, 0.0005, 0.005, 0.02} {
+		errs := 0
+		for seed := 0; seed < trials; seed++ {
+			cfg := byzcons.Config{
+				N: n, T: t, SymBits: 8, Lanes: 2,
+				Broadcast: byzcons.BroadcastProb, BroadcastEpsilon: eps, Seed: int64(seed),
+			}
+			res, err := byzcons.Consensus(cfg, inputs, L, byzcons.Scenario{
+				Faulty:   []int{0},
+				Behavior: byzcons.RandomByz{P: 0.4},
+			})
+			if err != nil || !res.Consistent || res.Defaulted || !bytes.Equal(res.Value, val) {
+				errs++
+			}
+		}
+		note := ""
+		if eps == 0 {
+			note = "perfect broadcast: error-free even at t >= n/3"
+		}
+		tbl.AddRow(eps, errs, float64(errs)/float64(trials), note)
+	}
+	return tbl
+}

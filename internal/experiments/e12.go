@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"byzcons"
+	"byzcons/internal/metrics"
+)
+
+// E12RoundComplexity measures synchronous round counts — a dimension the
+// paper leaves implicit but any deployment cares about. With the oracle
+// substrate a fail-free generation costs exactly 3 rounds (symbol exchange,
+// M broadcast, Detected broadcast) and each diagnosis adds 2 (R#, Trust), so
+// a run takes 3·ceil(L/D) + 2·diagnoses rounds; real broadcast substrates
+// multiply the broadcast rounds by their own round counts (t+2 for EIG's
+// t+1 relay rounds plus the alignment step, 2t+5 for phase king).
+func E12RoundComplexity(o Opts) *metrics.Table {
+	tbl := metrics.NewTable("E12 — synchronous rounds: measured vs 3·gens + 2·diags (oracle substrate)",
+		"substrate", "n", "t", "gens", "diagnoses", "rounds meas", "rounds formula", "exact?")
+	L := 19200
+	if o.Quick {
+		L = 4800
+	}
+	type cfg struct {
+		name   string
+		kind   byzcons.BroadcastKind
+		n, t   int
+		attack bool
+	}
+	cases := []cfg{
+		{"oracle fail-free", byzcons.BroadcastOracle, 7, 2, false},
+		{"oracle EdgeMiser", byzcons.BroadcastOracle, 7, 2, true},
+		{"eig fail-free", byzcons.BroadcastEIG, 7, 2, false},
+		{"phaseking fail-free", byzcons.BroadcastPhaseKing, 9, 2, false},
+	}
+	if o.Quick {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		lanes := 4
+		D := (c.n - 2*c.t) * lanes * 8
+		gens := (L + D - 1) / D
+		conf := byzcons.Config{N: c.n, T: c.t, Lanes: lanes, SymBits: 8, Broadcast: c.kind, Seed: 3}
+		sc := byzcons.Scenario{}
+		if c.attack {
+			faulty := make([]int, c.t)
+			for i := range faulty {
+				faulty[i] = i
+			}
+			sc = byzcons.Scenario{Faulty: faulty, Behavior: byzcons.EdgeMiser{T: c.t}}
+		}
+		res := mustConsensus(conf, equalInputs(c.n, L), L, sc)
+		formula := int64(0)
+		exact := "-"
+		if c.kind == byzcons.BroadcastOracle {
+			formula = 3*int64(gens) + 2*int64(res.DiagnosisRuns)
+			exact = fmt.Sprintf("%v", res.Rounds == formula)
+		}
+		tbl.AddRow(c.name, c.n, c.t, gens, res.DiagnosisRuns, res.Rounds, formula, exact)
+	}
+	return tbl
+}

@@ -1,0 +1,94 @@
+// Package experiments regenerates every quantitative claim of the paper
+// (the "tables and figures" of this theory paper are its complexity formulas
+// and bounds — see DESIGN.md §8 for the index). Each experiment returns a
+// markdown table of paper-prediction vs measured values; cmd/experiments
+// prints them all, and the root-level benchmarks wrap them for `go test
+// -bench`.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"byzcons"
+	"byzcons/internal/metrics"
+)
+
+// Opts tunes experiment scale so benches can run a reduced grid.
+type Opts struct {
+	// Quick shrinks the parameter grids (used by -bench smoke runs).
+	Quick bool
+}
+
+// An Experiment produces one paper-vs-measured table.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(o Opts) *metrics.Table
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Eq. 1: per-stage bits per generation match the closed form exactly", E1PerStageBits},
+		{"E2", "Eq. 2/3: Ccon(L)/L approaches n(n-1)/(n-2t) for large L", E2TotalComplexity},
+		{"E3", "Theorem 1: diagnosis stages are bounded by, and reach, t(t+1)", E3WorstCaseDiagnosis},
+		{"E4", "Complexity is linear in n for large L", E4ScalingInN},
+		{"E5", "Eq. 2: the D* generation size is the sweet spot", E5DSweep},
+		{"E6", "Beats the naive Omega(n^2 L) bitwise baseline for large L", E6VsNaive},
+		{"E7", "Error-free vs Fitzi-Hirt's hash-collision error probability", E7FH06Error},
+		{"E8", "Complexity comparable to Fitzi-Hirt O(nL + n^3(n+kappa))", E8VsFitziHirt},
+		{"E9", "Section 4: multi-valued broadcast at O(nL), vs the (n-1)L bound", E9Broadcast},
+		{"E10", "Broadcast_Single_Bit substrate costs: B = Theta(n^2) and friends", E10BSBCost},
+		{"E11", "Section 4: t >= n/3 via a probabilistically correct broadcast", E11HighResilience},
+		{"E12", "Round complexity: 3 rounds per clean generation, +2 per diagnosis", E12RoundComplexity},
+	}
+}
+
+// equalInputs builds n identical L-bit inputs with a deterministic pattern.
+func equalInputs(n, L int) [][]byte {
+	val := patternValue(L, 0x35)
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = val
+	}
+	return in
+}
+
+func patternValue(L int, seed byte) []byte {
+	val := make([]byte, (L+7)/8)
+	for i := range val {
+		val[i] = seed + byte(i*7)
+	}
+	if rem := L % 8; rem != 0 {
+		val[len(val)-1] &= byte(0xFF << (8 - uint(rem)))
+	}
+	return val
+}
+
+// mustConsensus runs a consensus and panics on harness errors (experiments
+// are deterministic; an error is a bug, not a measurement).
+func mustConsensus(cfg byzcons.Config, inputs [][]byte, L int, sc byzcons.Scenario) *byzcons.Result {
+	res, err := byzcons.Consensus(cfg, inputs, L, sc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: consensus run failed: %v", err))
+	}
+	if !res.Consistent {
+		panic("experiments: error-free algorithm produced inconsistent outputs")
+	}
+	return res
+}
+
+// mustValid additionally checks validity against the common input.
+func mustValid(res *byzcons.Result, want []byte) {
+	if res.Defaulted || !bytes.Equal(res.Value, want) {
+		panic("experiments: validity violated on equal inputs")
+	}
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

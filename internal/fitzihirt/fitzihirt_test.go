@@ -1,0 +1,225 @@
+package fitzihirt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"byzcons/internal/gf"
+	"byzcons/internal/metrics"
+	"byzcons/internal/sim"
+)
+
+func run(t *testing.T, par Params, inputs [][]byte, L int, faulty []int, adv sim.Adversary, seed int64) ([]*Output, *metrics.Meter) {
+	t.Helper()
+	res := sim.Run(sim.RunConfig{N: par.N, Faulty: faulty, Adversary: adv, Seed: seed}, func(p *sim.Proc) any {
+		return Run(p, par, inputs[p.ID], L)
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	outs := make([]*Output, par.N)
+	for i, v := range res.Values {
+		outs[i], _ = v.(*Output)
+	}
+	return outs, res.Meter
+}
+
+func same(n int, val []byte) [][]byte {
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = val
+	}
+	return in
+}
+
+// honestConsistent reports whether all honest outputs agree, and whether they
+// (non-defaulted) equal want.
+func honestConsistent(outs []*Output, faulty []int, want []byte) (consistent, valid bool) {
+	isFaulty := map[int]bool{}
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	var ref *Output
+	consistent, valid = true, true
+	for i, o := range outs {
+		if isFaulty[i] || o == nil {
+			continue
+		}
+		if ref == nil {
+			ref = o
+			continue
+		}
+		if !bytes.Equal(o.Value, ref.Value) || o.Defaulted != ref.Defaulted {
+			consistent = false
+		}
+	}
+	if ref == nil || ref.Defaulted || (want != nil && !bytes.Equal(ref.Value, want)) {
+		valid = false
+	}
+	return consistent, valid
+}
+
+func TestFailFreeEqualInputs(t *testing.T) {
+	val := bytes.Repeat([]byte{0xD4, 0x2B}, 24)
+	L := len(val) * 8
+	for _, tc := range []struct{ n, tf int }{{4, 1}, {7, 2}, {10, 3}, {7, 1}} {
+		t.Run(fmt.Sprintf("n%d_t%d", tc.n, tc.tf), func(t *testing.T) {
+			par := Params{N: tc.n, T: tc.tf}
+			outs, _ := run(t, par, same(tc.n, val), L, nil, nil, 1)
+			if c, v := honestConsistent(outs, nil, val); !c || !v {
+				t.Fatalf("consistent=%v valid=%v", c, v)
+			}
+		})
+	}
+}
+
+func TestNonMembersReconstructDespiteCorruptFragments(t *testing.T) {
+	// Faulty Pmatch members corrupt the fragments they send to non-members;
+	// Berlekamp-Welch must correct up to t of them.
+	val := bytes.Repeat([]byte{0x61}, 40)
+	L := len(val) * 8
+	corrupter := fragCorrupter{}
+	for seed := int64(0); seed < 6; seed++ {
+		par := Params{N: 7, T: 2}
+		// Faulty low ids land inside the lexicographically-first Pmatch, so
+		// their corrupted fragments actually reach the non-members.
+		outs, _ := run(t, par, same(7, val), L, []int{0, 1}, corrupter, seed)
+		if c, v := honestConsistent(outs, []int{0, 1}, val); !c || !v {
+			t.Fatalf("seed %d: consistent=%v valid=%v", seed, c, v)
+		}
+	}
+}
+
+// fragCorrupter flips dissemination fragments sent by faulty processors.
+type fragCorrupter struct{}
+
+func (fragCorrupter) ReworkExchange(ctx *sim.ExchangeCtx) {
+	if ctx.Step != "fh/dissem" {
+		return
+	}
+	for from := range ctx.Out {
+		if !ctx.Faulty[from] {
+			continue
+		}
+		for i := range ctx.Out[from] {
+			if w, ok := ctx.Out[from][i].Payload.([]gf.Sym); ok {
+				c := make([]gf.Sym, len(w))
+				for j, s := range w {
+					c[j] = s ^ 0x5B
+				}
+				ctx.Out[from][i].Payload = c
+			}
+		}
+	}
+}
+
+func (fragCorrupter) ReworkSync(*sim.SyncCtx) {}
+
+func TestSilentMembersStillReconstruct(t *testing.T) {
+	val := bytes.Repeat([]byte{0x10, 0x20, 0x30}, 16)
+	L := len(val) * 8
+	par := Params{N: 10, T: 3}
+	outs, _ := run(t, par, same(10, val), L, []int{0, 1, 2}, dropDissem{}, 3)
+	if c, v := honestConsistent(outs, []int{0, 1, 2}, val); !c || !v {
+		t.Fatalf("consistent=%v valid=%v", c, v)
+	}
+}
+
+type dropDissem struct{}
+
+func (dropDissem) ReworkExchange(ctx *sim.ExchangeCtx) {
+	if ctx.Step != "fh/dissem" {
+		return
+	}
+	for from := range ctx.Out {
+		if ctx.Faulty[from] {
+			ctx.Out[from] = nil
+		}
+	}
+}
+
+func (dropDissem) ReworkSync(*sim.SyncCtx) {}
+
+func TestAllDifferentInputsDefault(t *testing.T) {
+	n := 7
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{byte(0x10 * (i + 1))}, 16)
+	}
+	par := Params{N: n, T: 2, Kappa: 16}
+	outs, _ := run(t, par, inputs, 16*8, nil, nil, 7)
+	for i, o := range outs {
+		if !o.Defaulted {
+			t.Fatalf("proc %d did not default despite all-distinct inputs", i)
+		}
+	}
+}
+
+func TestCollisionErrorObservableAtTinyKappa(t *testing.T) {
+	// The headline difference from the paper's algorithm: with κ small, two
+	// honest processors holding DIFFERENT values collide under some hash keys
+	// and end up in one Pmatch together, breaking consistency/validity. With
+	// κ=16 the same inputs never misbehave across these seeds. This is E7's
+	// mechanism in miniature.
+	n := 4
+	inputs := make([][]byte, n)
+	a := bytes.Repeat([]byte{0xAA}, 64)
+	b := bytes.Repeat([]byte{0xBB}, 64)
+	for i := range inputs {
+		if i%2 == 0 {
+			inputs[i] = a
+		} else {
+			inputs[i] = b
+		}
+	}
+	L := 64 * 8
+	errsAt := func(kappa uint, seeds int) int {
+		errs := 0
+		for seed := 0; seed < seeds; seed++ {
+			par := Params{N: n, T: 1, Kappa: kappa}
+			outs, _ := run(t, par, inputs, L, nil, nil, int64(seed))
+			consistent, _ := honestConsistent(outs, nil, nil)
+			// An error is any outcome other than "consistent decision":
+			// with distinct honest inputs the protocol may legitimately
+			// default, but all honest processors must say the same thing.
+			agreedNonDefault := consistent && !outs[0].Defaulted
+			// With two value groups of size 2 < n-t=3, a correct run must
+			// default; deciding a value at all means a collision mixed the
+			// groups (validity-style error), and inconsistency is an error
+			// outright.
+			if !consistent || agreedNonDefault {
+				errs++
+			}
+		}
+		return errs
+	}
+	if got := errsAt(2, 40); got == 0 {
+		t.Error("κ=2: expected observable hash-collision errors, saw none")
+	}
+	if got := errsAt(16, 40); got != 0 {
+		t.Errorf("κ=16: saw %d errors across seeds; collision probability should be ~2^-13", got)
+	}
+}
+
+func TestPredictCostPositive(t *testing.T) {
+	par := Params{N: 7, T: 2}
+	if c := par.PredictCost(1 << 20); c <= 0 {
+		t.Errorf("PredictCost = %d", c)
+	}
+	if par.DissemDim() != 1 {
+		t.Errorf("DissemDim = %d, want 1 for n=7,t=2", par.DissemDim())
+	}
+	if (Params{N: 10, T: 2}).DissemDim() != 4 {
+		t.Error("DissemDim wrong for n=10,t=2")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 6, Seed: 1}, func(p *sim.Proc) any {
+		return Run(p, Params{N: 6, T: 2}, []byte{1}, 8)
+	})
+	if res.Err == nil {
+		t.Error("t >= n/3 accepted")
+	}
+}

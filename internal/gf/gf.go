@@ -1,0 +1,208 @@
+// Package gf implements arithmetic in binary extension fields GF(2^c) for
+// 1 <= c <= 16, using exponent/logarithm tables built from a primitive
+// polynomial. These fields underlie the Reed-Solomon code C2t used by the
+// consensus algorithm: one field symbol carries c bits, and the code length n
+// must satisfy n <= 2^c - 1.
+package gf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sym is a field element of GF(2^c) for some c <= 16. Only the low c bits are
+// meaningful; constructing symbols with higher bits set is a programmer error
+// that field operations will reject.
+type Sym uint16
+
+// Field holds the arithmetic tables for GF(2^c). A Field is immutable and
+// safe for concurrent use after construction.
+type Field struct {
+	c     uint // bits per symbol
+	order int  // 2^c
+	poly  uint32
+	exp   []Sym   // exp[i] = alpha^i for i in [0, 2*(order-1)); doubled to avoid mod
+	log   []int32 // log[x] defined for x in [1, order)
+}
+
+// defaultPoly[c] is a primitive polynomial of degree c (bit c is the leading
+// term). Each entry is validated for primitivity at construction time; if an
+// entry were wrong, New falls back to an exhaustive search.
+var defaultPoly = [17]uint32{
+	0, 0x3, 0x7, 0xB, 0x13, 0x25, 0x43, 0x89,
+	0x11D, 0x211, 0x409, 0x805, 0x1053, 0x201B, 0x4443, 0x8003, 0x1100B,
+}
+
+var (
+	cacheMu    sync.Mutex
+	fieldCache [17]*Field
+)
+
+func init() {
+	// Pre-build the two fields used in practice so hot paths never pay
+	// construction cost. Other widths are built on demand by New.
+	for _, c := range []uint{8, 16} {
+		f, err := build(c, defaultPoly[c])
+		if err != nil {
+			panic(fmt.Sprintf("gf: default polynomial for c=%d not primitive: %v", c, err))
+		}
+		fieldCache[c] = f
+	}
+}
+
+// New returns the field GF(2^c). Fields are cached: repeated calls with the
+// same c return the same instance. Safe for concurrent use (each simulated
+// processor constructs its codes independently).
+func New(c uint) (*Field, error) {
+	if c < 1 || c > 16 {
+		return nil, fmt.Errorf("gf: symbol width c=%d out of range [1,16]", c)
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if f := fieldCache[c]; f != nil {
+		return f, nil
+	}
+	f, err := build(c, defaultPoly[c])
+	if err != nil {
+		// Fall back to searching for a primitive polynomial of degree c.
+		f, err = search(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fieldCache[c] = f
+	return f, nil
+}
+
+// build constructs the tables for GF(2^c) with the given polynomial and
+// verifies that x (alpha = 2) generates the full multiplicative group, i.e.
+// that poly is primitive.
+func build(c uint, poly uint32) (*Field, error) {
+	order := 1 << c
+	f := &Field{
+		c:     c,
+		order: order,
+		poly:  poly,
+		exp:   make([]Sym, 2*(order-1)),
+		log:   make([]int32, order),
+	}
+	seen := make([]bool, order)
+	x := uint32(1)
+	for i := 0; i < order-1; i++ {
+		if seen[x] {
+			return nil, fmt.Errorf("gf: poly %#x of degree %d is not primitive (period < %d)", poly, c, order-1)
+		}
+		seen[x] = true
+		f.exp[i] = Sym(x)
+		f.log[x] = int32(i)
+		x <<= 1
+		if x&uint32(order) != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gf: poly %#x of degree %d does not cycle back to 1", poly, c)
+	}
+	copy(f.exp[order-1:], f.exp[:order-1])
+	return f, nil
+}
+
+// search finds some primitive polynomial of degree c by brute force.
+func search(c uint) (*Field, error) {
+	order := uint32(1) << c
+	for p := order + 1; p < order<<1; p += 2 {
+		if f, err := build(c, p); err == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no primitive polynomial of degree %d found", c)
+}
+
+// C returns the number of bits per symbol.
+func (f *Field) C() uint { return f.c }
+
+// Order returns the number of field elements, 2^c.
+func (f *Field) Order() int { return f.order }
+
+// MaxCodeLen returns the maximum Reed-Solomon code length over this field
+// using distinct nonzero evaluation points: 2^c - 1.
+func (f *Field) MaxCodeLen() int { return f.order - 1 }
+
+func (f *Field) checkRange(a Sym) {
+	if int(a) >= f.order {
+		panic(fmt.Sprintf("gf: symbol %#x out of range for GF(2^%d)", a, f.c))
+	}
+}
+
+// Add returns a + b (= a - b) in the field.
+func (f *Field) Add(a, b Sym) Sym {
+	f.checkRange(a)
+	f.checkRange(b)
+	return a ^ b
+}
+
+// Mul returns a * b in the field.
+func (f *Field) Mul(a, b Sym) Sym {
+	f.checkRange(a)
+	f.checkRange(b)
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0, which is
+// always a programmer error in this codebase (decoders guard the zero case).
+func (f *Field) Inv(a Sym) Sym {
+	f.checkRange(a)
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[(f.order-1)-int(f.log[a])]
+}
+
+// Div returns a / b. It panics if b == 0.
+func (f *Field) Div(a, b Sym) Sym {
+	f.checkRange(a)
+	f.checkRange(b)
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(f.log[a]) - int(f.log[b])
+	if d < 0 {
+		d += f.order - 1
+	}
+	return f.exp[d]
+}
+
+// Exp returns alpha^i where alpha is the canonical generator (x, i.e. 2).
+// Negative exponents are reduced modulo the group order.
+func (f *Field) Exp(i int) Sym {
+	m := i % (f.order - 1)
+	if m < 0 {
+		m += f.order - 1
+	}
+	return f.exp[m]
+}
+
+// Log returns the discrete logarithm of a base alpha. It panics if a == 0.
+func (f *Field) Log(a Sym) int {
+	f.checkRange(a)
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(f.log[a])
+}
+
+// EvalPoly evaluates the polynomial with the given coefficients (coeffs[i] is
+// the coefficient of x^i) at the point x, using Horner's rule.
+func (f *Field) EvalPoly(coeffs []Sym, x Sym) Sym {
+	var acc Sym
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = f.Mul(acc, x) ^ coeffs[i]
+	}
+	return acc
+}

@@ -1,0 +1,236 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, c := range []uint{0, 17, 32} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d) succeeded, want error", c)
+		}
+	}
+}
+
+func TestAllWidthsBuild(t *testing.T) {
+	for c := uint(1); c <= 16; c++ {
+		f, err := New(c)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c, err)
+		}
+		if f.Order() != 1<<c {
+			t.Errorf("c=%d: order = %d, want %d", c, f.Order(), 1<<c)
+		}
+		if f.MaxCodeLen() != (1<<c)-1 {
+			t.Errorf("c=%d: max code len = %d, want %d", c, f.MaxCodeLen(), (1<<c)-1)
+		}
+	}
+}
+
+func TestGeneratorHasFullPeriod(t *testing.T) {
+	// The construction itself verifies primitivity; double-check the public
+	// surface: alpha^i must enumerate all nonzero elements exactly once.
+	for _, c := range []uint{1, 2, 4, 8, 12, 16} {
+		f, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[Sym]bool)
+		for i := 0; i < f.Order()-1; i++ {
+			x := f.Exp(i)
+			if x == 0 || seen[x] {
+				t.Fatalf("c=%d: Exp(%d)=%d repeats or is zero", c, i, x)
+			}
+			seen[x] = true
+		}
+		if f.Exp(f.Order()-1) != 1 {
+			t.Errorf("c=%d: alpha^(order-1) = %d, want 1", c, f.Exp(f.Order()-1))
+		}
+	}
+}
+
+func TestFieldsAreCached(t *testing.T) {
+	a, _ := New(8)
+	b, _ := New(8)
+	if a != b {
+		t.Error("New(8) returned distinct instances; want cached")
+	}
+}
+
+func TestSearchFindsPrimitivePolynomial(t *testing.T) {
+	// The fallback path used when a table entry were wrong: exhaustive
+	// search must produce a working field.
+	for _, c := range []uint{3, 6, 9} {
+		f, err := search(c)
+		if err != nil {
+			t.Fatalf("search(%d): %v", c, err)
+		}
+		if f.Exp(f.Order()-1) != 1 {
+			t.Errorf("search(%d): generator does not cycle", c)
+		}
+	}
+}
+
+func TestBuildRejectsNonPrimitive(t *testing.T) {
+	// x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: irreducible but NOT primitive
+	// (element order 5 < 15). The period check must reject it.
+	if _, err := build(4, 0x1F); err == nil {
+		t.Error("non-primitive polynomial accepted")
+	}
+	// A reducible polynomial must be rejected too: x^4 + 1 = (x+1)^4.
+	if _, err := build(4, 0x11); err == nil {
+		t.Error("reducible polynomial accepted")
+	}
+}
+
+func TestConcurrentNew(t *testing.T) {
+	done := make(chan *Field, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			f, _ := New(5) // uncached width: exercises the locked slow path
+			done <- f
+		}()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if f := <-done; f != first {
+			t.Fatal("concurrent New returned different instances")
+		}
+	}
+}
+
+// randSym returns a uniformly random element of f.
+func randSym(f *Field, r *rand.Rand) Sym { return Sym(r.Intn(f.Order())) }
+
+func testFieldAxioms(t *testing.T, c uint) {
+	f, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(int64(c) * 977))
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+
+	if err := quick.Check(func(x, y, z uint16) bool {
+		a, b, d := Sym(int(x)%f.Order()), Sym(int(y)%f.Order()), Sym(int(z)%f.Order())
+		// Commutativity, associativity, distributivity.
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(a, f.Mul(b, d)) != f.Mul(f.Mul(a, b), d) {
+			return false
+		}
+		return f.Mul(a, f.Add(b, d)) == f.Add(f.Mul(a, b), f.Mul(a, d))
+	}, cfg); err != nil {
+		t.Errorf("c=%d ring axioms: %v", c, err)
+	}
+
+	if err := quick.Check(func(x uint16) bool {
+		a := Sym(int(x) % f.Order())
+		if a == 0 {
+			return true
+		}
+		return f.Mul(a, f.Inv(a)) == 1
+	}, cfg); err != nil {
+		t.Errorf("c=%d inverses: %v", c, err)
+	}
+
+	if err := quick.Check(func(x, y uint16) bool {
+		a, b := Sym(int(x)%f.Order()), Sym(int(y)%f.Order())
+		if b == 0 {
+			return true
+		}
+		return f.Mul(f.Div(a, b), b) == a
+	}, cfg); err != nil {
+		t.Errorf("c=%d division: %v", c, err)
+	}
+
+	// Identities.
+	for i := 0; i < 100; i++ {
+		a := randSym(f, r)
+		if f.Mul(a, 1) != a || f.Mul(a, 0) != 0 || f.Add(a, 0) != a || f.Add(a, a) != 0 {
+			t.Fatalf("c=%d: identity laws fail for %d", c, a)
+		}
+	}
+}
+
+func TestFieldAxiomsGF256(t *testing.T)   { testFieldAxioms(t, 8) }
+func TestFieldAxiomsGF65536(t *testing.T) { testFieldAxioms(t, 16) }
+func TestFieldAxiomsGF16(t *testing.T)    { testFieldAxioms(t, 4) }
+func TestFieldAxiomsGF2(t *testing.T)     { testFieldAxioms(t, 1) }
+
+func TestLogExpRoundTrip(t *testing.T) {
+	f, _ := New(8)
+	for x := 1; x < f.Order(); x++ {
+		if f.Exp(f.Log(Sym(x))) != Sym(x) {
+			t.Fatalf("Exp(Log(%d)) != %d", x, x)
+		}
+	}
+}
+
+func TestExpNegativeWraps(t *testing.T) {
+	f, _ := New(8)
+	if f.Exp(-1) != f.Inv(f.Exp(1)) {
+		t.Errorf("Exp(-1) = %d, want Inv(alpha) = %d", f.Exp(-1), f.Inv(f.Exp(1)))
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	f, _ := New(8)
+	// p(x) = 3 + 5x + 7x²; check Horner against manual evaluation.
+	coeffs := []Sym{3, 5, 7}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		x := randSym(f, r)
+		x2 := f.Mul(x, x)
+		want := f.Add(f.Add(3, f.Mul(5, x)), f.Mul(7, x2))
+		if got := f.EvalPoly(coeffs, x); got != want {
+			t.Fatalf("EvalPoly at %d = %d, want %d", x, got, want)
+		}
+	}
+	if f.EvalPoly(nil, 7) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}
+
+func TestPanicsOnInvalidInput(t *testing.T) {
+	f, _ := New(8)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"inv zero", func() { f.Inv(0) }},
+		{"div zero", func() { f.Div(3, 0) }},
+		{"log zero", func() { f.Log(0) }},
+		{"out of range", func() { f.Mul(0x100, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func BenchmarkMulGF256(b *testing.B) {
+	f, _ := New(8)
+	var acc Sym = 1
+	for i := 0; i < b.N; i++ {
+		acc = f.Mul(acc, Sym(i%255)+1)
+	}
+	_ = acc
+}
+
+func BenchmarkMulGF65536(b *testing.B) {
+	f, _ := New(16)
+	var acc Sym = 1
+	for i := 0; i < b.N; i++ {
+		acc = f.Mul(acc, Sym(i%65535)+1)
+	}
+	_ = acc
+}

@@ -1,0 +1,74 @@
+// Package hashu implements the universal hash family used by the Fitzi-Hirt
+// (PODC 2006) baseline: polynomial evaluation over GF(2^κ). A value is split
+// into κ-bit blocks m_1..m_ℓ interpreted as coefficients, and the hash under
+// key r is
+//
+//	H_r(m) = m_1·r^ℓ + m_2·r^(ℓ-1) + ... + m_ℓ·r  (Horner form)
+//
+// For two distinct equal-length values the difference polynomial has degree
+// at most ℓ, so Pr_r[H_r(m) = H_r(m')] ≤ ℓ / 2^κ over a uniformly random key.
+// This collision probability is exactly the error probability the paper's
+// abstract contrasts with its own error-free guarantee.
+package hashu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"byzcons/internal/bitio"
+	"byzcons/internal/gf"
+)
+
+// Hasher hashes byte strings into GF(2^κ) elements.
+type Hasher struct {
+	f     *gf.Field
+	kappa uint
+}
+
+// New returns a Hasher with κ-bit keys and digests, 1 <= κ <= 16.
+func New(kappa uint) (*Hasher, error) {
+	f, err := gf.New(kappa)
+	if err != nil {
+		return nil, fmt.Errorf("hashu: %w", err)
+	}
+	return &Hasher{f: f, kappa: kappa}, nil
+}
+
+// Kappa returns the digest width in bits.
+func (h *Hasher) Kappa() uint { return h.kappa }
+
+// Blocks returns ℓ, the number of κ-bit blocks in an L-bit value.
+func (h *Hasher) Blocks(L int) int { return (L + int(h.kappa) - 1) / int(h.kappa) }
+
+// RandomKey draws a uniformly random key.
+func (h *Hasher) RandomKey(r *rand.Rand) gf.Sym {
+	return gf.Sym(r.Intn(h.f.Order()))
+}
+
+// Sum hashes the first L bits of data under key r.
+func (h *Hasher) Sum(key gf.Sym, data []byte, L int) gf.Sym {
+	rd := bitio.NewReader(data)
+	var acc gf.Sym
+	for read := 0; read < L; read += int(h.kappa) {
+		width := h.kappa
+		if rem := L - read; rem < int(width) {
+			width = uint(rem)
+		}
+		block := gf.Sym(rd.Read(h.kappa)) // fixed-width blocks; trailing bits zero-padded
+		_ = width
+		acc = h.f.Add(h.f.Mul(acc, key), block)
+	}
+	// One final multiplication keeps H_r(0...0) = 0 only for the zero key
+	// class and removes the degree-0 term, preserving the ℓ/2^κ bound.
+	return h.f.Mul(acc, key)
+}
+
+// CollisionBound returns the collision probability bound ℓ/2^κ for L-bit
+// values (capped at 1).
+func (h *Hasher) CollisionBound(L int) float64 {
+	b := float64(h.Blocks(L)) / float64(int64(1)<<h.kappa)
+	if b > 1 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package hashu
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicAndKeyed(t *testing.T) {
+	h, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("some value to be hashed for matching")
+	L := len(data) * 8
+	if h.Sum(0x1234, data, L) != h.Sum(0x1234, data, L) {
+		t.Error("hash not deterministic")
+	}
+	if h.Sum(0x1234, data, L) == h.Sum(0x1235, data, L) {
+		t.Error("different keys gave equal digests (possible but astronomically unlikely here)")
+	}
+}
+
+func TestEqualValuesAlwaysCollide(t *testing.T) {
+	// The protocol relies on H_k(v) == H_k(v) exactly — matching is certain
+	// for honest processors with equal inputs, for every key.
+	h, _ := New(8)
+	data := bytes.Repeat([]byte{0xC3}, 32)
+	copyData := append([]byte(nil), data...)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		k := h.RandomKey(r)
+		if h.Sum(k, data, 256) != h.Sum(k, copyData, 256) {
+			t.Fatal("equal values hashed differently")
+		}
+	}
+}
+
+func TestCollisionRateMatchesBound(t *testing.T) {
+	// For distinct values, Pr_r[collision] <= blocks/2^κ. Measure it.
+	h, _ := New(8)
+	a := bytes.Repeat([]byte{0x01}, 16)
+	b := bytes.Repeat([]byte{0x02}, 16)
+	L := 16 * 8
+	r := rand.New(rand.NewSource(2))
+	trials, collisions := 20000, 0
+	for i := 0; i < trials; i++ {
+		k := h.RandomKey(r)
+		if h.Sum(k, a, L) == h.Sum(k, b, L) {
+			collisions++
+		}
+	}
+	bound := h.CollisionBound(L) // 16/256 = 0.0625
+	rate := float64(collisions) / float64(trials)
+	if rate > bound*1.2 {
+		t.Errorf("collision rate %.4f exceeds bound %.4f", rate, bound)
+	}
+}
+
+func TestDifferentLastBitsDiffer(t *testing.T) {
+	// Values differing only in the final partial block must still hash
+	// differently under almost all keys.
+	h, _ := New(16)
+	a := []byte{0xFF, 0x00}
+	b := []byte{0xFF, 0x01}
+	L := 16
+	r := rand.New(rand.NewSource(3))
+	diff := 0
+	for i := 0; i < 100; i++ {
+		k := h.RandomKey(r)
+		if h.Sum(k, a, L) != h.Sum(k, b, L) {
+			diff++
+		}
+	}
+	if diff < 99 {
+		t.Errorf("only %d/100 keys separated values differing in one bit", diff)
+	}
+}
+
+func TestZeroKeyDegenerate(t *testing.T) {
+	// The zero key maps everything to zero — it is one of the 2^κ keys and
+	// its contribution is inside the collision bound.
+	h, _ := New(8)
+	if h.Sum(0, []byte{1, 2, 3}, 24) != 0 {
+		t.Error("zero key should produce zero digest")
+	}
+}
+
+func TestBlocksAndBound(t *testing.T) {
+	h, _ := New(8)
+	if h.Blocks(17) != 3 {
+		t.Errorf("Blocks(17) = %d, want 3", h.Blocks(17))
+	}
+	if h.CollisionBound(1<<20) != 1 {
+		t.Error("bound should cap at 1")
+	}
+	if h.Kappa() != 8 {
+		t.Error("Kappa accessor wrong")
+	}
+}
+
+func TestNewRejectsBadKappa(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("kappa=0 accepted")
+	}
+	if _, err := New(17); err == nil {
+		t.Error("kappa=17 accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package metrics provides the bit-accounting used to check the paper's
+// communication-complexity formulas. Every message delivered by the simulator
+// is tallied here under a protocol-stage tag, separately for honest- and
+// faulty-sent traffic, so experiments can compare measured bits per stage
+// against Eq. 1-3 of the paper.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tally accumulates traffic for one tag.
+type Tally struct {
+	Bits       int64 // bits sent by honest processors
+	Msgs       int64 // messages sent by honest processors
+	FaultyBits int64 // bits sent by faulty processors
+	FaultyMsgs int64
+}
+
+// Total returns honest + faulty bits.
+func (t Tally) Total() int64 { return t.Bits + t.FaultyBits }
+
+// Meter tallies protocol traffic by tag. The zero value is not usable;
+// construct with NewMeter. Meter is safe for concurrent use.
+type Meter struct {
+	mu     sync.Mutex
+	tags   map[string]*Tally
+	rounds int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{tags: make(map[string]*Tally)}
+}
+
+// Add records one message of the given size under tag.
+func (m *Meter) Add(tag string, bits int64, faulty bool) {
+	if bits < 0 {
+		panic(fmt.Sprintf("metrics: negative bits %d for tag %q", bits, tag))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tags[tag]
+	if t == nil {
+		t = &Tally{}
+		m.tags[tag] = t
+	}
+	if faulty {
+		t.FaultyBits += bits
+		t.FaultyMsgs++
+	} else {
+		t.Bits += bits
+		t.Msgs++
+	}
+}
+
+// AddRound records one synchronous communication round.
+func (m *Meter) AddRound() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rounds++
+}
+
+// Rounds returns the number of synchronous rounds executed.
+func (m *Meter) Rounds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rounds
+}
+
+// TotalBits returns all bits sent by all processors (honest and faulty).
+func (m *Meter) TotalBits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for _, t := range m.tags {
+		sum += t.Bits + t.FaultyBits
+	}
+	return sum
+}
+
+// HonestBits returns all bits sent by honest processors.
+func (m *Meter) HonestBits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for _, t := range m.tags {
+		sum += t.Bits
+	}
+	return sum
+}
+
+// BitsByPrefix sums total bits over all tags with the given prefix
+// (e.g. "match." covers "match.sym" and "match.M").
+func (m *Meter) BitsByPrefix(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for tag, t := range m.tags {
+		if strings.HasPrefix(tag, prefix) {
+			sum += t.Bits + t.FaultyBits
+		}
+	}
+	return sum
+}
+
+// Snapshot returns a copy of all tallies keyed by tag.
+func (m *Meter) Snapshot() map[string]Tally {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Tally, len(m.tags))
+	for tag, t := range m.tags {
+		out[tag] = *t
+	}
+	return out
+}
+
+// String renders the tallies sorted by tag, for debugging and reports.
+func (m *Meter) String() string {
+	snap := m.Snapshot()
+	tags := make([]string, 0, len(snap))
+	for tag := range snap {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	var b strings.Builder
+	for _, tag := range tags {
+		t := snap[tag]
+		fmt.Fprintf(&b, "%-14s bits=%-12d msgs=%-8d faultyBits=%d\n", tag, t.Bits, t.Msgs, t.FaultyBits)
+	}
+	fmt.Fprintf(&b, "total=%d bits over %d rounds\n", m.TotalBits(), m.Rounds())
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package naive implements the baseline the paper's introduction argues
+// against: achieving L-bit consensus by running L independent instances of
+// 1-bit Byzantine consensus, one per bit. Since 1-bit consensus costs Ω(n²)
+// bits (Dolev-Reischuk), this approach costs Ω(n²·L) — a factor ~n worse
+// than Algorithm 1's O(nL) for large L.
+//
+// The 1-bit consensus primitive is modelled as an ideal service charged at a
+// configurable γ(n) bits per decided bit, defaulting to the Dolev-Reischuk
+// lower bound figure 2n² — deliberately generous to the baseline, so the
+// measured crossover against Algorithm 1 is conservative. (A real
+// construction from 1-bit broadcast pays n·B(n) = Θ(n³) per bit; that mode
+// is available too.)
+package naive
+
+import (
+	"fmt"
+
+	"byzcons/internal/bitio"
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+// Params configures the naive bitwise baseline.
+type Params struct {
+	N int
+	T int
+	// ConsensusCost is γ(n), the charged bits per 1-bit consensus instance;
+	// 0 selects 2n² (the lower-bound figure).
+	ConsensusCost int64
+	// UseBSB switches to a real construction: every processor broadcasts its
+	// bit with Broadcast_Single_Bit and takes the majority, costing n·B(n)
+	// per bit instead of γ(n).
+	UseBSB bool
+	BSB    bsb.Kind
+	// Chunk is the number of bit instances run per synchronous batch
+	// (bounds memory; 0 selects 4096).
+	Chunk int
+}
+
+// Output is the per-processor result.
+type Output struct {
+	Value []byte
+	L     int
+}
+
+// Cost returns the modelled total communication for an L-bit value.
+func (par Params) Cost(L int64) int64 {
+	g := par.ConsensusCost
+	if g <= 0 {
+		g = 2 * int64(par.N) * int64(par.N)
+	}
+	return g * L
+}
+
+// Run executes the baseline at processor p. Every processor must pass the
+// same L; decisions are the per-bit majority of the broadcast inputs, which
+// inherits validity and consistency from the 1-bit primitive.
+func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
+	if par.N < 1 || 3*par.T >= par.N {
+		p.Abort(fmt.Errorf("naive: need 0 <= t < n/3, got n=%d t=%d", par.N, par.T))
+	}
+	chunk := par.Chunk
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	gamma := par.ConsensusCost
+	if gamma <= 0 {
+		gamma = 2 * int64(par.N) * int64(par.N)
+	}
+
+	var bcast bsb.Broadcaster
+	if par.UseBSB {
+		var err error
+		bcast, err = bsb.New(par.BSB, p, par.N, par.T)
+		if err != nil {
+			p.Abort(err)
+		}
+	}
+
+	reader := bitio.NewReader(input)
+	writer := bitio.NewWriter()
+	for off := 0; off < L; off += chunk {
+		size := chunk
+		if rem := L - off; rem < size {
+			size = rem
+		}
+		myBits := make([]bool, size)
+		for i := range myBits {
+			myBits[i] = reader.Read(1) == 1
+		}
+		step := sim.StepID(fmt.Sprintf("naive/c%d", off/chunk))
+		var all [][]bool
+		if par.UseBSB {
+			// One broadcast instance per (bit, source).
+			insts := make([]bsb.Inst, 0, size*par.N)
+			mine := make([]bool, 0, size*par.N)
+			for i := 0; i < size; i++ {
+				for s := 0; s < par.N; s++ {
+					insts = append(insts, bsb.Inst{Src: s, Kind: "naive", A: i})
+					mine = append(mine, s == p.ID && myBits[i])
+				}
+			}
+			res := bcast.Broadcast(step, insts, mine, "naive.bits")
+			all = make([][]bool, par.N)
+			for s := 0; s < par.N; s++ {
+				all[s] = make([]bool, size)
+			}
+			for idx, inst := range insts {
+				all[inst.Src][inst.A] = res[idx]
+			}
+		} else {
+			// Ideal 1-bit consensus service: γ(n) bits per instance, shared
+			// evenly across the n symmetric participants (remainder to the
+			// first processor so totals are exact).
+			share := gamma * int64(size) / int64(par.N)
+			if p.ID == 0 {
+				share += gamma*int64(size) - share*int64(par.N)
+			}
+			vals := p.Sync(step, myBits, share, "naive.bits", nil)
+			all = make([][]bool, par.N)
+			for s := 0; s < par.N; s++ {
+				if b, ok := vals[s].([]bool); ok {
+					all[s] = b
+				}
+			}
+		}
+		// Majority per bit: at most t < n/2 faulty inputs cannot overturn a
+		// unanimous honest majority (validity); all processors see identical
+		// broadcast bits (consistency).
+		for i := 0; i < size; i++ {
+			trues := 0
+			for s := 0; s < par.N; s++ {
+				if s < len(all) && i < len(all[s]) && all[s][i] {
+					trues++
+				}
+			}
+			if 2*trues > par.N {
+				writer.Write(1, 1)
+			} else {
+				writer.Write(0, 1)
+			}
+		}
+	}
+	return &Output{Value: writer.Truncate(L), L: L}
+}

@@ -1,0 +1,109 @@
+package naive
+
+import (
+	"bytes"
+	"testing"
+
+	"byzcons/internal/bsb"
+	"byzcons/internal/metrics"
+	"byzcons/internal/sim"
+)
+
+func runNaive(t *testing.T, par Params, inputs [][]byte, L int, faulty []int, adv sim.Adversary, seed int64) ([]*Output, *metrics.Meter) {
+	t.Helper()
+	res := sim.Run(sim.RunConfig{N: par.N, Faulty: faulty, Adversary: adv, Seed: seed}, func(p *sim.Proc) any {
+		return Run(p, par, inputs[p.ID], L)
+	})
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	outs := make([]*Output, par.N)
+	for i, v := range res.Values {
+		outs[i], _ = v.(*Output)
+	}
+	return outs, res.Meter
+}
+
+func same(n int, val []byte) [][]byte {
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = val
+	}
+	return in
+}
+
+func TestValidityAndExactCost(t *testing.T) {
+	val := bytes.Repeat([]byte{0x96, 0x69}, 33)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2, Chunk: 100} // non-divisible chunking
+	outs, meter := runNaive(t, par, same(7, val), L, nil, nil, 1)
+	for i, o := range outs {
+		if !bytes.Equal(o.Value, val) {
+			t.Fatalf("proc %d decided wrong value", i)
+		}
+	}
+	if got, want := meter.TotalBits(), par.Cost(int64(L)); got != want {
+		t.Errorf("cost = %d, want exactly %d = 2n²L", got, want)
+	}
+}
+
+// bitFlipper flips the contributions of faulty processors to the ideal
+// consensus service — the only Byzantine power against it.
+type bitFlipper struct{}
+
+func (bitFlipper) ReworkExchange(*sim.ExchangeCtx) {}
+func (bitFlipper) ReworkSync(ctx *sim.SyncCtx) {
+	for i, f := range ctx.Faulty {
+		if !f {
+			continue
+		}
+		if bits, ok := ctx.Vals[i].([]bool); ok {
+			fl := make([]bool, len(bits))
+			for j, b := range bits {
+				fl[j] = !b
+			}
+			ctx.Vals[i] = fl
+		}
+	}
+}
+
+func TestMajorityDefeatsFaultyFlips(t *testing.T) {
+	val := bytes.Repeat([]byte{0x0F}, 8)
+	L := len(val) * 8
+	par := Params{N: 7, T: 2}
+	outs, _ := runNaive(t, par, same(7, val), L, []int{2, 4}, bitFlipper{}, 3)
+	for i, o := range outs {
+		if i == 2 || i == 4 {
+			continue
+		}
+		if !bytes.Equal(o.Value, val) {
+			t.Fatalf("honest proc %d decided wrong value under flips", i)
+		}
+	}
+}
+
+func TestUseBSBMode(t *testing.T) {
+	val := []byte{0xA5, 0x5A}
+	L := 16
+	par := Params{N: 4, T: 1, UseBSB: true, BSB: bsb.Oracle, Chunk: 8}
+	outs, meter := runNaive(t, par, same(4, val), L, []int{3}, bitFlipper{}, 2)
+	for i, o := range outs {
+		if i != 3 && !bytes.Equal(o.Value, val) {
+			t.Fatalf("proc %d wrong value in BSB mode", i)
+		}
+	}
+	// Real construction: n broadcasts per bit at B(n) each.
+	want := int64(L) * int64(par.N) * bsb.DefaultOracleCost(par.N)
+	if meter.TotalBits() != want {
+		t.Errorf("BSB-mode cost = %d, want %d", meter.TotalBits(), want)
+	}
+}
+
+func TestValidationRejectsBadParams(t *testing.T) {
+	res := sim.Run(sim.RunConfig{N: 3, Seed: 1}, func(p *sim.Proc) any {
+		return Run(p, Params{N: 3, T: 1}, []byte{1}, 8)
+	})
+	if res.Err == nil {
+		t.Error("t >= n/3 accepted")
+	}
+}

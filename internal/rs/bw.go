@@ -1,0 +1,180 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"byzcons/internal/gf"
+)
+
+// ErrTooManyErrors is returned when the received word is not within the
+// guaranteed correction radius of any codeword.
+var ErrTooManyErrors = errors.New("rs: more errors than the code can correct")
+
+// CorrectErrors decodes the data from m (position, value) pairs of which up
+// to e = floor((m-K)/2) may be arbitrarily wrong (Byzantine corruptions,
+// not erasures — absent positions are simply omitted from the arguments).
+// It implements the Berlekamp-Welch algorithm: find polynomials E (monic,
+// degree e, the error locator) and Q (degree < K+e) with
+//
+//	Q(x_i) = y_i · E(x_i)  for all received pairs,
+//
+// by Gaussian elimination; then F = Q/E is the data polynomial whenever the
+// number of actual errors is at most e. The result is verified against the
+// received word; if fewer than m-e positions agree, ErrTooManyErrors is
+// returned.
+func (c *Code) CorrectErrors(positions []int, vals []gf.Sym) ([]gf.Sym, error) {
+	m := len(positions)
+	if len(vals) != m {
+		panic("rs: positions/vals length mismatch")
+	}
+	if m < c.K {
+		return nil, ErrTooFew
+	}
+	e := (m - c.K) / 2
+	if e == 0 {
+		return c.Decode(positions, vals)
+	}
+	f := c.F
+	xs := make([]gf.Sym, m)
+	seen := make(map[int]bool, m)
+	for i, p := range positions {
+		if p < 0 || p >= c.N {
+			panic(fmt.Sprintf("rs: position %d out of range [0,%d)", p, c.N))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("rs: duplicate position %d", p))
+		}
+		seen[p] = true
+		xs[i] = c.xs[p]
+	}
+
+	// Unknowns: q_0..q_{K+e-1}, then ε_0..ε_{e-1} (E = x^e + Σ ε_j x^j).
+	// Row i: Σ_j q_j·x_i^j - y_i·Σ_j ε_j·x_i^j = y_i·x_i^e.
+	// (Char 2: subtraction is addition.)
+	nq := c.K + e
+	cols := nq + e
+	mat := make([][]gf.Sym, m)
+	for i := 0; i < m; i++ {
+		row := make([]gf.Sym, cols+1)
+		pw := gf.Sym(1)
+		for j := 0; j < nq; j++ {
+			row[j] = pw
+			if j < e {
+				row[nq+j] = f.Mul(vals[i], pw)
+			}
+			pw = f.Mul(pw, xs[i])
+		}
+		// pw is now x_i^(K+e); recompute x_i^e for the RHS.
+		xe := gf.Sym(1)
+		for j := 0; j < e; j++ {
+			xe = f.Mul(xe, xs[i])
+		}
+		row[cols] = f.Mul(vals[i], xe)
+		mat[i] = row
+	}
+
+	sol, ok := solve(f, mat, cols)
+	if !ok {
+		return nil, ErrTooManyErrors
+	}
+	q := sol[:nq]
+	eloc := make([]gf.Sym, e+1)
+	copy(eloc, sol[nq:])
+	eloc[e] = 1 // monic
+
+	// F = Q / E; the division must be exact.
+	fpoly, rem := polyDiv(f, q, eloc)
+	for _, r := range rem {
+		if r != 0 {
+			return nil, ErrTooManyErrors
+		}
+	}
+	data := make([]gf.Sym, c.K)
+	copy(data, fpoly)
+
+	// Verify the correction radius.
+	agree := 0
+	for i := 0; i < m; i++ {
+		if f.EvalPoly(data, xs[i]) == vals[i] {
+			agree++
+		}
+	}
+	if agree < m-e {
+		return nil, ErrTooManyErrors
+	}
+	return data, nil
+}
+
+// solve performs Gaussian elimination on the augmented matrix (cols unknowns,
+// last column RHS) and returns a particular solution with free variables set
+// to zero. ok is false when the system is inconsistent.
+func solve(f *gf.Field, mat [][]gf.Sym, cols int) ([]gf.Sym, bool) {
+	rows := len(mat)
+	pivotCol := make([]int, 0, cols)
+	r := 0
+	for col := 0; col < cols && r < rows; col++ {
+		// Find a pivot.
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if mat[i][col] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		mat[r], mat[pivot] = mat[pivot], mat[r]
+		inv := f.Inv(mat[r][col])
+		for j := col; j <= cols; j++ {
+			mat[r][j] = f.Mul(mat[r][j], inv)
+		}
+		for i := 0; i < rows; i++ {
+			if i != r && mat[i][col] != 0 {
+				factor := mat[i][col]
+				for j := col; j <= cols; j++ {
+					mat[i][j] ^= f.Mul(factor, mat[r][j])
+				}
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		r++
+	}
+	// Inconsistent if a zero row has nonzero RHS.
+	for i := r; i < rows; i++ {
+		if mat[i][cols] != 0 {
+			return nil, false
+		}
+	}
+	sol := make([]gf.Sym, cols)
+	for i, col := range pivotCol {
+		sol[col] = mat[i][cols]
+	}
+	return sol, true
+}
+
+// polyDiv divides polynomial a by b (b non-zero leading coefficient),
+// returning quotient and remainder.
+func polyDiv(f *gf.Field, a, b []gf.Sym) (quot, rem []gf.Sym) {
+	degB := len(b) - 1
+	for degB > 0 && b[degB] == 0 {
+		degB--
+	}
+	rem = append([]gf.Sym(nil), a...)
+	if len(rem) <= degB {
+		return []gf.Sym{0}, rem
+	}
+	quot = make([]gf.Sym, len(rem)-degB)
+	for d := len(rem) - 1; d >= degB; d-- {
+		coef := f.Div(rem[d], b[degB])
+		quot[d-degB] = coef
+		if coef == 0 {
+			continue
+		}
+		for j := 0; j <= degB; j++ {
+			rem[d-degB+j] ^= f.Mul(coef, b[j])
+		}
+	}
+	return quot, rem[:degB]
+}

@@ -1,0 +1,140 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"byzcons/internal/gf"
+)
+
+func TestCorrectErrorsRecovers(t *testing.T) {
+	// Up to floor((m-k)/2) arbitrary corruptions must be corrected, for a
+	// spread of geometries including the FH06 dissemination shape
+	// (m = n-t symbols, k = n-3t data).
+	r := rand.New(rand.NewSource(31))
+	for _, tc := range []struct{ n, k, m int }{
+		{7, 2, 6}, {7, 1, 6}, {10, 4, 8}, {13, 4, 12}, {15, 3, 11}, {9, 3, 9},
+	} {
+		code := newCode(t, 8, tc.n, tc.k)
+		maxE := (tc.m - tc.k) / 2
+		for trial := 0; trial < 50; trial++ {
+			data := randData(r, code.F, tc.k)
+			cw := code.Encode(data)
+			pos := randSubset(r, tc.n, tc.m)
+			vals := make([]gf.Sym, tc.m)
+			for i, p := range pos {
+				vals[i] = cw[p]
+			}
+			nerr := r.Intn(maxE + 1)
+			for _, bad := range r.Perm(tc.m)[:nerr] {
+				vals[bad] ^= gf.Sym(1 + r.Intn(254))
+			}
+			got, err := code.CorrectErrors(pos, vals)
+			if err != nil {
+				t.Fatalf("(n=%d,k=%d,m=%d,e=%d): %v", tc.n, tc.k, tc.m, nerr, err)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("(n=%d,k=%d,m=%d,e=%d): wrong data", tc.n, tc.k, tc.m, nerr)
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectErrorsBeyondRadiusFails(t *testing.T) {
+	// With e+1 corruptions placed to land far from every codeword, the
+	// decoder must not silently return wrong data: it either errors or
+	// (rarely, if the corrupted word lands within radius of another
+	// codeword) returns a codeword consistent with m-e positions.
+	r := rand.New(rand.NewSource(37))
+	code := newCode(t, 8, 10, 3)
+	m := 9
+	maxE := (m - 3) / 2 // 3
+	failures := 0
+	for trial := 0; trial < 100; trial++ {
+		data := randData(r, code.F, 3)
+		cw := code.Encode(data)
+		pos := randSubset(r, 10, m)
+		vals := make([]gf.Sym, m)
+		for i, p := range pos {
+			vals[i] = cw[p]
+		}
+		for _, bad := range r.Perm(m)[:maxE+2] {
+			vals[bad] ^= gf.Sym(1 + r.Intn(254))
+		}
+		got, err := code.CorrectErrors(pos, vals)
+		if err != nil {
+			failures++
+			continue
+		}
+		// If it decoded, the result must agree with >= m-maxE positions.
+		agree := 0
+		recoded := code.Encode(got)
+		for i, p := range pos {
+			if recoded[p] == vals[i] {
+				agree++
+			}
+		}
+		if agree < m-maxE {
+			t.Fatalf("decoder returned word agreeing on only %d/%d positions", agree, m)
+		}
+	}
+	if failures == 0 {
+		t.Error("no over-radius corruption was ever rejected; suspicious")
+	}
+}
+
+func TestCorrectErrorsNoErrorsFastPath(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	code := newCode(t, 8, 7, 4)
+	data := randData(r, code.F, 4)
+	cw := code.Encode(data)
+	pos := []int{0, 2, 3, 5, 6}
+	vals := make([]gf.Sym, len(pos))
+	for i, p := range pos {
+		vals[i] = cw[p]
+	}
+	got, err := code.CorrectErrors(pos, vals) // e = 0 geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("mismatch")
+		}
+	}
+}
+
+func TestCorrectErrorsTooFew(t *testing.T) {
+	code := newCode(t, 8, 7, 4)
+	_, err := code.CorrectErrors([]int{0, 1}, []gf.Sym{1, 2})
+	if !errors.Is(err, ErrTooFew) {
+		t.Errorf("err = %v, want ErrTooFew", err)
+	}
+}
+
+func TestCorrectErrorsGF16Field(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	code := newCode(t, 16, 12, 4)
+	data := randData(r, code.F, 4)
+	cw := code.Encode(data)
+	pos := randSubset(r, 12, 10)
+	vals := make([]gf.Sym, 10)
+	for i, p := range pos {
+		vals[i] = cw[p]
+	}
+	vals[1] ^= 0x1234
+	vals[7] ^= 0x0F0F
+	vals[4] ^= 0x4321
+	got, err := code.CorrectErrors(pos, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("mismatch under GF(2^16)")
+		}
+	}
+}

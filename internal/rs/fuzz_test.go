@@ -1,0 +1,123 @@
+package rs
+
+import (
+	"testing"
+
+	"byzcons/internal/gf"
+)
+
+// FuzzDecodeRoundTrip fuzzes the encode → subset → decode pipeline: for any
+// data and any subset selector, decoding any >= K positions of a codeword
+// must return the original data, and corrupting one selected symbol must
+// never yield a *different* successful decode when more than K positions are
+// present (detection), matching the checking stage's requirements.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(0x1F), uint8(0))
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55}, uint8(0x7F), uint8(3))
+	f.Add([]byte{9}, uint8(0xFF), uint8(200))
+	f.Fuzz(func(t *testing.T, raw []byte, mask uint8, corrupt uint8) {
+		field, err := gf.New(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, k = 7, 3
+		code, err := New(field, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]gf.Sym, k)
+		for i := range data {
+			if i < len(raw) {
+				data[i] = gf.Sym(raw[i])
+			}
+		}
+		cw := code.Encode(data)
+
+		var pos []int
+		var vals []gf.Sym
+		for j := 0; j < n; j++ {
+			if mask>>uint(j)&1 == 1 {
+				pos = append(pos, j)
+				vals = append(vals, cw[j])
+			}
+		}
+		if len(pos) < k {
+			if _, err := code.Decode(pos, vals); err != ErrTooFew {
+				t.Fatalf("want ErrTooFew, got %v", err)
+			}
+			return
+		}
+		got, err := code.Decode(pos, vals)
+		if err != nil {
+			t.Fatalf("clean decode failed: %v", err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatal("round trip mismatch")
+			}
+		}
+
+		// Single-symbol corruption: with > K positions it must be detected;
+		// with exactly K it must decode to something (dimension-K freedom).
+		delta := gf.Sym(corrupt)
+		if delta == 0 {
+			delta = 1
+		}
+		bad := int(corrupt) % len(pos)
+		vals[bad] ^= delta
+		if len(pos) > k {
+			if code.Consistent(pos, vals) {
+				t.Fatal("corruption not detected with surplus positions")
+			}
+		} else if !code.Consistent(pos, vals) {
+			t.Fatal("exactly-K positions must always be consistent")
+		}
+	})
+}
+
+// FuzzCorrectErrors fuzzes the Berlekamp-Welch decoder within its radius.
+func FuzzCorrectErrors(f *testing.F) {
+	f.Add([]byte{1, 2}, uint16(0x035A))
+	f.Add([]byte{0xF0}, uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, raw []byte, noise uint16) {
+		field, err := gf.New(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, k, m = 10, 2, 8 // corrects up to 3 errors
+		code, err := New(field, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]gf.Sym, k)
+		for i := range data {
+			if i < len(raw) {
+				data[i] = gf.Sym(raw[i])
+			}
+		}
+		cw := code.Encode(data)
+		pos := make([]int, m)
+		vals := make([]gf.Sym, m)
+		for i := 0; i < m; i++ {
+			pos[i] = i
+			vals[i] = cw[i]
+		}
+		// Corrupt up to (m-k)/2 = 3 positions chosen by the noise bits.
+		errs := 0
+		for i := 0; i < m && errs < (m-k)/2; i++ {
+			if noise>>uint(i)&1 == 1 {
+				vals[i] ^= gf.Sym(noise>>8) | 1
+				errs++
+			}
+		}
+		got, err := code.CorrectErrors(pos, vals)
+		if err != nil {
+			t.Fatalf("within-radius correction failed (%d errors): %v", errs, err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("wrong correction with %d errors", errs)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package rs
+
+import (
+	"fmt"
+
+	"byzcons/internal/gf"
+)
+
+// Interleaved is an (N, K) Reed-Solomon code interleaved M ways: a "word" at
+// codeword position j is the vector of the j-th symbols of M independent
+// codewords ("lanes"). Interleaving lets a consensus generation carry
+// D = K*M*c bits while preserving the property that any K positions determine
+// all the data, so the paper's D parameter can be tuned freely without
+// changing the field.
+type Interleaved struct {
+	C *Code
+	M int // number of lanes
+}
+
+// NewInterleaved wraps code c with m >= 1 lanes.
+func NewInterleaved(c *Code, m int) (*Interleaved, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("rs: interleave depth m=%d < 1", m)
+	}
+	return &Interleaved{C: c, M: m}, nil
+}
+
+// DataSyms returns the number of data symbols per generation, K*M.
+func (ic *Interleaved) DataSyms() int { return ic.C.K * ic.M }
+
+// DataBits returns the number of data bits per generation, D = K*M*c.
+func (ic *Interleaved) DataBits() int { return ic.C.K * ic.M * int(ic.C.F.C()) }
+
+// WordBits returns the number of bits in one interleaved word, M*c.
+func (ic *Interleaved) WordBits() int { return ic.M * int(ic.C.F.C()) }
+
+// Encode maps K*M data symbols (lane-major: data[l*K:(l+1)*K] is lane l) to N
+// words of M symbols each (out[j][l] is lane l's symbol at position j).
+func (ic *Interleaved) Encode(data []gf.Sym) [][]gf.Sym {
+	if len(data) != ic.DataSyms() {
+		panic(fmt.Sprintf("rs: interleaved Encode got %d symbols, want %d", len(data), ic.DataSyms()))
+	}
+	out := make([][]gf.Sym, ic.C.N)
+	flat := make([]gf.Sym, ic.C.N*ic.M)
+	for j := range out {
+		out[j] = flat[j*ic.M : (j+1)*ic.M]
+	}
+	for l := 0; l < ic.M; l++ {
+		cw := ic.C.Encode(data[l*ic.C.K : (l+1)*ic.C.K])
+		for j := 0; j < ic.C.N; j++ {
+			out[j][l] = cw[j]
+		}
+	}
+	return out
+}
+
+// Decode recovers the K*M data symbols from words at >= K positions,
+// verifying surplus positions lane by lane.
+func (ic *Interleaved) Decode(positions []int, words [][]gf.Sym) ([]gf.Sym, error) {
+	if len(positions) != len(words) {
+		panic("rs: positions/words length mismatch")
+	}
+	if len(positions) < ic.C.K {
+		return nil, ErrTooFew
+	}
+	data := make([]gf.Sym, ic.DataSyms())
+	lane := make([]gf.Sym, len(words))
+	for l := 0; l < ic.M; l++ {
+		for i, w := range words {
+			if len(w) != ic.M {
+				panic(fmt.Sprintf("rs: word %d has %d lanes, want %d", i, len(w), ic.M))
+			}
+			lane[i] = w[l]
+		}
+		d, err := ic.C.Decode(positions, lane)
+		if err != nil {
+			return nil, err
+		}
+		copy(data[l*ic.C.K:(l+1)*ic.C.K], d)
+	}
+	return data, nil
+}
+
+// Consistent reports whether there is a single interleaved codeword agreeing
+// with the given words at the given positions (every lane must agree).
+func (ic *Interleaved) Consistent(positions []int, words [][]gf.Sym) bool {
+	if len(positions) <= ic.C.K {
+		return true
+	}
+	_, err := ic.Decode(positions, words)
+	return err == nil
+}
+
+// WordsEqual reports whether two interleaved words are identical.
+// A nil word (the paper's ⊥) is equal only to another nil word.
+func WordsEqual(a, b []gf.Sym) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

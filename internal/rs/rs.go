@@ -1,0 +1,155 @@
+// Package rs implements Reed-Solomon evaluation codes over GF(2^c), providing
+// exactly the three operations the consensus algorithm needs from the code
+// C2t (an (n, n-2t) code of distance 2t+1):
+//
+//   - Encode: k data symbols -> n coded symbols,
+//   - Decode from any subset of >= k positions (with consistency verification
+//     of the surplus positions), and
+//   - the membership test V/A ∈ C2t from the paper (Consistent).
+//
+// Data symbols are the coefficients of a polynomial f with deg f < k; the
+// codeword is (f(x_1), ..., f(x_n)) at distinct nonzero points x_j = alpha^(j-1).
+// Any k positions of a codeword therefore determine the data uniquely, which
+// is the property Lemmas 2, 3 and 5 of the paper rely on.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"byzcons/internal/gf"
+)
+
+// ErrInconsistent is returned when the supplied symbols do not lie on any
+// single codeword (the paper's "V/A not in C2t" case).
+var ErrInconsistent = errors.New("rs: symbols inconsistent with any codeword")
+
+// ErrTooFew is returned when fewer than K positions are supplied to Decode.
+var ErrTooFew = errors.New("rs: fewer than K symbols supplied")
+
+// Code is an (N, K) Reed-Solomon code over the field F.
+type Code struct {
+	F  *gf.Field
+	N  int      // code length
+	K  int      // dimension
+	xs []gf.Sym // evaluation points, xs[j] = alpha^j
+}
+
+// New constructs an (n, k) Reed-Solomon code over f.
+func New(f *gf.Field, n, k int) (*Code, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("rs: invalid dimension k=%d for n=%d", k, n)
+	}
+	if n > f.MaxCodeLen() {
+		return nil, fmt.Errorf("rs: length n=%d exceeds max %d for GF(2^%d)", n, f.MaxCodeLen(), f.C())
+	}
+	xs := make([]gf.Sym, n)
+	for j := 0; j < n; j++ {
+		xs[j] = f.Exp(j)
+	}
+	return &Code{F: f, N: n, K: k, xs: xs}, nil
+}
+
+// Distance returns the minimum distance of the code, n-k+1.
+func (c *Code) Distance() int { return c.N - c.K + 1 }
+
+// Encode maps k data symbols to the n symbols of the corresponding codeword.
+func (c *Code) Encode(data []gf.Sym) []gf.Sym {
+	if len(data) != c.K {
+		panic(fmt.Sprintf("rs: Encode got %d symbols, want K=%d", len(data), c.K))
+	}
+	out := make([]gf.Sym, c.N)
+	for j := 0; j < c.N; j++ {
+		out[j] = c.F.EvalPoly(data, c.xs[j])
+	}
+	return out
+}
+
+// Interpolate recovers the data (polynomial coefficients) from exactly K
+// (position, value) pairs. Positions are zero-based codeword indices and must
+// be distinct and in range.
+func (c *Code) Interpolate(positions []int, vals []gf.Sym) []gf.Sym {
+	k := c.K
+	if len(positions) != k || len(vals) != k {
+		panic(fmt.Sprintf("rs: Interpolate needs exactly K=%d points, got %d/%d", k, len(positions), len(vals)))
+	}
+	f := c.F
+	xs := make([]gf.Sym, k)
+	seen := make(map[int]bool, k)
+	for i, p := range positions {
+		if p < 0 || p >= c.N {
+			panic(fmt.Sprintf("rs: position %d out of range [0,%d)", p, c.N))
+		}
+		if seen[p] {
+			panic(fmt.Sprintf("rs: duplicate position %d", p))
+		}
+		seen[p] = true
+		xs[i] = c.xs[p]
+	}
+
+	// master(x) = prod_i (x + xs[i]); char 2 so minus == plus.
+	master := make([]gf.Sym, k+1)
+	master[0] = 1
+	deg := 0
+	for _, xi := range xs {
+		// master *= (x + xi)
+		for d := deg + 1; d >= 1; d-- {
+			master[d] = master[d-1] ^ f.Mul(master[d], xi)
+		}
+		master[0] = f.Mul(master[0], xi)
+		deg++
+	}
+
+	coeffs := make([]gf.Sym, k)
+	q := make([]gf.Sym, k) // quotient master/(x+xi), degree k-1
+	for i := 0; i < k; i++ {
+		xi := xs[i]
+		// Synthetic division of master by (x + xi) == (x - xi).
+		q[k-1] = master[k]
+		for d := k - 2; d >= 0; d-- {
+			q[d] = master[d+1] ^ f.Mul(q[d+1], xi)
+		}
+		// denom = prod_{j != i} (xi + xs[j]) = q(xi).
+		denom := f.EvalPoly(q, xi)
+		scale := f.Div(vals[i], denom)
+		for d := 0; d < k; d++ {
+			coeffs[d] ^= f.Mul(scale, q[d])
+		}
+	}
+	return coeffs
+}
+
+// Decode recovers the data from at least K (position, value) pairs,
+// verifying that every supplied symbol lies on the interpolated codeword.
+// It returns ErrTooFew with fewer than K points and ErrInconsistent if the
+// points do not agree on a single codeword.
+func (c *Code) Decode(positions []int, vals []gf.Sym) ([]gf.Sym, error) {
+	if len(positions) != len(vals) {
+		panic("rs: positions/vals length mismatch")
+	}
+	if len(positions) < c.K {
+		return nil, ErrTooFew
+	}
+	data := c.Interpolate(positions[:c.K], vals[:c.K])
+	for i := c.K; i < len(positions); i++ {
+		p := positions[i]
+		if p < 0 || p >= c.N {
+			panic(fmt.Sprintf("rs: position %d out of range [0,%d)", p, c.N))
+		}
+		if c.F.EvalPoly(data, c.xs[p]) != vals[i] {
+			return nil, ErrInconsistent
+		}
+	}
+	return data, nil
+}
+
+// Consistent implements the paper's membership test V/A ∈ C2t: it reports
+// whether there exists a codeword agreeing with vals at the given positions.
+// With |A| <= K any assignment is consistent (the code has dimension K).
+func (c *Code) Consistent(positions []int, vals []gf.Sym) bool {
+	if len(positions) <= c.K {
+		return true
+	}
+	_, err := c.Decode(positions, vals)
+	return err == nil
+}

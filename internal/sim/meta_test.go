@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+)
+
+// metaRecorder captures the Meta the network hands to the adversary.
+type metaRecorder struct {
+	exMeta   any
+	syncMeta any
+}
+
+func (m *metaRecorder) ReworkExchange(ctx *ExchangeCtx) { m.exMeta = ctx.Meta }
+func (m *metaRecorder) ReworkSync(ctx *SyncCtx)         { m.syncMeta = ctx.Meta }
+
+func TestMetaReachesAdversary(t *testing.T) {
+	rec := &metaRecorder{}
+	res := Run(RunConfig{N: 3, Faulty: []int{0}, Adversary: rec, Seed: 1}, func(p *Proc) any {
+		p.Exchange("ex", nil, "exchange-meta")
+		p.Sync("sy", p.ID, 0, "t", "sync-meta")
+		return nil
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if rec.exMeta != "exchange-meta" {
+		t.Errorf("exchange meta = %v", rec.exMeta)
+	}
+	if rec.syncMeta != "sync-meta" {
+		t.Errorf("sync meta = %v", rec.syncMeta)
+	}
+}
+
+func TestMetaResetBetweenSteps(t *testing.T) {
+	rec := &metaRecorder{}
+	res := Run(RunConfig{N: 2, Faulty: []int{1}, Adversary: rec, Seed: 1}, func(p *Proc) any {
+		p.Exchange("one", nil, "first")
+		p.Exchange("two", nil, nil) // no meta this step
+		return nil
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if rec.exMeta != nil {
+		t.Errorf("stale meta leaked into next step: %v", rec.exMeta)
+	}
+}
+
+func TestParallelRunsIndependent(t *testing.T) {
+	// Two concurrent simulations must not interfere (separate networks,
+	// meters and rands) — callers may sweep scenarios in parallel.
+	done := make(chan int64, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res := Run(RunConfig{N: 4, Seed: 7}, func(p *Proc) any {
+				for r := 0; r < 20; r++ {
+					var out []Message
+					for to := 0; to < 4; to++ {
+						if to != p.ID {
+							out = append(out, Message{To: to, Bits: 3, Tag: "x"})
+						}
+					}
+					p.Exchange(StepID("r")+StepID(rune('0'+r)), out, nil)
+				}
+				return nil
+			})
+			if res.Err != nil {
+				done <- -1
+				return
+			}
+			done <- res.Meter.TotalBits()
+		}()
+	}
+	a, b := <-done, <-done
+	if a != b || a < 0 {
+		t.Errorf("parallel runs diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"byzcons/internal/metrics"
+)
+
+const (
+	kindExchange = iota + 1
+	kindSync
+)
+
+// Network implements the synchronous barrier rounds shared by all processor
+// goroutines of one run.
+type Network struct {
+	n      int
+	faulty []bool
+	adv    Adversary
+	meter  *metrics.Meter
+	rand   *rand.Rand
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	phase   uint64
+	arrived int
+	done    int // processors whose body has returned
+	step    StepID
+	kind    int
+	meta    any
+	outs    [][]Message
+	vals    []any
+	bits    []int64
+	tags    []string
+	inboxes [][]Message // result of the last Exchange, indexed by receiver
+	synced  []any       // result of the last Sync
+	failed  error
+}
+
+// NewNetwork creates a network for n processors. faulty marks the
+// adversary-controlled processors; adv rewrites their traffic (Passive for
+// fail-free runs). rng drives adversary randomness deterministically.
+func NewNetwork(n int, faulty []bool, adv Adversary, meter *metrics.Meter, rng *rand.Rand) *Network {
+	if adv == nil {
+		adv = Passive{}
+	}
+	net := &Network{
+		n:      n,
+		faulty: faulty,
+		adv:    adv,
+		meter:  meter,
+		rand:   rng,
+		outs:   make([][]Message, n),
+		vals:   make([]any, n),
+		bits:   make([]int64, n),
+		tags:   make([]string, n),
+	}
+	net.cond = sync.NewCond(&net.mu)
+	return net
+}
+
+// Meter returns the network's bit meter.
+func (net *Network) Meter() *metrics.Meter { return net.meter }
+
+// procDone records that one processor's body returned. If other processors
+// are parked at a barrier that can now never be completed, the run is failed
+// rather than deadlocked.
+func (net *Network) procDone() {
+	net.mu.Lock()
+	net.done++
+	if net.arrived > 0 && net.arrived+net.done >= net.n && net.failed == nil {
+		net.failed = fmt.Errorf("sim: %d processor(s) exited while others wait at step %q", net.done, net.step)
+		net.cond.Broadcast()
+	}
+	net.mu.Unlock()
+}
+
+// fail aborts the whole run with the given error: every processor blocked at
+// (or arriving at) a barrier panics with an abortError, which Run recovers.
+func (net *Network) fail(err error) {
+	net.mu.Lock()
+	if net.failed == nil {
+		net.failed = err
+	}
+	net.cond.Broadcast()
+	net.mu.Unlock()
+}
+
+// exchange is the Exchange barrier body for processor p.
+func (net *Network) exchange(p int, step StepID, out []Message, meta any) []Message {
+	res := net.rendezvous(p, step, kindExchange, func() {
+		net.outs[p] = out
+		if meta != nil && net.meta == nil {
+			net.meta = meta
+		}
+	}, net.finalizeExchange)
+	return res.([]Message)
+}
+
+// syncStep is the Sync barrier body for processor p.
+func (net *Network) syncStep(p int, step StepID, val any, bits int64, tag string, meta any) []any {
+	res := net.rendezvous(p, step, kindSync, func() {
+		net.vals[p] = val
+		net.bits[p] = bits
+		net.tags[p] = tag
+		if meta != nil && net.meta == nil {
+			net.meta = meta
+		}
+	}, net.finalizeSync)
+	return res.([]any)
+}
+
+// rendezvous runs one barrier: each participant submits its data; the last
+// arrival finalizes the step (adversary rework, routing, metering) and wakes
+// the others. The finalized result for the phase is captured before any
+// participant can start the next phase, because the next finalize needs all
+// n participants to have arrived again.
+func (net *Network) rendezvous(p int, step StepID, kind int, submit func(), finalize func()) any {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.failed != nil {
+		panic(abortError{net.failed})
+	}
+	if net.arrived == 0 {
+		net.step = step
+		net.kind = kind
+		net.meta = nil
+	} else if net.step != step || net.kind != kind {
+		err := fmt.Errorf("sim: step mismatch: processor %d at %q (kind %d), barrier at %q (kind %d)",
+			p, step, kind, net.step, net.kind)
+		net.failed = err
+		net.cond.Broadcast()
+		panic(abortError{err})
+	}
+	submit()
+	net.arrived++
+	myPhase := net.phase
+	if net.done > 0 && net.arrived+net.done >= net.n {
+		err := fmt.Errorf("sim: step %q can never complete: %d processor(s) already exited", step, net.done)
+		net.failed = err
+		net.cond.Broadcast()
+		panic(abortError{err})
+	}
+	if net.arrived == net.n {
+		finalize()
+		if net.failed != nil {
+			net.cond.Broadcast()
+			panic(abortError{net.failed})
+		}
+		net.meter.AddRound()
+		net.arrived = 0
+		net.phase++
+		net.cond.Broadcast()
+	} else {
+		for net.phase == myPhase && net.failed == nil {
+			net.cond.Wait()
+		}
+		if net.failed != nil {
+			panic(abortError{net.failed})
+		}
+	}
+	if kind == kindExchange {
+		return net.inboxes[p]
+	}
+	return net.synced
+}
+
+// finalizeExchange runs under the lock once all processors submitted.
+func (net *Network) finalizeExchange() {
+	ctx := &ExchangeCtx{
+		Step: net.step, N: net.n, Faulty: net.faulty,
+		Out: net.outs, Meta: net.meta, Rand: net.rand,
+	}
+	net.adv.ReworkExchange(ctx)
+	inboxes := make([][]Message, net.n)
+	for from := 0; from < net.n; from++ {
+		for _, m := range net.outs[from] {
+			m.From = from // senders cannot forge their identity (paper's channel model)
+			if m.To < 0 || m.To >= net.n || m.To == from {
+				net.failed = fmt.Errorf("sim: step %q: processor %d sent message with bad To=%d", net.step, from, m.To)
+				return
+			}
+			if m.Bits < 0 {
+				net.failed = fmt.Errorf("sim: step %q: negative Bits from processor %d", net.step, from)
+				return
+			}
+			net.meter.Add(m.Tag, m.Bits, net.faulty[from])
+			inboxes[m.To] = append(inboxes[m.To], m)
+		}
+		net.outs[from] = nil
+	}
+	net.inboxes = inboxes
+}
+
+// finalizeSync runs under the lock once all processors submitted.
+func (net *Network) finalizeSync() {
+	ctx := &SyncCtx{
+		Step: net.step, N: net.n, Faulty: net.faulty,
+		Vals: net.vals, Meta: net.meta, Rand: net.rand,
+	}
+	net.adv.ReworkSync(ctx)
+	out := make([]any, net.n)
+	copy(out, net.vals)
+	for p := 0; p < net.n; p++ {
+		if net.bits[p] > 0 {
+			net.meter.Add(net.tags[p], net.bits[p], net.faulty[p])
+		}
+		net.vals[p] = nil
+		net.bits[p] = 0
+		net.tags[p] = ""
+	}
+	net.synced = out
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "math/rand"
+
+// Proc is one processor's handle on the simulated network. Protocol code is
+// written as a function of a Proc; the same code runs at honest and faulty
+// processors (the adversary rewrites faulty traffic at the network layer).
+type Proc struct {
+	ID     int
+	N      int
+	Faulty bool // whether this processor is adversary-controlled
+	Rand   *rand.Rand
+	net    *Network
+}
+
+// Exchange submits this processor's point-to-point messages for the given
+// step and returns the messages delivered to it, sorted by sender. All
+// processors must call Exchange with the same step (one synchronous round).
+// meta, if non-nil, is step metadata made visible to the adversary; it must
+// be identical at every processor (by construction: it is derived from
+// common state).
+func (p *Proc) Exchange(step StepID, out []Message, meta any) []Message {
+	return p.net.exchange(p.ID, step, out, meta)
+}
+
+// Sync submits a contribution to an ideal all-to-all service and returns all
+// n contributions (identical at every processor). bits are metered under tag
+// against this processor; use 0 for accounting-free gathers.
+func (p *Proc) Sync(step StepID, val any, bits int64, tag string, meta any) []any {
+	return p.net.syncStep(p.ID, step, val, bits, tag, meta)
+}
+
+// Abort terminates the whole run with the given error.
+func (p *Proc) Abort(err error) {
+	p.net.fail(err)
+	panic(abortError{err})
+}
+
+// FirstHonest returns the lowest id of a non-faulty processor, or -1 if all
+// are faulty. It exists for simulation scaffolding only: a faulty processor's
+// goroutine runs the honest protocol code to keep the synchronous round
+// structure aligned, but primitives that guarantee agreement only among
+// honest processors (e.g. EIG broadcast) may leave a faulty processor with a
+// diverging local view, which a real Byzantine processor could act on freely
+// but which would desynchronise the simulation. Such primitives realign the
+// faulty processor's view with an honest one's.
+func (p *Proc) FirstHonest() int {
+	for i, f := range p.net.faulty {
+		if !f {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"byzcons/internal/metrics"
+)
+
+// RunConfig configures one simulated execution.
+type RunConfig struct {
+	N         int
+	Faulty    []int     // processor ids controlled by the adversary
+	Adversary Adversary // nil means Passive (no deviation)
+	Seed      int64     // drives all randomness in the run deterministically
+}
+
+// RunResult is the outcome of one simulated execution.
+type RunResult struct {
+	// Values[i] is the value returned by processor i's body.
+	Values []any
+	Meter  *metrics.Meter
+	Err    error
+}
+
+// Run executes body at each of n processors concurrently under the
+// synchronous model and returns their results. Any protocol misalignment,
+// invalid message, or panic in a body aborts the whole run and is reported
+// in RunResult.Err.
+func Run(cfg RunConfig, body func(p *Proc) any) *RunResult {
+	meter := metrics.NewMeter()
+	faulty := make([]bool, cfg.N)
+	for _, f := range cfg.Faulty {
+		if f < 0 || f >= cfg.N {
+			return &RunResult{Meter: meter, Err: fmt.Errorf("sim: faulty id %d out of range [0,%d)", f, cfg.N)}
+		}
+		faulty[f] = true
+	}
+	net := NewNetwork(cfg.N, faulty, cfg.Adversary, meter, rand.New(rand.NewSource(cfg.Seed^0x5DEECE66D)))
+
+	values := make([]any, cfg.N)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		p := &Proc{
+			ID:     i,
+			N:      cfg.N,
+			Faulty: faulty[i],
+			Rand:   rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
+			net:    net,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer net.procDone()
+			defer func() {
+				if r := recover(); r != nil {
+					switch e := r.(type) {
+					case abortError:
+						net.fail(e.err)
+					default:
+						net.fail(fmt.Errorf("sim: processor %d panicked: %v", p.ID, r))
+					}
+				}
+			}()
+			values[p.ID] = body(p)
+		}()
+	}
+	wg.Wait()
+
+	net.mu.Lock()
+	err := net.failed
+	net.mu.Unlock()
+	return &RunResult{Values: values, Meter: meter, Err: err}
+}
+
+// HonestValues returns the body results of honest processors only, in id
+// order, along with their ids.
+func (r *RunResult) HonestValues(faulty []int) (ids []int, vals []any) {
+	isFaulty := make(map[int]bool, len(faulty))
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	for i, v := range r.Values {
+		if !isFaulty[i] {
+			ids = append(ids, i)
+			vals = append(vals, v)
+		}
+	}
+	return ids, vals
+}
