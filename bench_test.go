@@ -136,6 +136,87 @@ func BenchmarkBroadcastKinds(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceAmortization measures the tentpole batching claim: at
+// fixed n and t, amortized communication bits per submitted value fall
+// toward the paper's O(n) per-bit bound as the batch size grows, because one
+// long L-bit input shares each generation's Broadcast_Single_Bit overhead
+// among all values of the batch. The bits/value metric is the one to watch.
+func BenchmarkServiceAmortization(b *testing.B) {
+	const workload, valBytes = 64, 64
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				svc, err := byzcons.NewService(byzcons.ServiceConfig{
+					Config:      byzcons.Config{N: 7, T: 2, Seed: 1},
+					BatchValues: batch,
+					Instances:   4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pendings := make([]*byzcons.Pending, workload)
+				val := make([]byte, valBytes)
+				for j := range pendings {
+					val[0] = byte(j)
+					if pendings[j], err = svc.Submit(val); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := svc.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pendings {
+					if d := p.Wait(); d.Err != nil {
+						b.Fatal(d.Err)
+					}
+				}
+				bits = svc.Stats().Bits
+			}
+			b.ReportMetric(float64(bits)/workload, "bits/value")
+			b.ReportMetric(float64(workload)*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+		})
+	}
+}
+
+// BenchmarkServicePipelining compares wall-clock and pipelined round counts
+// of the same workload run with 1 vs several concurrent instances.
+func BenchmarkServicePipelining(b *testing.B) {
+	const workload, batch = 32, 4
+	for _, instances := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("instances%d", instances), func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				svc, err := byzcons.NewService(byzcons.ServiceConfig{
+					Config:      byzcons.Config{N: 7, T: 2, Seed: 1},
+					BatchValues: batch,
+					Instances:   instances,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pendings := make([]*byzcons.Pending, workload)
+				val := make([]byte, 64)
+				for j := range pendings {
+					if pendings[j], err = svc.Submit(val); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := svc.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pendings {
+					if d := p.Wait(); d.Err != nil {
+						b.Fatal(d.Err)
+					}
+				}
+				rounds = svc.Stats().Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
 // BenchmarkBaselines runs the two comparison protocols at a common size.
 func BenchmarkBaselines(b *testing.B) {
 	const n, t, L = 7, 2, 100_000

@@ -9,6 +9,15 @@
 //	byzcons -mode broadcast -n 10 -t 3 -source 2 -L 100000
 //	byzcons -mode fitzihirt -n 7 -t 2 -kappa 8 -L 65536
 //	byzcons -mode naive -n 7 -t 2 -L 4096
+//
+// The serve mode drives the batched Service engine: a workload of client
+// values is coalesced into long per-instance inputs and pipelined over the
+// simulated deployment, reporting amortized bits per value. With -sweep it
+// repeats the workload at doubling batch sizes to show the amortization
+// curve:
+//
+//	byzcons -mode serve -n 7 -t 2 -values 64 -valbytes 64 -batch 16 -instances 4
+//	byzcons -mode serve -n 7 -t 2 -values 64 -sweep
 package main
 
 import (
@@ -32,7 +41,7 @@ func main() {
 
 func run() error {
 	var (
-		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive")
+		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive | serve")
 		n      = flag.Int("n", 7, "number of processors")
 		t      = flag.Int("t", 2, "Byzantine fault bound (t < n/3)")
 		L      = flag.Int("L", 8192, "value length in bits")
@@ -46,6 +55,12 @@ func run() error {
 		kappa  = flag.Uint("kappa", 16, "fitzihirt hash width in bits")
 		eps    = flag.Float64("eps", 0, "proboracle per-receiver failure probability")
 		trace  = flag.Bool("trace", false, "print per-generation progress to stderr")
+
+		values    = flag.Int("values", 64, "serve: number of client values in the workload")
+		valBytes  = flag.Int("valbytes", 64, "serve: bytes per client value")
+		batch     = flag.Int("batch", 16, "serve: max values coalesced per consensus instance")
+		instances = flag.Int("instances", 4, "serve: concurrent pipelined instances per cycle")
+		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
 	)
 	flag.Parse()
 
@@ -79,6 +94,10 @@ func run() error {
 	}
 	var res *byzcons.Result
 	switch *mode {
+	case "serve":
+		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
+			BroadcastEpsilon: *eps, Seed: *seed}
+		return serve(os.Stdout, cfg, sc, *values, *valBytes, *batch, *instances, *sweep)
 	case "consensus":
 		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
 			BroadcastEpsilon: *eps, Seed: *seed, Trace: traceW}
@@ -101,6 +120,76 @@ func run() error {
 	}
 
 	report(os.Stdout, *mode, *n, *t, *L, kind, res)
+	return nil
+}
+
+// serve drives the batched Service engine over a synthetic workload and
+// reports per-batch metrics plus the amortized bits/value. With sweep it
+// repeats the workload at doubling batch sizes up to the configured batch.
+func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, values, valBytes, batch, instances int, sweep bool) error {
+	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 {
+		return fmt.Errorf("serve: values, valbytes, batch and instances must all be >= 1")
+	}
+	fmt.Fprintf(w, "mode=serve n=%d t=%d workload=%d values x %d bytes\n", cfg.N, cfg.T, values, valBytes)
+
+	batches := []int{batch}
+	if sweep {
+		batches = batches[:0]
+		for b := 1; b < batch; b *= 2 {
+			batches = append(batches, b)
+		}
+		batches = append(batches, batch)
+		fmt.Fprintf(w, "%8s %10s %10s %8s %14s\n", "batch", "instances", "rounds", "bits", "bits/value")
+	}
+	for _, b := range batches {
+		svc, err := byzcons.NewService(byzcons.ServiceConfig{
+			Config:      cfg,
+			Scenario:    sc,
+			BatchValues: b,
+			Instances:   instances,
+		})
+		if err != nil {
+			return err
+		}
+		pendings := make([]*byzcons.Pending, values)
+		for i := range pendings {
+			val := make([]byte, valBytes)
+			for j := range val {
+				val[j] = byte(0x41 + (i+j)%26)
+			}
+			if pendings[i], err = svc.Submit(val); err != nil {
+				return err
+			}
+		}
+		report, err := svc.Flush()
+		if err != nil {
+			return err
+		}
+		for i, p := range pendings {
+			d := p.Wait()
+			if d.Err != nil {
+				return fmt.Errorf("serve: value %d: %w", i, d.Err)
+			}
+		}
+		st := svc.Stats()
+		if sweep {
+			fmt.Fprintf(w, "%8d %10d %10d %8d %14.1f\n",
+				b, instances, st.Rounds, st.Bits, float64(st.Bits)/float64(values))
+			continue
+		}
+		fmt.Fprintln(w, "per-batch metrics:")
+		fmt.Fprintf(w, "%6s %6s %5s %7s %8s %7s %5s %5s %12s\n",
+			"batch", "cycle", "inst", "values", "L(bits)", "bits", "gens", "diags", "bits/value")
+		for _, bs := range report.Batches {
+			fmt.Fprintf(w, "%6d %6d %5d %7d %8d %7d %5d %5d %12.1f\n",
+				bs.Batch, bs.Cycle, bs.Instance, bs.Values, bs.PackedBits, bs.Bits,
+				bs.Generations, bs.DiagnosisRuns, bs.BitsPerValue)
+		}
+		fmt.Fprintf(w, "decided=%d defaulted=%d batches=%d cycles=%d\n",
+			st.Decided, st.Defaulted, st.Batches, st.Cycles)
+		fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
+			st.Rounds, st.Bits, float64(st.Bits)/float64(values))
+	}
 	return nil
 }
 

@@ -56,6 +56,40 @@ func TestReportRendering(t *testing.T) {
 	}
 }
 
+func TestServeModeReportsAmortizedBits(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := byzcons.Config{N: 7, T: 2, Seed: 1}
+	sc := byzcons.Scenario{Faulty: []int{1, 4}, Behavior: byzcons.Equivocator{Victims: []int{6}}}
+	if err := serve(&buf, cfg, sc, 8, 32, 4, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"per-batch metrics", "decided=8", "defaulted=0", "bits/value", "pipelined rounds="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeSweepRendersCurve(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := byzcons.Config{N: 4, T: 1, Seed: 1}
+	if err := serve(&buf, cfg, byzcons.Scenario{}, 8, 32, 4, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One header plus rows for batch sizes 1, 2, 4.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("sweep rendered %d lines, want 5:\n%s", got, out)
+	}
+}
+
+func TestServeRejectsBadWorkload(t *testing.T) {
+	if err := serve(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, 0, 32, 4, 2, false); err == nil {
+		t.Error("values=0 accepted")
+	}
+}
+
 func TestTraceOutput(t *testing.T) {
 	val := bytes.Repeat([]byte{0xCD}, 24)
 	inputs := make([][]byte, 7)

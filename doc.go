@@ -17,6 +17,10 @@
 //
 //   - Algorithm 1 (matching / checking / diagnosis stages with the persistent
 //     diagnosis graph) via Consensus;
+//   - a batched consensus engine via Service: client values are coalesced
+//     into one long input per consensus instance (the paper's large-L regime,
+//     where the per-generation broadcast overhead amortizes away) and several
+//     instances are pipelined concurrently over the simulated deployment;
 //   - the Section 4 multi-valued broadcast extension via Broadcast;
 //   - the Fitzi-Hirt (PODC 2006) probabilistic baseline via FitziHirt;
 //   - the naive L x (1-bit consensus) baseline via NaiveBitwise;
@@ -37,6 +41,22 @@
 //		Behavior: byzcons.Equivocator{},
 //	})
 //	// res.Value is the agreed value; res.Bits the exact communication cost.
+//
+// # Batched service
+//
+// For throughput workloads, submit individual client values to a Service and
+// let it coalesce them into long consensus inputs — amortized bits per value
+// fall strictly as the batch size grows (O(nL) total makes large L cheap per
+// bit), and independent instances run pipelined over shared rounds:
+//
+//	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+//		Config:      byzcons.Config{N: 7, T: 2},
+//		BatchValues: 32, // values coalesced per consensus instance
+//		Instances:   4,  // instances pipelined per flush cycle
+//	})
+//	p, err := svc.Submit([]byte("one client command"))
+//	report, err := svc.Flush() // runs the pending batches
+//	d := p.Wait()              // d.Value is this client's decision
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every quantitative claim in the paper.

@@ -1,0 +1,3 @@
+module byzcons
+
+go 1.24

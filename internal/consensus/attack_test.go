@@ -49,6 +49,7 @@ func checkDiagInvariants(t *testing.T, outs []*Output, faulty []int) {
 }
 
 func TestEquivocatorTriggersDiagnosisAndStaysValid(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x42, 0x17, 0x99}, 20)
 	L := len(val) * 8
 	for _, kind := range []bsb.Kind{bsb.Oracle, bsb.EIG} {
@@ -70,6 +71,7 @@ func TestEquivocatorTriggersDiagnosisAndStaysValid(t *testing.T) {
 }
 
 func TestMatchLiar(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0xAB}, 30)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle}
@@ -80,6 +82,7 @@ func TestMatchLiar(t *testing.T) {
 }
 
 func TestFalseDetectorGetsIsolated(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x5A}, 24)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
@@ -103,6 +106,7 @@ func TestFalseDetectorGetsIsolated(t *testing.T) {
 }
 
 func TestTrustLiarOnlyBurnsFaultyEdges(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0xC3}, 24)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
@@ -114,6 +118,7 @@ func TestTrustLiarOnlyBurnsFaultyEdges(t *testing.T) {
 }
 
 func TestSymbolLiar(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x3C}, 24)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
@@ -125,6 +130,7 @@ func TestSymbolLiar(t *testing.T) {
 }
 
 func TestSilentFaulty(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x99, 0x11}, 20)
 	L := len(val) * 8
 	par := Params{N: 10, T: 3, BSB: bsb.Oracle}
@@ -138,6 +144,7 @@ func TestSilentFaulty(t *testing.T) {
 }
 
 func TestEdgeMiserHitsTheoremOneBound(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct{ n, tf int }{{4, 1}, {7, 2}, {10, 3}} {
 		t.Run(fmt.Sprintf("n%d_t%d", tc.n, tc.tf), func(t *testing.T) {
 			bound := tc.tf * (tc.tf + 1)
@@ -168,6 +175,7 @@ func TestEdgeMiserHitsTheoremOneBound(t *testing.T) {
 }
 
 func TestRandomByzFuzz(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0xF0, 0x0D}, 12)
 	L := len(val) * 8
 	for seed := int64(0); seed < 12; seed++ {
@@ -180,6 +188,7 @@ func TestRandomByzFuzz(t *testing.T) {
 }
 
 func TestRandomByzFuzzEIG(t *testing.T) {
+	t.Parallel()
 	// End-to-end with the real (non-oracle) broadcast under random Byzantine
 	// noise, including corruption of EIG relay traffic.
 	val := bytes.Repeat([]byte{0x0F}, 6)
@@ -194,6 +203,7 @@ func TestRandomByzFuzzEIG(t *testing.T) {
 }
 
 func TestTwoFacedInputsStayConsistent(t *testing.T) {
+	t.Parallel()
 	// Honest processors split between two values; faulty processors may do
 	// anything. Validity is vacuous but consistency must hold: either a
 	// common default or one common value.

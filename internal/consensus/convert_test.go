@@ -13,6 +13,7 @@ import (
 // Lemma 5. Property: bitsToWord(wordToBits(w)) == w for all words and both
 // symbol widths.
 func TestWordBitsRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(63))
 	cfg := &quick.Config{MaxCount: 500, Rand: r}
 	for _, c := range []uint{8, 16} {
@@ -47,6 +48,7 @@ func TestWordBitsRoundTripProperty(t *testing.T) {
 }
 
 func TestBitsToWordShortInputZeroPads(t *testing.T) {
+	t.Parallel()
 	// Broadcast results for absent (e.g. isolated) sources may be short;
 	// missing bits must read as zero, deterministically at every processor.
 	w := bitsToWord([]bool{true}, 2, 8)
@@ -56,6 +58,7 @@ func TestBitsToWordShortInputZeroPads(t *testing.T) {
 }
 
 func TestDefaultValuePadding(t *testing.T) {
+	t.Parallel()
 	got := defaultValue([]byte{0xAB}, 20)
 	if len(got) != 3 {
 		t.Fatalf("len = %d, want 3", len(got))

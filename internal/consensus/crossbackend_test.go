@@ -1,0 +1,109 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+	"byzcons/internal/sim"
+)
+
+// backendDecision runs one scenario over the given broadcast backend and
+// returns the (asserted common) honest decision and Defaulted flag.
+func backendDecision(t *testing.T, kind bsb.Kind, inputs [][]byte, L int, faulty []int, adv sim.Adversary, seed int64) ([]byte, bool) {
+	t.Helper()
+	par := Params{N: len(inputs), T: 1, BSB: kind, Lanes: 1, SymBits: 8}
+	outs, _ := runConsensus(t, par, inputs, L, faulty, adv, seed)
+	checkAgreement(t, outs, faulty, nil, outsDefaulted(outs, faulty))
+	for i, o := range outs {
+		if o != nil && !contains(faulty, i) {
+			return o.Value, o.Defaulted
+		}
+	}
+	t.Fatal("no honest output")
+	return nil, false
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCrossBackendAgreement asserts that the three error-free
+// Broadcast_Single_Bit substrates are interchangeable: with identical seeds
+// and the full adversary gallery, Oracle, EIG and PhaseKing all yield
+// identical honest decisions and identical Defaulted flags for the same
+// inputs. n=5, t=1 satisfies every backend's resilience bound (PhaseKing
+// needs t < n/4).
+func TestCrossBackendAgreement(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	backends := []bsb.Kind{bsb.Oracle, bsb.EIG, bsb.PhaseKing}
+	val := bytes.Repeat([]byte{0xD1, 0x5C}, 12)
+	L := len(val) * 8
+
+	gallery := []struct {
+		name string
+		adv  sim.Adversary
+	}{
+		{"passive", nil},
+		{"equivocator", adversary.Equivocator{Victims: []int{4}}},
+		{"matchliar", adversary.MatchLiar{}},
+		{"falsedetector", adversary.FalseDetector{}},
+		{"trustliar", adversary.Chain{adversary.Equivocator{Victims: []int{4}}, adversary.TrustLiar{}}},
+		{"symbolliar", adversary.Chain{adversary.Equivocator{Victims: []int{4}}, adversary.SymbolLiar{}}},
+		{"silent", adversary.Silent{}},
+		{"random", adversary.RandomByz{P: 0.5}},
+		{"edgemiser", adversary.EdgeMiser{T: 1}},
+	}
+	for _, tc := range gallery {
+		for seed := int64(1); seed <= 3; seed++ {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s_seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				// All honest processors share one input, so validity pins the
+				// decision: every backend must decide val, never default.
+				refVal, refDef := backendDecision(t, backends[0], sameInputs(n, val), L, []int{0}, tc.adv, seed)
+				for _, kind := range backends[1:] {
+					gotVal, gotDef := backendDecision(t, kind, sameInputs(n, val), L, []int{0}, tc.adv, seed)
+					if !bytes.Equal(gotVal, refVal) || gotDef != refDef {
+						t.Errorf("%v decided (%x, defaulted=%v); %v decided (%x, defaulted=%v)",
+							kind, gotVal, gotDef, backends[0], refVal, refDef)
+					}
+				}
+				if !bytes.Equal(refVal, val) || refDef {
+					t.Errorf("decision (%x, defaulted=%v) violates validity", refVal, refDef)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossBackendDefaultAgreement covers the defaulting path: with honest
+// inputs that provably differ and no active deviation, every backend must
+// come to the identical "no Pmatch" verdict and decide the same default.
+func TestCrossBackendDefaultAgreement(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{byte(0x10 * (i + 1))}, 8)
+	}
+	L := 64
+	refVal, refDef := backendDecision(t, bsb.Oracle, inputs, L, nil, nil, 9)
+	if !refDef {
+		t.Fatal("differing inputs did not default")
+	}
+	for _, kind := range []bsb.Kind{bsb.EIG, bsb.PhaseKing} {
+		gotVal, gotDef := backendDecision(t, kind, inputs, L, nil, nil, 9)
+		if !bytes.Equal(gotVal, refVal) || gotDef != refDef {
+			t.Errorf("%v default decision (%x, %v) != oracle (%x, %v)", kind, gotVal, gotDef, refVal, refDef)
+		}
+	}
+}

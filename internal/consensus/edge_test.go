@@ -12,6 +12,7 @@ import (
 )
 
 func TestSymBits16(t *testing.T) {
+	t.Parallel()
 	// GF(2^16) symbols: same protocol, wider lanes.
 	val := bytes.Repeat([]byte{0xCA, 0xFE, 0xBA, 0xBE}, 24)
 	L := len(val) * 8
@@ -23,6 +24,7 @@ func TestSymBits16(t *testing.T) {
 }
 
 func TestLargeN(t *testing.T) {
+	t.Parallel()
 	// n=40, t=13: close to the t < n/3 boundary at a size where the clique
 	// search and code are well beyond toy dimensions.
 	val := bytes.Repeat([]byte{0x88, 0x44, 0x22}, 40)
@@ -36,6 +38,10 @@ func TestLargeN(t *testing.T) {
 }
 
 func TestAutoSymBitsAboveByteLimit(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("n=300 run dominates the package's wall-time; skipped with -short")
+	}
 	// n = 300 > 255 forces GF(2^16) automatically. Single generation,
 	// fail-free (keep it fast at this size).
 	n := 300
@@ -48,6 +54,7 @@ func TestAutoSymBitsAboveByteLimit(t *testing.T) {
 }
 
 func TestConfiguredDefaultValue(t *testing.T) {
+	t.Parallel()
 	n := 4
 	inputs := make([][]byte, n)
 	for i := range inputs {
@@ -63,6 +70,7 @@ func TestConfiguredDefaultValue(t *testing.T) {
 }
 
 func TestOneBitValue(t *testing.T) {
+	t.Parallel()
 	par := Params{N: 4, T: 1, BSB: bsb.Oracle}
 	outs, _ := runConsensus(t, par, sameInputs(4, []byte{0x80}), 1, nil, nil, 1)
 	checkAgreement(t, outs, nil, []byte{0x80}, false)
@@ -72,6 +80,7 @@ func TestOneBitValue(t *testing.T) {
 }
 
 func TestSingleProcessor(t *testing.T) {
+	t.Parallel()
 	par := Params{N: 1, T: 0, BSB: bsb.Oracle}
 	outs, _ := runConsensus(t, par, sameInputs(1, []byte{0x5A}), 8, nil, nil, 1)
 	if !bytes.Equal(outs[0].Value, []byte{0x5A}) {
@@ -80,6 +89,7 @@ func TestSingleProcessor(t *testing.T) {
 }
 
 func TestInvalidParams(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		name string
 		par  Params
@@ -109,6 +119,7 @@ func TestInvalidParams(t *testing.T) {
 // must satisfy Termination (implicitly), Consistency, Validity-when-equal,
 // the Lemma 4 graph invariants and the Theorem 1 bound.
 func TestRandomizedScenarioSweep(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(77))
 	advPool := []func(tf int) sim.Adversary{
 		func(int) sim.Adversary { return nil },
@@ -176,6 +187,7 @@ func outsDefaulted(outs []*Output, faulty []int) bool {
 }
 
 func TestPhaseKingFullStackWithDiagnosis(t *testing.T) {
+	t.Parallel()
 	// Equivocation end-to-end over the real phase-king broadcast.
 	val := bytes.Repeat([]byte{0x21}, 15)
 	L := len(val) * 8
@@ -190,6 +202,7 @@ func TestPhaseKingFullStackWithDiagnosis(t *testing.T) {
 }
 
 func TestOptimalLanesProperties(t *testing.T) {
+	t.Parallel()
 	// D* grows like sqrt(L) and never exceeds the whole value.
 	l1 := OptimalLanes(16, 5, 8, 100_000, 512)
 	l2 := OptimalLanes(16, 5, 8, 400_000, 512)
@@ -206,6 +219,7 @@ func TestOptimalLanesProperties(t *testing.T) {
 }
 
 func TestPredictCconMatchesManualSum(t *testing.T) {
+	t.Parallel()
 	n, tf := 10, 3
 	D, B := int64(320), int64(200)
 	g := PredictGenCost(n, tf, D, B)

@@ -19,6 +19,7 @@ import (
 // of shifted and unshifted symbols can never be consistent: the attack MUST
 // be detected, diagnosed, and must not affect validity.
 func TestForkAttackImpossible(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0xE9, 0x4D}, 30)
 	L := len(val) * 8
 	for _, tc := range []struct {
@@ -48,6 +49,7 @@ func TestForkAttackImpossible(t *testing.T) {
 // generation (they are driven purely by broadcast data), under randomized
 // Byzantine behaviour.
 func TestGraphsIdenticalEveryGeneration(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x3B}, 24)
 	L := len(val) * 8
 	n, tf := 7, 2
@@ -99,6 +101,7 @@ func TestGraphsIdenticalEveryGeneration(t *testing.T) {
 
 // TestObserverDoesNotChangeOutcome guards the instrumentation contract.
 func TestObserverDoesNotChangeOutcome(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x77}, 16)
 	L := len(val) * 8
 	run := func(obs func(int, int, GenInfo)) int64 {

@@ -16,6 +16,7 @@ import (
 // isolates its faults early ends up CHEAPER than the fail-free run of the
 // same length — the paper's "effectively isolated from the network".
 func TestIsolationReducesTraffic(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x42}, 120)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}
@@ -57,6 +58,7 @@ func TestIsolationReducesTraffic(t *testing.T) {
 // protocol-conformant behaviour must not restore any trust edges or let it
 // rejoin Pmatch (there is no forgiveness in the paper's diagnosis graph).
 func TestIsolatedProcessorCannotReenter(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x11}, 60)
 	L := len(val) * 8
 	par := Params{N: 7, T: 2, BSB: bsb.Oracle, Lanes: 1, SymBits: 8}

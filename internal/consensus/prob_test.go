@@ -15,6 +15,7 @@ import (
 // match. With the probabilistic oracle at eps=0 (perfect delivery), t >= n/3
 // must now be accepted and the error-free guarantees must hold under attack.
 func TestHighResilienceTolerated(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x6E, 0x21}, 24)
 	L := len(val) * 8
 	cases := []struct {
@@ -47,6 +48,7 @@ func TestHighResilienceTolerated(t *testing.T) {
 // substitution, t >= n/3 must still be rejected (error-free consensus at
 // that resilience is impossible).
 func TestHighResilienceRejectedByErrorFreeKinds(t *testing.T) {
+	t.Parallel()
 	for _, kind := range []bsb.Kind{bsb.Oracle, bsb.EIG, bsb.PhaseKing} {
 		res := sim.Run(sim.RunConfig{N: 7, Seed: 1}, func(p *sim.Proc) any {
 			return Run(p, Params{N: 7, T: 3, BSB: kind}, []byte{1}, 8)
@@ -71,6 +73,7 @@ func TestHighResilienceRejectedByErrorFreeKinds(t *testing.T) {
 // divergence), never as silent partial corruption of an agreed value, and
 // must vanish as eps -> 0.
 func TestProbBroadcastFailuresCauseOnlyBoundedErrors(t *testing.T) {
+	t.Parallel()
 	val := bytes.Repeat([]byte{0x42}, 16)
 	L := len(val) * 8
 	errsAt := func(eps float64, trials int) int {

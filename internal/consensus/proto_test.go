@@ -79,6 +79,7 @@ func sameInputs(n int, val []byte) [][]byte {
 }
 
 func TestFailFreeAllEqual(t *testing.T) {
+	t.Parallel()
 	val := []byte("the quick brown fox jumps over the lazy dog, twice over!")
 	L := len(val) * 8
 	cases := []struct {
@@ -112,6 +113,7 @@ func TestFailFreeAllEqual(t *testing.T) {
 }
 
 func TestPassiveFaultyStillValid(t *testing.T) {
+	t.Parallel()
 	// Faulty processors that follow the protocol (Passive adversary) must not
 	// disturb validity.
 	val := bytes.Repeat([]byte{0xA5, 0x3C}, 40)
@@ -122,6 +124,7 @@ func TestPassiveFaultyStillValid(t *testing.T) {
 }
 
 func TestDifferingInputsDefault(t *testing.T) {
+	t.Parallel()
 	// With every processor holding a different value there can be no Pmatch,
 	// so all honest processors must decide the default, consistently.
 	n := 7
@@ -139,6 +142,7 @@ func TestDifferingInputsDefault(t *testing.T) {
 }
 
 func TestMultiGeneration(t *testing.T) {
+	t.Parallel()
 	// Force many generations with Lanes=1 and verify the value survives
 	// the split/reassemble round trip.
 	val := bytes.Repeat([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 16)
@@ -153,6 +157,7 @@ func TestMultiGeneration(t *testing.T) {
 }
 
 func TestNonByteAlignedLength(t *testing.T) {
+	t.Parallel()
 	// L that is not a multiple of 8 or D.
 	val := []byte{0xFF, 0xF0}
 	L := 12

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := [][][]byte{
+		{},
+		{nil},
+		{{}},
+		{{1, 2, 3}},
+		{{1}, {2, 3}, {}, {4, 5, 6, 7}},
+		{bytes.Repeat([]byte{0xFF}, 300)}, // multi-byte varint length
+	}
+	for i, values := range cases {
+		packed := packValues(values)
+		if len(packed)*8 != packedBits(values) {
+			t.Errorf("case %d: packedBits = %d, want %d", i, packedBits(values), len(packed)*8)
+		}
+		got, err := unpackValues(packed)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(values) {
+			t.Fatalf("case %d: %d values, want %d", i, len(got), len(values))
+		}
+		for j := range values {
+			if !bytes.Equal(got[j], values[j]) {
+				t.Errorf("case %d value %d: %x != %x", i, j, got[j], values[j])
+			}
+		}
+	}
+}
+
+// TestPackUnpackProperty is the satellite property test: the engine's batch
+// pack/unpack round-trips arbitrary value sets.
+func TestPackUnpackProperty(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		values := make([][]byte, rng.Intn(20))
+		for i := range values {
+			v := make([]byte, rng.Intn(100))
+			rng.Read(v)
+			values[i] = v
+		}
+		got, err := unpackValues(packValues(values))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(got) != len(values) {
+			t.Fatalf("iter %d: count %d != %d", iter, len(got), len(values))
+		}
+		for i := range values {
+			if !bytes.Equal(got[i], values[i]) {
+				t.Fatalf("iter %d value %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestUnpackRejectsMalformed(t *testing.T) {
+	t.Parallel()
+	for name, blob := range map[string][]byte{
+		"empty":             {},
+		"huge count":        {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		"truncated value":   {1, 10, 1, 2},
+		"trailing garbage":  {1, 1, 7, 9},
+		"missing length":    {2, 1, 7},
+		"truncated varint":  {0x80},
+		"count over buffer": {5, 0},
+	} {
+		if _, err := unpackValues(blob); err == nil {
+			t.Errorf("%s accepted: %x", name, blob)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package engine is the batched multi-instance consensus engine behind the
+// public Service API: it coalesces pending client values into one long L-bit
+// input per consensus instance — amortizing the per-generation
+// Broadcast_Single_Bit overhead exactly as the paper's O(nL) result intends —
+// and pipelines up to Config.Instances concurrent instances over the
+// simulator (sim.RunBatch), demultiplexing the decided batches back into
+// per-client decisions with per-instance and per-batch metrics.
+//
+// The engine models a replicated service: all n processors receive the same
+// stream of client values (the validity case), while up to t of them are
+// Byzantine and may deviate arbitrarily via the configured adversary. The
+// error-free guarantee of Algorithm 1 then makes every per-client decision
+// equal at all honest processors, whatever the adversary does.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"byzcons/internal/consensus"
+	"byzcons/internal/sim"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Consensus carries the protocol parameters shared by every processor
+	// (n, t, symbol width, lanes, broadcast substrate, default value).
+	Consensus consensus.Params
+	// Seed drives all randomness deterministically; each flush cycle and
+	// instance derives its own sub-seed.
+	Seed int64
+	// Faulty lists the adversary-controlled processor ids (at most T).
+	Faulty []int
+	// Adversary injects Byzantine deviations; nil means fail-free execution.
+	Adversary sim.Adversary
+	// BatchValues caps how many client values are coalesced into one
+	// consensus instance (0 = 64).
+	BatchValues int
+	// BatchBytes caps the packed payload bytes per instance (0 = 1 MiB).
+	// A single oversized value still forms its own batch.
+	BatchBytes int
+	// Instances is the number of consensus instances pipelined concurrently
+	// over the simulator per flush cycle (0 = 4).
+	Instances int
+}
+
+// Decision is the consensus outcome for one submitted value.
+type Decision struct {
+	// Value is the decided value for this submission — equal to the
+	// submitted value whenever the honest processors agree on the batch
+	// (always, under the error-free guarantee).
+	Value []byte
+	// Batch is the global sequence number of the batch the value rode in.
+	Batch int
+	// Defaulted reports that the batch's instance decided the default value
+	// (honest inputs provably differed), so Value is nil.
+	Defaulted bool
+	// Err is set when the batch's instance failed outright.
+	Err error
+}
+
+// Pending is a handle on a submitted value's eventual decision.
+type Pending struct {
+	ch chan Decision
+}
+
+// Wait blocks until the engine flushes the submission's batch and returns
+// the decision.
+func (p *Pending) Wait() Decision { return <-p.ch }
+
+// BatchStats describes one consensus instance (= one batch of values).
+type BatchStats struct {
+	Batch         int // global batch sequence number
+	Cycle         int // flush cycle the batch ran in
+	Instance      int // instance slot within its cycle
+	Values        int // client values coalesced into the batch
+	PackedBits    int // L of the packed input
+	Bits          int64
+	Rounds        int64
+	Generations   int
+	DiagnosisRuns int
+	Defaulted     bool
+	// BitsPerValue is the amortized communication cost of the batch: total
+	// protocol traffic divided by the number of client values it carried.
+	BitsPerValue float64
+}
+
+// Report summarises one Flush.
+type Report struct {
+	Batches []BatchStats
+	Values  int
+	Bits    int64
+	// Rounds is the pipelined round count: the sum over cycles of the
+	// maximum per-instance rounds within each cycle.
+	Rounds int64
+}
+
+// Stats is the engine's cumulative accounting.
+type Stats struct {
+	Submitted int
+	Decided   int
+	Defaulted int
+	Batches   int
+	Cycles    int
+	Bits      int64
+	Rounds    int64 // pipelined rounds, summed over all cycles
+}
+
+type submission struct {
+	value   []byte
+	pending *Pending
+}
+
+// Engine batches submissions and drives pipelined consensus instances.
+// All methods are safe for concurrent use; Flush serializes with itself.
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	queue     []submission
+	stats     Stats
+	nextBatch int
+	nextCycle int
+	closed    bool
+}
+
+// New validates cfg, fills defaults and returns an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Consensus.N < 1 {
+		return nil, fmt.Errorf("engine: need n >= 1, got %d", cfg.Consensus.N)
+	}
+	if len(cfg.Faulty) > cfg.Consensus.T {
+		return nil, fmt.Errorf("engine: %d faulty processors exceed t=%d", len(cfg.Faulty), cfg.Consensus.T)
+	}
+	if cfg.BatchValues == 0 {
+		cfg.BatchValues = 64
+	}
+	if cfg.BatchValues < 1 {
+		return nil, fmt.Errorf("engine: BatchValues must be >= 1, got %d", cfg.BatchValues)
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = 1 << 20
+	}
+	if cfg.BatchBytes < 1 {
+		return nil, fmt.Errorf("engine: BatchBytes must be >= 1, got %d", cfg.BatchBytes)
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 4
+	}
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("engine: Instances must be >= 1, got %d", cfg.Instances)
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Submit queues a client value for the next flush and returns a handle on
+// its decision. The value is copied; the caller may reuse the slice.
+func (e *Engine) Submit(value []byte) (*Pending, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("engine: closed")
+	}
+	p := &Pending{ch: make(chan Decision, 1)}
+	e.queue = append(e.queue, submission{value: append([]byte(nil), value...), pending: p})
+	e.stats.Submitted++
+	return p, nil
+}
+
+// PendingCount returns the number of values queued for the next flush.
+func (e *Engine) PendingCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Stats returns the engine's cumulative accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close rejects further submissions, flushes any queued values and returns
+// the final flush error (nil when the queue was empty).
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	pending := len(e.queue) > 0
+	e.mu.Unlock()
+	if !pending {
+		return nil
+	}
+	_, err := e.flush()
+	return err
+}
+
+// Flush drains the queue: values are coalesced into batches of at most
+// BatchValues values / BatchBytes bytes, batches are run Instances at a time
+// as pipelined consensus instances, and every submission's Pending is
+// resolved with its per-client decision. Flush returns the per-batch metrics
+// of everything it ran.
+func (e *Engine) Flush() (*Report, error) {
+	return e.flush()
+}
+
+func (e *Engine) flush() (*Report, error) {
+	// Serialize whole flushes against each other and against Submit bursts:
+	// the simulator runs synchronously anyway, so holding the lock keeps the
+	// cycle composition deterministic for a given submission order.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	report := &Report{}
+	var firstErr error
+	for len(e.queue) > 0 {
+		cycle := e.takeCycleLocked()
+		if err := e.runCycleLocked(cycle, report); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Release the drained backing array: e.queue is a tail slice of it, and
+	// keeping it alive would pin every flushed submission's value bytes.
+	e.queue = nil
+	return report, firstErr
+}
+
+// takeCycleLocked carves up to Instances batches off the queue head.
+func (e *Engine) takeCycleLocked() [][]submission {
+	var cycle [][]submission
+	for len(e.queue) > 0 && len(cycle) < e.cfg.Instances {
+		var batch []submission
+		size := 0
+		for len(e.queue) > 0 && len(batch) < e.cfg.BatchValues {
+			next := e.queue[0]
+			need := uvarintLen(uint64(len(next.value))) + len(next.value)
+			// The packed form also carries the count header; budget it so
+			// the blob never exceeds BatchBytes (see packedBits).
+			header := uvarintLen(uint64(len(batch) + 1))
+			if len(batch) > 0 && header+size+need > e.cfg.BatchBytes {
+				break
+			}
+			batch = append(batch, next)
+			size += need
+			e.queue = e.queue[1:]
+		}
+		cycle = append(cycle, batch)
+	}
+	return cycle
+}
+
+// runCycleLocked runs one cycle of batches as pipelined consensus instances
+// and resolves every submission of the cycle.
+func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
+	cycleID := e.nextCycle
+	e.nextCycle++
+	e.stats.Cycles++
+
+	inputs := make([][]byte, len(cycle))
+	batchIDs := make([]int, len(cycle))
+	for k, batch := range cycle {
+		values := make([][]byte, len(batch))
+		for i, s := range batch {
+			values[i] = s.value
+		}
+		inputs[k] = packValues(values)
+		batchIDs[k] = e.nextBatch
+		e.nextBatch++
+		e.stats.Batches++
+	}
+
+	par := e.cfg.Consensus
+	res := sim.RunBatch(sim.BatchConfig{
+		N:         par.N,
+		Faulty:    e.cfg.Faulty,
+		Adversary: e.cfg.Adversary,
+		Seed:      e.cfg.Seed + int64(cycleID)*0x2545F4914F6CDD1D,
+		Instances: len(cycle),
+	}, func(inst int, p *sim.Proc) any {
+		return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
+	})
+
+	report.Rounds += res.Rounds
+	report.Bits += res.Bits
+	e.stats.Rounds += res.Rounds
+	e.stats.Bits += res.Bits
+
+	var firstErr error
+	for k, batch := range cycle {
+		ir := res.Instances[k]
+		st := BatchStats{
+			Batch:      batchIDs[k],
+			Cycle:      cycleID,
+			Instance:   k,
+			Values:     len(batch),
+			PackedBits: len(inputs[k]) * 8,
+			Bits:       ir.Meter.TotalBits(),
+			Rounds:     ir.Meter.Rounds(),
+		}
+		err := ir.Err
+		var out *consensus.Output
+		if err == nil {
+			out, err = e.agreedOutput(ir.Values)
+		}
+		if err != nil {
+			err = fmt.Errorf("engine: batch %d: %w", batchIDs[k], err)
+			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
+			if firstErr == nil {
+				firstErr = err
+			}
+			report.Batches = append(report.Batches, st)
+			continue
+		}
+		st.Generations = out.Generations
+		st.DiagnosisRuns = out.DiagnosisRuns
+		st.Defaulted = out.Defaulted
+		st.BitsPerValue = float64(st.Bits) / float64(len(batch))
+		report.Batches = append(report.Batches, st)
+		report.Values += len(batch)
+
+		if out.Defaulted {
+			e.stats.Defaulted += len(batch)
+			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Defaulted: true})
+			continue
+		}
+		decided, err := unpackValues(out.Value)
+		if err == nil && len(decided) != len(batch) {
+			err = fmt.Errorf("engine: decided %d values for a %d-value batch", len(decided), len(batch))
+		}
+		if err != nil {
+			err = fmt.Errorf("engine: batch %d: %w", batchIDs[k], err)
+			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for i, s := range batch {
+			e.stats.Decided++
+			s.pending.ch <- Decision{Value: decided[i], Batch: batchIDs[k]}
+		}
+	}
+	return firstErr
+}
+
+// agreedOutput cross-checks the honest processors' outputs of one instance
+// and returns their common output. Any divergence means the error-free
+// guarantee was broken and is reported as an error.
+func (e *Engine) agreedOutput(values []any) (*consensus.Output, error) {
+	isFaulty := make(map[int]bool, len(e.cfg.Faulty))
+	for _, f := range e.cfg.Faulty {
+		isFaulty[f] = true
+	}
+	var ref *consensus.Output
+	for i, v := range values {
+		if isFaulty[i] {
+			continue
+		}
+		out, ok := v.(*consensus.Output)
+		if !ok {
+			return nil, fmt.Errorf("honest processor %d produced no output", i)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if !bytes.Equal(out.Value, ref.Value) || out.Defaulted != ref.Defaulted {
+			return nil, fmt.Errorf("honest processors %d disagreed (error-free guarantee broken)", i)
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("no honest processors")
+	}
+	return ref, nil
+}
+
+// resolveBatch delivers one decision to every submission of a batch.
+func (e *Engine) resolveBatch(batch []submission, d Decision) {
+	for _, s := range batch {
+		s.pending.ch <- d
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPackRoundTrip fuzzes the batch framing: any value set (decoded from
+// the fuzzer's raw bytes with self-delimiting slicing) must round-trip
+// through packValues/unpackValues exactly, and unpackValues must never panic
+// or mis-parse arbitrary blobs.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(2))
+	f.Add(bytes.Repeat([]byte{0xAB}, 400), uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, cuts uint8) {
+		// Slice raw into up to cuts+1 values at deterministic cut points.
+		n := int(cuts%16) + 1
+		values := make([][]byte, 0, n)
+		rest := raw
+		for i := 0; i < n && len(rest) > 0; i++ {
+			w := len(rest) / (n - i)
+			values = append(values, rest[:w])
+			rest = rest[w:]
+		}
+		packed := packValues(values)
+		if len(packed)*8 != packedBits(values) {
+			t.Fatalf("packedBits %d != %d", packedBits(values), len(packed)*8)
+		}
+		got, err := unpackValues(packed)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(got) != len(values) {
+			t.Fatalf("count %d != %d", len(got), len(values))
+		}
+		for i := range values {
+			if !bytes.Equal(got[i], values[i]) {
+				t.Fatalf("value %d mismatch", i)
+			}
+		}
+
+		// Arbitrary blobs must parse or fail cleanly — and any successful
+		// parse must re-pack to the identical blob (canonical framing).
+		if vals, err := unpackValues(raw); err == nil {
+			if !bytes.Equal(packValues(vals), raw) {
+				t.Fatal("non-canonical parse of arbitrary blob")
+			}
+		}
+	})
+}

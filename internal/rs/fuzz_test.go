@@ -75,6 +75,88 @@ func FuzzDecodeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzInterleavedRoundTrip fuzzes the interleaved code the consensus
+// generations ride on: for any data and any erasure pattern, decoding from
+// any >= K surviving positions must return the original K*M data symbols
+// (erasures model the symbols an honest processor never received from
+// untrusted or silent senders), fewer than K survivors must fail with
+// ErrTooFew, and a single corrupted lane symbol must be detected whenever
+// surplus positions are present.
+func FuzzInterleavedRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(0x1F), uint8(1), uint8(0))
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint8(0x55), uint8(3), uint8(9))
+	f.Add([]byte{}, uint8(0x07), uint8(2), uint8(100))
+	f.Fuzz(func(t *testing.T, raw []byte, mask uint8, lanesSeed uint8, corrupt uint8) {
+		field, err := gf.New(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, k = 7, 3
+		code, err := New(field, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := int(lanesSeed%4) + 1
+		ic, err := NewInterleaved(code, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]gf.Sym, ic.DataSyms())
+		for i := range data {
+			if i < len(raw) {
+				data[i] = gf.Sym(raw[i])
+			}
+		}
+		words := ic.Encode(data)
+
+		// The mask selects the surviving positions; the rest are erased.
+		var pos []int
+		var surv [][]gf.Sym
+		for j := 0; j < n; j++ {
+			if mask>>uint(j)&1 == 1 {
+				pos = append(pos, j)
+				surv = append(surv, words[j])
+			}
+		}
+		if len(pos) < k {
+			if _, err := ic.Decode(pos, surv); err != ErrTooFew {
+				t.Fatalf("want ErrTooFew with %d survivors, got %v", len(pos), err)
+			}
+			return
+		}
+		got, err := ic.Decode(pos, surv)
+		if err != nil {
+			t.Fatalf("decode with %d erasures failed: %v", n-len(pos), err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatal("interleaved round trip mismatch")
+			}
+		}
+		if !ic.Consistent(pos, surv) {
+			t.Fatal("clean survivors reported inconsistent")
+		}
+
+		// Corrupt one lane symbol of one surviving word (copy first: words
+		// share Encode's backing array).
+		delta := gf.Sym(corrupt)
+		if delta == 0 {
+			delta = 1
+		}
+		bad := int(corrupt) % len(pos)
+		tampered := append([]gf.Sym(nil), surv[bad]...)
+		tampered[int(corrupt/8)%m] ^= delta
+		surv[bad] = tampered
+		if len(pos) > k {
+			if ic.Consistent(pos, surv) {
+				t.Fatal("corrupted lane not detected with surplus positions")
+			}
+		} else if !ic.Consistent(pos, surv) {
+			t.Fatal("exactly-K positions must always be consistent")
+		}
+	})
+}
+
 // FuzzCorrectErrors fuzzes the Berlekamp-Welch decoder within its radius.
 func FuzzCorrectErrors(f *testing.F) {
 	f.Add([]byte{1, 2}, uint16(0x035A))

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// echoBody is a small protocol: every processor sends its (instance, id)
+// product to everyone, runs `rounds` Exchange rounds, and returns the sum of
+// everything it received.
+func echoBody(rounds int) func(inst int, p *Proc) any {
+	return func(inst int, p *Proc) any {
+		acc := 0
+		for r := 0; r < rounds; r++ {
+			var out []Message
+			for to := 0; to < p.N; to++ {
+				if to != p.ID {
+					out = append(out, Message{To: to, Payload: (inst+1)*100 + p.ID, Bits: 8, Tag: "echo"})
+				}
+			}
+			in := p.Exchange(StepID("r")+StepID(rune('0'+r)), out, nil)
+			for _, m := range in {
+				acc += m.Payload.(int)
+			}
+		}
+		return acc
+	}
+}
+
+func TestRunBatchIndependentInstances(t *testing.T) {
+	t.Parallel()
+	const n, b = 4, 3
+	res := RunBatch(BatchConfig{N: n, Seed: 1, Instances: b}, echoBody(2))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Instances) != b {
+		t.Fatalf("got %d instances, want %d", len(res.Instances), b)
+	}
+	for k, ir := range res.Instances {
+		// Each round every processor receives the other three ids offset by
+		// the instance marker; two rounds double it.
+		want := 0
+		for id := 0; id < n; id++ {
+			want += (k+1)*100 + id
+		}
+		for id, v := range ir.Values {
+			got := v.(int)
+			wantHere := 2 * (want - ((k+1)*100 + id))
+			if got != wantHere {
+				t.Errorf("inst %d proc %d = %d, want %d", k, id, got, wantHere)
+			}
+		}
+		if bits := ir.Meter.TotalBits(); bits != 2*int64(n)*int64(n-1)*8 {
+			t.Errorf("inst %d metered %d bits", k, bits)
+		}
+		if r := ir.Meter.Rounds(); r != 2 {
+			t.Errorf("inst %d rounds = %d, want 2", k, r)
+		}
+	}
+	if res.Bits != int64(b)*2*4*3*8 {
+		t.Errorf("batch bits = %d", res.Bits)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("batch rounds = %d, want max over instances = 2", res.Rounds)
+	}
+}
+
+func TestRunBatchRoundsAreMaxNotSum(t *testing.T) {
+	t.Parallel()
+	// Instances of different lengths: pipelined rounds must be the max.
+	res := RunBatch(BatchConfig{N: 3, Seed: 2, Instances: 3}, func(inst int, p *Proc) any {
+		for r := 0; r <= inst; r++ {
+			p.Sync(StepID("s")+StepID(rune('0'+r)), p.ID, 1, "g", nil)
+		}
+		return nil
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3 (longest instance)", res.Rounds)
+	}
+	var sum int64
+	for _, ir := range res.Instances {
+		sum += ir.Meter.Rounds()
+	}
+	if sum != 1+2+3 {
+		t.Errorf("per-instance rounds sum = %d, want 6", sum)
+	}
+}
+
+func TestRunBatchDeterministicPerInstance(t *testing.T) {
+	t.Parallel()
+	run := func() []any {
+		res := RunBatch(BatchConfig{N: 4, Seed: 7, Instances: 4}, func(inst int, p *Proc) any {
+			// Mix in per-processor randomness so seeds matter.
+			v := p.Rand.Intn(1000)
+			vals := p.Sync("mix", v, 4, "g", nil)
+			sum := 0
+			for _, x := range vals {
+				sum += x.(int)
+			}
+			return sum
+		})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		out := make([]any, 0, 4*4)
+		for _, ir := range res.Instances {
+			out = append(out, ir.Values...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic batch value at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunBatchSingleInstanceMatchesRun(t *testing.T) {
+	t.Parallel()
+	body := func(p *Proc) any {
+		v := p.Rand.Intn(1 << 20)
+		vals := p.Sync("v", v, 8, "g", nil)
+		sum := 0
+		for _, x := range vals {
+			sum += x.(int)
+		}
+		return sum
+	}
+	single := Run(RunConfig{N: 5, Seed: 99}, body)
+	batch := RunBatch(BatchConfig{N: 5, Seed: 99, Instances: 1}, func(inst int, p *Proc) any { return body(p) })
+	if single.Err != nil || batch.Err != nil {
+		t.Fatal(single.Err, batch.Err)
+	}
+	for i := range single.Values {
+		if single.Values[i] != batch.Instances[0].Values[i] {
+			t.Fatalf("instance 0 diverges from Run at proc %d", i)
+		}
+	}
+}
+
+// countingAdv carries unsynchronized mutable state across steps; RunBatch's
+// adversary lock must keep it race-clean (this test is meaningful under
+// -race). It also records which instances it observed via the step context.
+type countingAdv struct {
+	calls int
+	insts map[int]bool
+}
+
+func (a *countingAdv) ReworkExchange(ctx *ExchangeCtx) {
+	a.calls++
+	a.insts[ctx.Instance] = true
+}
+
+func (a *countingAdv) ReworkSync(ctx *SyncCtx) {
+	a.calls++
+	a.insts[ctx.Instance] = true
+}
+
+func TestRunBatchSharedAdversaryIsSerializedAndInstanceTagged(t *testing.T) {
+	t.Parallel()
+	const b = 6
+	adv := &countingAdv{insts: make(map[int]bool)}
+	res := RunBatch(BatchConfig{N: 3, Faulty: []int{0}, Adversary: adv, Seed: 3, Instances: b}, func(inst int, p *Proc) any {
+		if p.Instance != inst {
+			t.Errorf("Proc.Instance = %d, want %d", p.Instance, inst)
+		}
+		p.Sync("a", p.ID, 1, "g", nil)
+		p.Exchange("b", nil, nil)
+		return nil
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if adv.calls != 2*b {
+		t.Errorf("adversary saw %d steps, want %d", adv.calls, 2*b)
+	}
+	for k := 0; k < b; k++ {
+		if !adv.insts[k] {
+			t.Errorf("adversary never saw instance %d", k)
+		}
+	}
+}
+
+func TestRunBatchInstanceErrorIsTaggedAndIsolated(t *testing.T) {
+	t.Parallel()
+	// Instance 0 fails: errors of every batch slot — including slot 0 —
+	// must carry the instance tag, while the other instances complete.
+	res := RunBatch(BatchConfig{N: 3, Seed: 5, Instances: 3}, func(inst int, p *Proc) any {
+		if inst == 0 && p.ID == 1 {
+			panic("boom")
+		}
+		p.Sync("s", p.ID, 1, "g", nil)
+		return p.ID
+	})
+	if res.Err == nil {
+		t.Fatal("expected batch error from failing instance")
+	}
+	if res.Instances[1].Err != nil || res.Instances[2].Err != nil {
+		t.Errorf("healthy instances failed: %v / %v", res.Instances[1].Err, res.Instances[2].Err)
+	}
+	if res.Instances[0].Err == nil {
+		t.Fatal("failing instance reported no error")
+	}
+	if !strings.Contains(res.Instances[0].Err.Error(), "inst 0") {
+		t.Errorf("error not instance-tagged: %v", res.Instances[0].Err)
+	}
+	for _, ir := range res.Instances[1:] {
+		for id, v := range ir.Values {
+			if v.(int) != id {
+				t.Errorf("healthy instance lost values: %v", ir.Values)
+			}
+		}
+	}
+
+	// A plain (non-batched) Run must keep its errors untagged.
+	single := Run(RunConfig{N: 2, Seed: 5}, func(p *Proc) any {
+		if p.ID == 1 {
+			panic("boom")
+		}
+		p.Sync("s", p.ID, 1, "g", nil)
+		return nil
+	})
+	if single.Err == nil || strings.Contains(single.Err.Error(), "inst ") {
+		t.Errorf("single-run error wrongly instance-tagged: %v", single.Err)
+	}
+}

@@ -16,11 +16,12 @@ const (
 // Network implements the synchronous barrier rounds shared by all processor
 // goroutines of one run.
 type Network struct {
-	n      int
-	faulty []bool
-	adv    Adversary
-	meter  *metrics.Meter
-	rand   *rand.Rand
+	n        int
+	instance int // instance id when multiplexed by RunBatch; -1 for single runs
+	faulty   []bool
+	adv      Adversary
+	meter    *metrics.Meter
+	rand     *rand.Rand
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -42,20 +43,23 @@ type Network struct {
 // NewNetwork creates a network for n processors. faulty marks the
 // adversary-controlled processors; adv rewrites their traffic (Passive for
 // fail-free runs). rng drives adversary randomness deterministically.
-func NewNetwork(n int, faulty []bool, adv Adversary, meter *metrics.Meter, rng *rand.Rand) *Network {
+// instance tags the network's steps and errors when several instances are
+// multiplexed over one deployment (-1 for single-instance runs).
+func NewNetwork(n, instance int, faulty []bool, adv Adversary, meter *metrics.Meter, rng *rand.Rand) *Network {
 	if adv == nil {
 		adv = Passive{}
 	}
 	net := &Network{
-		n:      n,
-		faulty: faulty,
-		adv:    adv,
-		meter:  meter,
-		rand:   rng,
-		outs:   make([][]Message, n),
-		vals:   make([]any, n),
-		bits:   make([]int64, n),
-		tags:   make([]string, n),
+		n:        n,
+		instance: instance,
+		faulty:   faulty,
+		adv:      adv,
+		meter:    meter,
+		rand:     rng,
+		outs:     make([][]Message, n),
+		vals:     make([]any, n),
+		bits:     make([]int64, n),
+		tags:     make([]string, n),
 	}
 	net.cond = sync.NewCond(&net.mu)
 	return net
@@ -64,6 +68,16 @@ func NewNetwork(n int, faulty []bool, adv Adversary, meter *metrics.Meter, rng *
 // Meter returns the network's bit meter.
 func (net *Network) Meter() *metrics.Meter { return net.meter }
 
+// errf builds a run-level error tagged with the network's instance when it is
+// part of a multiplexed batch, so failures are attributable to one instance.
+func (net *Network) errf(format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	if net.instance >= 0 {
+		err = fmt.Errorf("inst %d: %w", net.instance, err)
+	}
+	return err
+}
+
 // procDone records that one processor's body returned. If other processors
 // are parked at a barrier that can now never be completed, the run is failed
 // rather than deadlocked.
@@ -71,7 +85,7 @@ func (net *Network) procDone() {
 	net.mu.Lock()
 	net.done++
 	if net.arrived > 0 && net.arrived+net.done >= net.n && net.failed == nil {
-		net.failed = fmt.Errorf("sim: %d processor(s) exited while others wait at step %q", net.done, net.step)
+		net.failed = net.errf("sim: %d processor(s) exited while others wait at step %q", net.done, net.step)
 		net.cond.Broadcast()
 	}
 	net.mu.Unlock()
@@ -128,7 +142,7 @@ func (net *Network) rendezvous(p int, step StepID, kind int, submit func(), fina
 		net.kind = kind
 		net.meta = nil
 	} else if net.step != step || net.kind != kind {
-		err := fmt.Errorf("sim: step mismatch: processor %d at %q (kind %d), barrier at %q (kind %d)",
+		err := net.errf("sim: step mismatch: processor %d at %q (kind %d), barrier at %q (kind %d)",
 			p, step, kind, net.step, net.kind)
 		net.failed = err
 		net.cond.Broadcast()
@@ -138,7 +152,7 @@ func (net *Network) rendezvous(p int, step StepID, kind int, submit func(), fina
 	net.arrived++
 	myPhase := net.phase
 	if net.done > 0 && net.arrived+net.done >= net.n {
-		err := fmt.Errorf("sim: step %q can never complete: %d processor(s) already exited", step, net.done)
+		err := net.errf("sim: step %q can never complete: %d processor(s) already exited", step, net.done)
 		net.failed = err
 		net.cond.Broadcast()
 		panic(abortError{err})
@@ -170,7 +184,7 @@ func (net *Network) rendezvous(p int, step StepID, kind int, submit func(), fina
 // finalizeExchange runs under the lock once all processors submitted.
 func (net *Network) finalizeExchange() {
 	ctx := &ExchangeCtx{
-		Step: net.step, N: net.n, Faulty: net.faulty,
+		Step: net.step, Instance: max(net.instance, 0), N: net.n, Faulty: net.faulty,
 		Out: net.outs, Meta: net.meta, Rand: net.rand,
 	}
 	net.adv.ReworkExchange(ctx)
@@ -179,11 +193,11 @@ func (net *Network) finalizeExchange() {
 		for _, m := range net.outs[from] {
 			m.From = from // senders cannot forge their identity (paper's channel model)
 			if m.To < 0 || m.To >= net.n || m.To == from {
-				net.failed = fmt.Errorf("sim: step %q: processor %d sent message with bad To=%d", net.step, from, m.To)
+				net.failed = net.errf("sim: step %q: processor %d sent message with bad To=%d", net.step, from, m.To)
 				return
 			}
 			if m.Bits < 0 {
-				net.failed = fmt.Errorf("sim: step %q: negative Bits from processor %d", net.step, from)
+				net.failed = net.errf("sim: step %q: negative Bits from processor %d", net.step, from)
 				return
 			}
 			net.meter.Add(m.Tag, m.Bits, net.faulty[from])
@@ -197,7 +211,7 @@ func (net *Network) finalizeExchange() {
 // finalizeSync runs under the lock once all processors submitted.
 func (net *Network) finalizeSync() {
 	ctx := &SyncCtx{
-		Step: net.step, N: net.n, Faulty: net.faulty,
+		Step: net.step, Instance: max(net.instance, 0), N: net.n, Faulty: net.faulty,
 		Vals: net.vals, Meta: net.meta, Rand: net.rand,
 	}
 	net.adv.ReworkSync(ctx)

@@ -6,11 +6,15 @@ import "math/rand"
 // written as a function of a Proc; the same code runs at honest and faulty
 // processors (the adversary rewrites faulty traffic at the network layer).
 type Proc struct {
-	ID     int
-	N      int
-	Faulty bool // whether this processor is adversary-controlled
-	Rand   *rand.Rand
-	net    *Network
+	ID int
+	N  int
+	// Instance is the protocol instance this processor handle belongs to
+	// (RunBatch multiplexes several independent instances over one
+	// deployment; Run uses instance 0 throughout).
+	Instance int
+	Faulty   bool // whether this processor is adversary-controlled
+	Rand     *rand.Rand
+	net      *Network
 }
 
 // Exchange submits this processor's point-to-point messages for the given

@@ -29,6 +29,14 @@ type RunResult struct {
 // invalid message, or panic in a body aborts the whole run and is reported
 // in RunResult.Err.
 func Run(cfg RunConfig, body func(p *Proc) any) *RunResult {
+	return runInstance(cfg, -1, body)
+}
+
+// runInstance is the shared single-instance runner behind Run and RunBatch;
+// instance tags the network's steps, errors and adversary contexts (-1 for a
+// plain Run, which reports itself as instance 0 to protocol code but keeps
+// its errors untagged).
+func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult {
 	meter := metrics.NewMeter()
 	faulty := make([]bool, cfg.N)
 	for _, f := range cfg.Faulty {
@@ -37,17 +45,18 @@ func Run(cfg RunConfig, body func(p *Proc) any) *RunResult {
 		}
 		faulty[f] = true
 	}
-	net := NewNetwork(cfg.N, faulty, cfg.Adversary, meter, rand.New(rand.NewSource(cfg.Seed^0x5DEECE66D)))
+	net := NewNetwork(cfg.N, instance, faulty, cfg.Adversary, meter, rand.New(rand.NewSource(cfg.Seed^0x5DEECE66D)))
 
 	values := make([]any, cfg.N)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
 		p := &Proc{
-			ID:     i,
-			N:      cfg.N,
-			Faulty: faulty[i],
-			Rand:   rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
-			net:    net,
+			ID:       i,
+			N:        cfg.N,
+			Instance: max(instance, 0),
+			Faulty:   faulty[i],
+			Rand:     rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
+			net:      net,
 		}
 		wg.Add(1)
 		go func() {
@@ -59,7 +68,7 @@ func Run(cfg RunConfig, body func(p *Proc) any) *RunResult {
 					case abortError:
 						net.fail(e.err)
 					default:
-						net.fail(fmt.Errorf("sim: processor %d panicked: %v", p.ID, r))
+						net.fail(net.errf("sim: processor %d panicked: %v", p.ID, r))
 					}
 				}
 			}()

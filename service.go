@@ -1,0 +1,95 @@
+package byzcons
+
+import (
+	"byzcons/internal/engine"
+)
+
+// ServiceConfig configures a batching consensus Service.
+type ServiceConfig struct {
+	// Config carries the protocol parameters (N, T, broadcast substrate,
+	// seed, ...). Trace is ignored by the Service.
+	Config
+	// Scenario injects faults into the simulated deployment: the same faulty
+	// set and adversary apply to every consensus instance the service runs.
+	Scenario Scenario
+	// BatchValues caps how many submitted values are coalesced into one
+	// consensus instance (0 = 64). Bigger batches mean longer inputs and
+	// fewer amortized bits per value — the paper's large-L regime.
+	BatchValues int
+	// BatchBytes caps the packed payload bytes per instance (0 = 1 MiB).
+	BatchBytes int
+	// Instances is the number of consensus instances pipelined concurrently
+	// per flush cycle (0 = 4).
+	Instances int
+}
+
+// Decision is the consensus outcome for one submitted value.
+type Decision = engine.Decision
+
+// Pending is a handle on a submitted value's eventual Decision.
+type Pending = engine.Pending
+
+// BatchStats is the per-batch (= per consensus instance) metric record.
+type BatchStats = engine.BatchStats
+
+// FlushReport summarises one Service.Flush.
+type FlushReport = engine.Report
+
+// ServiceStats is the service's cumulative accounting.
+type ServiceStats = engine.Stats
+
+// Service is the batched consensus engine behind a Submit/Decide API: client
+// values are coalesced into long inputs (one per consensus instance,
+// amortizing the per-generation broadcast overhead), instances are pipelined
+// over the simulated deployment, and each submission resolves to its own
+// per-client Decision.
+//
+//	svc, _ := byzcons.NewService(byzcons.ServiceConfig{
+//		Config:      byzcons.Config{N: 7, T: 2},
+//		BatchValues: 32,
+//	})
+//	p, _ := svc.Submit([]byte("command"))
+//	svc.Flush()
+//	d := p.Wait() // d.Value == []byte("command")
+type Service struct {
+	eng *engine.Engine
+}
+
+// NewService validates cfg and returns a Service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	eng, err := engine.New(engine.Config{
+		Consensus:   cfg.consensusParams(),
+		Seed:        cfg.Seed,
+		Faulty:      cfg.Scenario.Faulty,
+		Adversary:   cfg.Scenario.Behavior,
+		BatchValues: cfg.BatchValues,
+		BatchBytes:  cfg.BatchBytes,
+		Instances:   cfg.Instances,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{eng: eng}, nil
+}
+
+// Submit queues a client value for the next Flush and returns a handle on
+// its decision. The value is copied; the caller may reuse the slice.
+func (s *Service) Submit(value []byte) (*Pending, error) {
+	return s.eng.Submit(value)
+}
+
+// Flush drains the queue: pending values are coalesced into batches, batches
+// run as pipelined consensus instances, and every outstanding Pending
+// resolves. It returns per-batch metrics for everything it ran.
+func (s *Service) Flush() (*FlushReport, error) {
+	return s.eng.Flush()
+}
+
+// PendingCount returns the number of values queued for the next Flush.
+func (s *Service) PendingCount() int { return s.eng.PendingCount() }
+
+// Stats returns the service's cumulative accounting.
+func (s *Service) Stats() ServiceStats { return s.eng.Stats() }
+
+// Close flushes any queued values and rejects further submissions.
+func (s *Service) Close() error { return s.eng.Close() }

@@ -1,0 +1,110 @@
+package byzcons_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"byzcons"
+)
+
+func TestServiceSubmitFlushDecide(t *testing.T) {
+	t.Parallel()
+	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+		Config:      byzcons.Config{N: 7, T: 2, Seed: 3},
+		Scenario:    byzcons.Scenario{Faulty: []int{2, 5}, Behavior: byzcons.Equivocator{Victims: []int{6}}},
+		BatchValues: 4,
+		Instances:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var values [][]byte
+	var pendings []*byzcons.Pending
+	for i := 0; i < 10; i++ {
+		v := []byte(fmt.Sprintf("command #%02d: credit account %d", i, i*i))
+		p, err := svc.Submit(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, v)
+		pendings = append(pendings, p)
+	}
+	report, err := svc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Values != 10 || len(report.Batches) != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, st := range report.Batches {
+		if st.Bits <= 0 || st.BitsPerValue <= 0 {
+			t.Errorf("batch %d missing metrics: %+v", st.Batch, st)
+		}
+	}
+	for i, p := range pendings {
+		d := p.Wait()
+		if d.Err != nil {
+			t.Fatalf("value %d: %v", i, d.Err)
+		}
+		if !bytes.Equal(d.Value, values[i]) {
+			t.Fatalf("per-client decision %d = %q, want %q", i, d.Value, values[i])
+		}
+	}
+	if st := svc.Stats(); st.Decided != 10 || st.Submitted != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit([]byte{1}); err == nil {
+		t.Error("Submit accepted after Close")
+	}
+}
+
+// TestServiceAmortizedBitsPerValueDecreases is the acceptance-criteria
+// assertion at the public API: for a fixed workload at fixed n and t, the
+// amortized communication bits per submitted value strictly decrease as the
+// batch size grows.
+func TestServiceAmortizedBitsPerValueDecreases(t *testing.T) {
+	t.Parallel()
+	const workload = 32
+	var prev float64
+	for i, batch := range []int{1, 2, 4, 8, 16, 32} {
+		svc, err := byzcons.NewService(byzcons.ServiceConfig{
+			Config:      byzcons.Config{N: 7, T: 2, SymBits: 8, Seed: 1},
+			BatchValues: batch,
+			Instances:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < workload; v++ {
+			if _, err := svc.Submit(bytes.Repeat([]byte{byte(v)}, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := svc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		perValue := float64(svc.Stats().Bits) / workload
+		t.Logf("batch=%2d  amortized %.0f bits/value", batch, perValue)
+		if i > 0 && perValue >= prev {
+			t.Errorf("batch=%d: %.0f bits/value does not beat %.0f at the previous size", batch, perValue, prev)
+		}
+		prev = perValue
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := byzcons.NewService(byzcons.ServiceConfig{Config: byzcons.Config{N: 0}}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := byzcons.NewService(byzcons.ServiceConfig{
+		Config:   byzcons.Config{N: 4, T: 1},
+		Scenario: byzcons.Scenario{Faulty: []int{0, 1}},
+	}); err == nil {
+		t.Error("more faulty than T accepted")
+	}
+}
