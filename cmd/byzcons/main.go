@@ -12,15 +12,26 @@
 //
 // The serve mode drives the batched Service engine: a workload of client
 // values is coalesced into long per-instance inputs and pipelined over the
-// simulated deployment, reporting amortized bits per value. With -sweep it
-// repeats the workload at doubling batch sizes to show the amortization
-// curve:
+// deployment, reporting amortized bits per value. With -sweep it repeats the
+// workload at doubling batch sizes to show the amortization curve, and
+// -transport selects the backend (sim, bus or tcp):
 //
 //	byzcons -mode serve -n 7 -t 2 -values 64 -valbytes 64 -batch 16 -instances 4
 //	byzcons -mode serve -n 7 -t 2 -values 64 -sweep
+//	byzcons -mode serve -n 7 -t 2 -values 64 -transport tcp
+//
+// The cluster mode spawns one networked node per processor over a real
+// transport (loopback TCP by default), runs a consensus workload end to end,
+// and cross-checks the decision and metered traffic against a simulator
+// reference run of the identical scenario, reporting the measured on-wire
+// bytes next to the protocol-level bit meter:
+//
+//	byzcons -mode cluster -n 7 -t 2 -L 65536 -faulty 1,4 -adv equivocator
+//	byzcons -mode cluster -transport bus -n 4 -t 1 -faulty 1 -adv silent
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +52,7 @@ func main() {
 
 func run() error {
 	var (
-		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive | serve")
+		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive | serve | cluster")
 		n      = flag.Int("n", 7, "number of processors")
 		t      = flag.Int("t", 2, "Byzantine fault bound (t < n/3)")
 		L      = flag.Int("L", 8192, "value length in bits")
@@ -61,6 +72,8 @@ func run() error {
 		batch     = flag.Int("batch", 16, "serve: max values coalesced per consensus instance")
 		instances = flag.Int("instances", 4, "serve: concurrent pipelined instances per cycle")
 		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
+
+		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
 	)
 	flag.Parse()
 
@@ -95,9 +108,21 @@ func run() error {
 	var res *byzcons.Result
 	switch *mode {
 	case "serve":
+		tk, err := parseTransport(*transportStr, byzcons.TransportSim)
+		if err != nil {
+			return err
+		}
 		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
 			BroadcastEpsilon: *eps, Seed: *seed}
-		return serve(os.Stdout, cfg, sc, *values, *valBytes, *batch, *instances, *sweep)
+		return serve(os.Stdout, cfg, sc, tk, *values, *valBytes, *batch, *instances, *sweep)
+	case "cluster":
+		tk, err := parseTransport(*transportStr, byzcons.TransportTCP)
+		if err != nil {
+			return err
+		}
+		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
+			BroadcastEpsilon: *eps, Seed: *seed}
+		return cluster(os.Stdout, cfg, sc, inputs, *L, tk)
 	case "consensus":
 		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Broadcast: kind,
 			BroadcastEpsilon: *eps, Seed: *seed, Trace: traceW}
@@ -123,14 +148,63 @@ func run() error {
 	return nil
 }
 
+// parseTransport resolves the -transport flag, defaulting per mode.
+func parseTransport(s string, def byzcons.TransportKind) (byzcons.TransportKind, error) {
+	if s == "" {
+		return def, nil
+	}
+	return byzcons.ParseTransportKind(s)
+}
+
+// cluster runs one consensus deployment with networked nodes over the
+// selected transport, plus a simulator reference run of the identical
+// scenario, and cross-checks the two: same decision, same metered protocol
+// bits. It reports the measured wire traffic next to the metered bits —
+// the encoded-bytes-per-protocol-bit ratio is the real cost of putting the
+// paper's O(nL) result on a wire.
+func cluster(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, inputs [][]byte, L int, kind byzcons.TransportKind) error {
+	if kind == byzcons.TransportSim {
+		return fmt.Errorf("cluster: pick a networked transport (bus or tcp)")
+	}
+	clusterRes, err := byzcons.ClusterConsensus(cfg, inputs, L, sc, kind)
+	if err != nil {
+		return fmt.Errorf("cluster run (%v): %w", kind, err)
+	}
+	simRes, err := byzcons.ClusterConsensus(cfg, inputs, L, sc, byzcons.TransportSim)
+	if err != nil {
+		return fmt.Errorf("simulator reference: %w", err)
+	}
+
+	fmt.Fprintf(w, "mode=cluster transport=%s n=%d t=%d L=%d bits bsb=%v\n", clusterRes.Transport, cfg.N, cfg.T, L, cfg.Broadcast)
+	fmt.Fprintf(w, "cluster:   consistent=%v defaulted=%v generations=%d diagnosisRuns=%d bits=%d rounds=%d\n",
+		clusterRes.Consistent, clusterRes.Defaulted, clusterRes.Generations, clusterRes.DiagnosisRuns, clusterRes.Bits, clusterRes.Rounds)
+	fmt.Fprintf(w, "simulator: consistent=%v defaulted=%v generations=%d diagnosisRuns=%d bits=%d rounds=%d\n",
+		simRes.Consistent, simRes.Defaulted, simRes.Generations, simRes.DiagnosisRuns, simRes.Bits, simRes.Rounds)
+
+	switch {
+	case !clusterRes.Consistent || !simRes.Consistent:
+		return fmt.Errorf("cluster: inconsistent honest decisions")
+	case !bytes.Equal(clusterRes.Value, simRes.Value) || clusterRes.Defaulted != simRes.Defaulted:
+		return fmt.Errorf("cluster: decision diverges from the simulator reference")
+	case clusterRes.Bits != simRes.Bits:
+		return fmt.Errorf("cluster: metered %d bits, simulator metered %d", clusterRes.Bits, simRes.Bits)
+	}
+	fmt.Fprintln(w, "cross-check: cluster and simulator decisions identical")
+
+	encoded := clusterRes.Wire.BytesSent * 8
+	fmt.Fprintf(w, "wire: frames=%d encodedBytes=%d encodedBits/meteredBits=%.2f\n",
+		clusterRes.Wire.FramesSent, clusterRes.Wire.BytesSent, float64(encoded)/float64(clusterRes.Bits))
+	return nil
+}
+
 // serve drives the batched Service engine over a synthetic workload and
 // reports per-batch metrics plus the amortized bits/value. With sweep it
 // repeats the workload at doubling batch sizes up to the configured batch.
-func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, values, valBytes, batch, instances int, sweep bool) error {
+func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind, values, valBytes, batch, instances int, sweep bool) error {
 	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 {
 		return fmt.Errorf("serve: values, valbytes, batch and instances must all be >= 1")
 	}
-	fmt.Fprintf(w, "mode=serve n=%d t=%d workload=%d values x %d bytes\n", cfg.N, cfg.T, values, valBytes)
+	fmt.Fprintf(w, "mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes\n", tk, cfg.N, cfg.T, values, valBytes)
 
 	batches := []int{batch}
 	if sweep {
@@ -145,6 +219,7 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, values, valByte
 		svc, err := byzcons.NewService(byzcons.ServiceConfig{
 			Config:      cfg,
 			Scenario:    sc,
+			Transport:   tk,
 			BatchValues: b,
 			Instances:   instances,
 		})
@@ -189,6 +264,10 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, values, valByte
 			st.Decided, st.Defaulted, st.Batches, st.Cycles)
 		fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
 			st.Rounds, st.Bits, float64(st.Bits)/float64(values))
+		if ws := svc.WireStats(); ws.BytesSent > 0 {
+			fmt.Fprintf(w, "wire: frames=%d encodedBytes=%d encoded=%.1f bytes/value\n",
+				ws.FramesSent, ws.BytesSent, float64(ws.BytesSent)/float64(values))
+		}
 	}
 	return nil
 }

@@ -60,7 +60,7 @@ func TestServeModeReportsAmortizedBits(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := byzcons.Config{N: 7, T: 2, Seed: 1}
 	sc := byzcons.Scenario{Faulty: []int{1, 4}, Behavior: byzcons.Equivocator{Victims: []int{6}}}
-	if err := serve(&buf, cfg, sc, 8, 32, 4, 2, false); err != nil {
+	if err := serve(&buf, cfg, sc, byzcons.TransportSim, 8, 32, 4, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -74,7 +74,7 @@ func TestServeModeReportsAmortizedBits(t *testing.T) {
 func TestServeSweepRendersCurve(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := byzcons.Config{N: 4, T: 1, Seed: 1}
-	if err := serve(&buf, cfg, byzcons.Scenario{}, 8, 32, 4, 2, true); err != nil {
+	if err := serve(&buf, cfg, byzcons.Scenario{}, byzcons.TransportSim, 8, 32, 4, 2, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -84,8 +84,46 @@ func TestServeSweepRendersCurve(t *testing.T) {
 	}
 }
 
+func TestClusterModeCrossChecksBackends(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := byzcons.Config{N: 4, T: 1, Seed: 1}
+	sc := byzcons.Scenario{Faulty: []int{1}, Behavior: byzcons.Equivocator{}}
+	val := bytes.Repeat([]byte{0xEE}, 128)
+	inputs := make([][]byte, 4)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	if err := cluster(&buf, cfg, sc, inputs, 1024, byzcons.TransportBus); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"transport=bus", "decisions identical", "encodedBytes=", "encodedBits/meteredBits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterModeRejectsSimTransport(t *testing.T) {
+	if err := cluster(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, nil, 8, byzcons.TransportSim); err == nil {
+		t.Error("sim transport accepted for cluster mode")
+	}
+}
+
+func TestParseTransportDefaults(t *testing.T) {
+	if tk, err := parseTransport("", byzcons.TransportTCP); err != nil || tk != byzcons.TransportTCP {
+		t.Errorf("empty = %v, %v", tk, err)
+	}
+	if tk, err := parseTransport("bus", byzcons.TransportTCP); err != nil || tk != byzcons.TransportBus {
+		t.Errorf("bus = %v, %v", tk, err)
+	}
+	if _, err := parseTransport("carrier-pigeon", byzcons.TransportSim); err == nil {
+		t.Error("bogus transport accepted")
+	}
+}
+
 func TestServeRejectsBadWorkload(t *testing.T) {
-	if err := serve(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, 0, 32, 4, 2, false); err == nil {
+	if err := serve(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, byzcons.TransportSim, 0, 32, 4, 2, false); err == nil {
 		t.Error("values=0 accepted")
 	}
 }

@@ -20,7 +20,12 @@
 //   - a batched consensus engine via Service: client values are coalesced
 //     into one long input per consensus instance (the paper's large-L regime,
 //     where the per-generation broadcast overhead amortizes away) and several
-//     instances are pipelined concurrently over the simulated deployment;
+//     instances are pipelined concurrently over the deployment;
+//   - a real message-passing runtime via ClusterConsensus and
+//     ServiceConfig.Transport: one networked node per processor, every
+//     protocol payload crossing a self-describing wire codec over a pluggable
+//     transport (in-process bus or loopback TCP), with measured on-wire bytes
+//     reported next to the protocol-level bit meter;
 //   - the Section 4 multi-valued broadcast extension via Broadcast;
 //   - the Fitzi-Hirt (PODC 2006) probabilistic baseline via FitziHirt;
 //   - the naive L x (1-bit consensus) baseline via NaiveBitwise;
@@ -58,6 +63,19 @@
 //	report, err := svc.Flush() // runs the pending batches
 //	d := p.Wait()              // d.Value is this client's decision
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every quantitative claim in the paper.
+// # Networked cluster
+//
+// Set ServiceConfig.Transport (or call ClusterConsensus directly) to run
+// the same protocols over real encoded messages instead of the simulator's
+// shared memory — TransportBus for an in-process channel mesh, TransportTCP
+// for loopback TCP:
+//
+//	res, err := byzcons.ClusterConsensus(cfg, inputs, L, scenario,
+//		byzcons.TransportTCP)
+//	// res.Wire.BytesSent is the measured on-wire cost; res.Bits the
+//	// protocol-level meter the paper's formulas predict.
+//
+// See DESIGN.md for the system inventory and layering; the reproduction of
+// the paper's quantitative claims is produced by cmd/experiments (index in
+// DESIGN.md §8).
 package byzcons

@@ -131,6 +131,66 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Rebuild reconstructs a Graph from its serialized parts: the pairs of
+// vertices whose edge is missing, the isolated vertex set, and the per-vertex
+// removed-edge counts. It is the decoding counterpart of a wire-format graph
+// (internal/wire): Isolate does not bump the counts of the isolated vertex's
+// neighbours, so the counts cannot be derived from the edge set alone and
+// must be restored explicitly. Rebuild validates shape, not protocol
+// invariants — a Byzantine peer controls serialized graphs.
+func Rebuild(n int, missing [][2]int, isolated []int, removed []int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("diag: negative graph order %d", n)
+	}
+	if len(removed) != n {
+		return nil, fmt.Errorf("diag: %d removed counts for order %d", len(removed), n)
+	}
+	g := NewComplete(n)
+	for _, e := range missing {
+		i, j := e[0], e[1]
+		if i < 0 || j < 0 || i >= n || j >= n || i == j {
+			return nil, fmt.Errorf("diag: bad edge (%d,%d) for order %d", i, j, n)
+		}
+		g.adj[i].Remove(j)
+		g.adj[j].Remove(i)
+	}
+	for _, v := range isolated {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("diag: bad isolated vertex %d for order %d", v, n)
+		}
+		g.isolated.Add(v)
+	}
+	for i, c := range removed {
+		if c < 0 || c > n {
+			return nil, fmt.Errorf("diag: bad removed count %d at vertex %d", c, i)
+		}
+		g.removed[i] = c
+	}
+	return g, nil
+}
+
+// Missing returns the removed undirected edges as sorted (i, j) pairs with
+// i < j, and the isolated vertices — the serialized form consumed by Rebuild.
+func (g *Graph) Missing() (missing [][2]int, isolated []int) {
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if !g.adj[i].Has(j) {
+				missing = append(missing, [2]int{i, j})
+			}
+		}
+	}
+	g.isolated.ForEach(func(v int) bool {
+		isolated = append(isolated, v)
+		return true
+	})
+	return missing, isolated
+}
+
+// Removed returns a copy of the per-vertex removed-edge counts.
+func (g *Graph) Removed() []int {
+	return append([]int(nil), g.removed...)
+}
+
 // Equal reports whether two graphs are identical (edges, counts, isolation).
 func (g *Graph) Equal(o *Graph) bool {
 	if g.n != o.n || !g.isolated.Equal(o.isolated) {

@@ -22,11 +22,30 @@ import (
 	"byzcons/internal/sim"
 )
 
+// Runner abstracts the deployment backend that executes a cycle of batched
+// consensus instances: the in-memory simulator (sim.RunBatch, the default)
+// or a networked cluster (internal/node) that runs the same instances over
+// encoded messages on a transport. Both return the simulator's result types,
+// so batching, metrics and decision demux are backend-agnostic.
+type Runner interface {
+	RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult
+}
+
+// simRunner is the default Runner: the single-host simulator.
+type simRunner struct{}
+
+func (simRunner) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
+	return sim.RunBatch(cfg, body)
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Consensus carries the protocol parameters shared by every processor
 	// (n, t, symbol width, lanes, broadcast substrate, default value).
 	Consensus consensus.Params
+	// Runner executes each cycle's batched instances; nil selects the
+	// in-memory simulator.
+	Runner Runner
 	// Seed drives all randomness deterministically; each flush cycle and
 	// instance derives its own sub-seed.
 	Seed int64
@@ -150,6 +169,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Instances < 1 {
 		return nil, fmt.Errorf("engine: Instances must be >= 1, got %d", cfg.Instances)
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = simRunner{}
 	}
 	return &Engine{cfg: cfg}, nil
 }
@@ -275,7 +297,7 @@ func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
 	}
 
 	par := e.cfg.Consensus
-	res := sim.RunBatch(sim.BatchConfig{
+	res := e.cfg.Runner.RunBatch(sim.BatchConfig{
 		N:         par.N,
 		Faulty:    e.cfg.Faulty,
 		Adversary: e.cfg.Adversary,

@@ -15,8 +15,9 @@
 // Total cost is (n-1)·L + Ccon(L) ≈ (1 + n/(n-2t))·(n-1)·L + O(n⁴√L), i.e.
 // O(nL) for large L. The companion tech report the paper cites ([8]) reaches
 // 1.5(n-1)·L + Θ(n⁴√L) with an optimised dissemination we do not reproduce;
-// EXPERIMENTS.md E9 reports this implementation's measured constant against
-// the (n-1)·L lower bound the paper quotes.
+// experiment E9 (cmd/experiments, index in DESIGN.md §8) reports this
+// implementation's measured constant against the (n-1)·L lower bound the
+// paper quotes.
 package mvb
 
 import (

@@ -1,0 +1,256 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"byzcons/internal/metrics"
+	"byzcons/internal/sim"
+	"byzcons/internal/transport"
+	"byzcons/internal/wire"
+)
+
+// Cluster runs protocol deployments over a transport. It is the networked
+// counterpart of sim.Run/sim.RunBatch with the same signatures and result
+// types, so the consensus engine selects its backend by picking a runner,
+// and everything downstream (batching, metrics, decision demux) is untouched.
+//
+// Every batched run gets a fresh mesh from the factory: transports are cheap
+// on loopback, and a fresh mesh guarantees no frame of an aborted run can
+// leak into the next. Pipelined instances of one batch share the mesh,
+// demultiplexed by the instance id in every frame header.
+type Cluster struct {
+	factory transport.Factory
+	// StepTimeout bounds each barrier step (0 = DefaultStepTimeout).
+	StepTimeout time.Duration
+
+	mu        sync.Mutex
+	wireStats transport.Stats
+}
+
+// NewCluster returns a Cluster building meshes from the given factory.
+func NewCluster(f transport.Factory) *Cluster {
+	return &Cluster{factory: f}
+}
+
+// Kind names the cluster's transport.
+func (c *Cluster) Kind() string { return c.factory.Kind() }
+
+// WireStats returns the cumulative encoded-byte accounting of every mesh the
+// cluster has run — the measured on-wire cost standing next to the
+// protocol-level bit meters.
+func (c *Cluster) WireStats() transport.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireStats
+}
+
+// Run executes body at each of cfg.N processors over a fresh mesh, one
+// networked node per processor — the Cluster analogue of sim.Run.
+func (c *Cluster) Run(cfg sim.RunConfig, body func(p *sim.Proc) any) *sim.RunResult {
+	br := c.runBatch(sim.BatchConfig{
+		N: cfg.N, Faulty: cfg.Faulty, Adversary: cfg.Adversary, Seed: cfg.Seed, Instances: 1,
+	}, false, func(_ int, p *sim.Proc) any { return body(p) })
+	ir := br.Instances[0]
+	return &sim.RunResult{Values: ir.Values, Meter: ir.Meter, Err: ir.Err}
+}
+
+// RunBatch executes cfg.Instances pipelined instances over one fresh mesh —
+// the Cluster analogue of sim.RunBatch and the engine's Runner entry point.
+func (c *Cluster) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
+	return c.runBatch(cfg, true, body)
+}
+
+func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
+	b := cfg.Instances
+	if b < 1 {
+		b = 1
+	}
+	res := &sim.BatchResult{Instances: make([]sim.InstanceResult, b)}
+	for k := range res.Instances {
+		res.Instances[k].Meter = metrics.NewMeter()
+		res.Instances[k].Values = make([]any, cfg.N)
+	}
+	failAll := func(err error) *sim.BatchResult {
+		res.Err = err
+		for k := range res.Instances {
+			res.Instances[k].Err = err
+		}
+		return res
+	}
+
+	faulty := make([]bool, cfg.N)
+	for _, f := range cfg.Faulty {
+		if f < 0 || f >= cfg.N {
+			return failAll(fmt.Errorf("node: faulty id %d out of range [0,%d)", f, cfg.N))
+		}
+		faulty[f] = true
+	}
+	// One adversary is shared by all nodes and instances, serialized like in
+	// sim.RunBatch. Under the cluster each faulty node applies it to its own
+	// traffic, so a stateful adversary observes per-node call streams rather
+	// than the simulator's global one; the bundled gallery is stateless.
+	var adv sim.Adversary
+	if cfg.Adversary != nil {
+		adv = sim.LockAdversary(cfg.Adversary)
+	}
+	eps, err := c.factory.Mesh(cfg.N)
+	if err != nil {
+		return failAll(fmt.Errorf("node: building %s mesh: %w", c.factory.Kind(), err))
+	}
+
+	// One runtime per (instance, node); one dispatcher and one endpoint per
+	// node, shared by the node's instances.
+	runtimes := make([][]*runtime, b) // [instance][node]
+	for k := 0; k < b; k++ {
+		instSeed := sim.InstanceSeed(cfg.Seed, k)
+		instTag := -1
+		if tagged {
+			instTag = k
+		}
+		runtimes[k] = make([]*runtime, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			runtimes[k][i] = newRuntime(options{
+				id: i, n: cfg.N, instTag: instTag, wireInst: k,
+				faulty: faulty, adv: adv,
+				procRand:    rand.New(rand.NewSource(sim.ProcSeed(instSeed, i))),
+				advRand:     rand.New(rand.NewSource(sim.ProcSeed(instSeed^0x5DEECE66D, i))),
+				meter:       res.Instances[k].Meter,
+				countRounds: i == 0,
+				stepTimeout: c.StepTimeout,
+				send:        eps[i].Send,
+			})
+		}
+	}
+
+	// failInstance propagates one node's failure to the instance's other
+	// nodes: the in-process analogue of the simulator's shared run failure.
+	// (Over TCP a crashed node is also detected via its broken connections;
+	// the latch just reports the original error instead of a generic EOF.)
+	failInstance := func(k int, err error) {
+		for _, rt := range runtimes[k] {
+			rt.Fail(err)
+		}
+	}
+
+	var dispatchers sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		dispatchers.Add(1)
+		go func(i int) {
+			defer dispatchers.Done()
+			c.dispatch(eps[i], runtimes, i, failInstance)
+		}(i)
+	}
+
+	// Per-node completion gates the endpoint teardown: a node's endpoint
+	// must outlive every instance it serves.
+	nodeWGs := make([]sync.WaitGroup, cfg.N)
+	var instErrs []error = make([]error, b)
+	var instMu sync.Mutex
+	var bodies sync.WaitGroup
+	for k := 0; k < b; k++ {
+		for i := 0; i < cfg.N; i++ {
+			bodies.Add(1)
+			nodeWGs[i].Add(1)
+			k, i := k, i
+			go func() {
+				defer bodies.Done()
+				defer nodeWGs[i].Done()
+				v, err := runtimes[k][i].run(func(p *sim.Proc) any { return body(k, p) })
+				res.Instances[k].Values[i] = v
+				if err != nil {
+					instMu.Lock()
+					if instErrs[k] == nil {
+						instErrs[k] = err
+					}
+					instMu.Unlock()
+					failInstance(k, err)
+				}
+			}()
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		go func(i int) {
+			nodeWGs[i].Wait()
+			eps[i].Close()
+		}(i)
+	}
+	bodies.Wait()
+	dispatchers.Wait()
+
+	var wireTotal transport.Stats
+	for _, ep := range eps {
+		ep.Close()
+		wireTotal.Add(ep.Stats())
+	}
+	c.mu.Lock()
+	c.wireStats.Add(wireTotal)
+	c.mu.Unlock()
+
+	for k := range res.Instances {
+		ir := &res.Instances[k]
+		ir.Err = instErrs[k]
+		if ir.Err != nil && tagged {
+			ir.Err = fmt.Errorf("inst %d: %w", k, ir.Err)
+		}
+		res.Bits += ir.Meter.TotalBits()
+		if r := ir.Meter.Rounds(); r > res.Rounds {
+			res.Rounds = r
+		}
+		if ir.Err != nil && res.Err == nil {
+			res.Err = ir.Err
+		}
+	}
+	return res
+}
+
+// dispatch is a node's receive loop: it decodes incoming frames and routes
+// them to the owning instance runtime. Frames whose payloads do not decode
+// degrade to payload-free frames (⊥ messages — a legal Byzantine payload);
+// frames whose headers do not decode, unroutable instance ids, and broken
+// connections are channel-level violations scoped to the offending peer: a
+// round that already holds that peer's frames still completes, and only a
+// round genuinely missing one fails. (A finished node closes its endpoint,
+// so peers one step behind see a benign EOF after its final frames.)
+func (c *Cluster) dispatch(ep transport.Endpoint, runtimes [][]*runtime, node int, failInstance func(int, error)) {
+	peerDown := func(peer int, err error) {
+		for k := range runtimes {
+			runtimes[k][node].inbox.peerDown(peer, err)
+		}
+	}
+	for {
+		fr, err := ep.Recv()
+		if err == transport.ErrClosed {
+			return
+		}
+		if err != nil {
+			var pe *transport.PeerError
+			if errors.As(err, &pe) {
+				peerDown(pe.Peer, fmt.Errorf("node %d: %w", node, err))
+			} else {
+				for k := range runtimes {
+					runtimes[k][node].Fail(fmt.Errorf("node %d: %w", node, err))
+				}
+			}
+			continue
+		}
+		f, err := wire.DecodeFrame(fr.Data)
+		if err != nil {
+			hdr, hErr := wire.DecodeFrameHeader(fr.Data)
+			if hErr != nil {
+				peerDown(fr.From, fmt.Errorf("node %d: undecodable frame from node %d: %w", node, fr.From, hErr))
+				continue
+			}
+			hdr.Payloads = nil
+			f = hdr
+		}
+		if f.Instance >= len(runtimes) {
+			peerDown(fr.From, fmt.Errorf("node %d: frame from node %d for unknown instance %d", node, fr.From, f.Instance))
+			continue
+		}
+		runtimes[f.Instance][node].inbox.push(fr.From, f)
+	}
+}

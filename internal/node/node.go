@@ -1,0 +1,373 @@
+// Package node is the networked runtime of the consensus stack: it runs the
+// unmodified protocol code (internal/consensus, internal/bsb, internal/mvb)
+// over encoded messages on a real transport instead of the single-host
+// simulator's shared-memory barrier.
+//
+// Each processor of a deployment gets a runtime that implements sim.Backend:
+// the protocol's Exchange and Sync barriers become wire frames (one per peer
+// per step, encoded by internal/wire) pushed through a transport.Endpoint,
+// and a round synchronizer that completes step k once the step-k frame of
+// every peer has arrived. Per-peer FIFO order — guaranteed by every
+// transport — makes the arrival ordinal the round identity; the frame
+// header's step checksum cross-checks it, and a mismatch aborts the run
+// exactly like the simulator's step-misalignment check.
+//
+// Byzantine behaviour is injected locally: a faulty node applies the
+// configured sim.Adversary to its own outgoing traffic before encoding. The
+// adversary therefore sees exactly one processor's outbox per call — the
+// node's own — rather than the simulator's global rushing view. Every
+// deterministic adversary in the bundled gallery deviates identically under
+// both views, which is what makes the cross-backend parity tests exact; an
+// adversary that exploits the global view (e.g. one reading honest traffic)
+// degrades to its local-knowledge variant here, as it would on a real
+// network.
+//
+// The model realised is the paper's: synchronous rounds over reliable
+// authenticated channels, where a Byzantine processor chooses message
+// contents but cannot change the round structure. Breaking the framing
+// itself — undecodable headers, misaligned step checksums, dropped
+// connections — is modelled as a crashed channel and fails the run;
+// undecodable payloads inside a well-formed frame degrade to ⊥, mirroring
+// the simulator's treatment of garbage adversarial payloads.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"byzcons/internal/metrics"
+	"byzcons/internal/sim"
+	"byzcons/internal/wire"
+)
+
+// DefaultStepTimeout bounds one barrier step: in a lock-step protocol a
+// missing peer frame means the round can never complete, so waiting longer
+// only delays the failure report.
+const DefaultStepTimeout = 30 * time.Second
+
+// options configures one processor runtime of one protocol instance.
+type options struct {
+	id       int
+	n        int
+	instTag  int // instance for error tagging; -1 = untagged single run
+	wireInst int // instance id carried in frames (>= 0)
+	faulty   []bool
+	adv      sim.Adversary // applied locally when faulty[id]; may be nil
+	procRand *rand.Rand    // protocol randomness (matches the simulator's derivation)
+	advRand  *rand.Rand    // local adversary randomness
+	meter    *metrics.Meter
+	// countRounds marks the one runtime per instance that tallies rounds
+	// into the shared meter (every node executes the same barriers, so
+	// counting at each would multiply the round count by n).
+	countRounds bool
+	stepTimeout time.Duration
+	send        func(to int, data []byte) error
+}
+
+// runtime drives one processor of one protocol instance over a transport.
+// It implements sim.Backend; the body goroutine is the only caller of
+// Exchange/Sync, while the node's dispatcher goroutine feeds the inbox.
+type runtime struct {
+	opts  options
+	inbox *inbox
+
+	mu     sync.Mutex
+	failed error
+}
+
+func newRuntime(opts options) *runtime {
+	if opts.stepTimeout <= 0 {
+		opts.stepTimeout = DefaultStepTimeout
+	}
+	return &runtime{opts: opts, inbox: newInbox(opts.n, opts.id)}
+}
+
+// run executes the protocol body at this runtime's processor.
+func (rt *runtime) run(body func(*sim.Proc) any) (any, error) {
+	p := sim.NewProc(rt.opts.id, rt.opts.n, max(rt.opts.instTag, 0), rt.opts.faulty[rt.opts.id], rt.opts.procRand, rt)
+	return sim.Invoke(p, body)
+}
+
+// errf tags a runtime error with the node; instance attribution is added
+// once, by the cluster, when it collects the per-instance errors.
+func (rt *runtime) errf(format string, args ...any) error {
+	return fmt.Errorf("node %d: %w", rt.opts.id, fmt.Errorf(format, args...))
+}
+
+// abortf fails the run and unwinds the body goroutine.
+func (rt *runtime) abortf(format string, args ...any) {
+	err := rt.errf(format, args...)
+	rt.Fail(err)
+	sim.AbortRun(err)
+}
+
+// Fail implements sim.Backend: it records the failure and unblocks a parked
+// round synchronizer (the failure may come from another node of the
+// instance, via the cluster's failure latch).
+func (rt *runtime) Fail(err error) {
+	rt.mu.Lock()
+	if rt.failed == nil {
+		rt.failed = err
+	}
+	rt.mu.Unlock()
+	rt.inbox.fail(err)
+}
+
+// FirstHonest implements sim.Backend.
+func (rt *runtime) FirstHonest() int {
+	for i, f := range rt.opts.faulty {
+		if !f {
+			return i
+		}
+	}
+	return -1
+}
+
+// Exchange implements sim.Backend: one point-to-point synchronous round.
+func (rt *runtime) Exchange(p int, step sim.StepID, out []sim.Message, meta any) []sim.Message {
+	o := &rt.opts
+	// Local Byzantine deviation: a faulty node rewrites its own outbox.
+	if o.adv != nil && o.faulty[o.id] {
+		outs := make([][]sim.Message, o.n)
+		outs[o.id] = out
+		o.adv.ReworkExchange(&sim.ExchangeCtx{
+			Step: step, Instance: max(o.instTag, 0), N: o.n, Faulty: o.faulty,
+			Out: outs, Meta: meta, Rand: o.advRand,
+		})
+		out = outs[o.id]
+	}
+	sum := wire.StepSum(string(step))
+	byTo := make([][]any, o.n)
+	for i := range out {
+		m := &out[i]
+		m.From = o.id // senders cannot forge their identity (channel model)
+		if m.To < 0 || m.To >= o.n || m.To == o.id {
+			rt.abortf("step %q: message with bad To=%d", step, m.To)
+		}
+		if m.Bits < 0 {
+			rt.abortf("step %q: negative Bits", step)
+		}
+		o.meter.Add(m.Tag, m.Bits, o.faulty[o.id])
+		byTo[m.To] = append(byTo[m.To], m.Payload)
+	}
+	for j := 0; j < o.n; j++ {
+		if j != o.id {
+			rt.sendFrame(j, step, &wire.Frame{
+				Kind: wire.StepExchange, Instance: o.wireInst, StepSum: sum, Payloads: byTo[j],
+			})
+		}
+	}
+	frames := rt.await(step, wire.StepExchange, sum)
+	var in []sim.Message
+	for j := 0; j < o.n; j++ {
+		if j == o.id {
+			continue
+		}
+		for _, pl := range frames[j].Payloads {
+			in = append(in, sim.Message{From: j, To: o.id, Payload: pl})
+		}
+	}
+	if o.countRounds {
+		o.meter.AddRound()
+	}
+	return in
+}
+
+// Sync implements sim.Backend: the ideal all-to-all service becomes an
+// all-to-all frame exchange. Note the weaker guarantee on a real network: a
+// Byzantine node could deliver different contributions to different peers
+// (the simulator's central delivery makes that impossible), so substrates
+// whose correctness leans on consistent Sync delivery — the oracle
+// broadcasters — keep their contract here only for deviations that rewrite
+// the contribution once, like the bundled gallery's. The error-free
+// substrates (EIG, PhaseKing) use Sync solely for zero-bit harness
+// alignment.
+func (rt *runtime) Sync(p int, step sim.StepID, val any, bits int64, tag string, meta any) []any {
+	o := &rt.opts
+	if bits < 0 {
+		rt.abortf("step %q: negative Bits", step)
+	}
+	if bits > 0 {
+		// The simulator meters contributions as submitted by the
+		// protocol-conformant code, before adversarial rewriting.
+		o.meter.Add(tag, bits, o.faulty[o.id])
+	}
+	if o.adv != nil && o.faulty[o.id] {
+		vals := make([]any, o.n)
+		vals[o.id] = val
+		o.adv.ReworkSync(&sim.SyncCtx{
+			Step: step, Instance: max(o.instTag, 0), N: o.n, Faulty: o.faulty,
+			Vals: vals, Meta: meta, Rand: o.advRand,
+		})
+		val = vals[o.id]
+	}
+	sum := wire.StepSum(string(step))
+	for j := 0; j < o.n; j++ {
+		if j != o.id {
+			rt.sendFrame(j, step, &wire.Frame{
+				Kind: wire.StepSync, Instance: o.wireInst, StepSum: sum, Payloads: []any{val},
+			})
+		}
+	}
+	frames := rt.await(step, wire.StepSync, sum)
+	vals := make([]any, o.n)
+	vals[o.id] = val
+	for j := 0; j < o.n; j++ {
+		if j != o.id && len(frames[j].Payloads) == 1 {
+			// Any other payload count is Byzantine framing; it degrades to a
+			// ⊥ contribution rather than killing the run.
+			vals[j] = frames[j].Payloads[0]
+		}
+	}
+	if o.countRounds {
+		o.meter.AddRound()
+	}
+	return vals
+}
+
+// sendFrame encodes and transmits one step frame, aborting the run on
+// unencodable payloads (a protocol bug) or transport failure.
+func (rt *runtime) sendFrame(to int, step sim.StepID, f *wire.Frame) {
+	data, err := f.Append(nil)
+	if err != nil {
+		rt.abortf("step %q: %v", step, err)
+	}
+	if err := rt.opts.send(to, data); err != nil {
+		rt.abortf("step %q: send to node %d: %v", step, to, err)
+	}
+}
+
+// await runs the round synchronizer and converts its failures into aborts.
+func (rt *runtime) await(step sim.StepID, kind wire.StepKind, sum uint16) []*wire.Frame {
+	frames, err := rt.inbox.await(kind, sum, rt.opts.stepTimeout)
+	if err != nil {
+		rt.Fail(rt.errf("step %q: %v", step, err))
+		rt.mu.Lock()
+		failed := rt.failed
+		rt.mu.Unlock()
+		sim.AbortRun(failed)
+	}
+	return frames
+}
+
+// inbox is the runtime's receive side: per-peer FIFO queues of decoded
+// frames, fed by the node's dispatcher, consumed by the round synchronizer.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	me   int
+	fifo [][]*wire.Frame
+	down []error // per-peer channel failure; frames received first still count
+	err  error   // run-level failure (body error latch)
+}
+
+func newInbox(n, me int) *inbox {
+	ib := &inbox{n: n, me: me, fifo: make([][]*wire.Frame, n), down: make([]error, n)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+// push appends a frame from the given peer.
+func (ib *inbox) push(from int, f *wire.Frame) {
+	if from < 0 || from >= ib.n || from == ib.me {
+		return
+	}
+	ib.mu.Lock()
+	ib.fifo[from] = append(ib.fifo[from], f)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// peerDown marks one peer's channel as broken. It fails only awaits that
+// actually depend on that peer: a node that finished its run closes its
+// endpoint, and peers one step behind must still complete from the frames
+// it delivered first — an EOF from a finished peer is benign until a round
+// genuinely misses its frame.
+func (ib *inbox) peerDown(peer int, err error) {
+	if peer < 0 || peer >= ib.n {
+		return
+	}
+	ib.mu.Lock()
+	if ib.down[peer] == nil {
+		ib.down[peer] = err
+	}
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// fail makes pending and future awaits return err once frames run short.
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	if ib.err == nil {
+		ib.err = err
+	}
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// await blocks until the head of every peer's FIFO is present, then pops and
+// validates the heads against the expected (kind, stepsum). Frames already
+// delivered win over a recorded failure — a broken peer must not swallow the
+// round its final frames completed. Per-peer FIFO order makes the arrival
+// ordinal the round identity; a head with a mismatched header is protocol
+// divergence and fails the round.
+func (ib *inbox) await(kind wire.StepKind, sum uint16, timeout time.Duration) ([]*wire.Frame, error) {
+	timedOut := false
+	timer := time.AfterFunc(timeout, func() {
+		ib.mu.Lock()
+		timedOut = true
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		ready := true
+		for j := 0; j < ib.n; j++ {
+			if j != ib.me && len(ib.fifo[j]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			heads := make([]*wire.Frame, ib.n)
+			for j := 0; j < ib.n; j++ {
+				if j == ib.me {
+					continue
+				}
+				f := ib.fifo[j][0]
+				ib.fifo[j][0] = nil
+				ib.fifo[j] = ib.fifo[j][1:]
+				if f.Kind != kind || f.StepSum != sum {
+					return nil, fmt.Errorf("protocol misalignment with node %d: got (kind %d, sum %#x), want (kind %d, sum %#x)",
+						j, f.Kind, f.StepSum, kind, sum)
+				}
+				heads[j] = f
+			}
+			return heads, nil
+		}
+		if ib.err != nil {
+			return nil, ib.err
+		}
+		for j := 0; j < ib.n; j++ {
+			if j != ib.me && len(ib.fifo[j]) == 0 && ib.down[j] != nil {
+				return nil, fmt.Errorf("round cannot complete: %w", ib.down[j])
+			}
+		}
+		if timedOut {
+			var missing []int
+			for j := 0; j < ib.n; j++ {
+				if j != ib.me && len(ib.fifo[j]) == 0 {
+					missing = append(missing, j)
+				}
+			}
+			return nil, fmt.Errorf("timed out after %v waiting for frames from nodes %v", timeout, missing)
+		}
+		ib.cond.Wait()
+	}
+}

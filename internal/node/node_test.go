@@ -1,0 +1,336 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/bsb"
+	"byzcons/internal/consensus"
+	"byzcons/internal/sim"
+	"byzcons/internal/transport"
+)
+
+func factories() map[string]transport.Factory {
+	return map[string]transport.Factory{
+		"bus": transport.BusFactory{},
+		"tcp": transport.TCPFactory{Options: transport.TCPOptions{SetupTimeout: 10 * time.Second}},
+	}
+}
+
+// gatherBody is a minimal protocol exercising both barrier primitives.
+func gatherBody(p *sim.Proc) any {
+	var out []sim.Message
+	for j := 0; j < p.N; j++ {
+		if j != p.ID {
+			out = append(out, sim.Message{To: j, Payload: []byte{byte(p.ID)}, Bits: 8, Tag: "x"})
+		}
+	}
+	in := p.Exchange("gather/ex", out, nil)
+	sum := p.ID
+	for _, m := range in {
+		if b, ok := m.Payload.([]byte); ok && len(b) == 1 {
+			sum += int(b[0])
+		}
+	}
+	vals := p.Sync("gather/sync", int64(sum), 4, "y", nil)
+	total := int64(0)
+	for _, v := range vals {
+		if x, ok := v.(int64); ok {
+			total += x
+		}
+	}
+	return total
+}
+
+func TestClusterRunsBarrierProtocol(t *testing.T) {
+	t.Parallel()
+	for kind, f := range factories() {
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			const n = 4
+			c := NewCluster(f)
+			res := c.Run(sim.RunConfig{N: n, Seed: 7}, gatherBody)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			// Every node's exchange sum is 0+1+2+3 = 6; sync totals 4*6.
+			for i, v := range res.Values {
+				if v != int64(24) {
+					t.Errorf("node %d = %v, want 24", i, v)
+				}
+			}
+			if bits := res.Meter.TotalBits(); bits != int64(n*(n-1)*8+n*4) {
+				t.Errorf("metered %d bits, want %d", bits, n*(n-1)*8+n*4)
+			}
+			if r := res.Meter.Rounds(); r != 2 {
+				t.Errorf("rounds = %d, want 2", r)
+			}
+			st := c.WireStats()
+			if st.FramesSent != int64(2*n*(n-1)) || st.BytesSent == 0 {
+				t.Errorf("wire stats = %+v, want %d frames", st, 2*n*(n-1))
+			}
+		})
+	}
+}
+
+// consensusOutputs runs Algorithm 1 at every processor over the given
+// backend and returns the per-processor outputs plus the run result.
+func consensusOutputs(t *testing.T, run func(sim.RunConfig, func(*sim.Proc) any) *sim.RunResult,
+	par consensus.Params, inputs [][]byte, L int, faulty []int, adv sim.Adversary, seed int64) *sim.RunResult {
+	t.Helper()
+	res := run(sim.RunConfig{N: par.N, Faulty: faulty, Adversary: adv, Seed: seed}, func(p *sim.Proc) any {
+		return consensus.Run(p, par, inputs[p.ID], L)
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res
+}
+
+// TestClusterTCPMatchesSimulatorEquivocator is the canonical cross-backend
+// check: an n=4, t=1 deployment with one Equivocator node over real loopback
+// TCP must decide exactly what the simulator decides — value, generations,
+// diagnosis activity, graph and metered traffic, since the Equivocator's
+// deviation is deterministic and local.
+func TestClusterTCPMatchesSimulatorEquivocator(t *testing.T) {
+	t.Parallel()
+	const n, tFaults, L = 4, 1, 1024
+	par := consensus.Params{N: n, T: tFaults, BSB: bsb.EIG}
+	val := bytes.Repeat([]byte{0xC3}, L/8)
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	faulty := []int{1}
+	adv := adversary.Equivocator{}
+
+	simRes := consensusOutputs(t, sim.Run, par, inputs, L, faulty, adv, 42)
+	c := NewCluster(transport.TCPFactory{Options: transport.TCPOptions{SetupTimeout: 10 * time.Second}})
+	netRes := consensusOutputs(t, c.Run, par, inputs, L, faulty, adv, 42)
+
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			continue // faulty node's local view is not specified
+		}
+		so := simRes.Values[i].(*consensus.Output)
+		no := netRes.Values[i].(*consensus.Output)
+		if !bytes.Equal(so.Value, no.Value) || so.Defaulted != no.Defaulted {
+			t.Errorf("node %d decided %x/%v over TCP, simulator decided %x/%v",
+				i, no.Value, no.Defaulted, so.Value, so.Defaulted)
+		}
+		if so.Generations != no.Generations || so.DiagnosisRuns != no.DiagnosisRuns {
+			t.Errorf("node %d: gens/diags %d/%d over TCP, %d/%d simulated",
+				i, no.Generations, no.DiagnosisRuns, so.Generations, so.DiagnosisRuns)
+		}
+		if !so.Graph.Equal(no.Graph) {
+			t.Errorf("node %d: diagnosis graphs diverge:\n tcp %v\n sim %v", i, no.Graph, so.Graph)
+		}
+		if !bytes.Equal(no.Value, val) {
+			t.Errorf("node %d decided %x, want the common input", i, no.Value)
+		}
+	}
+	if sb, nb := simRes.Meter.TotalBits(), netRes.Meter.TotalBits(); sb != nb {
+		t.Errorf("metered bits diverge: %d over TCP, %d simulated", nb, sb)
+	}
+	if sr, nr := simRes.Meter.Rounds(), netRes.Meter.Rounds(); sr != nr {
+		t.Errorf("rounds diverge: %d over TCP, %d simulated", nr, sr)
+	}
+	// Wire traffic happened and is accounted. (The encoded-vs-metered 2x
+	// bound is asserted at root level in the paper's large-L regime — at
+	// L=1024 and n=4 the per-frame headers dominate the tiny payloads.)
+	st := c.WireStats()
+	if st.BytesSent == 0 || st.BytesRecv != st.BytesSent {
+		t.Errorf("wire accounting inconsistent: %+v", st)
+	}
+}
+
+// TestClusterMatchesSimulatorPerTagMeters pins the strongest available
+// equivalence on the bus transport: identical per-tag traffic tallies.
+func TestClusterMatchesSimulatorPerTagMeters(t *testing.T) {
+	t.Parallel()
+	const n, tFaults, L = 5, 1, 512
+	par := consensus.Params{N: n, T: tFaults, BSB: bsb.PhaseKing}
+	inputs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{0x5A}, L/8)
+	}
+	simRes := consensusOutputs(t, sim.Run, par, inputs, L, []int{2}, adversary.Equivocator{}, 9)
+	c := NewCluster(transport.BusFactory{})
+	netRes := consensusOutputs(t, c.Run, par, inputs, L, []int{2}, adversary.Equivocator{}, 9)
+
+	simTags := simRes.Meter.Snapshot()
+	netTags := netRes.Meter.Snapshot()
+	if len(simTags) != len(netTags) {
+		t.Fatalf("tag sets diverge: sim %v, cluster %v", simTags, netTags)
+	}
+	for tag, st := range simTags {
+		if nt := netTags[tag]; nt != st {
+			t.Errorf("tag %q: cluster %+v, sim %+v", tag, nt, st)
+		}
+	}
+}
+
+func TestClusterRunBatchPipelinesInstances(t *testing.T) {
+	t.Parallel()
+	const n, instances = 4, 3
+	par := consensus.Params{N: n, T: 1}
+	inputs := make([][]byte, instances)
+	for k := range inputs {
+		inputs[k] = bytes.Repeat([]byte{byte(0x10 + k)}, 32)
+	}
+	c := NewCluster(transport.BusFactory{})
+	res := c.RunBatch(sim.BatchConfig{N: n, Faulty: []int{3}, Adversary: adversary.Equivocator{}, Seed: 5, Instances: instances},
+		func(inst int, p *sim.Proc) any {
+			return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
+		})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for k := 0; k < instances; k++ {
+		ir := res.Instances[k]
+		for i := 0; i < n; i++ {
+			if i == 3 {
+				continue
+			}
+			out := ir.Values[i].(*consensus.Output)
+			if !bytes.Equal(out.Value, inputs[k]) {
+				t.Errorf("inst %d node %d decided %x, want %x", k, i, out.Value, inputs[k])
+			}
+		}
+		if ir.Meter.TotalBits() == 0 || ir.Meter.Rounds() == 0 {
+			t.Errorf("inst %d has empty meter", k)
+		}
+	}
+	// Pipelined rounds: the max, not the sum.
+	if res.Rounds != res.Instances[0].Meter.Rounds() {
+		t.Errorf("batch rounds = %d, want per-instance max %d", res.Rounds, res.Instances[0].Meter.Rounds())
+	}
+}
+
+func TestClusterBodyErrorFailsOnlyItsInstance(t *testing.T) {
+	t.Parallel()
+	c := NewCluster(transport.BusFactory{})
+	c.StepTimeout = 5 * time.Second
+	res := c.RunBatch(sim.BatchConfig{N: 3, Seed: 5, Instances: 3}, func(inst int, p *sim.Proc) any {
+		if inst == 0 && p.ID == 1 {
+			panic("boom")
+		}
+		p.Sync("s", int64(p.ID), 1, "g", nil)
+		return int64(p.ID)
+	})
+	if res.Err == nil {
+		t.Fatal("expected batch error from failing instance")
+	}
+	if res.Instances[1].Err != nil || res.Instances[2].Err != nil {
+		t.Errorf("healthy instances failed: %v / %v", res.Instances[1].Err, res.Instances[2].Err)
+	}
+	if err := res.Instances[0].Err; err == nil || !strings.Contains(err.Error(), "inst 0") {
+		t.Errorf("failing instance error not tagged: %v", err)
+	}
+	for k := 1; k < 3; k++ {
+		for id, v := range res.Instances[k].Values {
+			if v != int64(id) {
+				t.Errorf("inst %d lost values: %v", k, res.Instances[k].Values)
+			}
+		}
+	}
+}
+
+func TestClusterDivergentNodeFailsRun(t *testing.T) {
+	t.Parallel()
+	for kind, f := range factories() {
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			c := NewCluster(f)
+			c.StepTimeout = 2 * time.Second
+			res := c.Run(sim.RunConfig{N: 3, Seed: 1}, func(p *sim.Proc) any {
+				if p.ID == 2 {
+					return "left early" // never joins the round
+				}
+				p.Exchange("r1", nil, nil)
+				return "done"
+			})
+			if res.Err == nil {
+				t.Fatal("run with a divergent node reported no error")
+			}
+		})
+	}
+}
+
+func TestClusterStepMismatchIsDetected(t *testing.T) {
+	t.Parallel()
+	c := NewCluster(transport.BusFactory{})
+	c.StepTimeout = 5 * time.Second
+	res := c.Run(sim.RunConfig{N: 2, Seed: 1}, func(p *sim.Proc) any {
+		if p.ID == 0 {
+			p.Exchange("stepA", nil, nil)
+		} else {
+			p.Exchange("stepB", nil, nil)
+		}
+		return nil
+	})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "misalignment") {
+		t.Fatalf("step mismatch not detected: %v", res.Err)
+	}
+}
+
+// TestClusterSeedsMatchSimulator pins that per-processor randomness derives
+// identically under both backends, which the parity tests depend on.
+func TestClusterSeedsMatchSimulator(t *testing.T) {
+	t.Parallel()
+	body := func(p *sim.Proc) any {
+		draw := int64(p.Rand.Intn(1 << 30))
+		vals := p.Sync("draw", draw, 0, "g", nil)
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i], _ = v.(int64)
+		}
+		return fmt.Sprintf("%v", out)
+	}
+	simRes := sim.Run(sim.RunConfig{N: 3, Seed: 77}, body)
+	netRes := NewCluster(transport.BusFactory{}).Run(sim.RunConfig{N: 3, Seed: 77}, body)
+	if simRes.Err != nil || netRes.Err != nil {
+		t.Fatal(simRes.Err, netRes.Err)
+	}
+	for i := range simRes.Values {
+		if simRes.Values[i] != netRes.Values[i] {
+			t.Errorf("node %d draws diverge: sim %v, cluster %v", i, simRes.Values[i], netRes.Values[i])
+		}
+	}
+}
+
+// TestClusterGarbagePayloadDegradesToBot: a frame with a well-formed header
+// but undecodable payloads must deliver as ⊥, not kill the run — it is a
+// legal Byzantine payload.
+func TestClusterGarbagePayloadDegradesToBot(t *testing.T) {
+	t.Parallel()
+	// Simulated via an adversary submitting a payload that round-trips to
+	// nil contributions: faulty node sends a struct the codec rejects. The
+	// sender aborts on unencodable payloads (protocol bug guard), so model
+	// the garbage at the decode side instead: an adversary that replaces the
+	// sync contribution with nil, the canonical ⊥.
+	var sawNil atomic.Bool
+	c := NewCluster(transport.BusFactory{})
+	res := c.Run(sim.RunConfig{N: 3, Faulty: []int{0}, Seed: 3,
+		Adversary: adversary.Func{Sync: func(ctx *sim.SyncCtx) {
+			ctx.Vals[0] = nil
+		}}},
+		func(p *sim.Proc) any {
+			vals := p.Sync("s", int64(p.ID), 1, "g", nil)
+			if vals[0] == nil {
+				sawNil.Store(true)
+			}
+			return nil
+		})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !sawNil.Load() {
+		t.Error("nil contribution was not delivered as ⊥")
+	}
+}

@@ -47,9 +47,17 @@ type BatchResult struct {
 	Err error
 }
 
-// lockedAdversary serializes access to one adversary shared by the
-// concurrently finalizing instance networks of a batch, keeping stateful
-// adversary implementations race-clean without requiring their own locking.
+// LockAdversary wraps an adversary so that concurrent Rework calls are
+// serialized, keeping stateful adversary implementations race-clean without
+// requiring their own locking. RunBatch applies it to the adversary shared
+// by a batch's concurrently finalizing instance networks; the networked
+// cluster (internal/node) applies it to the adversary shared by its nodes
+// and instances.
+func LockAdversary(adv Adversary) Adversary {
+	return &lockedAdversary{adv: adv}
+}
+
+// lockedAdversary is the wrapper behind LockAdversary.
 type lockedAdversary struct {
 	mu  sync.Mutex
 	adv Adversary
@@ -67,10 +75,11 @@ func (l *lockedAdversary) ReworkSync(ctx *SyncCtx) {
 	l.adv.ReworkSync(ctx)
 }
 
-// instanceSeed derives a distinct deterministic seed for each instance of a
+// InstanceSeed derives a distinct deterministic seed for each instance of a
 // batch (instance 0 keeps the base seed, so a 1-instance batch reproduces the
-// equivalent Run bit for bit).
-func instanceSeed(seed int64, inst int) int64 {
+// equivalent Run bit for bit). Exported so alternative backends
+// (internal/node) derive identical per-instance randomness.
+func InstanceSeed(seed int64, inst int) int64 {
 	if inst == 0 {
 		return seed
 	}
@@ -92,7 +101,7 @@ func RunBatch(cfg BatchConfig, body func(inst int, p *Proc) any) *BatchResult {
 	if adv == nil {
 		adv = Passive{}
 	}
-	shared := &lockedAdversary{adv: adv}
+	shared := LockAdversary(adv)
 
 	res := &BatchResult{Instances: make([]InstanceResult, b)}
 	var wg sync.WaitGroup
@@ -104,7 +113,7 @@ func RunBatch(cfg BatchConfig, body func(inst int, p *Proc) any) *BatchResult {
 				N:         cfg.N,
 				Faulty:    cfg.Faulty,
 				Adversary: shared,
-				Seed:      instanceSeed(cfg.Seed, k),
+				Seed:      InstanceSeed(cfg.Seed, k),
 			}, k, func(p *Proc) any { return body(k, p) })
 			res.Instances[k] = InstanceResult{Values: r.Values, Meter: r.Meter, Err: r.Err}
 		}(k)

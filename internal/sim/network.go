@@ -68,6 +68,29 @@ func NewNetwork(n, instance int, faulty []bool, adv Adversary, meter *metrics.Me
 // Meter returns the network's bit meter.
 func (net *Network) Meter() *metrics.Meter { return net.meter }
 
+// Exchange implements Backend.
+func (net *Network) Exchange(p int, step StepID, out []Message, meta any) []Message {
+	return net.exchange(p, step, out, meta)
+}
+
+// Sync implements Backend.
+func (net *Network) Sync(p int, step StepID, val any, bits int64, tag string, meta any) []any {
+	return net.syncStep(p, step, val, bits, tag, meta)
+}
+
+// Fail implements Backend.
+func (net *Network) Fail(err error) { net.fail(err) }
+
+// FirstHonest implements Backend.
+func (net *Network) FirstHonest() int {
+	for i, f := range net.faulty {
+		if !f {
+			return i
+		}
+	}
+	return -1
+}
+
 // errf builds a run-level error tagged with the network's instance when it is
 // part of a multiplexed batch, so failures are attributable to one instance.
 func (net *Network) errf(format string, args ...any) error {

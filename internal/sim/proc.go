@@ -1,10 +1,35 @@
 package sim
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
-// Proc is one processor's handle on the simulated network. Protocol code is
-// written as a function of a Proc; the same code runs at honest and faulty
-// processors (the adversary rewrites faulty traffic at the network layer).
+// Backend is the execution substrate behind a Proc: it implements the two
+// barrier primitives of the synchronous model plus run-level failure
+// handling. The in-memory Network of this package is the reference backend
+// (a single-host barrier with a centrally injected adversary); internal/node
+// provides a distributed backend that realises the same semantics over
+// encoded messages on a real transport.
+type Backend interface {
+	// Exchange delivers processor p's point-to-point messages for one
+	// synchronous round and returns the messages addressed to p, ordered by
+	// sender id.
+	Exchange(p int, step StepID, out []Message, meta any) []Message
+	// Sync submits processor p's contribution to the ideal all-to-all
+	// service and returns all n contributions.
+	Sync(p int, step StepID, val any, bits int64, tag string, meta any) []any
+	// Fail records a run-level failure so that every processor of the run
+	// terminates with the given error.
+	Fail(err error)
+	// FirstHonest returns the lowest id of a non-faulty processor, or -1.
+	FirstHonest() int
+}
+
+// Proc is one processor's handle on the deployment. Protocol code is written
+// as a function of a Proc; the same code runs at honest and faulty processors
+// (the adversary rewrites faulty traffic at the backend layer) and over any
+// Backend (simulator barrier or networked runtime).
 type Proc struct {
 	ID int
 	N  int
@@ -14,7 +39,13 @@ type Proc struct {
 	Instance int
 	Faulty   bool // whether this processor is adversary-controlled
 	Rand     *rand.Rand
-	net      *Network
+	rt       Backend
+}
+
+// NewProc binds a processor handle to a backend. It exists for alternative
+// runtimes (internal/node); simulator runs construct their Procs internally.
+func NewProc(id, n, instance int, faulty bool, rng *rand.Rand, rt Backend) *Proc {
+	return &Proc{ID: id, N: n, Instance: instance, Faulty: faulty, Rand: rng, rt: rt}
 }
 
 // Exchange submits this processor's point-to-point messages for the given
@@ -24,20 +55,48 @@ type Proc struct {
 // be identical at every processor (by construction: it is derived from
 // common state).
 func (p *Proc) Exchange(step StepID, out []Message, meta any) []Message {
-	return p.net.exchange(p.ID, step, out, meta)
+	return p.rt.Exchange(p.ID, step, out, meta)
 }
 
 // Sync submits a contribution to an ideal all-to-all service and returns all
 // n contributions (identical at every processor). bits are metered under tag
 // against this processor; use 0 for accounting-free gathers.
 func (p *Proc) Sync(step StepID, val any, bits int64, tag string, meta any) []any {
-	return p.net.syncStep(p.ID, step, val, bits, tag, meta)
+	return p.rt.Sync(p.ID, step, val, bits, tag, meta)
 }
 
 // Abort terminates the whole run with the given error.
 func (p *Proc) Abort(err error) {
-	p.net.fail(err)
+	p.rt.Fail(err)
 	panic(abortError{err})
+}
+
+// AbortRun aborts the calling processor's run from inside a Backend
+// implementation: the panic is recovered by Invoke (or the simulator's
+// runner) and converted back into the error. Backends must call their own
+// Fail before AbortRun so concurrent processors of the run fail too.
+func AbortRun(err error) {
+	panic(abortError{err})
+}
+
+// Invoke runs body at p, converting protocol aborts (Proc.Abort, AbortRun)
+// and stray panics into an error. It reports the failure to the backend so
+// the other processors of the run terminate as well. Alternative backends
+// use it as their body driver; the simulator keeps its own equivalent with
+// instance-tagged errors.
+func Invoke(p *Proc, body func(*Proc) any) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case abortError:
+				err = e.err
+			default:
+				err = fmt.Errorf("sim: processor %d panicked: %v", p.ID, r)
+			}
+			p.rt.Fail(err)
+		}
+	}()
+	return body(p), nil
 }
 
 // FirstHonest returns the lowest id of a non-faulty processor, or -1 if all
@@ -49,10 +108,5 @@ func (p *Proc) Abort(err error) {
 // but which would desynchronise the simulation. Such primitives realign the
 // faulty processor's view with an honest one's.
 func (p *Proc) FirstHonest() int {
-	for i, f := range p.net.faulty {
-		if !f {
-			return i
-		}
-	}
-	return -1
+	return p.rt.FirstHonest()
 }

@@ -55,8 +55,8 @@ func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult
 			N:        cfg.N,
 			Instance: max(instance, 0),
 			Faulty:   faulty[i],
-			Rand:     rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
-			net:      net,
+			Rand:     rand.New(rand.NewSource(ProcSeed(cfg.Seed, i))),
+			rt:       net,
 		}
 		wg.Add(1)
 		go func() {
@@ -81,6 +81,13 @@ func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult
 	err := net.failed
 	net.mu.Unlock()
 	return &RunResult{Values: values, Meter: meter, Err: err}
+}
+
+// ProcSeed derives the deterministic per-processor randomness seed used for
+// Proc.Rand. Exported so alternative backends (internal/node) reproduce the
+// simulator's randomness bit for bit.
+func ProcSeed(seed int64, id int) int64 {
+	return seed + int64(id)*0x9E3779B9
 }
 
 // HonestValues returns the body results of honest processors only, in id

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP wire format. Each connection starts with a hello — magic, protocol
+// version, deployment size and the dialer's node id — and then carries
+// length-prefixed frames: a uvarint byte count followed by the frame bytes.
+// The prefix is bounded by MaxFrame before any allocation, so a Byzantine
+// peer declaring a multi-gigabyte frame costs nothing but its connection.
+var tcpMagic = [4]byte{'b', 'z', 'c', '1'}
+
+const tcpVersion = 1
+
+// DefaultMaxFrame bounds accepted frame sizes (16 MiB — comfortably above
+// the largest protocol payload, a full batched consensus input).
+const DefaultMaxFrame = 16 << 20
+
+// TCPOptions tunes the TCP transport.
+type TCPOptions struct {
+	// MaxFrame is the largest accepted frame in bytes (0 = DefaultMaxFrame).
+	// Frames declaring more are rejected and fail the sending peer's
+	// channel.
+	MaxFrame int
+	// SetupTimeout bounds mesh construction: dials, handshakes and accepts
+	// (0 = 10s).
+	SetupTimeout time.Duration
+}
+
+func (o TCPOptions) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return o.MaxFrame
+}
+
+func (o TCPOptions) setupTimeout() time.Duration {
+	if o.SetupTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.SetupTimeout
+}
+
+// tcpEndpoint is one node's end of a fully connected TCP mesh: one
+// connection per peer, a reader goroutine per connection feeding the shared
+// receive queue, and per-peer write locks so pipelined instances can send
+// concurrently.
+type tcpEndpoint struct {
+	id  int
+	n   int
+	opt TCPOptions
+
+	recv   *queue
+	conns  []net.Conn // indexed by peer id; nil for self
+	wmu    []sync.Mutex
+	closed atomic.Bool
+
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+	framesRecv atomic.Int64
+	bytesRecv  atomic.Int64
+}
+
+func (ep *tcpEndpoint) NodeID() int { return ep.id }
+func (ep *tcpEndpoint) N() int      { return ep.n }
+
+func (ep *tcpEndpoint) Send(to int, data []byte) error {
+	if ep.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= ep.n || to == ep.id {
+		return fmt.Errorf("transport: bad destination %d from node %d", to, ep.id)
+	}
+	// One buffered write per frame: uvarint length prefix + frame bytes.
+	buf := make([]byte, 0, len(data)+binary.MaxVarintLen32)
+	buf = binary.AppendUvarint(buf, uint64(len(data)))
+	buf = append(buf, data...)
+	ep.wmu[to].Lock()
+	_, err := ep.conns[to].Write(buf)
+	ep.wmu[to].Unlock()
+	if err != nil {
+		if ep.closed.Load() {
+			return ErrClosed
+		}
+		return &PeerError{Peer: to, Err: err}
+	}
+	ep.framesSent.Add(1)
+	ep.bytesSent.Add(int64(len(buf)))
+	return nil
+}
+
+func (ep *tcpEndpoint) Recv() (Frame, error) {
+	return ep.recv.pop()
+}
+
+func (ep *tcpEndpoint) Close() error {
+	if !ep.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, c := range ep.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	ep.recv.close()
+	return nil
+}
+
+func (ep *tcpEndpoint) Stats() Stats {
+	return Stats{
+		FramesSent: ep.framesSent.Load(),
+		BytesSent:  ep.bytesSent.Load(),
+		FramesRecv: ep.framesRecv.Load(),
+		BytesRecv:  ep.bytesRecv.Load(),
+	}
+}
+
+// readFrom is the per-connection reader: it decodes length-prefixed frames
+// from peer and feeds the receive queue until the connection breaks or the
+// endpoint closes. Any protocol violation — oversized declaration, short
+// read, EOF mid-round — fails the queue with a PeerError; whether that is
+// fatal is the consuming runtime's call (for lock-step consensus it is).
+func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
+	r := bufio.NewReader(conn)
+	maxFrame := uint64(ep.opt.maxFrame())
+	for {
+		size, err := binary.ReadUvarint(r)
+		if err != nil {
+			ep.peerDown(peer, fmt.Errorf("connection lost: %w", err))
+			return
+		}
+		if size > maxFrame {
+			ep.peerDown(peer, fmt.Errorf("oversized frame: %d bytes exceeds limit %d", size, maxFrame))
+			conn.Close()
+			return
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			ep.peerDown(peer, fmt.Errorf("truncated frame: %w", err))
+			return
+		}
+		ep.framesRecv.Add(1)
+		ep.bytesRecv.Add(int64(size) + int64(uvarintLen(size)))
+		ep.recv.push(Frame{From: peer, Data: data})
+	}
+}
+
+// peerDown records a broken peer channel unless the endpoint itself is
+// closing (a deliberate local Close is not a peer failure).
+func (ep *tcpEndpoint) peerDown(peer int, err error) {
+	if ep.closed.Load() {
+		return
+	}
+	ep.recv.fail(&PeerError{Peer: peer, Err: err})
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// NewTCPMesh builds a fully connected loopback TCP mesh of n endpoints: n
+// listeners on 127.0.0.1, every pair connected by exactly one handshaked
+// connection (the higher id dials the lower). It returns only when every
+// connection is established, so the caller holds a ready mesh or an error —
+// never a half-connected one.
+func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: mesh needs n >= 1, got %d", n)
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(lns[:i])
+			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	eps := make([]*tcpEndpoint, n)
+	for i := range eps {
+		eps[i] = &tcpEndpoint{
+			id: i, n: n, opt: opt,
+			recv:  newQueue(),
+			conns: make([]net.Conn, n),
+			wmu:   make([]sync.Mutex, n),
+		}
+	}
+
+	deadline := time.Now().Add(opt.setupTimeout())
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- meshNode(eps[i], lns[i], addrs, deadline)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				ep.Close()
+			}
+			closeAll(lns)
+			return nil, err
+		}
+	}
+	// Mesh complete: start the readers and drop the listeners.
+	closeAll(lns)
+	out := make([]Endpoint, n)
+	for i, ep := range eps {
+		for peer, conn := range ep.conns {
+			if conn != nil {
+				go ep.readFrom(peer, conn)
+			}
+		}
+		out[i] = ep
+	}
+	return out, nil
+}
+
+// meshNode establishes node i's connections: dial every lower peer, accept
+// every higher one, handshaking both ways.
+func meshNode(ep *tcpEndpoint, ln net.Listener, addrs []string, deadline time.Time) error {
+	i := ep.id
+	for j := 0; j < i; j++ {
+		conn, err := net.DialTimeout("tcp", addrs[j], time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("transport: node %d dial node %d: %w", i, j, err)
+		}
+		if err := writeHello(conn, ep.n, i, deadline); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: node %d hello to node %d: %w", i, j, err)
+		}
+		ep.conns[j] = conn
+	}
+	type lnDeadline interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(lnDeadline); ok {
+		d.SetDeadline(deadline)
+	}
+	for k := i + 1; k < ep.n; k++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: node %d accept: %w", i, err)
+		}
+		from, err := readHello(conn, ep.n, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: node %d handshake: %w", i, err)
+		}
+		if from <= i || from >= ep.n || ep.conns[from] != nil {
+			conn.Close()
+			return fmt.Errorf("transport: node %d got hello from unexpected peer %d", i, from)
+		}
+		ep.conns[from] = conn
+	}
+	return nil
+}
+
+func writeHello(conn net.Conn, n, from int, deadline time.Time) error {
+	conn.SetWriteDeadline(deadline)
+	defer conn.SetWriteDeadline(time.Time{})
+	buf := append([]byte{}, tcpMagic[:]...)
+	buf = append(buf, tcpVersion)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(from))
+	_, err := conn.Write(buf)
+	return err
+}
+
+func readHello(conn net.Conn, n int, deadline time.Time) (int, error) {
+	conn.SetReadDeadline(deadline)
+	defer conn.SetReadDeadline(time.Time{})
+	r := bufio.NewReaderSize(conn, 32)
+	var magic [5]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(magic[:4]) != tcpMagic || magic[4] != tcpVersion {
+		return 0, fmt.Errorf("bad magic/version %x", magic)
+	}
+	gotN, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if gotN != uint64(n) {
+		return 0, fmt.Errorf("peer built for n=%d, want n=%d", gotN, n)
+	}
+	from, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if r.Buffered() > 0 {
+		// Hand buffered post-hello bytes back is impossible with this
+		// reader split; forbid peers from pipelining frames before the
+		// handshake completes instead.
+		return 0, fmt.Errorf("peer sent frames before handshake completion")
+	}
+	return int(from), nil
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+}
+
+// TCPFactory creates loopback TCP meshes.
+type TCPFactory struct {
+	Options TCPOptions
+}
+
+// Mesh implements Factory.
+func (f TCPFactory) Mesh(n int) ([]Endpoint, error) {
+	return NewTCPMesh(n, f.Options)
+}
+
+// Kind implements Factory.
+func (TCPFactory) Kind() string { return "tcp" }

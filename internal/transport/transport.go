@@ -1,0 +1,177 @@
+// Package transport provides the message-passing substrate of the networked
+// runtime (internal/node): authenticated, ordered, point-to-point frame
+// channels between the n processors of a deployment — the paper's system
+// model realised as I/O instead of shared memory.
+//
+// Two implementations are provided: an in-process channel bus (the fast path
+// for tests and benchmarks) and a TCP mesh (length-prefixed frames over one
+// connection per peer pair). Both present the same Endpoint interface, so
+// the node runtime, the consensus engine and the cluster command are
+// transport-agnostic; the single-host simulator (internal/sim) remains the
+// third backend, sharing the protocol code through sim.Backend rather than
+// this interface because it delivers payloads by reference.
+//
+// The model guarantees carried by every implementation:
+//
+//   - sender authenticity: Frame.From is established by the transport (the
+//     channel a frame arrived on), never by frame content;
+//   - per-peer FIFO: frames from one peer arrive in the order sent;
+//   - integrity is NOT guaranteed semantically — a Byzantine peer can send
+//     arbitrary bytes, which is why frame decoding (internal/wire) is strict
+//     and the receiving runtime treats every frame as adversarial input.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed endpoint once its receive
+// queue has drained.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// PeerError reports a broken or misbehaving peer channel. In the lock-step
+// protocols this runtime carries, a lost peer means the current round can
+// never complete, so receivers treat it as fatal for the run.
+type PeerError struct {
+	Peer int
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: peer %d: %v", e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Frame is one received message: opaque bytes from an authenticated sender.
+type Frame struct {
+	From int
+	Data []byte
+}
+
+// Stats counts an endpoint's traffic in encoded on-wire bytes — the measured
+// counterpart of the protocol-level bit meter. For TCP, bytes include the
+// length prefix of every frame.
+type Stats struct {
+	FramesSent int64
+	BytesSent  int64
+	FramesRecv int64
+	BytesRecv  int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.FramesSent += other.FramesSent
+	s.BytesSent += other.BytesSent
+	s.FramesRecv += other.FramesRecv
+	s.BytesRecv += other.BytesRecv
+}
+
+// Endpoint is one node's attachment to the deployment's n-processor mesh.
+// Send is safe for concurrent use (pipelined instances share one endpoint);
+// Recv is intended for a single dispatcher goroutine.
+type Endpoint interface {
+	// NodeID returns this endpoint's processor id in [0, N).
+	NodeID() int
+	// N returns the deployment size.
+	N() int
+	// Send transmits data to the given peer. The slice must not be modified
+	// after Send returns nil (implementations may retain it).
+	Send(to int, data []byte) error
+	// Recv blocks for the next received frame. It returns a *PeerError when
+	// a peer channel breaks or misbehaves, and ErrClosed after Close once
+	// all delivered frames have been consumed.
+	Recv() (Frame, error)
+	// Close tears the endpoint down. Frames already received remain
+	// readable via Recv.
+	Close() error
+	// Stats returns a snapshot of the endpoint's byte accounting.
+	Stats() Stats
+}
+
+// Factory creates fully connected in-process meshes on demand. The cluster
+// runtime builds one mesh per batched run, so stale frames of an aborted run
+// can never leak into the next.
+type Factory interface {
+	// Mesh returns n connected endpoints, endpoint i for processor i.
+	Mesh(n int) ([]Endpoint, error)
+	// Kind names the transport for reports ("bus", "tcp").
+	Kind() string
+}
+
+// queue is an unbounded FIFO of received frames shared by the bus and TCP
+// endpoints. Unboundedness is deliberate: the receiving dispatcher must
+// always drain the wire (otherwise lock-step traffic could deadlock behind
+// transport backpressure), and the protocols' barrier structure bounds the
+// number of in-flight frames per peer anyway.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Frame
+	failed []error // peer failures delivered (in order) after the queued frames
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a frame; it is dropped if the queue is already closed.
+func (q *queue) push(f Frame) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, f)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// fail records a peer failure, delivered by pop after the queued frames.
+// Every failure is kept: with several peers breaking in one window, each
+// down-mark matters to the consuming runtime's round bookkeeping.
+func (q *queue) fail(err error) {
+	q.mu.Lock()
+	if !q.closed {
+		q.failed = append(q.failed, err)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// close makes pop return ErrClosed once the queue drains.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pop blocks for the next frame, a peer failure, or closure. Frames are
+// delivered before a recorded failure (a broken peer must not swallow
+// traffic that arrived first), and each failure is delivered exactly once so
+// a consumer can keep draining frames from the surviving peers afterwards.
+func (q *queue) pop() (Frame, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.items) > 0 {
+			f := q.items[0]
+			q.items[0] = Frame{}
+			q.items = q.items[1:]
+			return f, nil
+		}
+		if q.closed {
+			return Frame{}, ErrClosed
+		}
+		if len(q.failed) > 0 {
+			err := q.failed[0]
+			q.failed = q.failed[1:]
+			return Frame{}, err
+		}
+		q.cond.Wait()
+	}
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// meshes returns the factories under test; every test body must hold for
+// both transports.
+func meshes() []Factory {
+	return []Factory{BusFactory{}, TCPFactory{Options: TCPOptions{SetupTimeout: 5 * time.Second}}}
+}
+
+func TestMeshDeliversAllToAll(t *testing.T) {
+	t.Parallel()
+	for _, f := range meshes() {
+		t.Run(f.Kind(), func(t *testing.T) {
+			t.Parallel()
+			const n = 4
+			eps, err := f.Mesh(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeEndpoints(eps)
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for i, ep := range eps {
+				wg.Add(1)
+				go func(i int, ep Endpoint) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						if j != i {
+							if err := ep.Send(j, []byte(fmt.Sprintf("%d->%d", i, j))); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+					got := map[int]string{}
+					for len(got) < n-1 {
+						fr, err := ep.Recv()
+						if err != nil {
+							errs <- err
+							return
+						}
+						got[fr.From] = string(fr.Data)
+					}
+					for j := 0; j < n; j++ {
+						if j != i && got[j] != fmt.Sprintf("%d->%d", j, i) {
+							errs <- fmt.Errorf("node %d from %d: %q", i, j, got[j])
+							return
+						}
+					}
+					errs <- nil
+				}(i, ep)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := eps[0].Stats()
+			if st.FramesSent != n-1 || st.FramesRecv != n-1 || st.BytesSent == 0 || st.BytesRecv == 0 {
+				t.Errorf("stats = %+v, want %d frames each way with nonzero bytes", st, n-1)
+			}
+		})
+	}
+}
+
+func TestPerPeerOrderIsFIFO(t *testing.T) {
+	t.Parallel()
+	for _, f := range meshes() {
+		t.Run(f.Kind(), func(t *testing.T) {
+			t.Parallel()
+			eps, err := f.Mesh(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeEndpoints(eps)
+			const frames = 100
+			for k := 0; k < frames; k++ {
+				if err := eps[0].Send(1, []byte{byte(k)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := 0; k < frames; k++ {
+				fr, err := eps[1].Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fr.From != 0 || fr.Data[0] != byte(k) {
+					t.Fatalf("frame %d out of order: from=%d data=%v", k, fr.From, fr.Data)
+				}
+			}
+		})
+	}
+}
+
+// TestPeerDisconnectMidRound is the first transport failure mode the runtime
+// depends on: when a peer goes away while others still wait for its frames,
+// Recv must surface a PeerError naming it (after delivering everything that
+// arrived first) instead of blocking forever.
+func TestPeerDisconnectMidRound(t *testing.T) {
+	t.Parallel()
+	eps, err := NewTCPMesh(3, TCPOptions{SetupTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeEndpoints(eps)
+	// Peer 2 sends one frame of the "round" to node 0, then crashes before
+	// completing it.
+	if err := eps[2].Send(0, []byte("partial round")); err != nil {
+		t.Fatal(err)
+	}
+	eps[2].Close()
+
+	fr, err := eps[0].Recv()
+	if err != nil || string(fr.Data) != "partial round" {
+		t.Fatalf("pre-disconnect frame lost: %v, %v", fr, err)
+	}
+	_, err = eps[0].Recv()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != 2 {
+		t.Fatalf("Recv after disconnect = %v, want PeerError{Peer: 2}", err)
+	}
+	// Sending to the dead peer must fail, not hang.
+	if err := eps[0].Send(2, []byte("x")); err == nil {
+		// TCP may buffer one write after FIN; the failure must surface by
+		// the next write at the latest.
+		err = eps[0].Send(2, []byte("x"))
+		if err == nil {
+			t.Error("sends to a closed peer keep succeeding")
+		}
+	}
+}
+
+// TestOversizedFrameIsRejected is the second failure mode: a Byzantine peer
+// declaring an enormous frame must not cause an allocation or a hang — the
+// receiver rejects the frame and fails that peer's channel.
+func TestOversizedFrameIsRejected(t *testing.T) {
+	t.Parallel()
+	eps, err := NewTCPMesh(2, TCPOptions{MaxFrame: 64, SetupTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeEndpoints(eps)
+	// The sender does not pre-check (a Byzantine node would not), so the
+	// receiver must.
+	if err := eps[0].Send(1, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eps[1].Recv()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != 0 {
+		t.Fatalf("Recv = %v, want PeerError{Peer: 0}", err)
+	}
+	if got := pe.Err.Error(); !contains(got, "oversized") {
+		t.Errorf("error %q does not name the oversized frame", got)
+	}
+}
+
+// TestOversizedDeclarationWithoutBody writes a raw length prefix claiming
+// 1 GiB with no body: the receiver must reject on the declaration alone.
+func TestOversizedDeclarationWithoutBody(t *testing.T) {
+	t.Parallel()
+	eps, err := NewTCPMesh(2, TCPOptions{MaxFrame: 1 << 16, SetupTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeEndpoints(eps)
+	raw := eps[0].(*tcpEndpoint)
+	prefix := binary.AppendUvarint(nil, 1<<30)
+	if _, err := raw.conns[1].Write(prefix); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eps[1].Recv()
+	var pe *PeerError
+	if !errors.As(err, &pe) || !contains(pe.Err.Error(), "oversized") {
+		t.Fatalf("Recv = %v, want oversized-frame PeerError", err)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	t.Parallel()
+	for _, f := range meshes() {
+		t.Run(f.Kind(), func(t *testing.T) {
+			t.Parallel()
+			eps, err := f.Mesh(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := eps[0].Recv()
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			eps[0].Close()
+			select {
+			case err := <-done:
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("Recv after Close = %v, want ErrClosed", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Recv still blocked after Close")
+			}
+			eps[1].Close()
+		})
+	}
+}
+
+func TestBadDestination(t *testing.T) {
+	t.Parallel()
+	for _, f := range meshes() {
+		t.Run(f.Kind(), func(t *testing.T) {
+			t.Parallel()
+			eps, err := f.Mesh(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeEndpoints(eps)
+			for _, to := range []int{-1, 2, 0} { // 0 = self
+				if err := eps[0].Send(to, []byte("x")); err == nil {
+					t.Errorf("Send to %d succeeded", to)
+				}
+			}
+		})
+	}
+}
+
+func closeEndpoints(eps []Endpoint) {
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

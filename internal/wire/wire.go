@@ -1,0 +1,265 @@
+// Package wire is the self-describing binary codec for every payload the
+// protocols put on a channel: Reed-Solomon codeword symbols (matching and
+// dissemination stages), packed bit vectors (match votes, detection flags,
+// trust vectors, Broadcast_Single_Bit relay rounds), raw byte blobs (batch
+// frames, multi-valued broadcast dissemination) and diagnosis graphs.
+//
+// The simulator passes payloads by reference, so nothing there validates
+// that a protocol message can actually cross a wire; this package is that
+// validation, and its encoded sizes are the measured on-wire cost that the
+// networked runtime (internal/node) reports next to the protocol-level bit
+// meter. Encoding is canonical (a given value has exactly one encoding) and
+// decoding is strict and total: any byte string either decodes to a value or
+// returns an error — never a panic and never an oversized allocation — since
+// a Byzantine peer controls every received byte (fuzzed by
+// FuzzWireRoundTrip).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"byzcons/internal/bitio"
+	"byzcons/internal/diag"
+	"byzcons/internal/gf"
+)
+
+// Payload kind tags (first byte of every encoded payload).
+const (
+	kindNil   byte = 0 // absent payload (a crashed or silent sender)
+	kindBits  byte = 1 // []bool, bit-packed
+	kindWord  byte = 2 // []gf.Sym, packed at the minimal symbol width
+	kindBytes byte = 3 // []byte
+	kindInt   byte = 4 // int64, zigzag varint
+	kindGraph byte = 5 // *diag.Graph: missing edges, isolation, counts
+)
+
+// MaxGraphVerts bounds the order of a decoded diagnosis graph; anything
+// larger than any plausible deployment is rejected before allocation.
+const MaxGraphVerts = 4096
+
+// AppendPayload appends the canonical encoding of p to buf. Supported types
+// are nil, []bool, []gf.Sym, []byte, int64 and *diag.Graph; anything else —
+// including plain int, which would silently come back as int64 and make the
+// networked backends diverge from the simulator's by-reference delivery —
+// is an error (protocol code must never put an unencodable payload on a
+// real channel).
+func AppendPayload(buf []byte, p any) ([]byte, error) {
+	switch v := p.(type) {
+	case nil:
+		return append(buf, kindNil), nil
+	case []bool:
+		buf = append(buf, kindBits)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		w := bitio.NewWriter()
+		for _, b := range v {
+			bit := uint32(0)
+			if b {
+				bit = 1
+			}
+			w.Write(bit, 1)
+		}
+		return append(buf, w.Bytes()...), nil
+	case []gf.Sym:
+		width := uint(1)
+		for _, s := range v {
+			if l := uint(bits.Len16(uint16(s))); l > width {
+				width = l
+			}
+		}
+		buf = append(buf, kindWord)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, byte(width))
+		w := bitio.NewWriter()
+		for _, s := range v {
+			w.Write(uint32(s), width)
+		}
+		return append(buf, w.Bytes()...), nil
+	case []byte:
+		buf = append(buf, kindBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		return append(buf, v...), nil
+	case int64:
+		buf = append(buf, kindInt)
+		return binary.AppendVarint(buf, v), nil
+	case *diag.Graph:
+		if v == nil {
+			return append(buf, kindNil), nil
+		}
+		return appendGraph(buf, v), nil
+	default:
+		return nil, fmt.Errorf("wire: unencodable payload type %T", p)
+	}
+}
+
+// appendGraph encodes a diagnosis graph: order, missing-edge pairs, the
+// isolated-vertex bitmap and the per-vertex removed-edge counts (the counts
+// are not derivable from the edge set: isolation removes edges without
+// charging the neighbours, see diag.Isolate).
+func appendGraph(buf []byte, g *diag.Graph) []byte {
+	n := g.N()
+	missing, isolated := g.Missing()
+	buf = append(buf, kindGraph)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(len(missing)))
+	for _, e := range missing {
+		buf = binary.AppendUvarint(buf, uint64(e[0]))
+		buf = binary.AppendUvarint(buf, uint64(e[1]))
+	}
+	iso := make([]byte, (n+7)/8)
+	for _, v := range isolated {
+		iso[v/8] |= 1 << (7 - uint(v)%8)
+	}
+	buf = append(buf, iso...)
+	for _, c := range g.Removed() {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf
+}
+
+// DecodePayload decodes one payload from the head of data, returning the
+// value and the unconsumed remainder. It never panics: malformed, truncated
+// or oversized input yields an error.
+func DecodePayload(data []byte) (p any, rest []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("wire: empty payload")
+	}
+	kind, rest := data[0], data[1:]
+	switch kind {
+	case kindNil:
+		return nil, rest, nil
+	case kindBits:
+		count, rest, err := decodeCount(rest, 1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: bits: %w", err)
+		}
+		nbytes := (count + 7) / 8
+		r := bitio.NewReader(rest[:nbytes])
+		out := make([]bool, count)
+		for i := range out {
+			out[i] = r.Read(1) == 1
+		}
+		return out, rest[nbytes:], nil
+	case kindWord:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("wire: word: bad count")
+		}
+		rest = rest[n:]
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("wire: word: missing width")
+		}
+		width := uint(rest[0])
+		rest = rest[1:]
+		if width < 1 || width > 16 {
+			return nil, nil, fmt.Errorf("wire: word: width %d out of [1,16]", width)
+		}
+		if count > uint64(len(rest))*8/uint64(width) {
+			return nil, nil, fmt.Errorf("wire: word: %d symbols of %d bits exceed %d payload bytes", count, width, len(rest))
+		}
+		nbytes := (int(count)*int(width) + 7) / 8
+		r := bitio.NewReader(rest[:nbytes])
+		out := make([]gf.Sym, count)
+		for i := range out {
+			out[i] = gf.Sym(r.Read(width))
+		}
+		return out, rest[nbytes:], nil
+	case kindBytes:
+		count, rest, err := decodeCount(rest, 8)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: bytes: %w", err)
+		}
+		out := make([]byte, count)
+		copy(out, rest[:count])
+		return out, rest[count:], nil
+	case kindInt:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("wire: int: bad varint")
+		}
+		return v, rest[n:], nil
+	case kindGraph:
+		return decodeGraph(rest)
+	default:
+		return nil, nil, fmt.Errorf("wire: unknown payload kind %d", kind)
+	}
+}
+
+// decodeCount reads a uvarint element count and verifies the remaining bytes
+// can hold count elements of the given bits-per-element, bounding every
+// allocation by the input length.
+func decodeCount(data []byte, bitsPerElem int) (int, []byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad count")
+	}
+	rest := data[n:]
+	if count > uint64(len(rest))*8/uint64(bitsPerElem) {
+		return 0, nil, fmt.Errorf("%d elements exceed %d payload bytes", count, len(rest))
+	}
+	return int(count), rest, nil
+}
+
+// decodeGraph decodes a kindGraph body.
+func decodeGraph(data []byte) (any, []byte, error) {
+	n64, c := binary.Uvarint(data)
+	if c <= 0 || n64 > MaxGraphVerts {
+		return nil, nil, fmt.Errorf("wire: graph: bad order")
+	}
+	n := int(n64)
+	rest := data[c:]
+	edges, c := binary.Uvarint(rest)
+	// Each encoded edge needs at least two bytes, so bounding the count by
+	// the remaining input keeps the allocation below the input length.
+	if c <= 0 || edges > uint64(n)*uint64(n) || edges > uint64(len(rest)-c)/2 {
+		return nil, nil, fmt.Errorf("wire: graph: bad edge count")
+	}
+	rest = rest[c:]
+	missing := make([][2]int, 0, edges)
+	for e := uint64(0); e < edges; e++ {
+		i, ci := binary.Uvarint(rest)
+		if ci <= 0 {
+			return nil, nil, fmt.Errorf("wire: graph: truncated edge %d", e)
+		}
+		rest = rest[ci:]
+		j, cj := binary.Uvarint(rest)
+		if cj <= 0 {
+			return nil, nil, fmt.Errorf("wire: graph: truncated edge %d", e)
+		}
+		rest = rest[cj:]
+		if i >= uint64(n) || j >= uint64(n) || i >= j {
+			return nil, nil, fmt.Errorf("wire: graph: bad edge (%d,%d)", i, j)
+		}
+		missing = append(missing, [2]int{int(i), int(j)})
+	}
+	nbytes := (n + 7) / 8
+	if len(rest) < nbytes {
+		return nil, nil, fmt.Errorf("wire: graph: truncated isolation bitmap")
+	}
+	var isolated []int
+	for v := 0; v < n; v++ {
+		if rest[v/8]>>(7-uint(v)%8)&1 == 1 {
+			isolated = append(isolated, v)
+		}
+	}
+	// Trailing bitmap padding bits must be zero (canonical form).
+	if rem := n % 8; rem != 0 && nbytes > 0 && rest[nbytes-1]&(0xFF>>uint(rem)) != 0 {
+		return nil, nil, fmt.Errorf("wire: graph: nonzero isolation padding")
+	}
+	rest = rest[nbytes:]
+	removed := make([]int, n)
+	for v := 0; v < n; v++ {
+		r, cr := binary.Uvarint(rest)
+		if cr <= 0 || r > uint64(n) {
+			return nil, nil, fmt.Errorf("wire: graph: bad removed count at vertex %d", v)
+		}
+		removed[v] = int(r)
+		rest = rest[cr:]
+	}
+	g, err := diag.Rebuild(n, missing, isolated, removed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: graph: %w", err)
+	}
+	return g, rest, nil
+}

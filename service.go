@@ -2,6 +2,7 @@ package byzcons
 
 import (
 	"byzcons/internal/engine"
+	"byzcons/internal/node"
 )
 
 // ServiceConfig configures a batching consensus Service.
@@ -12,6 +13,12 @@ type ServiceConfig struct {
 	// Scenario injects faults into the simulated deployment: the same faulty
 	// set and adversary apply to every consensus instance the service runs.
 	Scenario Scenario
+	// Transport selects the deployment backend the consensus instances run
+	// over: TransportSim (default, shared-memory simulator), TransportBus
+	// (networked nodes over an in-process bus, full wire encoding) or
+	// TransportTCP (networked nodes over a loopback TCP mesh). Networked
+	// backends build a fresh mesh per flush cycle.
+	Transport TransportKind
 	// BatchValues caps how many submitted values are coalesced into one
 	// consensus instance (0 = 64). Bigger batches mean longer inputs and
 	// fewer amortized bits per value — the paper's large-L regime.
@@ -52,13 +59,25 @@ type ServiceStats = engine.Stats
 //	svc.Flush()
 //	d := p.Wait() // d.Value == []byte("command")
 type Service struct {
-	eng *engine.Engine
+	eng     *engine.Engine
+	cluster *node.Cluster // nil when backed by the simulator
 }
 
 // NewService validates cfg and returns a Service.
 func NewService(cfg ServiceConfig) (*Service, error) {
+	factory, err := cfg.Transport.factory()
+	if err != nil {
+		return nil, err
+	}
+	var cluster *node.Cluster
+	var runner engine.Runner
+	if factory != nil {
+		cluster = node.NewCluster(factory)
+		runner = cluster
+	}
 	eng, err := engine.New(engine.Config{
 		Consensus:   cfg.consensusParams(),
+		Runner:      runner,
 		Seed:        cfg.Seed,
 		Faulty:      cfg.Scenario.Faulty,
 		Adversary:   cfg.Scenario.Behavior,
@@ -69,7 +88,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Service{eng: eng}, nil
+	return &Service{eng: eng, cluster: cluster}, nil
 }
 
 // Submit queues a client value for the next Flush and returns a handle on
@@ -90,6 +109,16 @@ func (s *Service) PendingCount() int { return s.eng.PendingCount() }
 
 // Stats returns the service's cumulative accounting.
 func (s *Service) Stats() ServiceStats { return s.eng.Stats() }
+
+// WireStats returns the cumulative encoded on-wire traffic of a networked
+// service (zero when backed by the simulator, whose payloads never leave
+// the process).
+func (s *Service) WireStats() WireStats {
+	if s.cluster == nil {
+		return WireStats{}
+	}
+	return s.cluster.WireStats()
+}
 
 // Close flushes any queued values and rejects further submissions.
 func (s *Service) Close() error { return s.eng.Close() }
