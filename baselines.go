@@ -39,9 +39,9 @@ func FitziHirt(cfg FHConfig, inputs [][]byte, L int, sc Scenario) (*Result, erro
 	if run.Err != nil {
 		return nil, run.Err
 	}
-	return buildResult(c, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+	return buildResult(c, sc, run, func(v any) outSummary {
 		o := v.(*fitzihirt.Output)
-		return o.Value, o.Defaulted, 1, 0, nil
+		return outSummary{value: o.Value, defaulted: o.Defaulted, gens: 1}
 	})
 }
 
@@ -85,9 +85,9 @@ func NaiveBitwise(cfg NaiveConfig, inputs [][]byte, L int, sc Scenario) (*Result
 	if run.Err != nil {
 		return nil, run.Err
 	}
-	return buildResult(c, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+	return buildResult(c, sc, run, func(v any) outSummary {
 		o := v.(*naive.Output)
-		return o.Value, false, 1, 0, nil
+		return outSummary{value: o.Value, gens: 1}
 	})
 }
 

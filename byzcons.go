@@ -53,6 +53,13 @@ type Config struct {
 	// Lanes fixes the generation size D = (N-2T)*Lanes*SymBits bits;
 	// 0 picks the optimal D* of Eq. 2 for the value length.
 	Lanes int
+	// Window is the speculative generation pipeline's width: up to Window
+	// generations run concurrently, each on its own round stream, with
+	// squash-and-replay preserving the sequential decisions whenever a
+	// diagnosis changes the trust graph. 1 (or 0, the default) executes
+	// generations strictly one at a time — the paper's sequential protocol,
+	// bit for bit; values below 1 are rejected.
+	Window int
 	// Broadcast selects the 1-bit broadcast implementation (default oracle).
 	Broadcast BroadcastKind
 	// BroadcastCost overrides the oracle's per-bit cost B(n); 0 = 2n².
@@ -74,7 +81,7 @@ type Config struct {
 
 func (c Config) consensusParams() consensus.Params {
 	return consensus.Params{
-		N: c.N, T: c.T, SymBits: c.SymBits, Lanes: c.Lanes,
+		N: c.N, T: c.T, SymBits: c.SymBits, Lanes: c.Lanes, Window: c.Window,
 		BSB: c.Broadcast, BSBCost: c.BroadcastCost, BSBEpsilon: c.BroadcastEpsilon,
 		Default: c.Default,
 	}
@@ -112,8 +119,18 @@ type Result struct {
 	// BitsByTag breaks Bits down by protocol stage
 	// (match.sym, match.M, check.det, diag.sym, diag.trust, ...).
 	BitsByTag map[string]int64
-	// Rounds is the number of synchronous communication rounds.
+	// Rounds is the number of synchronous communication rounds executed in
+	// total, counting every concurrent stream's barriers (and, under
+	// Window > 1, squashed speculative work).
 	Rounds int64
+	// PipelinedRounds is the synchronized-round count of the generation
+	// pipeline's critical path — the run's latency in rounds with up to
+	// Config.Window generations in flight. With Window = 1 it equals the
+	// sum of per-generation rounds.
+	PipelinedRounds int64
+	// Squashes counts speculative generation executions discarded by
+	// squash-and-replay (always 0 with Window = 1).
+	Squashes int
 	// Generations and DiagnosisRuns count Algorithm 1 progress
 	// (DiagnosisRuns <= T(T+1) by Theorem 1).
 	Generations, DiagnosisRuns int
@@ -158,16 +175,26 @@ func Consensus(cfg Config, inputs [][]byte, L int, sc Scenario) (*Result, error)
 	if run.Err != nil {
 		return nil, run.Err
 	}
-	return buildResult(cfg, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+	return buildResult(cfg, sc, run, consensusSummary(cfg.N))
+}
+
+// consensusSummary extracts a consensus.Output into the shared result
+// summary (used by both the simulated and networked consensus entry points).
+func consensusSummary(n int) func(any) outSummary {
+	return func(v any) outSummary {
 		o := v.(*consensus.Output)
 		var iso []int
-		for i := 0; i < cfg.N; i++ {
+		for i := 0; i < n; i++ {
 			if o.Graph.Isolated(i) {
 				iso = append(iso, i)
 			}
 		}
-		return o.Value, o.Defaulted, o.Generations, o.DiagnosisRuns, iso
-	})
+		return outSummary{
+			value: o.Value, defaulted: o.Defaulted, gens: o.Generations,
+			diags: o.DiagnosisRuns, iso: iso,
+			pipeRounds: o.PipelinedRounds, squashes: o.Squashes,
+		}
+	}
 }
 
 // Broadcast runs the Section 4 extension: the source processor broadcasts
@@ -189,9 +216,12 @@ func Broadcast(cfg Config, source int, value []byte, L int, sc Scenario) (*Resul
 	if run.Err != nil {
 		return nil, run.Err
 	}
-	return buildResult(cfg, sc, run, func(v any) ([]byte, bool, int, int, []int) {
+	return buildResult(cfg, sc, run, func(v any) outSummary {
 		o := v.(*mvb.Output)
-		return o.Value, o.Defaulted, o.Generations, o.DiagnosisRuns, nil
+		return outSummary{
+			value: o.Value, defaulted: o.Defaulted, gens: o.Generations,
+			diags: o.DiagnosisRuns, pipeRounds: o.PipelinedRounds, squashes: o.Squashes,
+		}
 	})
 }
 
@@ -230,9 +260,19 @@ func traceObserver(cfg Config, sc Scenario) func(procID, gen int, info consensus
 	}
 }
 
+// outSummary is one processor's extracted protocol output.
+type outSummary struct {
+	value       []byte
+	defaulted   bool
+	gens, diags int
+	iso         []int
+	pipeRounds  int64
+	squashes    int
+}
+
 // buildResult assembles the public Result from per-processor outputs.
 func buildResult(cfg Config, sc Scenario, run *sim.RunResult,
-	extract func(any) ([]byte, bool, int, int, []int)) (*Result, error) {
+	extract func(any) outSummary) (*Result, error) {
 	isFaulty := make(map[int]bool, len(sc.Faulty))
 	for _, f := range sc.Faulty {
 		isFaulty[f] = true
@@ -256,20 +296,21 @@ func buildResult(cfg Config, sc Scenario, run *sim.RunResult,
 			}
 			continue
 		}
-		value, defaulted, gens, diags, iso := extract(v)
-		res.Values[i] = value
+		sum := extract(v)
+		res.Values[i] = sum.value
 		if isFaulty[i] {
 			continue
 		}
 		res.Honest = append(res.Honest, i)
 		if first {
-			res.Value, res.Defaulted = value, defaulted
-			res.Generations, res.DiagnosisRuns = gens, diags
-			res.Isolated = iso
+			res.Value, res.Defaulted = sum.value, sum.defaulted
+			res.Generations, res.DiagnosisRuns = sum.gens, sum.diags
+			res.Isolated = sum.iso
+			res.PipelinedRounds, res.Squashes = sum.pipeRounds, sum.squashes
 			first = false
 			continue
 		}
-		if !bytes.Equal(value, res.Value) || defaulted != res.Defaulted {
+		if !bytes.Equal(sum.value, res.Value) || sum.defaulted != res.Defaulted {
 			res.Consistent = false
 			res.Value = nil
 		}

@@ -132,16 +132,7 @@ func ClusterConsensus(cfg Config, inputs [][]byte, L int, sc Scenario, kind Tran
 	if run.Err != nil {
 		return nil, run.Err
 	}
-	res, err := buildResult(cfg, sc, run, func(v any) ([]byte, bool, int, int, []int) {
-		o := v.(*consensus.Output)
-		var iso []int
-		for i := 0; i < cfg.N; i++ {
-			if o.Graph.Isolated(i) {
-				iso = append(iso, i)
-			}
-		}
-		return o.Value, o.Defaulted, o.Generations, o.DiagnosisRuns, iso
-	})
+	res, err := buildResult(cfg, sc, run, consensusSummary(cfg.N))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,177 @@
+// Command benchpr3 runs the speculative-pipeline benchmark grid and emits
+// BENCH_PR3.json, the repo's performance-trajectory record for the windowed
+// generation pipeline: batched-service throughput (values/s over the bus
+// transport, full wire codec) and fault-free consensus latency in pipelined
+// rounds, at Window ∈ {1, 2, 4, 8} and n ∈ {4, 7}.
+//
+//	go run ./cmd/benchpr3 -out BENCH_PR3.json
+//
+// Round and bit figures are deterministic (fixed seeds, fault-free);
+// values/s depends on the host. Regenerate after changes to the pipeline,
+// the engine or the transports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"byzcons"
+)
+
+// Row is one (n, window) grid point.
+type Row struct {
+	N      int `json:"n"`
+	T      int `json:"t"`
+	Window int `json:"window"`
+
+	// Service throughput: Values values of ValueBytes bytes each, batched
+	// over the bus transport.
+	ValuesPerSec float64 `json:"valuesPerSec"`
+	ServiceBits  int64   `json:"serviceBits"`
+	// ServicePipelinedRounds is the service run's latency in rounds:
+	// within a flush cycle the instances pipeline concurrently (max), and
+	// within each instance the generations pipeline through the window, so
+	// this is the sum over cycles of the per-cycle maximum of the batches'
+	// generation-pipeline critical paths. ServiceRounds counts every
+	// executed barrier (including any squashed speculation — zero here:
+	// the workload is fault-free).
+	ServicePipelinedRounds int64 `json:"servicePipelinedRounds"`
+	ServiceRounds          int64 `json:"serviceRounds"`
+
+	// Consensus latency: one fault-free L-bit consensus on the simulator.
+	ConsensusPipelinedRounds int64 `json:"consensusPipelinedRounds"`
+	ConsensusGenerations     int   `json:"consensusGenerations"`
+}
+
+// Report is the BENCH_PR3.json document.
+type Report struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"goVersion,omitempty"`
+	Transport  string `json:"transport"`
+	Values     int    `json:"values"`
+	ValueBytes int    `json:"valueBytes"`
+	Batch      int    `json:"batchValues"`
+	Instances  int    `json:"instances"`
+	L          int    `json:"consensusL"`
+	Rows       []Row  `json:"rows"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr3:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	const (
+		values     = 64
+		valueBytes = 64
+		batch      = 32
+		instances  = 2
+		L          = 65536
+	)
+	rep := &Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Transport:  byzcons.TransportBus.String(),
+		Values:     values,
+		ValueBytes: valueBytes,
+		Batch:      batch,
+		Instances:  instances,
+		L:          L,
+	}
+
+	for _, nt := range []struct{ n, t int }{{4, 1}, {7, 2}} {
+		for _, window := range []int{1, 2, 4, 8} {
+			row := Row{N: nt.n, T: nt.t, Window: window}
+			if err := serviceRun(&row, values, valueBytes, batch, instances); err != nil {
+				return err
+			}
+			if err := consensusRun(&row, L); err != nil {
+				return err
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Printf("n=%d window=%d: %.0f values/s, service pipelined rounds %d (all rounds %d), consensus pipelined rounds %d\n",
+				nt.n, window, row.ValuesPerSec, row.ServicePipelinedRounds, row.ServiceRounds, row.ConsensusPipelinedRounds)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// serviceRun measures the batched service at one grid point.
+func serviceRun(row *Row, values, valueBytes, batch, instances int) error {
+	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+		Config:      byzcons.Config{N: row.N, T: row.T, Window: row.Window, Seed: 1},
+		Transport:   byzcons.TransportBus,
+		BatchValues: batch,
+		Instances:   instances,
+	})
+	if err != nil {
+		return err
+	}
+	pendings := make([]*byzcons.Pending, values)
+	val := make([]byte, valueBytes)
+	for i := range val {
+		val[i] = byte(0x41 + i%26)
+	}
+	start := time.Now()
+	for i := range pendings {
+		if pendings[i], err = svc.Submit(val); err != nil {
+			return err
+		}
+	}
+	report, err := svc.Flush()
+	if err != nil {
+		return err
+	}
+	for _, p := range pendings {
+		if d := p.Wait(); d.Err != nil {
+			return d.Err
+		}
+	}
+	elapsed := time.Since(start)
+	row.ValuesPerSec = float64(values) / elapsed.Seconds()
+	st := svc.Stats()
+	row.ServiceBits = st.Bits
+	row.ServiceRounds = st.Rounds
+	perCycle := map[int]int64{}
+	for _, b := range report.Batches {
+		if b.PipelinedRounds > perCycle[b.Cycle] {
+			perCycle[b.Cycle] = b.PipelinedRounds
+		}
+	}
+	for _, r := range perCycle {
+		row.ServicePipelinedRounds += r
+	}
+	return nil
+}
+
+// consensusRun measures one fault-free consensus latency at one grid point.
+func consensusRun(row *Row, L int) error {
+	val := make([]byte, L/8)
+	for i := range val {
+		val[i] = byte(0x41 + i%26)
+	}
+	inputs := make([][]byte, row.N)
+	for i := range inputs {
+		inputs[i] = val
+	}
+	cfg := byzcons.Config{N: row.N, T: row.T, Window: row.Window, Seed: 1}
+	res, err := byzcons.Consensus(cfg, inputs, L, byzcons.Scenario{})
+	if err != nil {
+		return err
+	}
+	row.ConsensusPipelinedRounds = res.PipelinedRounds
+	row.ConsensusGenerations = res.Generations
+	return nil
+}

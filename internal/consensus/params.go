@@ -59,6 +59,14 @@ type Params struct {
 	// broadcast). Ignored for other kinds.
 	BSBEpsilon float64
 
+	// Window is the speculative generation pipeline's width: how many
+	// generations may be in flight concurrently (pipeline.go). Window = 1
+	// (the default; 0 selects it) reproduces the sequential protocol
+	// exactly — same steps, same rounds, same random draws, bit-identical
+	// outputs. Window > 1 pipelines fault-free generations and preserves
+	// the decisions via squash-and-replay; values below 1 are rejected.
+	Window int
+
 	// Default is the value decided when no Pmatch exists (honest inputs
 	// provably differ). It is truncated/zero-padded to the input length L.
 	// nil means all-zero.
@@ -118,6 +126,12 @@ func (par Params) normalized(L int) (Params, error) {
 	}
 	if par.Lanes < 1 {
 		return par, fmt.Errorf("consensus: Lanes must be >= 1, got %d", par.Lanes)
+	}
+	if par.Window == 0 {
+		par.Window = 1
+	}
+	if par.Window < 1 {
+		return par, fmt.Errorf("consensus: Window must be >= 1, got %d", par.Window)
 	}
 	return par, nil
 }

@@ -1,0 +1,270 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"byzcons/internal/bitio"
+	"byzcons/internal/diag"
+	"byzcons/internal/gf"
+	"byzcons/internal/sim"
+)
+
+// This file is the generation pipeline: the driver state machine that
+// executes Algorithm 1's generations through a speculative sliding window.
+//
+// The sequential protocol runs generations one at a time, so its end-to-end
+// latency is generations × rounds-per-generation even though fault-free
+// generations are data-independent. The pipeline exploits exactly the
+// property the paper's complexity argument rests on — expensive fault
+// handling is rare (at most t(t+1) diagnosis stages in a whole execution,
+// Theorem 1) — by running up to Window generations concurrently and betting
+// that the diagnosis graph does not change:
+//
+//   - Every in-flight generation executes as a fiber: a goroutine running
+//     the unmodified generation body on its own round stream (sim.Backend
+//     streams), under a snapshot of the diagnosis graph taken at launch.
+//   - Generations commit strictly in order. Committing generation g adopts
+//     its fiber's graph and appends its decided symbols.
+//   - If generation g ran a diagnosis stage (the only way the graph can
+//     change), every in-flight generation > g speculated under a stale
+//     trust assumption: their fibers are squashed — their streams abandoned
+//     mid-round, their results discarded — and the generations re-launched
+//     on fresh streams under the updated graph. Step labels are unchanged
+//     on replay, so a deterministic step-keyed adversary (the whole bundled
+//     gallery) attacks the replay exactly as it attacks the sequential
+//     execution.
+//
+// The squash-and-replay invariant: the committed execution of generation g
+// is bit-identical to the sequential protocol's — same input symbols, same
+// starting graph, same step labels, hence the same messages, broadcasts and
+// adversary deviations. By induction over g, honest processors decide
+// exactly the sequential (Window = 1) decision, whatever the window size.
+// Speculative executions that get squashed consume real rounds and bits
+// (they are measured, and nondeterministically interleaved with live
+// traffic), but never influence any committed state.
+//
+// Every processor runs this driver with the same deterministic schedule:
+// commit outcomes (defaulted, diagnosis-ran) are common knowledge from the
+// broadcasts, so all processors launch, squash and relaunch the same
+// generations on the same stream ids in the same order — which is what
+// keeps the per-stream lock-step barriers of every backend aligned without
+// any extra coordination. A processor squashes only its own fibers; a
+// partially filled barrier of a squashed stream is either completed by the
+// remaining peers (and its result discarded everywhere) or abandoned by all.
+type pipeline struct {
+	p      *sim.Proc
+	par    Params
+	window int
+	gens   int
+	// reader streams the input; data[g] holds generation g's symbols from
+	// its first launch (replays reuse them) until its commit frees them, so
+	// at most a window's worth of symbol slices is resident at a time.
+	reader *bitio.Reader
+	data   [][]gf.Sym
+	read   int // generations read off the input so far
+	shared workerEnv
+
+	// seq is the single reused worker of the sequential (Window = 1) path,
+	// which runs generations inline on the caller's stream — reproducing
+	// the pre-pipeline protocol exactly, step for step and random draw for
+	// random draw.
+	seq *worker
+
+	graph    *diag.Graph // authoritative graph: after the last committed generation
+	diags    int
+	squashes int
+	vcommit  int64 // virtual clock: pipelined rounds through the last commit
+
+	fibers     map[int]*genFiber
+	nextLaunch int
+	nextStream int
+}
+
+// genFiber is one speculative generation execution in flight.
+type genFiber struct {
+	gen    int
+	stream int
+	base   int64 // virtual launch time: the pipeline clock at launch
+	res    chan fiberOut
+}
+
+// fiberOut is what a fiber reports back to the driver.
+type fiberOut struct {
+	decided   []gf.Sym
+	defaulted bool
+	graph     *diag.Graph
+	diags     int
+	rounds    int64 // barrier rounds the fiber consumed (its local clock)
+	squashed  bool
+	panicked  any
+}
+
+// dataFor returns generation g's input symbols, reading the input stream
+// forward on demand (launches are issued in non-decreasing generation order;
+// replays hit generations that are already resident).
+func (d *pipeline) dataFor(g int) []gf.Sym {
+	for d.read <= g {
+		syms := make([]gf.Sym, d.shared.ic.DataSyms())
+		for i := range syms {
+			syms[i] = gf.Sym(d.reader.Read(d.par.SymBits))
+		}
+		d.data[d.read] = syms
+		d.read++
+	}
+	return d.data[g]
+}
+
+// run drives the window to completion and fills out.
+func (d *pipeline) run(out *Output) {
+	writer := bitio.NewWriter()
+	committed := 0
+	for committed < d.gens {
+		for d.nextLaunch < d.gens && d.nextLaunch < committed+d.window {
+			d.fibers[d.nextLaunch] = d.launch(d.nextLaunch)
+			d.nextLaunch++
+		}
+		f := d.fibers[committed]
+		delete(d.fibers, committed)
+		r := d.collect(f)
+		if r.squashed {
+			d.p.Abort(fmt.Errorf("consensus: g%d: committed generation's fiber squashed (driver bug)", committed))
+		}
+		if vEnd := f.base + r.rounds; vEnd > d.vcommit {
+			d.vcommit = vEnd
+		}
+		d.graph = r.graph
+		d.diags += r.diags
+		out.Generations++
+		if d.par.Observer != nil {
+			d.par.Observer(d.p.ID, committed, GenInfo{
+				Defaulted: r.defaulted,
+				Diagnosed: r.diags > 0,
+				Graph:     d.graph.Clone(),
+			})
+		}
+		if r.defaulted {
+			d.squashFrom(committed + 1)
+			out.Defaulted = true
+			out.Value = defaultValue(d.par.Default, out.L)
+			d.finish(out)
+			return
+		}
+		for _, s := range r.decided {
+			writer.Write(uint32(s), d.par.SymBits)
+		}
+		d.data[committed] = nil // committed: can never be relaunched
+		committed++
+		if r.diags > 0 {
+			// The diagnosis updated the trust graph: every generation
+			// launched beyond the commit point speculated under a stale
+			// graph. Squash them and let the window refill from the commit
+			// point with fresh streams under the updated graph.
+			d.squashFrom(committed)
+		}
+	}
+	out.Value = writer.Truncate(out.L)
+	d.finish(out)
+}
+
+// finish records the driver's accumulated accounting.
+func (d *pipeline) finish(out *Output) {
+	out.DiagnosisRuns = d.diags
+	out.Graph = d.graph
+	out.PipelinedRounds = d.vcommit
+	out.Squashes = d.squashes
+}
+
+// collect joins one fiber, propagating protocol aborts (and stray panics)
+// onto the driver's goroutine.
+func (d *pipeline) collect(f *genFiber) fiberOut {
+	r := <-f.res
+	if r.panicked != nil {
+		panic(r.panicked)
+	}
+	return r
+}
+
+// squashFrom abandons every in-flight fiber for generations >= g and rolls
+// the launch cursor back so the window refills from the commit point. A
+// fiber that already finished its (stale) speculative run needs no unwind —
+// its result is simply discarded, and its stream was already released by
+// the fiber itself, so no squash state is created for it.
+func (d *pipeline) squashFrom(g int) {
+	for i := g; i < d.nextLaunch; i++ {
+		f := d.fibers[i]
+		delete(d.fibers, i)
+		select {
+		case r := <-f.res:
+			if r.panicked != nil {
+				panic(r.panicked)
+			}
+		default:
+			d.p.SquashStream(f.stream)
+			d.collect(f) // result, if any, is stale speculation: discard
+		}
+		d.squashes++
+	}
+	if d.nextLaunch > g {
+		d.nextLaunch = g
+	}
+}
+
+// launch starts generation g. With Window = 1 it runs the generation inline
+// on the caller's processor handle — the sequential protocol, unchanged.
+// Otherwise it spawns a fiber on a fresh stream under a snapshot of the
+// current graph.
+func (d *pipeline) launch(g int) *genFiber {
+	f := &genFiber{gen: g, res: make(chan fiberOut, 1)}
+	if d.window == 1 {
+		f.base = d.vcommit
+		f.stream = d.p.Stream
+		w := d.seq
+		diags0, rounds0 := w.diags, d.p.LocalRounds()
+		decided, defaulted := w.generation(g, d.dataFor(g))
+		f.res <- fiberOut{
+			decided: decided, defaulted: defaulted, graph: w.g,
+			diags: w.diags - diags0, rounds: d.p.LocalRounds() - rounds0,
+		}
+		return f
+	}
+
+	f.base = d.vcommit
+	f.stream = d.nextStream
+	d.nextStream++
+	// The fiber's randomness is derived from the driver's deterministic
+	// stream: launches happen in a deterministic order, so every backend
+	// derives identical per-fiber seeds.
+	fp := d.p.WithStream(f.stream, rand.New(rand.NewSource(d.p.Rand.Int63())))
+	w := &worker{
+		p: fp, par: d.par, field: d.shared.field, ic: d.shared.ic,
+		bcast: newBroadcaster(fp, d.par), g: d.graph.Clone(),
+	}
+	data := d.dataFor(g)
+	go func() {
+		var r fiberOut
+		// Defers run LIFO: recover, then the result send, then the stream
+		// release. Releasing strictly after the send lets the driver treat
+		// "result available" as "stream already safe to leave alone" — a
+		// squash decision races only against fibers that have not sent yet,
+		// whose streams are guaranteed still registered (the fiber's own
+		// release is what completes a stream's teardown).
+		defer fp.ReleaseStream(f.stream)
+		defer func() { f.res <- r }()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(sim.Squashed); ok {
+					r = fiberOut{squashed: true}
+					return
+				}
+				r = fiberOut{panicked: rec}
+			}
+		}()
+		decided, defaulted := w.generation(g, data)
+		r = fiberOut{
+			decided: decided, defaulted: defaulted, graph: w.g,
+			diags: w.diags, rounds: fp.LocalRounds(),
+		}
+	}()
+	return f
+}

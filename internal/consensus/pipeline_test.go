@@ -1,0 +1,235 @@
+package consensus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"byzcons/internal/adversary"
+	"byzcons/internal/consensus"
+	"byzcons/internal/sim"
+)
+
+// pipeRun executes one simulated consensus with the given window.
+func pipeRun(t *testing.T, window, n, tf, L int, faulty []int, adv sim.Adversary, seed int64) (*sim.RunResult, *consensus.Output) {
+	t.Helper()
+	val := make([]byte, (L+7)/8)
+	for i := range val {
+		val[i] = byte(0x41 + i%26)
+	}
+	par := consensus.Params{N: n, T: tf, Window: window}
+	res := sim.Run(sim.RunConfig{N: n, Faulty: faulty, Adversary: adv, Seed: seed}, func(p *sim.Proc) any {
+		return consensus.Run(p, par, val, L)
+	})
+	if res.Err != nil {
+		t.Fatalf("window %d: %v", window, res.Err)
+	}
+	isFaulty := make(map[int]bool)
+	for _, f := range faulty {
+		isFaulty[f] = true
+	}
+	var ref *consensus.Output
+	for i, v := range res.Values {
+		if isFaulty[i] {
+			continue
+		}
+		o := v.(*consensus.Output)
+		if ref == nil {
+			ref = o
+			continue
+		}
+		if !bytes.Equal(o.Value, ref.Value) || o.Defaulted != ref.Defaulted || !o.Graph.Equal(ref.Graph) ||
+			o.PipelinedRounds != ref.PipelinedRounds || o.Squashes != ref.Squashes {
+			t.Fatalf("window %d: honest processor %d diverges from the reference", window, i)
+		}
+	}
+	return res, ref
+}
+
+// TestWindowOneMatchesPreRefactorGolden pins the Window = 1 path against
+// outputs recorded from the sequential implementation before the pipeline
+// refactor: identical decisions, generations, diagnosis counts, metered bits
+// and rounds, for clean and attacked runs. This is the "Window = 1
+// reproduces the sequential protocol exactly" guarantee.
+func TestWindowOneMatchesPreRefactorGolden(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name        string
+		n, tf, L    int
+		faulty      []int
+		adv         sim.Adversary
+		rounds      int64
+		bits        int64
+		gens, diags int
+	}{
+		// Golden numbers recorded from the pre-pipeline sequential
+		// implementation (PR 2) at Seed 1 with all-equal inputs.
+		{"clean-n7", 7, 2, 8192, nil, nil, 129, 301000, 43, 0},
+		{"equivocator-n7", 7, 2, 8192, []int{1, 4}, adversary.Equivocator{}, 131, 325038, 43, 1},
+		{"silent-n7", 7, 2, 8192, []int{1, 4}, adversary.Silent{}, 129, 267976, 43, 0},
+		{"matchliar-n7", 7, 2, 8192, []int{1, 4}, adversary.MatchLiar{}, 129, 301000, 43, 0},
+		{"edgemiser-n7", 7, 2, 65536, []int{0, 1}, adversary.EdgeMiser{T: 2}, 387, 1246624, 125, 6},
+		{"clean-n4", 4, 1, 4096, nil, nil, 96, 37888, 32, 0},
+		{"equivocator-n4", 4, 1, 4096, []int{2}, adversary.Equivocator{}, 98, 40448, 32, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, ref := pipeRun(t, 1, tc.n, tc.tf, tc.L, tc.faulty, tc.adv, 1)
+			if got := res.Meter.Rounds(); got != tc.rounds {
+				t.Errorf("rounds = %d, want pre-refactor %d", got, tc.rounds)
+			}
+			if got := res.Meter.TotalBits(); got != tc.bits {
+				t.Errorf("bits = %d, want pre-refactor %d", got, tc.bits)
+			}
+			if ref.Generations != tc.gens || ref.DiagnosisRuns != tc.diags {
+				t.Errorf("gens/diags = %d/%d, want %d/%d", ref.Generations, ref.DiagnosisRuns, tc.gens, tc.diags)
+			}
+			if ref.Squashes != 0 {
+				t.Errorf("sequential run reported %d squashes", ref.Squashes)
+			}
+			if ref.PipelinedRounds != res.Meter.Rounds() {
+				t.Errorf("Window=1 PipelinedRounds = %d, want the plain round sum %d",
+					ref.PipelinedRounds, res.Meter.Rounds())
+			}
+			want := make([]byte, (tc.L+7)/8)
+			for i := range want {
+				want[i] = byte(0x41 + i%26)
+			}
+			if !bytes.Equal(ref.Value, want) {
+				t.Errorf("decided %x..., want the common input", ref.Value[:4])
+			}
+		})
+	}
+}
+
+// TestWindowDecisionsBitIdentical is the pipeline's correctness invariant:
+// for every window size, honest processors decide exactly the sequential
+// decision — value, generations, diagnosis count and final graph — under
+// clean runs and under every squash-forcing gallery adversary.
+func TestWindowDecisionsBitIdentical(t *testing.T) {
+	t.Parallel()
+	scenarios := []struct {
+		name   string
+		faulty []int
+		adv    sim.Adversary
+	}{
+		{"clean", nil, nil},
+		{"equivocator", []int{1, 4}, adversary.Equivocator{}},
+		{"silent", []int{1, 4}, adversary.Silent{}},
+		{"matchliar", []int{1, 4}, adversary.MatchLiar{}},
+		{"edgemiser", []int{0, 1}, adversary.EdgeMiser{T: 2}},
+	}
+	const n, tf, L = 7, 2, 32768
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			_, seq := pipeRun(t, 1, n, tf, L, sc.faulty, sc.adv, 1)
+			for _, w := range []int{2, 4, 8} {
+				_, ref := pipeRun(t, w, n, tf, L, sc.faulty, sc.adv, 1)
+				if !bytes.Equal(ref.Value, seq.Value) || ref.Defaulted != seq.Defaulted {
+					t.Errorf("window %d decision diverges from sequential", w)
+				}
+				if ref.Generations != seq.Generations || ref.DiagnosisRuns != seq.DiagnosisRuns {
+					t.Errorf("window %d progress %d/%d, sequential %d/%d",
+						w, ref.Generations, ref.DiagnosisRuns, seq.Generations, seq.DiagnosisRuns)
+				}
+				if !ref.Graph.Equal(seq.Graph) {
+					t.Errorf("window %d final diagnosis graph diverges from sequential", w)
+				}
+				if ref.PipelinedRounds > seq.PipelinedRounds {
+					t.Errorf("window %d pipelined rounds %d exceed sequential %d",
+						w, ref.PipelinedRounds, seq.PipelinedRounds)
+				}
+				if ref.DiagnosisRuns == 0 && ref.Squashes != 0 {
+					t.Errorf("window %d: %d squashes without any diagnosis", w, ref.Squashes)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowPipelinesFaultFreeRounds is the latency acceptance criterion: a
+// fault-free n=7, t=2, L=65536 run at Window >= 4 completes in far fewer
+// synchronized rounds than the sequential protocol.
+func TestWindowPipelinesFaultFreeRounds(t *testing.T) {
+	t.Parallel()
+	const n, tf, L = 7, 2, 65536
+	_, seq := pipeRun(t, 1, n, tf, L, nil, nil, 1)
+	_, pipe := pipeRun(t, 4, n, tf, L, nil, nil, 1)
+	if pipe.PipelinedRounds*2 > seq.PipelinedRounds {
+		t.Errorf("window 4 pipelined rounds %d, want well below sequential %d",
+			pipe.PipelinedRounds, seq.PipelinedRounds)
+	}
+	if pipe.Squashes != 0 {
+		t.Errorf("fault-free pipeline squashed %d generations", pipe.Squashes)
+	}
+}
+
+// TestWindowMidWindowSquash forces a diagnosis in the middle of a full
+// window (the equivocator attacks only generations 6..7) and checks that the
+// squash-and-replay path actually ran and still produced the sequential
+// decision.
+func TestWindowMidWindowSquash(t *testing.T) {
+	t.Parallel()
+	const n, tf, L = 7, 2, 32768
+	adv := adversary.Equivocator{FromGen: 6, ToGen: 7}
+	faulty := []int{1, 4}
+	_, seq := pipeRun(t, 1, n, tf, L, faulty, adv, 1)
+	_, pipe := pipeRun(t, 4, n, tf, L, faulty, adv, 1)
+	if pipe.Squashes == 0 {
+		t.Fatal("mid-window diagnosis did not squash any speculative generation")
+	}
+	if !bytes.Equal(pipe.Value, seq.Value) || pipe.Defaulted != seq.Defaulted {
+		t.Error("squash-and-replay decision diverges from sequential")
+	}
+	if pipe.DiagnosisRuns != seq.DiagnosisRuns || !pipe.Graph.Equal(seq.Graph) {
+		t.Error("squash-and-replay diagnosis state diverges from sequential")
+	}
+}
+
+// TestWindowDefaultedRun checks the pipeline's early-exit path: differing
+// honest inputs default in generation 0 while speculative generations are in
+// flight; they must be squashed cleanly and the default decided.
+func TestWindowDefaultedRun(t *testing.T) {
+	t.Parallel()
+	const n, tf, L = 4, 1, 8192
+	par := consensus.Params{N: n, T: tf, Window: 4}
+	res := sim.Run(sim.RunConfig{N: n, Seed: 1}, func(p *sim.Proc) any {
+		input := make([]byte, L/8)
+		for i := range input {
+			input[i] = byte(p.ID) // every processor starts with a different value
+		}
+		return consensus.Run(p, par, input, L)
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i, v := range res.Values {
+		o := v.(*consensus.Output)
+		if !o.Defaulted {
+			t.Errorf("processor %d did not default", i)
+		}
+		if o.Generations != 1 {
+			t.Errorf("processor %d ran %d generations, want 1", i, o.Generations)
+		}
+	}
+}
+
+// TestWindowValidation pins the Params.Window contract: 0 defaults to the
+// sequential protocol, negatives are rejected.
+func TestWindowValidation(t *testing.T) {
+	t.Parallel()
+	par := consensus.Params{N: 4, T: 1, Window: -1}
+	res := sim.Run(sim.RunConfig{N: 4, Seed: 1}, func(p *sim.Proc) any {
+		return consensus.Run(p, par, []byte{0xAA}, 8)
+	})
+	if res.Err == nil {
+		t.Fatal("Window = -1 accepted")
+	}
+	_, ref := pipeRun(t, 0, 4, 1, 4096, nil, nil, 1)
+	if ref.Squashes != 0 || ref.PipelinedRounds == 0 {
+		t.Errorf("Window = 0 did not run as the sequential default: %+v", ref)
+	}
+}

@@ -22,10 +22,34 @@ type Output struct {
 	Generations   int         // generations executed, including a defaulting one
 	DiagnosisRuns int         // diagnosis stages executed (Theorem 1: <= t(t+1))
 	Graph         *diag.Graph // final diagnosis graph
+	// PipelinedRounds is the synchronized-round count of the generation
+	// pipeline's critical path: the virtual time at which the last
+	// generation committed, with up to Params.Window generations advancing
+	// concurrently. With Window = 1 it equals the plain sum of the
+	// per-generation round counts (the sequential protocol's latency). It
+	// is identical at every processor and across backends.
+	PipelinedRounds int64
+	// Squashes counts speculative generation executions that were discarded
+	// because an earlier generation's diagnosis (or default) invalidated
+	// them. Always 0 with Window = 1; bounded by the diagnosis budget
+	// t(t+1) times Window-1 otherwise.
+	Squashes int
 }
 
-// proto is the per-processor protocol state for one run.
-type proto struct {
+// workerEnv is the immutable per-run machinery shared by all generation
+// workers: the field and code are lookup-table objects, safe for concurrent
+// readers.
+type workerEnv struct {
+	field *gf.Field
+	ic    *rs.Interleaved
+}
+
+// worker is the execution context of one generation at one processor: a
+// processor handle bound to the generation's round stream, a broadcaster on
+// that handle, and this execution's view of the diagnosis graph (the
+// authoritative graph for the sequential path, a launch-time snapshot for a
+// speculative fiber).
+type worker struct {
 	p     *sim.Proc
 	par   Params
 	field *gf.Field
@@ -35,10 +59,33 @@ type proto struct {
 	diags int
 }
 
+// newBroadcaster constructs the configured Broadcast_Single_Bit
+// implementation bound to p. par must already be normalized (the kind was
+// validated once at run start, so construction cannot fail here except for
+// programming errors, which abort).
+func newBroadcaster(p *sim.Proc, par Params) bsb.Broadcaster {
+	bcast, err := bsb.New(par.BSB, p, par.N, par.T)
+	if err != nil {
+		p.Abort(err)
+	}
+	switch {
+	case par.BSB == bsb.Oracle && par.BSBCost > 0:
+		bcast = bsb.NewOracle(p, par.N, par.T, par.BSBCost)
+	case par.BSB == bsb.ProbOracle:
+		bcast = bsb.NewProbOracle(p, par.N, par.T, par.BSBCost, par.BSBEpsilon)
+	}
+	return bcast
+}
+
 // Run executes Algorithm 1 at processor p over the L-bit input. All
 // processors of a run must pass the same par and L. The same code runs at
 // honest and faulty processors; Byzantine deviation is injected by the
 // simulator's adversary.
+//
+// Generations execute through the speculative pipeline of pipeline.go: up to
+// par.Window generations are in flight concurrently, with squash-and-replay
+// preserving the sequential protocol's decisions bit for bit. Window = 1
+// (the default) is exactly the sequential protocol.
 func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
 	par, err := par.normalized(L)
 	if err != nil {
@@ -56,52 +103,32 @@ func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
 	if err != nil {
 		p.Abort(err)
 	}
-	bcast, err := bsb.New(par.BSB, p, par.N, par.T)
-	if err != nil {
-		p.Abort(err)
-	}
-	switch {
-	case par.BSB == bsb.Oracle && par.BSBCost > 0:
-		bcast = bsb.NewOracle(p, par.N, par.T, par.BSBCost)
-	case par.BSB == bsb.ProbOracle:
-		bcast = bsb.NewProbOracle(p, par.N, par.T, par.BSBCost, par.BSBEpsilon)
-	}
-	pr := &proto{p: p, par: par, field: field, ic: ic, bcast: bcast, g: diag.NewComplete(par.N)}
 
 	D := ic.DataBits()
 	gens := (L + D - 1) / D
-	reader := bitio.NewReader(input)
-	writer := bitio.NewWriter()
-	out := &Output{L: L}
-	for g := 0; g < gens; g++ {
-		data := make([]gf.Sym, ic.DataSyms())
-		for i := range data {
-			data[i] = gf.Sym(reader.Read(par.SymBits))
-		}
-		diagsBefore := pr.diags
-		decided, defaulted := pr.generation(g, data)
-		out.Generations++
-		if par.Observer != nil {
-			par.Observer(p.ID, g, GenInfo{
-				Defaulted: defaulted,
-				Diagnosed: pr.diags > diagsBefore,
-				Graph:     pr.g.Clone(),
-			})
-		}
-		if defaulted {
-			out.Defaulted = true
-			out.Value = defaultValue(par.Default, L)
-			out.DiagnosisRuns = pr.diags
-			out.Graph = pr.g
-			return out
-		}
-		for _, s := range decided {
-			writer.Write(uint32(s), par.SymBits)
+	d := &pipeline{
+		p:      p,
+		par:    par,
+		window: par.Window,
+		gens:   gens,
+		reader: bitio.NewReader(input),
+		data:   make([][]gf.Sym, gens),
+		shared: workerEnv{field: field, ic: ic},
+		graph:  diag.NewComplete(par.N),
+		fibers: make(map[int]*genFiber),
+		// Stream ids for speculative fibers start above the caller's own
+		// stream, which keeps carrying the run's sequential traffic (and
+		// all Window = 1 generations).
+		nextStream: p.Stream + 1,
+	}
+	if d.window == 1 {
+		d.seq = &worker{
+			p: p, par: par, field: field, ic: ic,
+			bcast: newBroadcaster(p, par), g: d.graph,
 		}
 	}
-	out.Value = writer.Truncate(L)
-	out.DiagnosisRuns = pr.diags
-	out.Graph = pr.g
+	out := &Output{L: L}
+	d.run(out)
 	return out
 }
 
@@ -122,7 +149,7 @@ func defaultValue(def []byte, L int) []byte {
 // generation runs Algorithm 1 for generation g on this processor's D-bit
 // input (as data symbols). It returns the decided data symbols, or
 // defaulted=true when no Pmatch exists.
-func (pr *proto) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted bool) {
+func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted bool) {
 	n, t, k := pr.par.N, pr.par.T, pr.par.K()
 	me := pr.p.ID
 	prefix := sim.StepID(fmt.Sprintf("g%d", g))
@@ -367,7 +394,7 @@ func (pr *proto) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted b
 // senders that delivered well-formed symbols; nil entries are skipped since
 // an honest processor's consistency check only uses symbols it actually
 // received from processors it trusts).
-func (pr *proto) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) {
+func (pr *worker) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) {
 	var pos []int
 	var words [][]gf.Sym
 	set.ForEach(func(j int) bool {
@@ -382,7 +409,7 @@ func (pr *proto) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) 
 
 // validWord checks an incoming matching-stage payload: it must be a word of
 // exactly Lanes symbols, each within the field. Anything else is ⊥.
-func (pr *proto) validWord(payload any) []gf.Sym {
+func (pr *worker) validWord(payload any) []gf.Sym {
 	w, ok := payload.([]gf.Sym)
 	if !ok || len(w) != pr.par.Lanes {
 		return nil

@@ -90,13 +90,20 @@ func (p *Pending) Wait() Decision { return <-p.ch }
 
 // BatchStats describes one consensus instance (= one batch of values).
 type BatchStats struct {
-	Batch         int // global batch sequence number
-	Cycle         int // flush cycle the batch ran in
-	Instance      int // instance slot within its cycle
-	Values        int // client values coalesced into the batch
-	PackedBits    int // L of the packed input
-	Bits          int64
-	Rounds        int64
+	Batch      int // global batch sequence number
+	Cycle      int // flush cycle the batch ran in
+	Instance   int // instance slot within its cycle
+	Values     int // client values coalesced into the batch
+	PackedBits int // L of the packed input
+	Bits       int64
+	Rounds     int64
+	// PipelinedRounds is the batch's generation-pipeline critical path in
+	// rounds (consensus.Output.PipelinedRounds): the latency win of
+	// Consensus.Window > 1 shows up here, while Rounds keeps counting all
+	// executed barriers including squashed speculation.
+	PipelinedRounds int64
+	// Squashes counts the batch's discarded speculative generations.
+	Squashes      int
 	Generations   int
 	DiagnosisRuns int
 	Defaulted     bool
@@ -340,6 +347,8 @@ func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
 		}
 		st.Generations = out.Generations
 		st.DiagnosisRuns = out.DiagnosisRuns
+		st.PipelinedRounds = out.PipelinedRounds
+		st.Squashes = out.Squashes
 		st.Defaulted = out.Defaulted
 		st.BitsPerValue = float64(st.Bits) / float64(len(batch))
 		report.Batches = append(report.Batches, st)

@@ -116,12 +116,13 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 			runtimes[k][i] = newRuntime(options{
 				id: i, n: cfg.N, instTag: instTag, wireInst: k,
 				faulty: faulty, adv: adv,
-				procRand:    rand.New(rand.NewSource(sim.ProcSeed(instSeed, i))),
-				advRand:     rand.New(rand.NewSource(sim.ProcSeed(instSeed^0x5DEECE66D, i))),
-				meter:       res.Instances[k].Meter,
-				countRounds: i == 0,
-				stepTimeout: c.StepTimeout,
-				send:        eps[i].Send,
+				procRand:        rand.New(rand.NewSource(sim.ProcSeed(instSeed, i))),
+				advRand:         rand.New(rand.NewSource(sim.ProcSeed(instSeed^0x5DEECE66D, i))),
+				meter:           res.Instances[k].Meter,
+				countRounds:     i == 0,
+				stepTimeout:     c.StepTimeout,
+				send:            eps[i].Send,
+				recycleSendBufs: !eps[i].Retains(),
 			})
 		}
 	}
@@ -251,6 +252,8 @@ func (c *Cluster) dispatch(ep transport.Endpoint, runtimes [][]*runtime, node in
 			peerDown(fr.From, fmt.Errorf("node %d: frame from node %d for unknown instance %d", node, fr.From, f.Instance))
 			continue
 		}
-		runtimes[f.Instance][node].inbox.push(fr.From, f)
+		if !runtimes[f.Instance][node].inbox.push(fr.From, f.Stream, f) {
+			peerDown(fr.From, fmt.Errorf("node %d: node %d floods never-awaited stream tags (stream %d)", node, fr.From, f.Stream))
+		}
 	}
 }

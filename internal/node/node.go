@@ -6,11 +6,16 @@
 // Each processor of a deployment gets a runtime that implements sim.Backend:
 // the protocol's Exchange and Sync barriers become wire frames (one per peer
 // per step, encoded by internal/wire) pushed through a transport.Endpoint,
-// and a round synchronizer that completes step k once the step-k frame of
-// every peer has arrived. Per-peer FIFO order — guaranteed by every
-// transport — makes the arrival ordinal the round identity; the frame
+// and a round synchronizer that completes a step once the matching frame of
+// every peer has arrived. Frames are demultiplexed into one FIFO per
+// (peer, stream): per-peer FIFO order — guaranteed by every transport —
+// makes the arrival ordinal within a stream the round identity; the frame
 // header's step checksum cross-checks it, and a mismatch aborts the run
-// exactly like the simulator's step-misalignment check.
+// exactly like the simulator's step-misalignment check. Stream 0 carries
+// sequential protocol traffic; the speculative generation pipeline runs one
+// stream per in-flight generation, and a squashed stream's queue is dropped
+// and tombstoned so a peer's stale speculative frames are discarded by tag
+// instead of corrupting live rounds.
 //
 // Byzantine behaviour is injected locally: a faulty node applies the
 // configured sim.Adversary to its own outgoing traffic before encoding. The
@@ -32,6 +37,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -42,9 +48,12 @@ import (
 	"byzcons/internal/wire"
 )
 
-// DefaultStepTimeout bounds one barrier step: in a lock-step protocol a
-// missing peer frame means the round can never complete, so waiting longer
-// only delays the failure report.
+// DefaultStepTimeout bounds how long a parked barrier step may go without
+// any round completing on the node. In a lock-step protocol a missing peer
+// frame means the round can never complete, so once progress stops entirely,
+// waiting longer only delays the failure report; while other streams keep
+// completing rounds (a speculative fiber waiting out its own squash), the
+// timer re-arms instead of failing a live deployment.
 const DefaultStepTimeout = 30 * time.Second
 
 // options configures one processor runtime of one protocol instance.
@@ -64,11 +73,20 @@ type options struct {
 	countRounds bool
 	stepTimeout time.Duration
 	send        func(to int, data []byte) error
+	// recycleSendBufs enables pooling of encoded frame buffers; set only
+	// when the transport does not retain sent slices (Endpoint.Retains).
+	recycleSendBufs bool
 }
 
+// frameBuf is a pooled frame-encoding buffer for the send hot path.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
 // runtime drives one processor of one protocol instance over a transport.
-// It implements sim.Backend; the body goroutine is the only caller of
-// Exchange/Sync, while the node's dispatcher goroutine feeds the inbox.
+// It implements sim.Backend; the body's fiber goroutines call Exchange/Sync
+// concurrently (one fiber per stream), while the node's dispatcher goroutine
+// feeds the inbox.
 type runtime struct {
 	opts  options
 	inbox *inbox
@@ -103,8 +121,8 @@ func (rt *runtime) abortf(format string, args ...any) {
 	sim.AbortRun(err)
 }
 
-// Fail implements sim.Backend: it records the failure and unblocks a parked
-// round synchronizer (the failure may come from another node of the
+// Fail implements sim.Backend: it records the failure and unblocks parked
+// round synchronizers (the failure may come from another node of the
 // instance, via the cluster's failure latch).
 func (rt *runtime) Fail(err error) {
 	rt.mu.Lock()
@@ -125,15 +143,33 @@ func (rt *runtime) FirstHonest() int {
 	return -1
 }
 
-// Exchange implements sim.Backend: one point-to-point synchronous round.
-func (rt *runtime) Exchange(p int, step sim.StepID, out []sim.Message, meta any) []sim.Message {
+// Squash implements sim.Backend: the stream's queues are dropped, future
+// frames for it are discarded by tag, and the fiber's pending or next await
+// on it unwinds with a Squashed panic. Squash is local — peers drop the
+// stream on their own (identical, deterministic) schedule.
+func (rt *runtime) Squash(p, stream int) {
+	rt.inbox.squash(stream)
+}
+
+// Release implements sim.Backend: a committed stream's (fully drained)
+// queues are freed. Unlike Squash it leaves no tombstone — honest peers send
+// exactly one frame per step, and a committed stream's steps have all been
+// consumed, so nothing more can arrive on it.
+func (rt *runtime) Release(p, stream int) {
+	rt.inbox.release(stream)
+}
+
+// Exchange implements sim.Backend: one point-to-point synchronous round on
+// one stream.
+func (rt *runtime) Exchange(p, stream int, step sim.StepID, out []sim.Message, meta any) []sim.Message {
 	o := &rt.opts
+	rt.checkSquashed(stream)
 	// Local Byzantine deviation: a faulty node rewrites its own outbox.
 	if o.adv != nil && o.faulty[o.id] {
 		outs := make([][]sim.Message, o.n)
 		outs[o.id] = out
 		o.adv.ReworkExchange(&sim.ExchangeCtx{
-			Step: step, Instance: max(o.instTag, 0), N: o.n, Faulty: o.faulty,
+			Step: step, Instance: max(o.instTag, 0), Stream: stream, N: o.n, Faulty: o.faulty,
 			Out: outs, Meta: meta, Rand: o.advRand,
 		})
 		out = outs[o.id]
@@ -155,11 +191,11 @@ func (rt *runtime) Exchange(p int, step sim.StepID, out []sim.Message, meta any)
 	for j := 0; j < o.n; j++ {
 		if j != o.id {
 			rt.sendFrame(j, step, &wire.Frame{
-				Kind: wire.StepExchange, Instance: o.wireInst, StepSum: sum, Payloads: byTo[j],
+				Kind: wire.StepExchange, Instance: o.wireInst, Stream: stream, StepSum: sum, Payloads: byTo[j],
 			})
 		}
 	}
-	frames := rt.await(step, wire.StepExchange, sum)
+	frames := rt.await(stream, step, wire.StepExchange, sum)
 	var in []sim.Message
 	for j := 0; j < o.n; j++ {
 		if j == o.id {
@@ -176,16 +212,17 @@ func (rt *runtime) Exchange(p int, step sim.StepID, out []sim.Message, meta any)
 }
 
 // Sync implements sim.Backend: the ideal all-to-all service becomes an
-// all-to-all frame exchange. Note the weaker guarantee on a real network: a
-// Byzantine node could deliver different contributions to different peers
-// (the simulator's central delivery makes that impossible), so substrates
-// whose correctness leans on consistent Sync delivery — the oracle
-// broadcasters — keep their contract here only for deviations that rewrite
-// the contribution once, like the bundled gallery's. The error-free
+// all-to-all frame exchange on one stream. Note the weaker guarantee on a
+// real network: a Byzantine node could deliver different contributions to
+// different peers (the simulator's central delivery makes that impossible),
+// so substrates whose correctness leans on consistent Sync delivery — the
+// oracle broadcasters — keep their contract here only for deviations that
+// rewrite the contribution once, like the bundled gallery's. The error-free
 // substrates (EIG, PhaseKing) use Sync solely for zero-bit harness
 // alignment.
-func (rt *runtime) Sync(p int, step sim.StepID, val any, bits int64, tag string, meta any) []any {
+func (rt *runtime) Sync(p, stream int, step sim.StepID, val any, bits int64, tag string, meta any) []any {
 	o := &rt.opts
+	rt.checkSquashed(stream)
 	if bits < 0 {
 		rt.abortf("step %q: negative Bits", step)
 	}
@@ -198,7 +235,7 @@ func (rt *runtime) Sync(p int, step sim.StepID, val any, bits int64, tag string,
 		vals := make([]any, o.n)
 		vals[o.id] = val
 		o.adv.ReworkSync(&sim.SyncCtx{
-			Step: step, Instance: max(o.instTag, 0), N: o.n, Faulty: o.faulty,
+			Step: step, Instance: max(o.instTag, 0), Stream: stream, N: o.n, Faulty: o.faulty,
 			Vals: vals, Meta: meta, Rand: o.advRand,
 		})
 		val = vals[o.id]
@@ -207,11 +244,11 @@ func (rt *runtime) Sync(p int, step sim.StepID, val any, bits int64, tag string,
 	for j := 0; j < o.n; j++ {
 		if j != o.id {
 			rt.sendFrame(j, step, &wire.Frame{
-				Kind: wire.StepSync, Instance: o.wireInst, StepSum: sum, Payloads: []any{val},
+				Kind: wire.StepSync, Instance: o.wireInst, Stream: stream, StepSum: sum, Payloads: []any{val},
 			})
 		}
 	}
-	frames := rt.await(step, wire.StepSync, sum)
+	frames := rt.await(stream, step, wire.StepSync, sum)
 	vals := make([]any, o.n)
 	vals[o.id] = val
 	for j := 0; j < o.n; j++ {
@@ -227,21 +264,53 @@ func (rt *runtime) Sync(p int, step sim.StepID, val any, bits int64, tag string,
 	return vals
 }
 
+// checkSquashed unwinds the calling fiber before it spends wire bytes on a
+// stream its driver has already abandoned.
+func (rt *runtime) checkSquashed(stream int) {
+	if rt.inbox.isDead(stream) {
+		panic(sim.Squashed{Stream: stream})
+	}
+}
+
 // sendFrame encodes and transmits one step frame, aborting the run on
-// unencodable payloads (a protocol bug) or transport failure.
+// unencodable payloads (a protocol bug) or transport failure. Encode buffers
+// are pooled when the transport copies rather than retains sent slices.
 func (rt *runtime) sendFrame(to int, step sim.StepID, f *wire.Frame) {
-	data, err := f.Append(nil)
+	var fb *frameBuf
+	var data []byte
+	var err error
+	if rt.opts.recycleSendBufs {
+		fb = frameBufPool.Get().(*frameBuf)
+		data, err = f.Append(fb.b[:0])
+	} else {
+		// The transport retains sent slices (in-process bus): the buffer
+		// can never be recycled, so skip the pool entirely.
+		data, err = f.Append(nil)
+	}
 	if err != nil {
+		if fb != nil {
+			frameBufPool.Put(fb)
+		}
 		rt.abortf("step %q: %v", step, err)
 	}
-	if err := rt.opts.send(to, data); err != nil {
+	err = rt.opts.send(to, data)
+	if fb != nil {
+		fb.b = data
+		frameBufPool.Put(fb)
+	}
+	if err != nil {
 		rt.abortf("step %q: send to node %d: %v", step, to, err)
 	}
 }
 
-// await runs the round synchronizer and converts its failures into aborts.
-func (rt *runtime) await(step sim.StepID, kind wire.StepKind, sum uint16) []*wire.Frame {
-	frames, err := rt.inbox.await(kind, sum, rt.opts.stepTimeout)
+// await runs the round synchronizer and converts its failures into aborts —
+// or, for a squashed stream, into the squash unwind the consensus pipeline
+// recovers at the fiber boundary.
+func (rt *runtime) await(stream int, step sim.StepID, kind wire.StepKind, sum uint16) []*wire.Frame {
+	frames, err := rt.inbox.await(stream, kind, sum, rt.opts.stepTimeout)
+	if err == errSquashed {
+		panic(sim.Squashed{Stream: stream})
+	}
 	if err != nil {
 		rt.Fail(rt.errf("step %q: %v", step, err))
 		rt.mu.Lock()
@@ -252,33 +321,105 @@ func (rt *runtime) await(step sim.StepID, kind wire.StepKind, sum uint16) []*wir
 	return frames
 }
 
-// inbox is the runtime's receive side: per-peer FIFO queues of decoded
-// frames, fed by the node's dispatcher, consumed by the round synchronizer.
+// errSquashed is the inbox's internal signal that an await lost its stream
+// to a local squash; the runtime converts it into a sim.Squashed panic.
+var errSquashed = errors.New("node: stream squashed")
+
+// inbox is the runtime's receive side: one FIFO of decoded frames per
+// (peer, stream), fed by the node's dispatcher, consumed by the fibers'
+// round synchronizers. Streams are created on demand by either side — a
+// fast peer's frames for a stream this node has not opened yet simply
+// buffer — and are freed on release (committed streams, fully drained) or
+// squash (speculative streams; a tombstone then discards stale frames).
 type inbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
-	me   int
-	fifo [][]*wire.Frame
-	down []error // per-peer channel failure; frames received first still count
-	err  error   // run-level failure (body error latch)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	me      int
+	streams map[int]*streamQueues
+	dead    map[int]bool
+	down    []error // per-peer channel failure; frames received first still count
+	err     error   // run-level failure (body error latch)
+	// delivered counts completed awaits (rounds popped). The step timeout
+	// re-arms while it advances: a speculative fiber parked on a stream its
+	// peers already abandoned must not fail the run while the node as a
+	// whole keeps completing rounds — its driver will squash it as soon as
+	// the diagnosing generation commits. A genuine wedge stops all
+	// completions, so the timeout still fires within one period of the last
+	// progress anywhere on the node.
+	delivered uint64
+	// pending counts streams created by push that no fiber has awaited yet
+	// (see maxPendingStreams).
+	pending int
 }
 
+// streamQueues holds one stream's per-peer FIFO queues. awaited records
+// that a local fiber has attached to the stream; queues created by push
+// alone are "pending" and counted against maxPendingStreams.
+type streamQueues struct {
+	fifo    [][]*wire.Frame
+	awaited bool
+	// pendingCounted marks entries counted in inbox.pending (created by
+	// push before any await attached).
+	pendingCounted bool
+}
+
+// maxPendingStreams bounds how many distinct streams may hold buffered
+// frames before any local fiber awaits them. Honest peers run the same
+// deterministic pipeline schedule, so they can be ahead of this node by at
+// most a couple of windows of stream launches; a peer whose frames span more
+// never-awaited streams than that is flooding attacker-chosen tags, which is
+// a channel violation and fails loudly (the pre-stream runtime's behaviour
+// for out-of-protocol frames) instead of buffering without bound.
+const maxPendingStreams = 1024
+
 func newInbox(n, me int) *inbox {
-	ib := &inbox{n: n, me: me, fifo: make([][]*wire.Frame, n), down: make([]error, n)}
+	ib := &inbox{
+		n: n, me: me,
+		streams: make(map[int]*streamQueues),
+		dead:    make(map[int]bool),
+		down:    make([]error, n),
+	}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
 
-// push appends a frame from the given peer.
-func (ib *inbox) push(from int, f *wire.Frame) {
+// get returns the stream's queues, creating them on demand. Caller holds
+// ib.mu and has checked ib.dead.
+func (ib *inbox) get(stream int) *streamQueues {
+	sq := ib.streams[stream]
+	if sq == nil {
+		sq = &streamQueues{fifo: make([][]*wire.Frame, ib.n)}
+		ib.streams[stream] = sq
+	}
+	return sq
+}
+
+// push appends a frame from the given peer to the stream's queue; frames for
+// squashed streams are discarded by tag. It reports false — a channel
+// violation attributable to the peer — when the frame would open a stream
+// beyond the never-awaited buffering bound.
+func (ib *inbox) push(from, stream int, f *wire.Frame) bool {
 	if from < 0 || from >= ib.n || from == ib.me {
-		return
+		return true
 	}
 	ib.mu.Lock()
-	ib.fifo[from] = append(ib.fifo[from], f)
+	defer ib.mu.Unlock()
+	if ib.dead[stream] {
+		return true
+	}
+	sq := ib.streams[stream]
+	if sq == nil {
+		if ib.pending >= maxPendingStreams {
+			return false
+		}
+		ib.pending++
+		sq = ib.get(stream)
+		sq.pendingCounted = true
+	}
+	sq.fifo[from] = append(sq.fifo[from], f)
 	ib.cond.Broadcast()
-	ib.mu.Unlock()
+	return true
 }
 
 // peerDown marks one peer's channel as broken. It fails only awaits that
@@ -308,41 +449,98 @@ func (ib *inbox) fail(err error) {
 	ib.mu.Unlock()
 }
 
-// await blocks until the head of every peer's FIFO is present, then pops and
-// validates the heads against the expected (kind, stepsum). Frames already
-// delivered win over a recorded failure — a broken peer must not swallow the
-// round its final frames completed. Per-peer FIFO order makes the arrival
-// ordinal the round identity; a head with a mismatched header is protocol
-// divergence and fails the round.
-func (ib *inbox) await(kind wire.StepKind, sum uint16, timeout time.Duration) ([]*wire.Frame, error) {
-	timedOut := false
-	timer := time.AfterFunc(timeout, func() {
-		ib.mu.Lock()
-		timedOut = true
+// squash drops a stream's queues, tombstones it against stale frames, and
+// wakes a pending await so it can unwind.
+func (ib *inbox) squash(stream int) {
+	ib.mu.Lock()
+	if !ib.dead[stream] {
+		ib.dead[stream] = true
+		ib.drop(stream)
 		ib.cond.Broadcast()
+	}
+	ib.mu.Unlock()
+}
+
+// release frees a committed stream's queues without a tombstone.
+func (ib *inbox) release(stream int) {
+	ib.mu.Lock()
+	ib.drop(stream)
+	ib.mu.Unlock()
+}
+
+// drop removes a stream's queues, maintaining the pending-stream count.
+// Caller holds ib.mu.
+func (ib *inbox) drop(stream int) {
+	if sq := ib.streams[stream]; sq != nil && sq.pendingCounted {
+		ib.pending--
+	}
+	delete(ib.streams, stream)
+}
+
+// isDead reports whether the stream was squashed locally.
+func (ib *inbox) isDead(stream int) bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.dead[stream]
+}
+
+// await blocks until the head of every peer's FIFO for the stream is
+// present, then pops and validates the heads against the expected
+// (kind, stepsum). Frames already delivered win over a recorded failure — a
+// broken peer must not swallow the round its final frames completed.
+// Per-(peer, stream) FIFO order makes the arrival ordinal the round
+// identity; a head with a mismatched header is protocol divergence and fails
+// the round. A local squash of the stream unwinds the await with
+// errSquashed.
+func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.Duration) ([]*wire.Frame, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	timedOut := false
+	snapshot := ib.delivered
+	var timer *time.Timer
+	timer = time.AfterFunc(timeout, func() {
+		ib.mu.Lock()
+		if ib.delivered != snapshot {
+			// The node completed rounds since the timer was armed: this
+			// await is parked behind live progress (typically a speculative
+			// stream waiting for its squash), not a wedged deployment.
+			snapshot = ib.delivered
+			timer.Reset(timeout)
+		} else {
+			timedOut = true
+			ib.cond.Broadcast()
+		}
 		ib.mu.Unlock()
 	})
 	defer timer.Stop()
 
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
 	for {
+		if ib.dead[stream] {
+			return nil, errSquashed
+		}
+		sq := ib.get(stream)
+		if sq.pendingCounted {
+			sq.pendingCounted = false
+			ib.pending--
+		}
+		sq.awaited = true
 		ready := true
 		for j := 0; j < ib.n; j++ {
-			if j != ib.me && len(ib.fifo[j]) == 0 {
+			if j != ib.me && len(sq.fifo[j]) == 0 {
 				ready = false
 				break
 			}
 		}
 		if ready {
+			ib.delivered++
 			heads := make([]*wire.Frame, ib.n)
 			for j := 0; j < ib.n; j++ {
 				if j == ib.me {
 					continue
 				}
-				f := ib.fifo[j][0]
-				ib.fifo[j][0] = nil
-				ib.fifo[j] = ib.fifo[j][1:]
+				f := sq.fifo[j][0]
+				sq.fifo[j][0] = nil
+				sq.fifo[j] = sq.fifo[j][1:]
 				if f.Kind != kind || f.StepSum != sum {
 					return nil, fmt.Errorf("protocol misalignment with node %d: got (kind %d, sum %#x), want (kind %d, sum %#x)",
 						j, f.Kind, f.StepSum, kind, sum)
@@ -355,18 +553,18 @@ func (ib *inbox) await(kind wire.StepKind, sum uint16, timeout time.Duration) ([
 			return nil, ib.err
 		}
 		for j := 0; j < ib.n; j++ {
-			if j != ib.me && len(ib.fifo[j]) == 0 && ib.down[j] != nil {
+			if j != ib.me && len(sq.fifo[j]) == 0 && ib.down[j] != nil {
 				return nil, fmt.Errorf("round cannot complete: %w", ib.down[j])
 			}
 		}
 		if timedOut {
 			var missing []int
 			for j := 0; j < ib.n; j++ {
-				if j != ib.me && len(ib.fifo[j]) == 0 {
+				if j != ib.me && len(sq.fifo[j]) == 0 {
 					missing = append(missing, j)
 				}
 			}
-			return nil, fmt.Errorf("timed out after %v waiting for frames from nodes %v", timeout, missing)
+			return nil, fmt.Errorf("no round completed for %v while waiting for frames from nodes %v on stream %d", timeout, missing, stream)
 		}
 		ib.cond.Wait()
 	}

@@ -1,0 +1,79 @@
+package rs
+
+import (
+	"testing"
+
+	"byzcons/internal/gf"
+)
+
+// benchInterleaved builds the n=7, t=2 code of the acceptance scenarios with
+// a generation-sized lane count.
+func benchInterleaved(b *testing.B, lanes int) (*Interleaved, []gf.Sym) {
+	b.Helper()
+	field, err := gf.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := New(field, 7, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic, err := NewInterleaved(code, lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]gf.Sym, ic.DataSyms())
+	for i := range data {
+		data[i] = gf.Sym(i * 37 % 251)
+	}
+	return ic, data
+}
+
+// BenchmarkInterleavedEncode measures the matching-stage encode of one
+// generation (the per-generation hot path of every processor).
+func BenchmarkInterleavedEncode(b *testing.B) {
+	ic, data := benchInterleaved(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ic.Encode(data)
+	}
+}
+
+// BenchmarkInterleavedDecode measures the checking-stage decode from K+2
+// positions, the consistency-check hot path.
+func BenchmarkInterleavedDecode(b *testing.B) {
+	ic, data := benchInterleaved(b, 64)
+	words := ic.Encode(data)
+	positions := []int{0, 2, 3, 5, 6}
+	sub := make([][]gf.Sym, len(positions))
+	for i, p := range positions {
+		sub[i] = words[p]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ic.Decode(positions, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterleavedConsistent measures the surplus-position membership
+// test run by every non-member of Pmatch in every generation.
+func BenchmarkInterleavedConsistent(b *testing.B) {
+	ic, data := benchInterleaved(b, 64)
+	words := ic.Encode(data)
+	positions := []int{0, 1, 2, 3, 5, 6}
+	sub := make([][]gf.Sym, len(positions))
+	for i, p := range positions {
+		sub[i] = words[p]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ic.Consistent(positions, sub) {
+			b.Fatal("inconsistent")
+		}
+	}
+}

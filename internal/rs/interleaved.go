@@ -2,6 +2,7 @@ package rs
 
 import (
 	"fmt"
+	"sync"
 
 	"byzcons/internal/gf"
 )
@@ -34,6 +35,22 @@ func (ic *Interleaved) DataBits() int { return ic.C.K * ic.M * int(ic.C.F.C()) }
 // WordBits returns the number of bits in one interleaved word, M*c.
 func (ic *Interleaved) WordBits() int { return ic.M * int(ic.C.F.C()) }
 
+// symPool recycles scratch symbol slices for the per-lane working buffers of
+// the interleaved hot paths. The returned words/results escape to callers
+// and stay freshly allocated; only buffers whose lifetime ends inside the
+// call are pooled, so concurrent generation fibers can share the pool.
+var symPool = sync.Pool{New: func() any { return new([]gf.Sym) }}
+
+// getSyms returns a pooled slice of n symbols (contents undefined).
+func getSyms(n int) *[]gf.Sym {
+	p := symPool.Get().(*[]gf.Sym)
+	if cap(*p) < n {
+		*p = make([]gf.Sym, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 // Encode maps K*M data symbols (lane-major: data[l*K:(l+1)*K] is lane l) to N
 // words of M symbols each (out[j][l] is lane l's symbol at position j).
 func (ic *Interleaved) Encode(data []gf.Sym) [][]gf.Sym {
@@ -45,8 +62,11 @@ func (ic *Interleaved) Encode(data []gf.Sym) [][]gf.Sym {
 	for j := range out {
 		out[j] = flat[j*ic.M : (j+1)*ic.M]
 	}
+	cwp := getSyms(ic.C.N)
+	defer symPool.Put(cwp)
+	cw := *cwp
 	for l := 0; l < ic.M; l++ {
-		cw := ic.C.Encode(data[l*ic.C.K : (l+1)*ic.C.K])
+		ic.C.EncodeInto(data[l*ic.C.K:(l+1)*ic.C.K], cw)
 		for j := 0; j < ic.C.N; j++ {
 			out[j][l] = cw[j]
 		}
@@ -64,7 +84,18 @@ func (ic *Interleaved) Decode(positions []int, words [][]gf.Sym) ([]gf.Sym, erro
 		return nil, ErrTooFew
 	}
 	data := make([]gf.Sym, ic.DataSyms())
-	lane := make([]gf.Sym, len(words))
+	if err := ic.decodeInto(positions, words, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// decodeInto is Decode writing into a caller-provided buffer, with pooled
+// lane scratch.
+func (ic *Interleaved) decodeInto(positions []int, words [][]gf.Sym, data []gf.Sym) error {
+	lanep := getSyms(len(words))
+	defer symPool.Put(lanep)
+	lane := *lanep
 	for l := 0; l < ic.M; l++ {
 		for i, w := range words {
 			if len(w) != ic.M {
@@ -72,23 +103,23 @@ func (ic *Interleaved) Decode(positions []int, words [][]gf.Sym) ([]gf.Sym, erro
 			}
 			lane[i] = w[l]
 		}
-		d, err := ic.C.Decode(positions, lane)
-		if err != nil {
-			return nil, err
+		if err := ic.C.DecodeInto(positions, lane, data[l*ic.C.K:(l+1)*ic.C.K]); err != nil {
+			return err
 		}
-		copy(data[l*ic.C.K:(l+1)*ic.C.K], d)
 	}
-	return data, nil
+	return nil
 }
 
 // Consistent reports whether there is a single interleaved codeword agreeing
-// with the given words at the given positions (every lane must agree).
+// with the given words at the given positions (every lane must agree). The
+// decoded symbols are discarded, so the whole check runs on pooled scratch.
 func (ic *Interleaved) Consistent(positions []int, words [][]gf.Sym) bool {
 	if len(positions) <= ic.C.K {
 		return true
 	}
-	_, err := ic.Decode(positions, words)
-	return err == nil
+	datap := getSyms(ic.DataSyms())
+	defer symPool.Put(datap)
+	return ic.decodeInto(positions, words, *datap) == nil
 }
 
 // WordsEqual reports whether two interleaved words are identical.

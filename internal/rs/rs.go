@@ -16,6 +16,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"byzcons/internal/gf"
 )
@@ -55,27 +56,80 @@ func (c *Code) Distance() int { return c.N - c.K + 1 }
 
 // Encode maps k data symbols to the n symbols of the corresponding codeword.
 func (c *Code) Encode(data []gf.Sym) []gf.Sym {
+	return c.EncodeInto(data, make([]gf.Sym, c.N))
+}
+
+// EncodeInto writes the codeword for data into out (length N) and returns
+// it. It is the allocation-free variant of Encode for hot paths that reuse a
+// scratch codeword across calls.
+func (c *Code) EncodeInto(data, out []gf.Sym) []gf.Sym {
 	if len(data) != c.K {
 		panic(fmt.Sprintf("rs: Encode got %d symbols, want K=%d", len(data), c.K))
 	}
-	out := make([]gf.Sym, c.N)
+	if len(out) != c.N {
+		panic(fmt.Sprintf("rs: EncodeInto got a %d-symbol buffer, want N=%d", len(out), c.N))
+	}
 	for j := 0; j < c.N; j++ {
 		out[j] = c.F.EvalPoly(data, c.xs[j])
 	}
 	return out
 }
 
+// interpScratch holds Interpolate's working buffers. They are pooled: every
+// generation of every processor interpolates (decode and consistency checks
+// are the per-generation hot path), and under the pipelined window several
+// generation fibers interpolate concurrently, so per-call allocation would
+// churn while a plain per-Code buffer would race.
+type interpScratch struct {
+	xs     []gf.Sym
+	master []gf.Sym
+	q      []gf.Sym
+	seen   []bool
+}
+
+var interpPool = sync.Pool{New: func() any { return new(interpScratch) }}
+
+// grab sizes the scratch for a (k, n) interpolation, clearing the seen set.
+func (sc *interpScratch) grab(k, n int) {
+	if cap(sc.xs) < k {
+		sc.xs = make([]gf.Sym, k)
+		sc.q = make([]gf.Sym, k)
+		sc.master = make([]gf.Sym, k+1)
+	}
+	sc.xs = sc.xs[:k]
+	sc.q = sc.q[:k]
+	sc.master = sc.master[:k+1]
+	for i := range sc.master {
+		sc.master[i] = 0
+	}
+	if cap(sc.seen) < n {
+		sc.seen = make([]bool, n)
+	}
+	sc.seen = sc.seen[:n]
+	for i := range sc.seen {
+		sc.seen[i] = false
+	}
+}
+
 // Interpolate recovers the data (polynomial coefficients) from exactly K
 // (position, value) pairs. Positions are zero-based codeword indices and must
 // be distinct and in range.
 func (c *Code) Interpolate(positions []int, vals []gf.Sym) []gf.Sym {
+	return c.interpolateInto(positions, vals, make([]gf.Sym, c.K))
+}
+
+// interpolateInto is Interpolate writing into caller-provided coefficient
+// storage, with pooled working buffers.
+func (c *Code) interpolateInto(positions []int, vals, coeffs []gf.Sym) []gf.Sym {
 	k := c.K
 	if len(positions) != k || len(vals) != k {
 		panic(fmt.Sprintf("rs: Interpolate needs exactly K=%d points, got %d/%d", k, len(positions), len(vals)))
 	}
 	f := c.F
-	xs := make([]gf.Sym, k)
-	seen := make(map[int]bool, k)
+	sc := interpPool.Get().(*interpScratch)
+	defer interpPool.Put(sc)
+	sc.grab(k, c.N)
+	xs, seen := sc.xs, sc.seen
 	for i, p := range positions {
 		if p < 0 || p >= c.N {
 			panic(fmt.Sprintf("rs: position %d out of range [0,%d)", p, c.N))
@@ -88,7 +142,7 @@ func (c *Code) Interpolate(positions []int, vals []gf.Sym) []gf.Sym {
 	}
 
 	// master(x) = prod_i (x + xs[i]); char 2 so minus == plus.
-	master := make([]gf.Sym, k+1)
+	master := sc.master
 	master[0] = 1
 	deg := 0
 	for _, xi := range xs {
@@ -100,8 +154,10 @@ func (c *Code) Interpolate(positions []int, vals []gf.Sym) []gf.Sym {
 		deg++
 	}
 
-	coeffs := make([]gf.Sym, k)
-	q := make([]gf.Sym, k) // quotient master/(x+xi), degree k-1
+	for d := range coeffs {
+		coeffs[d] = 0
+	}
+	q := sc.q // quotient master/(x+xi), degree k-1
 	for i := 0; i < k; i++ {
 		xi := xs[i]
 		// Synthetic division of master by (x + xi) == (x - xi).
@@ -124,23 +180,40 @@ func (c *Code) Interpolate(positions []int, vals []gf.Sym) []gf.Sym {
 // It returns ErrTooFew with fewer than K points and ErrInconsistent if the
 // points do not agree on a single codeword.
 func (c *Code) Decode(positions []int, vals []gf.Sym) ([]gf.Sym, error) {
-	if len(positions) != len(vals) {
-		panic("rs: positions/vals length mismatch")
-	}
 	if len(positions) < c.K {
 		return nil, ErrTooFew
 	}
-	data := c.Interpolate(positions[:c.K], vals[:c.K])
+	data := make([]gf.Sym, c.K)
+	if err := c.DecodeInto(positions, vals, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// DecodeInto is Decode writing the K data symbols into out — the
+// allocation-free variant for hot paths decoding many lanes into one
+// preallocated buffer.
+func (c *Code) DecodeInto(positions []int, vals, out []gf.Sym) error {
+	if len(positions) != len(vals) {
+		panic("rs: positions/vals length mismatch")
+	}
+	if len(out) != c.K {
+		panic(fmt.Sprintf("rs: DecodeInto got a %d-symbol buffer, want K=%d", len(out), c.K))
+	}
+	if len(positions) < c.K {
+		return ErrTooFew
+	}
+	data := c.interpolateInto(positions[:c.K], vals[:c.K], out)
 	for i := c.K; i < len(positions); i++ {
 		p := positions[i]
 		if p < 0 || p >= c.N {
 			panic(fmt.Sprintf("rs: position %d out of range [0,%d)", p, c.N))
 		}
 		if c.F.EvalPoly(data, c.xs[p]) != vals[i] {
-			return nil, ErrInconsistent
+			return ErrInconsistent
 		}
 	}
-	return data, nil
+	return nil
 }
 
 // Consistent implements the paper's membership test V/A ∈ C2t: it reports

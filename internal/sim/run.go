@@ -67,6 +67,8 @@ func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult
 					switch e := r.(type) {
 					case abortError:
 						net.fail(e.err)
+					case Squashed:
+						net.fail(net.errf("sim: processor %d: squash of stream %d escaped its fiber", p.ID, e.Stream))
 					default:
 						net.fail(net.errf("sim: processor %d panicked: %v", p.ID, r))
 					}

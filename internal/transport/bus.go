@@ -41,6 +41,10 @@ func NewBus(n int) []Endpoint {
 func (ep *busEndpoint) NodeID() int { return ep.id }
 func (ep *busEndpoint) N() int      { return ep.n }
 
+// Retains implements Endpoint: the bus hands the receiver the very slice
+// the sender passed in, so senders must not reuse it.
+func (ep *busEndpoint) Retains() bool { return true }
+
 func (ep *busEndpoint) Send(to int, data []byte) error {
 	if ep.closed.Load() {
 		return ErrClosed

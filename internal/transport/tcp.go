@@ -49,6 +49,12 @@ func (o TCPOptions) setupTimeout() time.Duration {
 	return o.SetupTimeout
 }
 
+// writeBuf is a pooled length-prefixed write buffer; Send copies every frame
+// through one, so the hot path allocates nothing once the pool is warm.
+type writeBuf struct{ b []byte }
+
+var writeBufPool = sync.Pool{New: func() any { return new(writeBuf) }}
+
 // tcpEndpoint is one node's end of a fully connected TCP mesh: one
 // connection per peer, a reader goroutine per connection feeding the shared
 // receive queue, and per-peer write locks so pipelined instances can send
@@ -72,6 +78,10 @@ type tcpEndpoint struct {
 func (ep *tcpEndpoint) NodeID() int { return ep.id }
 func (ep *tcpEndpoint) N() int      { return ep.n }
 
+// Retains implements Endpoint: Send copies data into its prefixed write
+// buffer before returning, so callers may recycle the slice.
+func (ep *tcpEndpoint) Retains() bool { return false }
+
 func (ep *tcpEndpoint) Send(to int, data []byte) error {
 	if ep.closed.Load() {
 		return ErrClosed
@@ -80,12 +90,16 @@ func (ep *tcpEndpoint) Send(to int, data []byte) error {
 		return fmt.Errorf("transport: bad destination %d from node %d", to, ep.id)
 	}
 	// One buffered write per frame: uvarint length prefix + frame bytes.
-	buf := make([]byte, 0, len(data)+binary.MaxVarintLen32)
-	buf = binary.AppendUvarint(buf, uint64(len(data)))
+	// The write buffer is pooled — the socket write below is synchronous,
+	// so the buffer is free again as soon as Write returns.
+	wb := writeBufPool.Get().(*writeBuf)
+	buf := binary.AppendUvarint(wb.b[:0], uint64(len(data)))
 	buf = append(buf, data...)
 	ep.wmu[to].Lock()
 	_, err := ep.conns[to].Write(buf)
 	ep.wmu[to].Unlock()
+	wb.b = buf
+	writeBufPool.Put(wb)
 	if err != nil {
 		if ep.closed.Load() {
 			return ErrClosed

@@ -77,9 +77,17 @@ type Endpoint interface {
 	NodeID() int
 	// N returns the deployment size.
 	N() int
-	// Send transmits data to the given peer. The slice must not be modified
-	// after Send returns nil (implementations may retain it).
+	// Send transmits data to the given peer. When Retains reports true the
+	// slice must not be modified after Send returns nil (the implementation
+	// keeps a reference); when it reports false the implementation has
+	// copied or written the bytes by the time Send returns and the caller
+	// may recycle the buffer.
 	Send(to int, data []byte) error
+	// Retains reports whether Send keeps a reference to the data slice
+	// (true for the in-process bus, which moves frames by reference; false
+	// for TCP, which copies into the socket). Callers use it to gate
+	// send-buffer pooling.
+	Retains() bool
 	// Recv blocks for the next received frame. It returns a *PeerError when
 	// a peer channel breaks or misbehaves, and ErrClosed after Close once
 	// all delivered frames have been consumed.

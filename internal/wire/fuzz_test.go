@@ -33,7 +33,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 	g.Isolate(6)
 	seed(&Frame{Kind: StepExchange, Instance: 0, StepSum: StepSum("g0/match.sym"),
 		Payloads: []any{[]gf.Sym{1, 2, 3, 65535}}})
-	seed(&Frame{Kind: StepExchange, Instance: 2, StepSum: StepSum("g1/match.M/eig.r2"),
+	// Stream-tagged frames: one speculative generation's rounds (a nonzero
+	// stream), and a replayed generation reusing a step label on a later
+	// stream after a squash.
+	seed(&Frame{Kind: StepExchange, Instance: 0, Stream: 3, StepSum: StepSum("g2/match.sym"),
+		Payloads: []any{[]gf.Sym{9, 8, 7}}})
+	seed(&Frame{Kind: StepSync, Instance: 1, Stream: 1 << 20, StepSum: StepSum("g2/match.sym"),
+		Payloads: []any{[]bool{true, true, false}}})
+	seed(&Frame{Kind: StepExchange, Instance: 2, Stream: 7, StepSum: StepSum("g1/match.M/eig.r2"),
 		Payloads: []any{[]bool{true, false, true, true, false, true, false, false, true}}})
 	seed(&Frame{Kind: StepSync, Instance: 1, StepSum: StepSum("g2/check.det"),
 		Payloads: []any{[]bool{}}})

@@ -115,22 +115,40 @@ func TestDecodeRejectsOversizedDeclarations(t *testing.T) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	t.Parallel()
-	f := &Frame{
-		Kind:     StepExchange,
-		Instance: 3,
-		StepSum:  StepSum("g4/match.sym"),
-		Payloads: []any{[]gf.Sym{9, 2}, []bool{true, false}, nil},
+	for _, f := range []*Frame{
+		{
+			Kind:     StepExchange,
+			Instance: 3,
+			StepSum:  StepSum("g4/match.sym"),
+			Payloads: []any{[]gf.Sym{9, 2}, []bool{true, false}, nil},
+		},
+		{
+			Kind:     StepSync,
+			Instance: 0,
+			Stream:   11,
+			StepSum:  StepSum("g4/check.det"),
+			Payloads: []any{[]bool{true}},
+		},
+	} {
+		enc, err := f.Append(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dec, f) {
+			t.Errorf("frame round trip:\n got %#v\nwant %#v", dec, f)
+		}
 	}
-	enc, err := f.Append(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dec, err := DecodeFrame(enc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(dec, f) {
-		t.Errorf("frame round trip:\n got %#v\nwant %#v", dec, f)
+}
+
+func TestFrameRejectsNegativeStream(t *testing.T) {
+	t.Parallel()
+	f := &Frame{Kind: StepSync, Stream: -1, Payloads: []any{[]bool{true}}}
+	if _, err := f.Append(nil); err == nil {
+		t.Error("negative stream encoded")
 	}
 }
 

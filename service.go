@@ -8,7 +8,11 @@ import (
 // ServiceConfig configures a batching consensus Service.
 type ServiceConfig struct {
 	// Config carries the protocol parameters (N, T, broadcast substrate,
-	// seed, ...). Trace is ignored by the Service.
+	// seed, ...). Config.Window > 1 additionally pipelines each instance's
+	// generations (speculative execution with squash-and-replay), which
+	// composes with Instances: rounds then carry the traffic of all
+	// in-flight generations of all in-flight instances. Trace is ignored by
+	// the Service.
 	Config
 	// Scenario injects faults into the simulated deployment: the same faulty
 	// set and adversary apply to every consensus instance the service runs.
