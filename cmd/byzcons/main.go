@@ -47,6 +47,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	runtimetrace "runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,8 +89,49 @@ func run() error {
 		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
 
 		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (all modes; perf work starts from a profile, not a guess)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return fmt.Errorf("exectrace: %w", err)
+		}
+		defer f.Close()
+		if err := runtimetrace.Start(f); err != nil {
+			return fmt.Errorf("exectrace: %w", err)
+		}
+		defer runtimetrace.Stop()
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "byzcons: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	kind, err := byzcons.ParseBroadcastKind(*bsbStr)
 	if err != nil {

@@ -22,20 +22,32 @@ func (r *Reader) Remaining() int { return len(r.data)*8 - r.pos }
 
 // Read returns the next width bits as an integer (MSB first). Reading past
 // the end yields zero bits, which implements the zero-padding of the final
-// consensus generation.
+// consensus generation. Bits are consumed byte-at-a-time, not bit-at-a-time:
+// this sits on the per-generation input path (L bits re-read as c-bit
+// symbols every run), so the constant matters.
 func (r *Reader) Read(width uint) uint32 {
 	if width > 32 {
 		panic(fmt.Sprintf("bitio: width %d > 32", width))
 	}
 	var v uint32
-	for i := uint(0); i < width; i++ {
-		v <<= 1
-		byteIdx := r.pos / 8
-		if byteIdx < len(r.data) {
-			bit := (r.data[byteIdx] >> (7 - uint(r.pos)%8)) & 1
-			v |= uint32(bit)
+	pos := r.pos
+	r.pos += int(width)
+	for width > 0 {
+		byteIdx := pos >> 3
+		if byteIdx >= len(r.data) {
+			v <<= width // past the end: zero padding
+			break
 		}
-		r.pos++
+		off := uint(pos & 7)
+		avail := 8 - off
+		rem := uint32(r.data[byteIdx]) & (0xFF >> off) // the byte's unread bits
+		if width < avail {
+			v = v<<width | rem>>(avail-width)
+			break
+		}
+		v = v<<avail | rem
+		width -= avail
+		pos += int(avail)
 	}
 	return v
 }
@@ -49,20 +61,37 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
-// Write appends the low width bits of v (MSB first).
+// Write appends the low width bits of v (MSB first), a whole byte at a time.
 func (w *Writer) Write(v uint32, width uint) {
 	if width > 32 {
 		panic(fmt.Sprintf("bitio: width %d > 32", width))
 	}
-	for i := int(width) - 1; i >= 0; i-- {
-		byteIdx := w.pos / 8
-		if byteIdx >= len(w.data) {
-			w.data = append(w.data, 0)
+	for need := (w.pos + int(width) + 7) / 8; len(w.data) < need; {
+		w.data = append(w.data, 0)
+	}
+	PackBits(w.data, w.pos, v, width)
+	w.pos += int(width)
+}
+
+// PackBits ORs the low width bits of v (MSB first) into dst at bit offset
+// pos, a whole byte at a time. dst must already span the written range and
+// hold zero bits there. It is the shared packer behind Writer.Write and the
+// wire codec's in-place payload encoders.
+func PackBits(dst []byte, pos int, v uint32, width uint) {
+	if width < 32 {
+		v &= 1<<width - 1
+	}
+	for width > 0 {
+		byteIdx := pos >> 3
+		off := uint(pos & 7)
+		avail := 8 - off
+		if width <= avail {
+			dst[byteIdx] |= byte(v << (avail - width))
+			return
 		}
-		if v>>(uint(i))&1 != 0 {
-			w.data[byteIdx] |= 1 << (7 - uint(w.pos)%8)
-		}
-		w.pos++
+		dst[byteIdx] |= byte(v >> (width - avail))
+		pos += int(avail)
+		width -= avail
 	}
 }
 

@@ -23,6 +23,14 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// Clear removes every element, keeping the capacity — the allocation-free
+// way to reuse a set across generations.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Full returns the set {0, ..., n-1}.
 func Full(n int) Set {
 	s := New(n)

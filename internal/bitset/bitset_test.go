@@ -169,3 +169,15 @@ func TestSliceRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestClear(t *testing.T) {
+	s := FromSlice(130, []int{0, 64, 129})
+	s.Clear()
+	if !s.Empty() || s.Cap() != 130 {
+		t.Fatalf("Clear left %v (cap %d)", s.Slice(), s.Cap())
+	}
+	s.Add(7)
+	if !s.Has(7) || s.Count() != 1 {
+		t.Fatal("cleared set not reusable")
+	}
+}

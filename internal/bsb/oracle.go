@@ -17,6 +17,13 @@ type oracle struct {
 	p          *sim.Proc
 	n, t       int
 	costPerBit int64
+	// next and out are per-broadcaster scratch: a broadcaster serves one
+	// fiber, and the caller consumes the returned batch before its next
+	// Broadcast call, so both recycle across batches. (The contribution
+	// slice myBits is NOT reusable: the simulator delivers it by reference
+	// and peers may still be reading it while this processor runs ahead.)
+	next []int
+	out  []bool
 }
 
 // NewOracle returns an oracle broadcaster charging costPerBit bits per
@@ -27,6 +34,10 @@ func NewOracle(p *sim.Proc, n, t int, costPerBit int64) Broadcaster {
 	}
 	return &oracle{p: p, n: n, t: t, costPerBit: costPerBit}
 }
+
+// Rebind re-targets a pooled oracle at a new processor handle (the
+// speculative pipeline reuses fiber contexts across generations).
+func (o *oracle) Rebind(p *sim.Proc) { o.p = p }
 
 func (o *oracle) CostPerBit() int64 { return o.costPerBit }
 
@@ -46,8 +57,20 @@ func (o *oracle) Broadcast(step sim.StepID, insts []Inst, mine []bool, tag strin
 	// Assemble the decided bits: instance i takes the next bit from its
 	// source's contribution. All processors read the same vals slice, so a
 	// faulty source that submitted garbage still yields one consistent bit.
-	next := make([]int, o.n)
-	out := make([]bool, len(insts))
+	if cap(o.next) < o.n {
+		o.next = make([]int, o.n)
+	}
+	next := o.next[:o.n]
+	for i := range next {
+		next[i] = 0
+	}
+	if cap(o.out) < len(insts) {
+		o.out = make([]bool, len(insts))
+	}
+	out := o.out[:len(insts)]
+	for i := range out {
+		out[i] = false
+	}
 	for i, inst := range insts {
 		src := inst.Src
 		if src < 0 || src >= o.n {

@@ -3,6 +3,7 @@ package consensus
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"byzcons/internal/bitio"
 	"byzcons/internal/diag"
@@ -23,7 +24,8 @@ import (
 //
 //   - Every in-flight generation executes as a fiber: a goroutine running
 //     the unmodified generation body on its own round stream (sim.Backend
-//     streams), under a snapshot of the diagnosis graph taken at launch.
+//     streams), under a shared snapshot of the diagnosis graph (the
+//     diagnosis stage copies on write, so fault-free fibers never clone).
 //   - Generations commit strictly in order. Committing generation g adopts
 //     its fiber's graph and appends its decided symbols.
 //   - If generation g ran a diagnosis stage (the only way the graph can
@@ -34,6 +36,18 @@ import (
 //     on replay, so a deterministic step-keyed adversary (the whole bundled
 //     gallery) attacks the replay exactly as it attacks the sequential
 //     execution.
+//
+// The scheduler is self-driving: there is no dedicated driver goroutine
+// joining fibers through channels. A fiber that finishes its generation
+// records its result and, if the commit cursor has reached it, performs the
+// commit cascade itself — and then its goroutine continues directly as the
+// fiber of the generation that refills the window. In the fault-free steady
+// state a windowed execution therefore costs the same goroutine wakeups per
+// round as the sequential protocol: no per-generation goroutine spawn, no
+// driver handoff, no extra scheduling tax (which is what used to make
+// Window > 1 lose wall-clock on a single host). Launch order — and with it
+// every stream id and per-fiber random seed — is the commit order, which is
+// common knowledge, so all processors still derive identical schedules.
 //
 // The squash-and-replay invariant: the committed execution of generation g
 // is bit-identical to the sequential protocol's — same input symbols, same
@@ -76,20 +90,69 @@ type pipeline struct {
 	squashes int
 	vcommit  int64 // virtual clock: pipelined rounds through the last commit
 
-	fibers     map[int]*genFiber
+	// Pipelined-mode shared state, guarded by mu. cond wakes the caller
+	// waiting for the run to drain (finished and live == 0).
+	mu   sync.Mutex
+	cond *sync.Cond
+	out  *Output
+	writer *bitio.Writer
+	// fibers is the in-flight ring: generation g lives in slot g mod window
+	// (at most window generations are in flight, and they are consecutive).
+	fibers     []*genFiber
+	boxes      []*fiberBox // recycled launch contexts
+	committed  int
 	nextLaunch int
 	nextStream int
+	// freeStreams holds the ids of cleanly committed streams for reuse:
+	// commits happen in the same order everywhere, so every processor's
+	// free list — and hence every launch's stream id — is identical. Reuse
+	// keeps stream tags within the frame header's inline range and the
+	// backends' per-stream state hot. Squashed streams' ids are never
+	// reused (their tombstones must keep discarding stale frames).
+	freeStreams []int
+	// seedState drives the per-fiber seed sequence: a splitmix64 walk from
+	// the processor's deterministic Seed0, advanced once per launch in
+	// commit order. Deriving sub-seeds this way (instead of drawing from
+	// Proc.Rand) keeps the windowed scheduler from ever initializing the
+	// lazy protocol randomness — a 600-step state build per processor that
+	// only Window > 1 used to pay.
+	seedState uint64
+	live       int // fiber bodies currently executing (incl. the caller's)
+	finished   bool
+	defaulted  bool
+	abortErr   error // driver-detected invariant violation (abort after drain)
+	panicked   any   // first fiber panic, re-raised on the caller
+}
+
+// fiberBox bundles one launch's context objects — fiber, worker, processor
+// handle, lazy randomness and (rebindable) broadcaster — so the per-launch
+// cost in the fault-free steady state is a reseed and a few field writes
+// instead of half a dozen allocations. Boxes recycle when their generation
+// commits or their stale result is discarded.
+type fiberBox struct {
+	f      genFiber
+	w      worker
+	a      assignment
+	fp     *sim.Proc
+	rng    *rand.Rand
+	reseed func(int64)
 }
 
 // genFiber is one speculative generation execution in flight.
 type genFiber struct {
+	box    *fiberBox
 	gen    int
 	stream int
 	base   int64 // virtual launch time: the pipeline clock at launch
-	res    chan fiberOut
+	// done is set (under pipeline.mu) when the fiber's body finished (res
+	// then holds the result); stale marks a squashed or superseded fiber
+	// whose result is discarded.
+	res   fiberOut
+	done  bool
+	stale bool
 }
 
-// fiberOut is what a fiber reports back to the driver.
+// fiberOut is what a fiber reports back to the scheduler.
 type fiberOut struct {
 	decided   []gf.Sym
 	defaulted bool
@@ -98,6 +161,30 @@ type fiberOut struct {
 	rounds    int64 // barrier rounds the fiber consumed (its local clock)
 	squashed  bool
 	panicked  any
+}
+
+// assignment is one generation body ready to execute: a fiber, its worker
+// and its input symbols.
+type assignment struct {
+	f    *genFiber
+	w    *worker
+	data []gf.Sym
+}
+
+// releaseScratch returns every worker's generation scratch to the
+// cross-run pool once the run has fully drained.
+func (d *pipeline) releaseScratch() {
+	if d.seq != nil && d.seq.sc != nil {
+		scratchPool.Put(d.seq.sc)
+		d.seq.sc = nil
+	}
+	for _, b := range d.boxes {
+		if b.w.sc != nil {
+			scratchPool.Put(b.w.sc)
+			b.w.sc = nil
+		}
+	}
+	d.boxes = nil
 }
 
 // dataFor returns generation g's input symbols, reading the input stream
@@ -117,53 +204,79 @@ func (d *pipeline) dataFor(g int) []gf.Sym {
 
 // run drives the window to completion and fills out.
 func (d *pipeline) run(out *Output) {
+	if d.window == 1 {
+		d.runSequential(out)
+		return
+	}
+	d.runPipelined(out)
+}
+
+// runSequential is the Window = 1 path: generations run inline on the
+// caller's processor handle and stream — the sequential protocol, unchanged
+// step for step.
+func (d *pipeline) runSequential(out *Output) {
 	writer := bitio.NewWriter()
-	committed := 0
-	for committed < d.gens {
-		for d.nextLaunch < d.gens && d.nextLaunch < committed+d.window {
-			d.fibers[d.nextLaunch] = d.launch(d.nextLaunch)
-			d.nextLaunch++
-		}
-		f := d.fibers[committed]
-		delete(d.fibers, committed)
-		r := d.collect(f)
-		if r.squashed {
-			d.p.Abort(fmt.Errorf("consensus: g%d: committed generation's fiber squashed (driver bug)", committed))
-		}
-		if vEnd := f.base + r.rounds; vEnd > d.vcommit {
-			d.vcommit = vEnd
-		}
-		d.graph = r.graph
-		d.diags += r.diags
+	w := d.seq
+	for g := 0; g < d.gens; g++ {
+		diags0, rounds0 := w.diags, d.p.LocalRounds()
+		decided, defaulted := w.generation(g, d.dataFor(g))
+		d.vcommit += d.p.LocalRounds() - rounds0
+		d.graph = w.g
+		d.diags += w.diags - diags0
 		out.Generations++
 		if d.par.Observer != nil {
-			d.par.Observer(d.p.ID, committed, GenInfo{
-				Defaulted: r.defaulted,
-				Diagnosed: r.diags > 0,
+			d.par.Observer(d.p.ID, g, GenInfo{
+				Defaulted: defaulted,
+				Diagnosed: w.diags > diags0,
 				Graph:     d.graph.Clone(),
 			})
 		}
-		if r.defaulted {
-			d.squashFrom(committed + 1)
+		if defaulted {
 			out.Defaulted = true
 			out.Value = defaultValue(d.par.Default, out.L)
 			d.finish(out)
 			return
 		}
-		for _, s := range r.decided {
+		for _, s := range decided {
 			writer.Write(uint32(s), d.par.SymBits)
 		}
-		d.data[committed] = nil // committed: can never be relaunched
-		committed++
-		if r.diags > 0 {
-			// The diagnosis updated the trust graph: every generation
-			// launched beyond the commit point speculated under a stale
-			// graph. Squash them and let the window refill from the commit
-			// point with fresh streams under the updated graph.
-			d.squashFrom(committed)
-		}
+		d.data[g] = nil
 	}
 	out.Value = writer.Truncate(out.L)
+	d.finish(out)
+}
+
+// runPipelined executes the windowed schedule. The caller participates as
+// the first fiber body and then waits for the run to drain.
+func (d *pipeline) runPipelined(out *Output) {
+	d.cond = sync.NewCond(&d.mu)
+	d.out = out
+	d.writer = bitio.NewWriter()
+	d.seedState = uint64(d.p.Seed0) ^ 0x9E3779B97F4A7C15*uint64(d.p.Instance+1) ^ uint64(d.p.Stream)<<32
+	d.mu.Lock()
+	d.live++
+	a := d.driveLocked()
+	d.mu.Unlock()
+	d.workLoop(a)
+
+	d.mu.Lock()
+	for !d.finished || d.live > 0 {
+		d.cond.Wait()
+	}
+	abortErr, panicked := d.abortErr, d.panicked
+	d.mu.Unlock()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if abortErr != nil {
+		d.p.Abort(abortErr)
+	}
+	if d.defaulted {
+		out.Defaulted = true
+		out.Value = defaultValue(d.par.Default, out.L)
+	} else {
+		out.Value = d.writer.Truncate(out.L)
+	}
 	d.finish(out)
 }
 
@@ -175,96 +288,280 @@ func (d *pipeline) finish(out *Output) {
 	out.Squashes = d.squashes
 }
 
-// collect joins one fiber, propagating protocol aborts (and stray panics)
-// onto the driver's goroutine.
-func (d *pipeline) collect(f *genFiber) fiberOut {
-	r := <-f.res
-	if r.panicked != nil {
-		panic(r.panicked)
+// workLoop runs generation bodies until its chain dies: execute the
+// assignment, record the result, drive the commit cascade, and continue as
+// the first refill fiber the cascade produced (additional refills get fresh
+// goroutines). This chaining is what keeps the fault-free steady state free
+// of per-generation goroutine spawns and driver handoffs.
+//
+// A fiber's stream is released strictly after its result is recorded: the
+// scheduler squashes only fibers without a recorded result, so a squash
+// decision always targets a stream that is still registered with the
+// backend.
+func (d *pipeline) workLoop(a *assignment) {
+	for a != nil {
+		r := runGeneration(a)
+		f := a.f
+		fp, stream := a.w.p, f.stream
+		var next *assignment
+		wasStale := false
+		d.mu.Lock()
+		if f.stale {
+			// Squashed while running: the result is discarded without
+			// influencing committed state (a panic still surfaces — a bug
+			// in speculative code must not vanish with the speculation) and
+			// the context recycles. The unwound stream is released below by
+			// this goroutine; committed and finished-then-squashed fibers
+			// are instead released by the scheduler, which guarantees a
+			// stream id enters the reuse list only after its release.
+			wasStale = true
+			if r.panicked != nil && d.panicked == nil {
+				d.panicked = r.panicked
+				d.finishRunLocked(false)
+			}
+			d.recycleLocked(f)
+		} else {
+			f.res = r
+			f.done = true
+			if r.panicked != nil && d.panicked == nil {
+				d.panicked = r.panicked
+				d.finishRunLocked(false)
+			}
+			next = d.driveLocked()
+		}
+		d.mu.Unlock()
+		if wasStale {
+			fp.ReleaseStream(stream)
+		}
+		a = next
 	}
-	return r
+	d.mu.Lock()
+	d.live--
+	if d.live == 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
 }
 
-// squashFrom abandons every in-flight fiber for generations >= g and rolls
-// the launch cursor back so the window refills from the commit point. A
-// fiber that already finished its (stale) speculative run needs no unwind —
-// its result is simply discarded, and its stream was already released by
-// the fiber itself, so no squash state is created for it.
-func (d *pipeline) squashFrom(g int) {
-	for i := g; i < d.nextLaunch; i++ {
-		f := d.fibers[i]
-		delete(d.fibers, i)
-		select {
-		case r := <-f.res:
-			if r.panicked != nil {
-				panic(r.panicked)
+// runGeneration executes one generation body, converting a squash unwind
+// (or a stray panic) into its fiberOut.
+func runGeneration(a *assignment) (r fiberOut) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(sim.Squashed); ok {
+				r = fiberOut{squashed: true}
+				return
 			}
-		default:
-			d.p.SquashStream(f.stream)
-			d.collect(f) // result, if any, is stale speculation: discard
+			r = fiberOut{panicked: rec}
 		}
-		d.squashes++
+	}()
+	decided, defaulted := a.w.generation(a.f.gen, a.data)
+	return fiberOut{
+		decided: decided, defaulted: defaulted, graph: a.w.g,
+		diags: a.w.diags, rounds: a.w.p.LocalRounds(),
+	}
+}
+
+// driveLocked is the scheduler step, run under d.mu by whichever fiber (or
+// the caller) last recorded a result: refill the window, then commit every
+// consecutive finished generation at the cursor — launching each slot's
+// refill before inspecting the next commit so the virtual launch clock
+// matches the sequential driver exactly. It returns one launched assignment
+// for the calling goroutine to continue with (nil when none).
+func (d *pipeline) driveLocked() (next *assignment) {
+	for {
+		for !d.finished && d.nextLaunch < d.gens && d.nextLaunch < d.committed+d.window {
+			a := d.launchLocked(d.nextLaunch)
+			d.nextLaunch++
+			if next == nil {
+				next = a
+			} else {
+				d.spawnLocked(a)
+			}
+		}
+		if d.finished {
+			return next
+		}
+		f := d.fibers[d.committed%d.window]
+		if f == nil || !f.done {
+			return next
+		}
+		d.commitLocked(f)
+	}
+}
+
+// recycleLocked returns a drained fiber's context to the pool. Caller holds
+// d.mu; the fiber must no longer be referenced by the ring.
+func (d *pipeline) recycleLocked(f *genFiber) {
+	if f.box == nil {
+		return
+	}
+	f.res = fiberOut{}
+	f.done = false
+	f.stale = false
+	d.boxes = append(d.boxes, f.box)
+}
+
+// commitLocked commits the finished generation at the cursor. Caller holds
+// d.mu.
+func (d *pipeline) commitLocked(f *genFiber) {
+	r := f.res
+	d.fibers[f.gen%d.window] = nil
+	if r.squashed {
+		d.abortErr = fmt.Errorf("consensus: g%d: committed generation's fiber squashed (driver bug)", f.gen)
+		d.finishRunLocked(false)
+		return
+	}
+	if vEnd := f.base + r.rounds; vEnd > d.vcommit {
+		d.vcommit = vEnd
+	}
+	d.graph = r.graph
+	d.diags += r.diags
+	d.out.Generations++
+	if d.par.Observer != nil {
+		d.par.Observer(d.p.ID, f.gen, GenInfo{
+			Defaulted: r.defaulted,
+			Diagnosed: r.diags > 0,
+			Graph:     d.graph.Clone(),
+		})
+	}
+	if r.defaulted {
+		d.defaulted = true
+		d.p.ReleaseStream(f.stream)
+		d.finishRunLocked(true)
+		return
+	}
+	for _, s := range r.decided {
+		d.writer.Write(uint32(s), d.par.SymBits)
+	}
+	d.data[f.gen] = nil // committed: can never be relaunched
+	// The scheduler releases the committed stream (the fiber's goroutine
+	// may still be between recording its result and exiting): release
+	// happens-before the id enters the reuse list, so a reusing launch
+	// always rendezvouses on the id's next incarnation.
+	d.p.ReleaseStream(f.stream)
+	d.freeStreams = append(d.freeStreams, f.stream)
+	d.recycleLocked(f)
+	d.committed++
+	if r.diags > 0 {
+		// The diagnosis updated the trust graph: every generation launched
+		// beyond the commit point speculated under a stale graph. Squash
+		// them and let the window refill from the commit point with fresh
+		// streams under the updated graph.
+		d.squashFromLocked(d.committed, true)
+	}
+	if d.committed == d.gens {
+		d.finished = true
+		d.cond.Broadcast()
+	}
+}
+
+// finishRunLocked ends the run early (default decision, abort, panic),
+// squashing every in-flight fiber so the drain completes. Caller holds d.mu.
+func (d *pipeline) finishRunLocked(countSquashes bool) {
+	d.squashFromLocked(d.committed, countSquashes)
+	d.finished = true
+	d.cond.Broadcast()
+}
+
+// squashFromLocked abandons every in-flight fiber for generations >= g and
+// rolls the launch cursor back so the window refills from the commit point.
+// A fiber that already finished its (stale) speculative run needs no unwind
+// — its result is simply discarded, and its stream was already released by
+// the fiber itself; a still-running fiber's stream is squashed, unwinding
+// its body at the next barrier. Caller holds d.mu.
+func (d *pipeline) squashFromLocked(g int, count bool) {
+	for i := g; i < d.nextLaunch; i++ {
+		f := d.fibers[i%d.window]
+		if f == nil || f.gen != i {
+			continue
+		}
+		d.fibers[i%d.window] = nil
+		f.stale = true
+		if f.done {
+			// Already finished: the result is discarded, the stream (which
+			// the fiber's goroutine no longer owns) is released, and the
+			// context recycles here (no goroutine will visit it again). The
+			// id is NOT reused — nothing distinguishes it from a squashed
+			// one on the wire, where peers may still float stale frames.
+			if f.res.panicked != nil && d.panicked == nil {
+				d.panicked = f.res.panicked
+			}
+			d.p.ReleaseStream(f.stream)
+			d.recycleLocked(f)
+		} else {
+			d.p.SquashStream(f.stream)
+		}
+		if count {
+			d.squashes++
+		}
 	}
 	if d.nextLaunch > g {
 		d.nextLaunch = g
 	}
 }
 
-// launch starts generation g. With Window = 1 it runs the generation inline
-// on the caller's processor handle — the sequential protocol, unchanged.
-// Otherwise it spawns a fiber on a fresh stream under a snapshot of the
-// current graph.
-func (d *pipeline) launch(g int) *genFiber {
-	f := &genFiber{gen: g, res: make(chan fiberOut, 1)}
-	if d.window == 1 {
-		f.base = d.vcommit
-		f.stream = d.p.Stream
-		w := d.seq
-		diags0, rounds0 := w.diags, d.p.LocalRounds()
-		decided, defaulted := w.generation(g, d.dataFor(g))
-		f.res <- fiberOut{
-			decided: decided, defaulted: defaulted, graph: w.g,
-			diags: w.diags - diags0, rounds: d.p.LocalRounds() - rounds0,
-		}
-		return f
-	}
+// spawnLocked starts a fresh goroutine for an assignment the committing
+// fiber cannot chain into (cascades that unblock several refills at once).
+// Caller holds d.mu.
+func (d *pipeline) spawnLocked(a *assignment) {
+	d.live++
+	go d.workLoop(a)
+}
 
-	f.base = d.vcommit
-	f.stream = d.nextStream
-	d.nextStream++
-	// The fiber's randomness is derived from the driver's deterministic
-	// stream: launches happen in a deterministic order, so every backend
-	// derives identical per-fiber seeds.
-	fp := d.p.WithStream(f.stream, rand.New(rand.NewSource(d.p.Rand.Int63())))
-	w := &worker{
-		p: fp, par: d.par, field: d.shared.field, ic: d.shared.ic,
-		bcast: newBroadcaster(fp, d.par), g: d.graph.Clone(),
+// splitmix64 advances the seed-derivation state (Vigna's SplitMix64).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// launchLocked prepares generation g's fiber on a fresh stream. The fiber's
+// randomness seed is the next step of the splitmix walk from Proc.Seed0:
+// launches happen in commit order under d.mu, so every backend — and every
+// processor — derives identical per-fiber seeds and stream ids, and the
+// fiber's lazy source means a fiber that never draws randomness (all of
+// them, outside the probabilistic broadcaster) never seeds anything. The
+// graph snapshot is copy-on-write: fibers share the driver's graph
+// read-only, and the (rare) diagnosis stage clones before its first
+// mutation (worker.generation), so the common fault-free launch pays no
+// clone at all. Caller holds d.mu.
+func (d *pipeline) launchLocked(g int) *assignment {
+	seed := int64(splitmix64(&d.seedState) >> 1)
+	var box *fiberBox
+	if l := len(d.boxes); l > 0 {
+		box = d.boxes[l-1]
+		d.boxes = d.boxes[:l-1]
+		box.reseed(seed)
+	} else {
+		box = &fiberBox{}
+		box.rng, box.reseed = sim.LazyRandReseedable(seed)
+		box.fp = d.p.WithStream(0, box.rng)
+		box.f.box = box
+		box.w = worker{par: d.par, field: d.shared.field, ic: d.shared.ic, p: box.fp,
+			sc: scratchPool.Get().(*genScratch)}
+		box.a = assignment{f: &box.f, w: &box.w}
 	}
-	data := d.dataFor(g)
-	go func() {
-		var r fiberOut
-		// Defers run LIFO: recover, then the result send, then the stream
-		// release. Releasing strictly after the send lets the driver treat
-		// "result available" as "stream already safe to leave alone" — a
-		// squash decision races only against fibers that have not sent yet,
-		// whose streams are guaranteed still registered (the fiber's own
-		// release is what completes a stream's teardown).
-		defer fp.ReleaseStream(f.stream)
-		defer func() { f.res <- r }()
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(sim.Squashed); ok {
-					r = fiberOut{squashed: true}
-					return
-				}
-				r = fiberOut{panicked: rec}
-			}
-		}()
-		decided, defaulted := w.generation(g, data)
-		r = fiberOut{
-			decided: decided, defaulted: defaulted, graph: w.g,
-			diags: w.diags, rounds: fp.LocalRounds(),
-		}
-	}()
-	return f
+	f := &box.f
+	f.gen, f.base = g, d.vcommit
+	if l := len(d.freeStreams); l > 0 {
+		f.stream = d.freeStreams[l-1]
+		d.freeStreams = d.freeStreams[:l-1]
+	} else {
+		f.stream = d.nextStream
+		d.nextStream++
+	}
+	box.fp.RebindStream(f.stream, box.rng)
+	box.w.g = d.graph
+	box.w.diags = 0
+	if rb, ok := box.w.bcast.(interface{ Rebind(*sim.Proc) }); ok {
+		rb.Rebind(box.fp)
+	} else {
+		box.w.bcast = newBroadcaster(box.fp, d.par)
+	}
+	d.fibers[g%d.window] = f
+	box.a.data = d.dataFor(g)
+	return &box.a
 }

@@ -2,6 +2,8 @@ package consensus
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"byzcons/internal/bitio"
 	"byzcons/internal/bitset"
@@ -57,6 +59,11 @@ type worker struct {
 	bcast bsb.Broadcaster
 	g     *diag.Graph
 	diags int
+	// sc is the worker's generation scratch, attached once per worker from
+	// the cross-run pool: per-generation pool traffic would churn slots
+	// when a window of fibers interleaves on few cores, while per-run
+	// scratch would pay the batch buffers' growth on every run.
+	sc *genScratch
 }
 
 // newBroadcaster constructs the configured Broadcast_Single_Bit
@@ -115,7 +122,7 @@ func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
 		data:   make([][]gf.Sym, gens),
 		shared: workerEnv{field: field, ic: ic},
 		graph:  diag.NewComplete(par.N),
-		fibers: make(map[int]*genFiber),
+		fibers: make([]*genFiber, max(par.Window, 1)),
 		// Stream ids for speculative fibers start above the caller's own
 		// stream, which keeps carrying the run's sequential traffic (and
 		// all Window = 1 generations).
@@ -125,10 +132,12 @@ func Run(p *sim.Proc, par Params, input []byte, L int) *Output {
 		d.seq = &worker{
 			p: p, par: par, field: field, ic: ic,
 			bcast: newBroadcaster(p, par), g: d.graph,
+			sc: scratchPool.Get().(*genScratch),
 		}
 	}
 	out := &Output{L: L}
 	d.run(out)
+	d.releaseScratch()
 	return out
 }
 
@@ -146,19 +155,151 @@ func defaultValue(def []byte, L int) []byte {
 	return w.Truncate(L)
 }
 
+// genLabels is one generation's set of step labels. Labels repeat across
+// processors, instances and replays (replays reuse their generation's
+// original labels — the squash-and-replay invariant depends on it), so they
+// are interned once per generation index instead of concatenated per step
+// per processor.
+type genLabels struct {
+	matchSym, matchM, checkDet, diagSym, diagTrust sim.StepID
+}
+
+// labelCache is a grow-only table indexed by generation (atomic pointer to
+// an immutable slice: the lookup is one load and one index, with no map
+// hashing on the per-generation path).
+var (
+	labelCache   atomic.Pointer[[]*genLabels]
+	labelCacheMu sync.Mutex
+)
+
+// labelsFor returns generation g's interned step labels.
+func labelsFor(g int) *genLabels {
+	if t := labelCache.Load(); t != nil && g < len(*t) && (*t)[g] != nil {
+		return (*t)[g]
+	}
+	labelCacheMu.Lock()
+	defer labelCacheMu.Unlock()
+	var table []*genLabels
+	if t := labelCache.Load(); t != nil {
+		if g < len(*t) && (*t)[g] != nil {
+			return (*t)[g]
+		}
+		table = append(table, *t...)
+	}
+	for len(table) <= g {
+		table = append(table, nil)
+	}
+	prefix := fmt.Sprintf("g%d", g)
+	l := &genLabels{
+		matchSym:  sim.StepID(prefix + "/match.sym"),
+		matchM:    sim.StepID(prefix + "/match.M"),
+		checkDet:  sim.StepID(prefix + "/check.det"),
+		diagSym:   sim.StepID(prefix + "/diag.sym"),
+		diagTrust: sim.StepID(prefix + "/diag.trust"),
+	}
+	table[g] = l
+	labelCache.Store(&table)
+	return l
+}
+
+// genScratch is one generation's pooled working storage. A generation at
+// n=7 made ~40 small allocations (outboxes, match matrices, broadcast
+// instance batches) — over half the runtime allocation volume of a pipelined
+// deployment — all with lifetimes that end inside the generation call:
+// outgoing message slices are consumed by the barrier before Exchange
+// returns, broadcast instance batches are read by adversaries only during
+// the step they are metadata of, and the match/trust matrices are local.
+// Concurrent generation fibers each grab their own scratch.
+type genScratch struct {
+	n          int
+	out        []sim.Message
+	R          [][]gf.Sym
+	M          []bool
+	insts      []bsb.Inst
+	mine       []bool
+	mall       [][]bool
+	mallB      []bool
+	adj        []bitset.Set
+	detected   []bool
+	trust      [][]bool
+	trustB     []bool
+	removedNow []int
+	pos        []int
+	words      [][]gf.Sym
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(genScratch) }}
+
+// grab sizes the scratch for n processors and clears everything a
+// generation reads before writing.
+func (sc *genScratch) grab(n int) {
+	if sc.n != n {
+		sc.n = n
+		sc.out = nil
+		sc.R = make([][]gf.Sym, n)
+		sc.M = make([]bool, n)
+		sc.mallB = make([]bool, n*n)
+		sc.mall = make([][]bool, n)
+		sc.trustB = make([]bool, n*n)
+		sc.trust = make([][]bool, n)
+		for i := 0; i < n; i++ {
+			sc.mall[i] = sc.mallB[i*n : (i+1)*n]
+			sc.trust[i] = sc.trustB[i*n : (i+1)*n]
+		}
+		sc.adj = make([]bitset.Set, n)
+		for i := range sc.adj {
+			sc.adj[i] = bitset.New(n)
+		}
+		sc.detected = make([]bool, n)
+		sc.removedNow = make([]int, n)
+	}
+	sc.out = sc.out[:0]
+	for i := 0; i < n; i++ {
+		sc.R[i] = nil
+		sc.detected[i] = false
+		sc.removedNow[i] = 0
+		sc.adj[i].Clear()
+	}
+	for i := range sc.mallB {
+		sc.mallB[i] = false
+		sc.trustB[i] = false
+	}
+	sc.insts = sc.insts[:0]
+	sc.mine = sc.mine[:0]
+	sc.pos = sc.pos[:0]
+	sc.words = sc.words[:0]
+}
+
+// release clears payload references (they must not outlive their run; the
+// scratch itself stays with its worker).
+func (sc *genScratch) release() {
+	for i := range sc.R {
+		sc.R[i] = nil
+	}
+	for i := range sc.out {
+		sc.out[i] = sim.Message{}
+	}
+	for i := range sc.words {
+		sc.words[i] = nil
+	}
+}
+
 // generation runs Algorithm 1 for generation g on this processor's D-bit
 // input (as data symbols). It returns the decided data symbols, or
 // defaulted=true when no Pmatch exists.
 func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted bool) {
 	n, t, k := pr.par.N, pr.par.T, pr.par.K()
 	me := pr.p.ID
-	prefix := sim.StepID(fmt.Sprintf("g%d", g))
+	labels := labelsFor(g)
+	sc := pr.sc
+	sc.grab(n)
+	defer sc.release()
 	active := pr.g.Active()
 
 	// --- Matching stage ---------------------------------------------------
 	// 1(a): encode and send my codeword symbol to every trusted processor.
 	S := pr.ic.Encode(data)
-	var out []sim.Message
+	out := sc.out
 	active.ForEach(func(j int) bool {
 		if j != me && pr.g.Trusts(me, j) {
 			out = append(out, sim.Message{
@@ -167,10 +308,11 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		}
 		return true
 	})
-	in := pr.p.Exchange(prefix+"/match.sym", out, nil)
+	sc.out = out // keep the grown buffer pooled
+	in := pr.p.Exchange(labels.matchSym, out, nil)
 
 	// 1(b): received symbols; ⊥ (nil) for untrusted or malformed senders.
-	R := make([][]gf.Sym, n)
+	R := sc.R
 	for _, m := range in {
 		if !pr.g.Trusts(me, m.From) || R[m.From] != nil {
 			continue
@@ -180,7 +322,7 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	R[me] = S[me]
 
 	// 1(c): M_i[j] — does j's symbol match my codeword?
-	M := make([]bool, n)
+	M := sc.M
 	for j := 0; j < n; j++ {
 		switch {
 		case j == me:
@@ -192,27 +334,20 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 
 	// 1(d): broadcast M (n-1 bits per active processor; isolated processors
 	// neither broadcast nor appear as entries — everyone knows them faulty).
-	var insts []bsb.Inst
-	var mine []bool
+	insts, mine := sc.insts, sc.mine
 	active.ForEach(func(p int) bool {
 		active.ForEach(func(j int) bool {
 			if j != p {
 				insts = append(insts, bsb.Inst{Src: p, Kind: "M", A: p, B: j})
-				if p == me {
-					mine = append(mine, M[j])
-				} else {
-					mine = append(mine, false)
-				}
+				mine = append(mine, p == me && M[j])
 			}
 			return true
 		})
 		return true
 	})
-	res := pr.bcast.Broadcast(prefix+"/match.M", insts, mine, "match.M")
-	Mall := make([][]bool, n)
-	for i := range Mall {
-		Mall[i] = make([]bool, n)
-	}
+	sc.insts, sc.mine = insts, mine
+	res := pr.bcast.Broadcast(labels.matchM, insts, mine, "match.M")
+	Mall := sc.mall
 	for idx, inst := range insts {
 		Mall[inst.A][inst.B] = res[idx]
 	}
@@ -222,10 +357,7 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	})
 
 	// 1(e): find Pmatch, a clique of size n-t in the mutual-match graph.
-	adj := make([]bitset.Set, n)
-	for i := 0; i < n; i++ {
-		adj[i] = bitset.New(n)
-	}
+	adj := sc.adj
 	active.ForEach(func(i int) bool {
 		active.ForEach(func(j int) bool {
 			if i < j && Mall[i][j] && Mall[j][i] {
@@ -247,11 +379,13 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	// 2(a)+2(b): non-members check consistency of Pmatch symbols and
 	// broadcast a 1-bit Detected flag.
 	nonMembers := active.AndNot(pmSet)
-	var dInsts []bsb.Inst
-	var dMine []bool
+	// The match batch is fully consumed (res read into Mall): its scratch
+	// backing is reused for the remaining broadcast batches of the
+	// generation.
+	dInsts, dMine := sc.insts[:0], sc.mine[:0]
 	myDetected := false
 	if nonMembers.Has(me) {
-		pos, words := pr.trustedWords(pmSet, R)
+		pos, words := pr.trustedWords(sc, pmSet, R)
 		myDetected = !pr.ic.Consistent(pos, words)
 	}
 	nonMembers.ForEach(func(j int) bool {
@@ -259,8 +393,8 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		dMine = append(dMine, j == me && myDetected)
 		return true
 	})
-	dRes := pr.bcast.Broadcast(prefix+"/check.det", dInsts, dMine, "check.det")
-	detected := make([]bool, n)
+	dRes := pr.bcast.Broadcast(labels.checkDet, dInsts, dMine, "check.det")
+	detected := sc.detected
 	anyDetected := false
 	for idx, inst := range dInsts {
 		detected[inst.A] = dRes[idx]
@@ -276,7 +410,7 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 			copy(dec, data)
 			return dec, false
 		}
-		pos, words := pr.trustedWords(pmSet, R)
+		pos, words := pr.trustedWords(sc, pmSet, R)
 		if len(pos) < k {
 			// Only possible at an isolated (hence faulty) processor, whose
 			// return value is irrelevant; honest processors trust all >= n-2t
@@ -292,12 +426,17 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 
 	// --- Diagnosis stage ----------------------------------------------------
 	pr.diags++
+	// Copy-on-write: speculative fibers launch sharing the driver's graph
+	// read-only; the diagnosis stage is the only writer, so the snapshot
+	// clone happens here — once per diagnosis (≤ t(t+1) per execution,
+	// Theorem 1) instead of once per launched fiber. The driver adopts the
+	// clone when this generation commits.
+	pr.g = pr.g.Clone()
 	wordBits := pr.ic.WordBits()
 
 	// 3(a)+3(b): members broadcast their own codeword symbol bit by bit; the
 	// results R#[j] are identical at all processors.
-	var sInsts []bsb.Inst
-	var sMine []bool
+	sInsts, sMine := sc.insts[:0], sc.mine[:0]
 	myWordBits := wordToBits(S[me], pr.par.SymBits)
 	for _, j := range pm {
 		for b := 0; b < wordBits; b++ {
@@ -305,15 +444,15 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 			sMine = append(sMine, j == me && myWordBits[b])
 		}
 	}
-	sRes := pr.bcast.Broadcast(prefix+"/diag.sym", sInsts, sMine, "diag.sym")
+	sc.insts, sc.mine = sInsts[:0], sMine[:0] // keep any growth pooled
+	sRes := pr.bcast.Broadcast(labels.diagSym, sInsts, sMine, "diag.sym")
 	Rhash := make([][]gf.Sym, n)
 	for mi, j := range pm {
 		Rhash[j] = bitsToWord(sRes[mi*wordBits:(mi+1)*wordBits], pr.par.Lanes, pr.par.SymBits)
 	}
 
 	// 3(c)+3(d): broadcast trust vectors over Pmatch.
-	var tInsts []bsb.Inst
-	var tMine []bool
+	tInsts, tMine := sc.insts[:0], sc.mine[:0]
 	active.ForEach(func(p int) bool {
 		for _, j := range pm {
 			tInsts = append(tInsts, bsb.Inst{Src: p, Kind: "Trust", A: p, B: j})
@@ -321,17 +460,15 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		}
 		return true
 	})
-	tRes := pr.bcast.Broadcast(prefix+"/diag.trust", tInsts, tMine, "diag.trust")
-	trust := make([][]bool, n)
-	for i := range trust {
-		trust[i] = make([]bool, n)
-	}
+	sc.insts, sc.mine = tInsts, tMine
+	tRes := pr.bcast.Broadcast(labels.diagTrust, tInsts, tMine, "diag.trust")
+	trust := sc.trust
 	for idx, inst := range tInsts {
 		trust[inst.A][inst.B] = tRes[idx]
 	}
 
 	// 3(e): remove edges that lost trust; remember fresh removals per vertex.
-	removedNow := make([]int, n)
+	removedNow := sc.removedNow
 	active.ForEach(func(p int) bool {
 		for _, j := range pm {
 			if p != j && !trust[p][j] {
@@ -394,9 +531,8 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 // senders that delivered well-formed symbols; nil entries are skipped since
 // an honest processor's consistency check only uses symbols it actually
 // received from processors it trusts).
-func (pr *worker) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) {
-	var pos []int
-	var words [][]gf.Sym
+func (pr *worker) trustedWords(sc *genScratch, set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym) {
+	pos, words := sc.pos[:0], sc.words[:0]
 	set.ForEach(func(j int) bool {
 		if pr.g.Trusts(pr.p.ID, j) && R[j] != nil {
 			pos = append(pos, j)
@@ -404,6 +540,7 @@ func (pr *worker) trustedWords(set bitset.Set, R [][]gf.Sym) ([]int, [][]gf.Sym)
 		}
 		return true
 	})
+	sc.pos, sc.words = pos, words
 	return pos, words
 }
 

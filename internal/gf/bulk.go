@@ -1,0 +1,154 @@
+package gf
+
+// This file is the word-parallel kernel layer of the field: bulk operations
+// over contiguous symbol slices, built on per-scalar split tables instead of
+// the log/exp scalar path. The scalar Mul/Add/Div operations remain the
+// checked reference oracle (the bulk fuzz tests cross-check every kernel
+// against them for all c in [1,16]); the kernels here trade the per-symbol
+// range checks for throughput and are intended for validated data — symbol
+// slices that entered through the wire codec's width check or were produced
+// by the field itself. Feeding a kernel symbols with bits above c yields an
+// unspecified (masked) product rather than a panic.
+//
+// Table shapes, chosen so that a table build is cheap enough to do per
+// scalar and the sweep loop needs no bounds checks:
+//
+//   - c <= 8: two 16-entry nibble tables, lo[v] = y·v and hi[v] = y·(v<<4),
+//     so y·s = lo[s&0xF] ^ hi[s>>4] (32 scalar multiplications to build);
+//   - c > 8: byte tables, lo[v] = y·v and hi[v] = y·(v<<8) for v in [0,256),
+//     so y·s = lo[s&0xFF] ^ hi[s>>8] (512 scalar multiplications to build).
+//
+// For hot loops that apply the same scalar to many slices (the matrix-form
+// Reed-Solomon sweeps), TabFull builds a direct-indexed table of all 2^c
+// products when c <= 8 — one lookup per symbol instead of two — which only
+// pays off because internal/rs caches the tables per code.
+
+// MulTab is a per-scalar multiplication table for the bulk kernels. The zero
+// value is not usable; build one with Field.Tab or Field.TabFull.
+type MulTab struct {
+	// lo and hi are the split tables: y·(low part) and y·(high part) of a
+	// symbol. Their length encodes the variant: 16/16 (nibble split),
+	// 256/256 (byte split), or 2^c/nil (full direct-indexed, c <= 8).
+	lo, hi []Sym
+	kind   uint8
+}
+
+// Table variants.
+const (
+	tabNib  uint8 = iota // lo[16], hi[16]: y·s = lo[s&0xF] ^ hi[s>>4]
+	tabByte              // lo[256], hi[256]: y·s = lo[s&0xFF] ^ hi[s>>8]
+	tabFull              // lo[2^c]: y·s = lo[s]
+)
+
+// Tab builds the split multiplication table for the scalar y: two 16-entry
+// nibble tables for c <= 8, two 256-entry byte tables for c > 8.
+func (f *Field) Tab(y Sym) MulTab {
+	f.checkRange(y)
+	if f.c <= 8 {
+		back := make([]Sym, 32)
+		t := MulTab{lo: back[:16:16], hi: back[16:], kind: tabNib}
+		for v := 0; v < 16; v++ {
+			if v < f.order {
+				t.lo[v] = f.Mul(y, Sym(v))
+			}
+			if vh := v << 4; vh < f.order {
+				t.hi[v] = f.Mul(y, Sym(vh))
+			}
+		}
+		return t
+	}
+	back := make([]Sym, 512)
+	t := MulTab{lo: back[:256:256], hi: back[256:], kind: tabByte}
+	for v := 0; v < 256; v++ {
+		t.lo[v] = f.Mul(y, Sym(v))
+		if vh := v << 8; vh < f.order {
+			t.hi[v] = f.Mul(y, Sym(vh))
+		}
+	}
+	return t
+}
+
+// TabFull builds the fastest table for repeated sweeps with the same scalar:
+// a direct-indexed table of all 2^c products when c <= 8 (one lookup per
+// symbol), falling back to the byte-split table for wider fields where a
+// full table would be 2^c entries. Building it costs 2^c multiplications, so
+// it is meant for cached matrices (internal/rs), not per-call use.
+func (f *Field) TabFull(y Sym) MulTab {
+	if f.c > 8 {
+		return f.Tab(y)
+	}
+	f.checkRange(y)
+	t := MulTab{lo: make([]Sym, f.order), kind: tabFull}
+	for v := 0; v < f.order; v++ {
+		t.lo[v] = f.Mul(y, Sym(v))
+	}
+	return t
+}
+
+// MulSliceXor accumulates dst[i] ^= y·src[i] over the slices (y being the
+// table's scalar). dst must be at least as long as src; only the first
+// len(src) entries are touched. src symbols must be valid field elements.
+func (t *MulTab) MulSliceXor(src, dst []Sym) {
+	dst = dst[:len(src)]
+	switch t.kind {
+	case tabFull:
+		lo := t.lo
+		for i, s := range src {
+			dst[i] ^= lo[s]
+		}
+	case tabNib:
+		lo := t.lo[:16]
+		hi := t.hi[:16]
+		for i, s := range src {
+			dst[i] ^= lo[s&0xF] ^ hi[(s>>4)&0xF]
+		}
+	default:
+		lo := t.lo[:256]
+		hi := t.hi[:256]
+		for i, s := range src {
+			dst[i] ^= lo[s&0xFF] ^ hi[(s>>8)&0xFF]
+		}
+	}
+}
+
+// MulSlice writes dst[i] = y·src[i], the overwriting variant of MulSliceXor
+// (it saves the callers of matrix sweeps from zeroing their accumulators).
+func (t *MulTab) MulSlice(src, dst []Sym) {
+	dst = dst[:len(src)]
+	switch t.kind {
+	case tabFull:
+		lo := t.lo
+		for i, s := range src {
+			dst[i] = lo[s]
+		}
+	case tabNib:
+		lo := t.lo[:16]
+		hi := t.hi[:16]
+		for i, s := range src {
+			dst[i] = lo[s&0xF] ^ hi[(s>>4)&0xF]
+		}
+	default:
+		lo := t.lo[:256]
+		hi := t.hi[:256]
+		for i, s := range src {
+			dst[i] = lo[s&0xFF] ^ hi[(s>>8)&0xFF]
+		}
+	}
+}
+
+// MulSliceXor is the convenience form building a transient split table; hot
+// paths that reuse a scalar should build the table once (Tab/TabFull) and
+// sweep with it.
+func (f *Field) MulSliceXor(y Sym, src, dst []Sym) {
+	t := f.Tab(y)
+	t.MulSliceXor(src, dst)
+}
+
+// AddSlice accumulates dst[i] ^= src[i] (addition == subtraction in
+// characteristic 2). dst must be at least as long as src.
+func AddSlice(src, dst []Sym) {
+	dst = dst[:len(src)]
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

@@ -1,0 +1,189 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBulkKernelsAllWidths sweeps every field width and cross-checks every
+// bulk kernel variant against the scalar log/exp reference for random
+// scalars and slices (including the all-symbols sweep for narrow fields).
+func TestBulkKernelsAllWidths(t *testing.T) {
+	t.Parallel()
+	for c := uint(1); c <= 16; c++ {
+		f, err := New(c)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		r := rand.New(rand.NewSource(int64(c) * 7919))
+		ys := []Sym{0, 1, Sym(f.order - 1)}
+		for i := 0; i < 8; i++ {
+			ys = append(ys, Sym(r.Intn(f.order)))
+		}
+		src := make([]Sym, 257)
+		for i := range src {
+			src[i] = Sym(r.Intn(f.order))
+		}
+		if f.order <= 256 {
+			// Narrow fields: cover every symbol value exhaustively.
+			src = src[:f.order]
+			for i := range src {
+				src[i] = Sym(i)
+			}
+		}
+		for _, y := range ys {
+			want := make([]Sym, len(src))
+			for i, s := range src {
+				want[i] = f.Mul(y, s)
+			}
+			for _, tab := range []MulTab{f.Tab(y), f.TabFull(y)} {
+				got := make([]Sym, len(src))
+				tab.MulSlice(src, got)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("c=%d y=%#x kind=%d: MulSlice[%d] = %#x, want %#x", c, y, tab.kind, i, got[i], want[i])
+					}
+				}
+				// Xor form: accumulate over a random base.
+				base := make([]Sym, len(src))
+				for i := range base {
+					base[i] = Sym(r.Intn(f.order))
+				}
+				acc := append([]Sym(nil), base...)
+				tab.MulSliceXor(src, acc)
+				for i := range acc {
+					if acc[i] != base[i]^want[i] {
+						t.Fatalf("c=%d y=%#x kind=%d: MulSliceXor mismatch at %d", c, y, tab.kind, i)
+					}
+				}
+			}
+			got := make([]Sym, len(src))
+			f.MulSliceXor(y, src, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("c=%d y=%#x: Field.MulSliceXor[%d] = %#x, want %#x", c, y, i, got[i], want[i])
+				}
+			}
+		}
+		// AddSlice == scalar Add.
+		a := append([]Sym(nil), src...)
+		b := make([]Sym, len(src))
+		for i := range b {
+			b[i] = Sym(r.Intn(f.order))
+		}
+		acc := append([]Sym(nil), b...)
+		AddSlice(src, acc)
+		for i := range acc {
+			if acc[i] != f.Add(a[i], b[i]) {
+				t.Fatalf("c=%d: AddSlice mismatch at %d", c, i)
+			}
+		}
+	}
+}
+
+// TestTabShapes pins the table variants the kernels are specified with: two
+// 16-entry nibble tables up to c=8, two 256-entry byte tables above, and the
+// direct-indexed full table only for narrow fields.
+func TestTabShapes(t *testing.T) {
+	t.Parallel()
+	for c := uint(1); c <= 16; c++ {
+		f, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := f.Tab(Sym(3 % f.order))
+		if c <= 8 {
+			if len(tab.lo) != 16 || len(tab.hi) != 16 || tab.kind != tabNib {
+				t.Fatalf("c=%d: want nibble split tables, got lo=%d hi=%d kind=%d", c, len(tab.lo), len(tab.hi), tab.kind)
+			}
+		} else if len(tab.lo) != 256 || len(tab.hi) != 256 || tab.kind != tabByte {
+			t.Fatalf("c=%d: want byte split tables, got lo=%d hi=%d kind=%d", c, len(tab.lo), len(tab.hi), tab.kind)
+		}
+		full := f.TabFull(Sym(3 % f.order))
+		if c <= 8 {
+			if len(full.lo) != f.order || full.kind != tabFull {
+				t.Fatalf("c=%d: want full table of %d entries, got %d kind=%d", c, f.order, len(full.lo), full.kind)
+			}
+		} else if full.kind != tabByte {
+			t.Fatalf("c=%d: TabFull must fall back to byte split, got kind=%d", c, full.kind)
+		}
+	}
+}
+
+// FuzzBulkVsScalar cross-checks the bulk kernels against the scalar
+// reference for fuzzer-chosen widths, scalars and slices.
+func FuzzBulkVsScalar(f *testing.F) {
+	f.Add(uint8(8), uint16(0x53), []byte{1, 2, 3, 250, 0, 7})
+	f.Add(uint8(16), uint16(0xBEEF), []byte{0xFF, 0xFF, 0, 1})
+	f.Add(uint8(1), uint16(1), []byte{1, 0, 1, 1})
+	f.Add(uint8(11), uint16(0x3FF), []byte{9, 8, 7})
+	f.Fuzz(func(t *testing.T, cRaw uint8, yRaw uint16, raw []byte) {
+		c := uint(cRaw)%16 + 1
+		fld, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := Sym(int(yRaw) % fld.Order())
+		src := make([]Sym, 0, (len(raw)+1)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			src = append(src, Sym(int(uint16(raw[i])<<8|uint16(raw[i+1]))%fld.Order()))
+		}
+		want := make([]Sym, len(src))
+		for i, s := range src {
+			want[i] = fld.Mul(y, s)
+		}
+		for _, tab := range []MulTab{fld.Tab(y), fld.TabFull(y)} {
+			got := make([]Sym, len(src))
+			tab.MulSlice(src, got)
+			acc := make([]Sym, len(src))
+			tab.MulSliceXor(src, acc)
+			for i := range want {
+				if got[i] != want[i] || acc[i] != want[i] {
+					t.Fatalf("c=%d y=%#x kind=%d: bulk %#x/%#x, scalar %#x at %d", c, y, tab.kind, got[i], acc[i], want[i], i)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMulSliceXor measures the bulk kernel variants on a 512-symbol
+// sweep, next to the scalar loop they replace.
+func BenchmarkMulSliceXor(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		c    uint
+	}{{"c8", 8}, {"c16", 16}} {
+		f, err := New(bc.c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := make([]Sym, 512)
+		dst := make([]Sym, 512)
+		for i := range src {
+			src[i] = Sym(i % f.Order())
+		}
+		y := Sym(0x35 % f.Order())
+		b.Run(bc.name+"/split", func(b *testing.B) {
+			tab := f.Tab(y)
+			b.SetBytes(512)
+			for i := 0; i < b.N; i++ {
+				tab.MulSliceXor(src, dst)
+			}
+		})
+		b.Run(bc.name+"/full", func(b *testing.B) {
+			tab := f.TabFull(y)
+			b.SetBytes(512)
+			for i := 0; i < b.N; i++ {
+				tab.MulSliceXor(src, dst)
+			}
+		})
+		b.Run(bc.name+"/scalar", func(b *testing.B) {
+			b.SetBytes(512)
+			for i := 0; i < b.N; i++ {
+				for j, s := range src {
+					dst[j] ^= f.Mul(y, s)
+				}
+			}
+		})
+	}
+}

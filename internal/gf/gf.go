@@ -8,6 +8,7 @@ package gf
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Sym is a field element of GF(2^c) for some c <= 16. Only the low c bits are
@@ -33,9 +34,13 @@ var defaultPoly = [17]uint32{
 	0x11D, 0x211, 0x409, 0x805, 0x1053, 0x201B, 0x4443, 0x8003, 0x1100B,
 }
 
+// fieldCache holds the constructed fields. Lookups are lock-free atomic
+// loads — every processor of every run constructs its codes through New, so
+// a plain mutex here serializes all of them on a single cache line; only the
+// one-time construction of a missing width takes buildMu.
 var (
-	cacheMu    sync.Mutex
-	fieldCache [17]*Field
+	buildMu    sync.Mutex
+	fieldCache [17]atomic.Pointer[Field]
 )
 
 func init() {
@@ -46,20 +51,24 @@ func init() {
 		if err != nil {
 			panic(fmt.Sprintf("gf: default polynomial for c=%d not primitive: %v", c, err))
 		}
-		fieldCache[c] = f
+		fieldCache[c].Store(f)
 	}
 }
 
 // New returns the field GF(2^c). Fields are cached: repeated calls with the
 // same c return the same instance. Safe for concurrent use (each simulated
-// processor constructs its codes independently).
+// processor constructs its codes independently); the cache hit path is a
+// single atomic pointer load.
 func New(c uint) (*Field, error) {
 	if c < 1 || c > 16 {
 		return nil, fmt.Errorf("gf: symbol width c=%d out of range [1,16]", c)
 	}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if f := fieldCache[c]; f != nil {
+	if f := fieldCache[c].Load(); f != nil {
+		return f, nil
+	}
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if f := fieldCache[c].Load(); f != nil {
 		return f, nil
 	}
 	f, err := build(c, defaultPoly[c])
@@ -70,7 +79,7 @@ func New(c uint) (*Field, error) {
 			return nil, err
 		}
 	}
-	fieldCache[c] = f
+	fieldCache[c].Store(f)
 	return f, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tally accumulates traffic for one tag.
@@ -23,17 +24,31 @@ type Tally struct {
 // Total returns honest + faulty bits.
 func (t Tally) Total() int64 { return t.Bits + t.FaultyBits }
 
-// Meter tallies protocol traffic by tag. The zero value is not usable;
-// construct with NewMeter. Meter is safe for concurrent use.
+// tally is the internal accumulator: atomic fields, because one meter is
+// shared by every processor of an instance (and by every node of a networked
+// deployment) and Add sits on the per-message hot path — a mutex here
+// serializes all of them on one lock.
+type tally struct {
+	bits, msgs, faultyBits, faultyMsgs atomic.Int64
+}
+
+func (t *tally) snapshot() Tally {
+	return Tally{
+		Bits: t.bits.Load(), Msgs: t.msgs.Load(),
+		FaultyBits: t.faultyBits.Load(), FaultyMsgs: t.faultyMsgs.Load(),
+	}
+}
+
+// Meter tallies protocol traffic by tag. Meter is safe for concurrent use;
+// the hot Add path is a lock-free map hit plus two atomic adds.
 type Meter struct {
-	mu     sync.Mutex
-	tags   map[string]*Tally
-	rounds int64
+	tags   sync.Map // string -> *tally
+	rounds atomic.Int64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{tags: make(map[string]*Tally)}
+	return &Meter{}
 }
 
 // Add records one message of the given size under tag.
@@ -41,80 +56,72 @@ func (m *Meter) Add(tag string, bits int64, faulty bool) {
 	if bits < 0 {
 		panic(fmt.Sprintf("metrics: negative bits %d for tag %q", bits, tag))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	t := m.tags[tag]
-	if t == nil {
-		t = &Tally{}
-		m.tags[tag] = t
+	v, ok := m.tags.Load(tag)
+	if !ok {
+		v, _ = m.tags.LoadOrStore(tag, &tally{})
 	}
+	t := v.(*tally)
 	if faulty {
-		t.FaultyBits += bits
-		t.FaultyMsgs++
+		t.faultyBits.Add(bits)
+		t.faultyMsgs.Add(1)
 	} else {
-		t.Bits += bits
-		t.Msgs++
+		t.bits.Add(bits)
+		t.msgs.Add(1)
 	}
 }
 
 // AddRound records one synchronous communication round.
 func (m *Meter) AddRound() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.rounds++
+	m.rounds.Add(1)
 }
 
 // Rounds returns the number of synchronous rounds executed.
 func (m *Meter) Rounds() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rounds
+	return m.rounds.Load()
 }
 
 // TotalBits returns all bits sent by all processors (honest and faulty).
 func (m *Meter) TotalBits() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var sum int64
-	for _, t := range m.tags {
-		sum += t.Bits + t.FaultyBits
-	}
+	m.tags.Range(func(_, v any) bool {
+		t := v.(*tally)
+		sum += t.bits.Load() + t.faultyBits.Load()
+		return true
+	})
 	return sum
 }
 
 // HonestBits returns all bits sent by honest processors.
 func (m *Meter) HonestBits() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var sum int64
-	for _, t := range m.tags {
-		sum += t.Bits
-	}
+	m.tags.Range(func(_, v any) bool {
+		sum += v.(*tally).bits.Load()
+		return true
+	})
 	return sum
 }
 
 // BitsByPrefix sums total bits over all tags with the given prefix
 // (e.g. "match." covers "match.sym" and "match.M").
 func (m *Meter) BitsByPrefix(prefix string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var sum int64
-	for tag, t := range m.tags {
-		if strings.HasPrefix(tag, prefix) {
-			sum += t.Bits + t.FaultyBits
+	m.tags.Range(func(k, v any) bool {
+		if strings.HasPrefix(k.(string), prefix) {
+			t := v.(*tally)
+			sum += t.bits.Load() + t.faultyBits.Load()
 		}
-	}
+		return true
+	})
 	return sum
 }
 
 // Snapshot returns a copy of all tallies keyed by tag.
 func (m *Meter) Snapshot() map[string]Tally {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]Tally, len(m.tags))
-	for tag, t := range m.tags {
-		out[tag] = *t
-	}
+	out := make(map[string]Tally)
+	m.tags.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*tally).snapshot()
+		return true
+	})
 	return out
 }
 

@@ -3,7 +3,6 @@ package node
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -116,8 +115,9 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 			runtimes[k][i] = newRuntime(options{
 				id: i, n: cfg.N, instTag: instTag, wireInst: k,
 				faulty: faulty, adv: adv,
-				procRand:        rand.New(rand.NewSource(sim.ProcSeed(instSeed, i))),
-				advRand:         rand.New(rand.NewSource(sim.ProcSeed(instSeed^0x5DEECE66D, i))),
+				procSeed:        sim.ProcSeed(instSeed, i),
+				procRand:        sim.LazyRand(sim.ProcSeed(instSeed, i)),
+				advRand:         sim.LazyRand(sim.ProcSeed(instSeed^0x5DEECE66D, i)),
 				meter:           res.Instances[k].Meter,
 				countRounds:     i == 0,
 				stepTimeout:     c.StepTimeout,
@@ -137,13 +137,23 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		}
 	}
 
+	// Receive routing: push-capable transports deliver frames synchronously
+	// in their own delivery context (the sender's goroutine on the bus, the
+	// connection readers on TCP) through a Sink — no dispatcher goroutine,
+	// no queue hop, no extra wakeup per frame. Endpoints without push
+	// delivery fall back to a per-node dispatcher draining Recv.
 	var dispatchers sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
+		router := &nodeRouter{runtimes: runtimes, node: i}
+		if pc, ok := eps[i].(transport.PushCapable); ok {
+			pc.SetSink(router)
+			continue
+		}
 		dispatchers.Add(1)
-		go func(i int) {
+		go func(i int, r *nodeRouter) {
 			defer dispatchers.Done()
-			c.dispatch(eps[i], runtimes, i, failInstance)
-		}(i)
+			c.dispatch(eps[i], r, failInstance)
+		}(i, router)
 	}
 
 	// Per-node completion gates the endpoint teardown: a node's endpoint
@@ -208,20 +218,57 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	return res
 }
 
-// dispatch is a node's receive loop: it decodes incoming frames and routes
-// them to the owning instance runtime. Frames whose payloads do not decode
-// degrade to payload-free frames (⊥ messages — a legal Byzantine payload);
-// frames whose headers do not decode, unroutable instance ids, and broken
-// connections are channel-level violations scoped to the offending peer: a
-// round that already holds that peer's frames still completes, and only a
-// round genuinely missing one fails. (A finished node closes its endpoint,
-// so peers one step behind see a benign EOF after its final frames.)
-func (c *Cluster) dispatch(ep transport.Endpoint, runtimes [][]*runtime, node int, failInstance func(int, error)) {
-	peerDown := func(peer int, err error) {
-		for k := range runtimes {
-			runtimes[k][node].inbox.peerDown(peer, err)
-		}
+// nodeRouter is one node's receive routing: it decodes incoming frames and
+// routes them to the owning instance runtime. It implements transport.Sink,
+// so push-capable transports invoke it directly from their delivery context;
+// the fallback dispatcher drives the same router from a Recv loop. Frames
+// whose payloads do not decode degrade to payload-free frames (⊥ messages —
+// a legal Byzantine payload); frames whose headers do not decode, unroutable
+// instance ids, and broken connections are channel-level violations scoped
+// to the offending peer: a round that already holds that peer's frames still
+// completes, and only a round genuinely missing one fails. (A finished node
+// closes its endpoint, so peers one step behind see a benign EOF after its
+// final frames.)
+type nodeRouter struct {
+	runtimes [][]*runtime
+	node     int
+}
+
+// PeerDown implements transport.Sink.
+func (r *nodeRouter) PeerDown(peer int, err error) {
+	err = fmt.Errorf("node %d: %w", r.node, err)
+	for k := range r.runtimes {
+		r.runtimes[k][r.node].inbox.peerDown(peer, err)
 	}
+}
+
+// Deliver implements transport.Sink. Frame buffers are returned to the
+// transport pool once decoded (the bus hands over the sender's encode
+// buffer, TCP its connection reader's read buffer).
+func (r *nodeRouter) Deliver(fr transport.Frame) {
+	f, err := wire.DecodeFrame(fr.Data)
+	if err != nil {
+		hdr, hErr := wire.DecodeFrameHeader(fr.Data)
+		if hErr != nil {
+			transport.PutBuf(fr.Data)
+			r.PeerDown(fr.From, fmt.Errorf("undecodable frame from node %d: %w", fr.From, hErr))
+			return
+		}
+		hdr.Payloads = nil
+		f = hdr
+	}
+	transport.PutBuf(fr.Data)
+	if f.Instance >= len(r.runtimes) {
+		r.PeerDown(fr.From, fmt.Errorf("frame from node %d for unknown instance %d", fr.From, f.Instance))
+		return
+	}
+	if !r.runtimes[f.Instance][r.node].inbox.push(fr.From, f.Stream, f) {
+		r.PeerDown(fr.From, fmt.Errorf("node %d floods never-awaited stream tags (stream %d)", fr.From, f.Stream))
+	}
+}
+
+// dispatch is the fallback receive loop for endpoints without push delivery.
+func (c *Cluster) dispatch(ep transport.Endpoint, r *nodeRouter, failInstance func(int, error)) {
 	for {
 		fr, err := ep.Recv()
 		if err == transport.ErrClosed {
@@ -230,30 +277,14 @@ func (c *Cluster) dispatch(ep transport.Endpoint, runtimes [][]*runtime, node in
 		if err != nil {
 			var pe *transport.PeerError
 			if errors.As(err, &pe) {
-				peerDown(pe.Peer, fmt.Errorf("node %d: %w", node, err))
+				r.PeerDown(pe.Peer, err)
 			} else {
-				for k := range runtimes {
-					runtimes[k][node].Fail(fmt.Errorf("node %d: %w", node, err))
+				for k := range r.runtimes {
+					r.runtimes[k][r.node].Fail(fmt.Errorf("node %d: %w", r.node, err))
 				}
 			}
 			continue
 		}
-		f, err := wire.DecodeFrame(fr.Data)
-		if err != nil {
-			hdr, hErr := wire.DecodeFrameHeader(fr.Data)
-			if hErr != nil {
-				peerDown(fr.From, fmt.Errorf("node %d: undecodable frame from node %d: %w", node, fr.From, hErr))
-				continue
-			}
-			hdr.Payloads = nil
-			f = hdr
-		}
-		if f.Instance >= len(runtimes) {
-			peerDown(fr.From, fmt.Errorf("node %d: frame from node %d for unknown instance %d", node, fr.From, f.Instance))
-			continue
-		}
-		if !runtimes[f.Instance][node].inbox.push(fr.From, f.Stream, f) {
-			peerDown(fr.From, fmt.Errorf("node %d: node %d floods never-awaited stream tags (stream %d)", node, fr.From, f.Stream))
-		}
+		r.Deliver(fr)
 	}
 }

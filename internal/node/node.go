@@ -7,7 +7,10 @@
 // the protocol's Exchange and Sync barriers become wire frames (one per peer
 // per step, encoded by internal/wire) pushed through a transport.Endpoint,
 // and a round synchronizer that completes a step once the matching frame of
-// every peer has arrived. Frames are demultiplexed into one FIFO per
+// every peer has arrived. Inbound frames arrive through the transport's
+// push delivery (transport.Sink) — decoded and routed in the sender's or
+// connection reader's context, with one wakeup per completed round — so the
+// lock-step hot path crosses no receive queue and no dispatcher goroutine. Frames are demultiplexed into one FIFO per
 // (peer, stream): per-peer FIFO order — guaranteed by every transport —
 // makes the arrival ordinal within a stream the round identity; the frame
 // header's step checksum cross-checks it, and a mismatch aborts the run
@@ -41,10 +44,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"byzcons/internal/metrics"
 	"byzcons/internal/sim"
+	"byzcons/internal/transport"
 	"byzcons/internal/wire"
 )
 
@@ -64,6 +69,7 @@ type options struct {
 	wireInst int // instance id carried in frames (>= 0)
 	faulty   []bool
 	adv      sim.Adversary // applied locally when faulty[id]; may be nil
+	procSeed int64         // deterministic per-processor seed (simulator derivation)
 	procRand *rand.Rand    // protocol randomness (matches the simulator's derivation)
 	advRand  *rand.Rand    // local adversary randomness
 	meter    *metrics.Meter
@@ -78,15 +84,11 @@ type options struct {
 	recycleSendBufs bool
 }
 
-// frameBuf is a pooled frame-encoding buffer for the send hot path.
-type frameBuf struct{ b []byte }
-
-var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
 
 // runtime drives one processor of one protocol instance over a transport.
 // It implements sim.Backend; the body's fiber goroutines call Exchange/Sync
-// concurrently (one fiber per stream), while the node's dispatcher goroutine
-// feeds the inbox.
+// concurrently (one fiber per stream), while the transport's delivery
+// context feeds the inbox.
 type runtime struct {
 	opts  options
 	inbox *inbox
@@ -104,7 +106,7 @@ func newRuntime(opts options) *runtime {
 
 // run executes the protocol body at this runtime's processor.
 func (rt *runtime) run(body func(*sim.Proc) any) (any, error) {
-	p := sim.NewProc(rt.opts.id, rt.opts.n, max(rt.opts.instTag, 0), rt.opts.faulty[rt.opts.id], rt.opts.procRand, rt)
+	p := sim.NewProc(rt.opts.id, rt.opts.n, max(rt.opts.instTag, 0), rt.opts.faulty[rt.opts.id], rt.opts.procSeed, rt.opts.procRand, rt)
 	return sim.Invoke(p, body)
 }
 
@@ -175,7 +177,8 @@ func (rt *runtime) Exchange(p, stream int, step sim.StepID, out []sim.Message, m
 		out = outs[o.id]
 	}
 	sum := wire.StepSum(string(step))
-	byTo := make([][]any, o.n)
+	byTop := getByTo(o.n)
+	byTo := *byTop
 	for i := range out {
 		m := &out[i]
 		m.From = o.id // senders cannot forge their identity (channel model)
@@ -188,15 +191,25 @@ func (rt *runtime) Exchange(p, stream int, step sim.StepID, out []sim.Message, m
 		o.meter.Add(m.Tag, m.Bits, o.faulty[o.id])
 		byTo[m.To] = append(byTo[m.To], m.Payload)
 	}
+	f := wire.Frame{Kind: wire.StepExchange, Instance: o.wireInst, Stream: stream, StepSum: sum}
 	for j := 0; j < o.n; j++ {
 		if j != o.id {
-			rt.sendFrame(j, step, &wire.Frame{
-				Kind: wire.StepExchange, Instance: o.wireInst, Stream: stream, StepSum: sum, Payloads: byTo[j],
-			})
+			f.Payloads = byTo[j]
+			rt.sendFrame(j, step, &f)
 		}
 	}
+	putByTo(byTop)
 	frames := rt.await(stream, step, wire.StepExchange, sum)
+	total := 0
+	for j := 0; j < o.n; j++ {
+		if j != o.id {
+			total += len(frames[j].Payloads)
+		}
+	}
 	var in []sim.Message
+	if total > 0 {
+		in = make([]sim.Message, 0, total)
+	}
 	for j := 0; j < o.n; j++ {
 		if j == o.id {
 			continue
@@ -204,6 +217,8 @@ func (rt *runtime) Exchange(p, stream int, step sim.StepID, out []sim.Message, m
 		for _, pl := range frames[j].Payloads {
 			in = append(in, sim.Message{From: j, To: o.id, Payload: pl})
 		}
+		wire.PutFrame(frames[j])
+		frames[j] = nil
 	}
 	if o.countRounds {
 		o.meter.AddRound()
@@ -241,22 +256,34 @@ func (rt *runtime) Sync(p, stream int, step sim.StepID, val any, bits int64, tag
 		val = vals[o.id]
 	}
 	sum := wire.StepSum(string(step))
+	// Every peer receives the identical frame (same header, same single
+	// contribution payload): encode it once and replicate the bytes, instead
+	// of walking the payload encoder n-1 times.
+	f := wire.Frame{Kind: wire.StepSync, Instance: o.wireInst, Stream: stream, StepSum: sum, Payloads: []any{val}}
+	tmpl, err := f.Append(transport.GetBuf())
+	if err != nil {
+		rt.abortf("step %q: %v", step, err)
+	}
 	for j := 0; j < o.n; j++ {
 		if j != o.id {
-			rt.sendFrame(j, step, &wire.Frame{
-				Kind: wire.StepSync, Instance: o.wireInst, Stream: stream, StepSum: sum, Payloads: []any{val},
-			})
+			rt.sendRaw(j, step, append(transport.GetBuf(), tmpl...))
 		}
 	}
+	transport.PutBuf(tmpl)
 	frames := rt.await(stream, step, wire.StepSync, sum)
 	vals := make([]any, o.n)
 	vals[o.id] = val
 	for j := 0; j < o.n; j++ {
-		if j != o.id && len(frames[j].Payloads) == 1 {
+		if j == o.id {
+			continue
+		}
+		if len(frames[j].Payloads) == 1 {
 			// Any other payload count is Byzantine framing; it degrades to a
 			// ⊥ contribution rather than killing the run.
 			vals[j] = frames[j].Payloads[0]
 		}
+		wire.PutFrame(frames[j])
+		frames[j] = nil
 	}
 	if o.countRounds {
 		o.meter.AddRound()
@@ -265,38 +292,65 @@ func (rt *runtime) Sync(p, stream int, step sim.StepID, val any, bits int64, tag
 }
 
 // checkSquashed unwinds the calling fiber before it spends wire bytes on a
-// stream its driver has already abandoned.
+// stream its driver has already abandoned. The check is advisory — the
+// authoritative unwind happens at await — so the fault-free fast path is a
+// single atomic load: a run that never squashed takes no lock here, and a
+// barely-raced squash at worst costs one more step of discarded traffic.
 func (rt *runtime) checkSquashed(stream int) {
+	if !rt.inbox.everSquashed.Load() {
+		return
+	}
 	if rt.inbox.isDead(stream) {
 		panic(sim.Squashed{Stream: stream})
 	}
 }
 
-// sendFrame encodes and transmits one step frame, aborting the run on
-// unencodable payloads (a protocol bug) or transport failure. Encode buffers
-// are pooled when the transport copies rather than retains sent slices.
-func (rt *runtime) sendFrame(to int, step sim.StepID, f *wire.Frame) {
-	var fb *frameBuf
-	var data []byte
-	var err error
-	if rt.opts.recycleSendBufs {
-		fb = frameBufPool.Get().(*frameBuf)
-		data, err = f.Append(fb.b[:0])
-	} else {
-		// The transport retains sent slices (in-process bus): the buffer
-		// can never be recycled, so skip the pool entirely.
-		data, err = f.Append(nil)
+// byToPool recycles the per-step outgoing payload grouping of the barrier
+// hot path. Payload values escape on their own terms; only the containers
+// are reused.
+var byToPool = sync.Pool{New: func() any { return new([][]any) }}
+
+func getByTo(n int) *[][]any {
+	p := byToPool.Get().(*[][]any)
+	for cap(*p) < n {
+		*p = append((*p)[:cap(*p)], nil)
 	}
-	if err != nil {
-		if fb != nil {
-			frameBufPool.Put(fb)
+	*p = (*p)[:n]
+	return p
+}
+
+func putByTo(p *[][]any) {
+	byTo := *p
+	for j := range byTo {
+		for i := range byTo[j] {
+			byTo[j][i] = nil
 		}
+		byTo[j] = byTo[j][:0]
+	}
+	byToPool.Put(p)
+}
+
+// sendFrame encodes and transmits one step frame, aborting the run on
+// unencodable payloads (a protocol bug) or transport failure. Frame buffers
+// come from the transport's shared pool: when the transport copies the bytes
+// (TCP), the sender recycles its buffer right after Send; when it moves the
+// slice by reference (bus), ownership travels with the frame and the
+// receiving router recycles it after decoding — either way the lock-step
+// hot path allocates no frame buffers once the pool is warm.
+func (rt *runtime) sendFrame(to int, step sim.StepID, f *wire.Frame) {
+	data, err := f.Append(transport.GetBuf())
+	if err != nil {
 		rt.abortf("step %q: %v", step, err)
 	}
-	err = rt.opts.send(to, data)
-	if fb != nil {
-		fb.b = data
-		frameBufPool.Put(fb)
+	rt.sendRaw(to, step, data)
+}
+
+// sendRaw transmits pre-encoded frame bytes, recycling the buffer after the
+// transport copied it (ownership otherwise travels to the receiving router).
+func (rt *runtime) sendRaw(to int, step sim.StepID, data []byte) {
+	err := rt.opts.send(to, data)
+	if rt.opts.recycleSendBufs {
+		transport.PutBuf(data)
 	}
 	if err != nil {
 		rt.abortf("step %q: send to node %d: %v", step, to, err)
@@ -326,14 +380,20 @@ func (rt *runtime) await(stream int, step sim.StepID, kind wire.StepKind, sum ui
 var errSquashed = errors.New("node: stream squashed")
 
 // inbox is the runtime's receive side: one FIFO of decoded frames per
-// (peer, stream), fed by the node's dispatcher, consumed by the fibers'
+// (peer, stream), fed by the transport's delivery context (the sender's
+// goroutine on the bus, a connection reader on TCP), consumed by the fibers'
 // round synchronizers. Streams are created on demand by either side — a
 // fast peer's frames for a stream this node has not opened yet simply
 // buffer — and are freed on release (committed streams, fully drained) or
 // squash (speculative streams; a tombstone then discards stale frames).
+//
+// Wakeups are per stream and per completed round: each stream has its own
+// condition variable, and push signals it only when the appended frame
+// completes the stream's head row. A window of speculative fibers therefore
+// costs no thundering herd — a frame arrival wakes at most the one fiber
+// whose round it completed.
 type inbox struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	n       int
 	me      int
 	streams map[int]*streamQueues
@@ -351,14 +411,39 @@ type inbox struct {
 	// pending counts streams created by push that no fiber has awaited yet
 	// (see maxPendingStreams).
 	pending int
+	// everSquashed gates the advisory pre-send squash check: a fault-free
+	// run never pays a lock for it.
+	everSquashed atomic.Bool
+	// Node-wide progress timer: one timer guards every parked await instead
+	// of one timer per round (arming/stopping a runtime timer per barrier
+	// step was a measurable slice of the round hot path). It is armed while
+	// waiters > 0, re-arms whenever delivered advanced since the last check,
+	// and marks timedOut — failing every parked await — only when a full
+	// period passes with no round completing anywhere on the node.
+	waiters    int
+	timer      *time.Timer
+	timerSnap  uint64
+	timerDur   time.Duration
+	timerArmed time.Time // when the period began (guards stale fires)
+	timedOut   bool
 }
 
-// streamQueues holds one stream's per-peer FIFO queues. awaited records
-// that a local fiber has attached to the stream; queues created by push
-// alone are "pending" and counted against maxPendingStreams.
+// streamQueues holds one stream's per-peer FIFO queues and the stream's
+// round-completion condition variable (sharing the inbox mutex). awaited
+// records that a local fiber has attached to the stream; queues created by
+// push alone are "pending" and counted against maxPendingStreams.
 type streamQueues struct {
-	fifo    [][]*wire.Frame
-	awaited bool
+	cond *sync.Cond
+	fifo [][]*wire.Frame
+	// heads is the stream's reusable round buffer: await fills it with the
+	// popped head row and the (single) consuming fiber is done with it
+	// before its next await on this stream, so it never needs a pool.
+	heads []*wire.Frame
+	// nonEmpty counts peers whose FIFO currently holds at least one frame;
+	// the head row is complete when it reaches n-1, making push's
+	// round-completion check O(1).
+	nonEmpty int
+	awaited  bool
 	// pendingCounted marks entries counted in inbox.pending (created by
 	// push before any await attached).
 	pendingCounted bool
@@ -374,14 +459,12 @@ type streamQueues struct {
 const maxPendingStreams = 1024
 
 func newInbox(n, me int) *inbox {
-	ib := &inbox{
+	return &inbox{
 		n: n, me: me,
 		streams: make(map[int]*streamQueues),
 		dead:    make(map[int]bool),
 		down:    make([]error, n),
 	}
-	ib.cond = sync.NewCond(&ib.mu)
-	return ib
 }
 
 // get returns the stream's queues, creating them on demand. Caller holds
@@ -390,9 +473,18 @@ func (ib *inbox) get(stream int) *streamQueues {
 	sq := ib.streams[stream]
 	if sq == nil {
 		sq = &streamQueues{fifo: make([][]*wire.Frame, ib.n)}
+		sq.cond = sync.NewCond(&ib.mu)
 		ib.streams[stream] = sq
 	}
 	return sq
+}
+
+// wakeAllLocked wakes every stream's waiter for inbox-wide events (run
+// failure, a peer going down). Caller holds ib.mu.
+func (ib *inbox) wakeAllLocked() {
+	for _, sq := range ib.streams {
+		sq.cond.Broadcast()
+	}
 }
 
 // push appends a frame from the given peer to the stream's queue; frames for
@@ -418,7 +510,14 @@ func (ib *inbox) push(from, stream int, f *wire.Frame) bool {
 		sq.pendingCounted = true
 	}
 	sq.fifo[from] = append(sq.fifo[from], f)
-	ib.cond.Broadcast()
+	if len(sq.fifo[from]) == 1 {
+		sq.nonEmpty++
+		if sq.nonEmpty == ib.n-1 {
+			// The head row is complete: wake the stream's fiber — one
+			// wakeup per completed round.
+			sq.cond.Broadcast()
+		}
+	}
 	return true
 }
 
@@ -435,7 +534,7 @@ func (ib *inbox) peerDown(peer int, err error) {
 	if ib.down[peer] == nil {
 		ib.down[peer] = err
 	}
-	ib.cond.Broadcast()
+	ib.wakeAllLocked()
 	ib.mu.Unlock()
 }
 
@@ -445,31 +544,40 @@ func (ib *inbox) fail(err error) {
 	if ib.err == nil {
 		ib.err = err
 	}
-	ib.cond.Broadcast()
+	ib.wakeAllLocked()
 	ib.mu.Unlock()
 }
 
 // squash drops a stream's queues, tombstones it against stale frames, and
 // wakes a pending await so it can unwind.
 func (ib *inbox) squash(stream int) {
+	ib.everSquashed.Store(true)
 	ib.mu.Lock()
 	if !ib.dead[stream] {
 		ib.dead[stream] = true
+		sq := ib.streams[stream]
 		ib.drop(stream)
-		ib.cond.Broadcast()
+		if sq != nil {
+			sq.cond.Broadcast()
+		}
 	}
 	ib.mu.Unlock()
 }
 
-// release frees a committed stream's queues without a tombstone.
-func (ib *inbox) release(stream int) {
-	ib.mu.Lock()
-	ib.drop(stream)
-	ib.mu.Unlock()
-}
+// release retires a committed stream. Its queues are fully drained (every
+// round was consumed, and honest peers send exactly one frame per step), so
+// the empty entry is simply left in place: the map stays insert-only on the
+// commit path — no delete/re-create churn per generation — and the whole
+// inbox is dropped when its instance finishes. Only squash (which must
+// tombstone against stale speculative frames) removes entries.
+func (ib *inbox) release(stream int) {}
 
-// drop removes a stream's queues, maintaining the pending-stream count.
-// Caller holds ib.mu.
+// drop removes a squashed stream's queues. They are deliberately NOT
+// recycled: the squashed fiber may still be reading the heads row of its
+// last completed round (it learns of the squash only at its next barrier),
+// so the queue set goes to the collector with it. Cleanly committed streams
+// never come through here — their ids are reused and their retained entries
+// continue across incarnations. Caller holds ib.mu.
 func (ib *inbox) drop(stream int) {
 	if sq := ib.streams[stream]; sq != nil && sq.pendingCounted {
 		ib.pending--
@@ -495,45 +603,35 @@ func (ib *inbox) isDead(stream int) bool {
 func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.Duration) ([]*wire.Frame, error) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	timedOut := false
-	snapshot := ib.delivered
-	var timer *time.Timer
-	timer = time.AfterFunc(timeout, func() {
-		ib.mu.Lock()
-		if ib.delivered != snapshot {
-			// The node completed rounds since the timer was armed: this
-			// await is parked behind live progress (typically a speculative
-			// stream waiting for its squash), not a wedged deployment.
-			snapshot = ib.delivered
-			timer.Reset(timeout)
-		} else {
-			timedOut = true
-			ib.cond.Broadcast()
+	if ib.dead[stream] {
+		return nil, errSquashed
+	}
+	sq := ib.get(stream)
+	if sq.pendingCounted {
+		sq.pendingCounted = false
+		ib.pending--
+	}
+	sq.awaited = true
+	parked := false
+	defer func() {
+		if parked {
+			ib.waiters--
+			if ib.waiters == 0 && ib.timer != nil {
+				ib.timer.Stop()
+			}
 		}
-		ib.mu.Unlock()
-	})
-	defer timer.Stop()
+	}()
 
 	for {
 		if ib.dead[stream] {
 			return nil, errSquashed
 		}
-		sq := ib.get(stream)
-		if sq.pendingCounted {
-			sq.pendingCounted = false
-			ib.pending--
-		}
-		sq.awaited = true
-		ready := true
-		for j := 0; j < ib.n; j++ {
-			if j != ib.me && len(sq.fifo[j]) == 0 {
-				ready = false
-				break
-			}
-		}
-		if ready {
+		if sq.nonEmpty == ib.n-1 {
 			ib.delivered++
-			heads := make([]*wire.Frame, ib.n)
+			if sq.heads == nil {
+				sq.heads = make([]*wire.Frame, ib.n)
+			}
+			heads := sq.heads
 			for j := 0; j < ib.n; j++ {
 				if j == ib.me {
 					continue
@@ -541,6 +639,9 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 				f := sq.fifo[j][0]
 				sq.fifo[j][0] = nil
 				sq.fifo[j] = sq.fifo[j][1:]
+				if len(sq.fifo[j]) == 0 {
+					sq.nonEmpty--
+				}
 				if f.Kind != kind || f.StepSum != sum {
 					return nil, fmt.Errorf("protocol misalignment with node %d: got (kind %d, sum %#x), want (kind %d, sum %#x)",
 						j, f.Kind, f.StepSum, kind, sum)
@@ -557,7 +658,7 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 				return nil, fmt.Errorf("round cannot complete: %w", ib.down[j])
 			}
 		}
-		if timedOut {
+		if ib.timedOut {
 			var missing []int
 			for j := 0; j < ib.n; j++ {
 				if j != ib.me && len(sq.fifo[j]) == 0 {
@@ -566,6 +667,52 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 			}
 			return nil, fmt.Errorf("no round completed for %v while waiting for frames from nodes %v on stream %d", timeout, missing, stream)
 		}
-		ib.cond.Wait()
+		if !parked {
+			parked = true
+			ib.waiters++
+			if ib.waiters == 1 {
+				ib.armTimerLocked(timeout)
+			}
+		}
+		sq.cond.Wait()
 	}
+}
+
+// armTimerLocked (re)arms the node-wide progress timer. Caller holds ib.mu.
+func (ib *inbox) armTimerLocked(timeout time.Duration) {
+	ib.timerDur = timeout
+	ib.timerSnap = ib.delivered
+	ib.timerArmed = time.Now()
+	if ib.timer == nil {
+		ib.timer = time.AfterFunc(timeout, ib.timerFire)
+	} else {
+		ib.timer.Reset(timeout)
+	}
+}
+
+// timerFire is the progress timer callback: re-arm while rounds completed
+// since the last check (live progress elsewhere on the node — typically a
+// speculative stream waiting out its own squash), fail every parked await
+// once a full period passes without any.
+func (ib *inbox) timerFire() {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.waiters == 0 {
+		return
+	}
+	if remaining := ib.timerDur - time.Since(ib.timerArmed); remaining > 0 {
+		// A stale fire: the timer was stopped and re-armed while this
+		// callback was blocked on the mutex. The current period has not
+		// elapsed — sleep out its remainder instead of judging it early.
+		ib.timer.Reset(remaining)
+		return
+	}
+	if ib.delivered != ib.timerSnap {
+		ib.timerSnap = ib.delivered
+		ib.timerArmed = time.Now()
+		ib.timer.Reset(ib.timerDur)
+		return
+	}
+	ib.timedOut = true
+	ib.wakeAllLocked()
 }

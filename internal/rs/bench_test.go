@@ -29,31 +29,38 @@ func benchInterleaved(b *testing.B, lanes int) (*Interleaved, []gf.Sym) {
 	return ic, data
 }
 
+// benchLanes is the lane width of the headline interleaved benchmarks: wide
+// enough that the matrix sweeps dominate, matching a large-L generation.
+const benchLanes = 512
+
 // BenchmarkInterleavedEncode measures the matching-stage encode of one
-// generation (the per-generation hot path of every processor).
+// generation (the per-generation hot path of every processor), through the
+// allocation-free stripe entry point.
 func BenchmarkInterleavedEncode(b *testing.B) {
-	ic, data := benchInterleaved(b, 64)
+	ic, data := benchInterleaved(b, benchLanes)
+	stripe := make([]gf.Sym, ic.C.N*ic.M)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ic.Encode(data)
+		ic.EncodeStripe(data, stripe)
 	}
 }
 
 // BenchmarkInterleavedDecode measures the checking-stage decode from K+2
 // positions, the consistency-check hot path.
 func BenchmarkInterleavedDecode(b *testing.B) {
-	ic, data := benchInterleaved(b, 64)
+	ic, data := benchInterleaved(b, benchLanes)
 	words := ic.Encode(data)
 	positions := []int{0, 2, 3, 5, 6}
 	sub := make([][]gf.Sym, len(positions))
 	for i, p := range positions {
 		sub[i] = words[p]
 	}
+	out := make([]gf.Sym, ic.DataSyms())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ic.Decode(positions, sub); err != nil {
+		if err := ic.DecodeInto(positions, sub, out); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +69,7 @@ func BenchmarkInterleavedDecode(b *testing.B) {
 // BenchmarkInterleavedConsistent measures the surplus-position membership
 // test run by every non-member of Pmatch in every generation.
 func BenchmarkInterleavedConsistent(b *testing.B) {
-	ic, data := benchInterleaved(b, 64)
+	ic, data := benchInterleaved(b, benchLanes)
 	words := ic.Encode(data)
 	positions := []int{0, 1, 2, 3, 5, 6}
 	sub := make([][]gf.Sym, len(positions))
@@ -76,4 +83,36 @@ func BenchmarkInterleavedConsistent(b *testing.B) {
 			b.Fatal("inconsistent")
 		}
 	}
+}
+
+// BenchmarkInterleavedScalarRef keeps the scalar reference path measured, so
+// the matrix-vs-scalar ratio stays visible PR over PR.
+func BenchmarkInterleavedScalarRef(b *testing.B) {
+	ic, data := benchInterleaved(b, benchLanes)
+	stripe := make([]gf.Sym, ic.C.N*ic.M)
+	ic.EncodeStripe(data, stripe)
+	words := make([][]gf.Sym, ic.C.N)
+	for j := range words {
+		words[j] = stripe[j*ic.M : (j+1)*ic.M]
+	}
+	positions := []int{0, 2, 3, 5, 6}
+	sub := make([][]gf.Sym, len(positions))
+	for i, p := range positions {
+		sub[i] = words[p]
+	}
+	out := make([]gf.Sym, ic.DataSyms())
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ic.encodeScalar(data, stripe)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ic.decodeIntoScalar(positions, sub, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -86,6 +86,7 @@ func FuzzInterleavedRoundTrip(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(0x1F), uint8(1), uint8(0))
 	f.Add([]byte{0xFF, 0x00, 0xAA}, uint8(0x55), uint8(3), uint8(9))
 	f.Add([]byte{}, uint8(0x07), uint8(2), uint8(100))
+	f.Add([]byte{4, 4, 4, 4, 4, 4, 4, 4}, uint8(0x6D), uint8(7), uint8(31))
 	f.Fuzz(func(t *testing.T, raw []byte, mask uint8, lanesSeed uint8, corrupt uint8) {
 		field, err := gf.New(8)
 		if err != nil {
@@ -96,7 +97,7 @@ func FuzzInterleavedRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := int(lanesSeed%4) + 1
+		m := int(lanesSeed%8) + 1
 		ic, err := NewInterleaved(code, m)
 		if err != nil {
 			t.Fatal(err)
@@ -108,6 +109,17 @@ func FuzzInterleavedRoundTrip(f *testing.F) {
 			}
 		}
 		words := ic.Encode(data)
+
+		// The words must be views over one contiguous position-major stripe,
+		// and EncodeStripe into a caller buffer must reproduce it exactly.
+		stripe := ic.EncodeStripe(data, make([]gf.Sym, n*m))
+		for j := 0; j < n; j++ {
+			for l := 0; l < m; l++ {
+				if words[j][l] != stripe[j*m+l] {
+					t.Fatalf("Encode/EncodeStripe disagree at word %d lane %d", j, l)
+				}
+			}
+		}
 
 		// The mask selects the surviving positions; the rest are erased.
 		var pos []int
@@ -133,6 +145,15 @@ func FuzzInterleavedRoundTrip(f *testing.F) {
 				t.Fatal("interleaved round trip mismatch")
 			}
 		}
+		into := make([]gf.Sym, ic.DataSyms())
+		if err := ic.DecodeInto(pos, surv, into); err != nil {
+			t.Fatalf("DecodeInto failed where Decode succeeded: %v", err)
+		}
+		for i := range data {
+			if into[i] != data[i] {
+				t.Fatal("DecodeInto round trip mismatch")
+			}
+		}
 		if !ic.Consistent(pos, surv) {
 			t.Fatal("clean survivors reported inconsistent")
 		}
@@ -154,6 +175,92 @@ func FuzzInterleavedRoundTrip(f *testing.F) {
 		} else if !ic.Consistent(pos, surv) {
 			t.Fatal("exactly-K positions must always be consistent")
 		}
+	})
+}
+
+// FuzzMatrixVsScalar fuzzes the matrix-form fast path against the scalar
+// log/exp reference across field widths, lane counts, erasure patterns and
+// corruptions: EncodeStripe must equal the per-lane scalar encode, and
+// DecodeInto/Consistent must agree with the scalar decode — same data, same
+// error — on both clean and corrupted stripes.
+func FuzzMatrixVsScalar(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint8(0x1F), uint8(0), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint8(16), uint8(2), uint8(0x2D), uint8(9), []byte{0xFF, 0, 0xAA})
+	f.Add(uint8(4), uint8(1), uint8(0x7F), uint8(77), []byte{})
+	f.Add(uint8(11), uint8(4), uint8(0x3B), uint8(200), []byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, cRaw, lanesRaw, mask, corrupt uint8, raw []byte) {
+		c := uint(cRaw)%14 + 3 // field widths 3..16 (n=7 needs order > 7)
+		field, err := gf.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, k = 7, 3
+		code, err := New(field, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := int(lanesRaw%5) + 1
+		ic, err := NewInterleaved(code, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]gf.Sym, ic.DataSyms())
+		for i := range data {
+			if i < len(raw) {
+				data[i] = gf.Sym(int(raw[i]) % field.Order())
+			}
+		}
+
+		// Matrix encode == scalar encode, stripe for stripe.
+		stripe := ic.EncodeStripe(data, make([]gf.Sym, n*m))
+		ref := make([]gf.Sym, n*m)
+		ic.encodeScalar(data, ref)
+		for i := range stripe {
+			if stripe[i] != ref[i] {
+				t.Fatalf("c=%d m=%d: encode stripe[%d] = %#x, scalar %#x", c, m, i, stripe[i], ref[i])
+			}
+		}
+
+		var pos []int
+		var surv [][]gf.Sym
+		for j := 0; j < n; j++ {
+			if mask>>uint(j)&1 == 1 {
+				pos = append(pos, j)
+				surv = append(surv, stripe[j*m:(j+1)*m])
+			}
+		}
+		if len(pos) < k {
+			return
+		}
+		check := func(stage string) {
+			t.Helper()
+			got := make([]gf.Sym, ic.DataSyms())
+			errMatrix := ic.DecodeInto(pos, surv, got)
+			want := make([]gf.Sym, ic.DataSyms())
+			errScalar := ic.decodeIntoScalar(pos, surv, want)
+			if (errMatrix == nil) != (errScalar == nil) {
+				t.Fatalf("c=%d m=%d %s: matrix err %v, scalar err %v", c, m, stage, errMatrix, errScalar)
+			}
+			if errMatrix == nil {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("c=%d m=%d %s: decode[%d] = %#x, scalar %#x", c, m, stage, i, got[i], want[i])
+					}
+				}
+			}
+			if ic.Consistent(pos, surv) != (errScalar == nil) {
+				t.Fatalf("c=%d m=%d %s: Consistent disagrees with scalar decode", c, m, stage)
+			}
+		}
+		check("clean")
+
+		// Corrupt one lane symbol of one surviving word and re-compare.
+		delta := gf.Sym(int(corrupt)%(field.Order()-1)) + 1
+		bad := int(corrupt) % len(pos)
+		tampered := append([]gf.Sym(nil), surv[bad]...)
+		tampered[int(corrupt/8)%m] ^= delta
+		surv[bad] = tampered
+		check("corrupted")
 	})
 }
 

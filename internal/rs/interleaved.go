@@ -3,6 +3,7 @@ package rs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"byzcons/internal/gf"
 )
@@ -13,6 +14,16 @@ import (
 // D = K*M*c bits while preserving the property that any K positions determine
 // all the data, so the paper's D parameter can be tuned freely without
 // changing the field.
+//
+// Layout. Data is lane-major (data[l*K:(l+1)*K] is lane l, matching the
+// order generation inputs are read off the bit stream); codewords are stripe
+// buffers — one contiguous []gf.Sym of N*M symbols, position-major, where
+// stripe[j*M:(j+1)*M] is the word sent to position j. All hot operations run
+// matrix-form (matrix.go) as contiguous M-symbol gf.MulTab sweeps over the
+// lane slabs instead of per-lane, per-symbol scalar arithmetic; stripes wide
+// enough to matter additionally fan their lane range out across the bounded
+// worker pool (pool.go). The scalar per-lane path is kept as the reference
+// oracle and as the fallback for codes outside the matrix path's domain.
 type Interleaved struct {
 	C *Code
 	M int // number of lanes
@@ -35,10 +46,10 @@ func (ic *Interleaved) DataBits() int { return ic.C.K * ic.M * int(ic.C.F.C()) }
 // WordBits returns the number of bits in one interleaved word, M*c.
 func (ic *Interleaved) WordBits() int { return ic.M * int(ic.C.F.C()) }
 
-// symPool recycles scratch symbol slices for the per-lane working buffers of
-// the interleaved hot paths. The returned words/results escape to callers
-// and stay freshly allocated; only buffers whose lifetime ends inside the
-// call are pooled, so concurrent generation fibers can share the pool.
+// symPool recycles scratch symbol slices for the working buffers of the
+// interleaved hot paths. The returned words/results escape to callers and
+// stay freshly allocated; only buffers whose lifetime ends inside the call
+// are pooled, so concurrent generation fibers can share the pool.
 var symPool = sync.Pool{New: func() any { return new([]gf.Sym) }}
 
 // getSyms returns a pooled slice of n symbols (contents undefined).
@@ -51,31 +62,104 @@ func getSyms(n int) *[]gf.Sym {
 	return p
 }
 
-// Encode maps K*M data symbols (lane-major: data[l*K:(l+1)*K] is lane l) to N
-// words of M symbols each (out[j][l] is lane l's symbol at position j).
+// Encode maps K*M data symbols (lane-major) to N words of M symbols each
+// (out[j][l] is lane l's symbol at position j). The returned words are views
+// over one freshly allocated stripe; use EncodeStripe to control the buffer.
+// The transpose scratch rides in the same allocation as the stripe, so the
+// per-generation protocol path stays off the shared pool (whose slots churn
+// when a window of fibers interleaves).
 func (ic *Interleaved) Encode(data []gf.Sym) [][]gf.Sym {
+	n, k, m := ic.C.N, ic.C.K, ic.M
 	if len(data) != ic.DataSyms() {
 		panic(fmt.Sprintf("rs: interleaved Encode got %d symbols, want %d", len(data), ic.DataSyms()))
 	}
-	out := make([][]gf.Sym, ic.C.N)
-	flat := make([]gf.Sym, ic.C.N*ic.M)
-	for j := range out {
-		out[j] = flat[j*ic.M : (j+1)*ic.M]
+	block := make([]gf.Sym, (n+k)*m)
+	flat := block[:n*m:n*m]
+	if ic.C.enc == nil {
+		ic.encodeScalar(data, flat)
+	} else {
+		ic.encodeStripeWith(data, flat, block[n*m:])
 	}
-	cwp := getSyms(ic.C.N)
-	defer symPool.Put(cwp)
-	cw := *cwp
-	for l := 0; l < ic.M; l++ {
-		ic.C.EncodeInto(data[l*ic.C.K:(l+1)*ic.C.K], cw)
-		for j := 0; j < ic.C.N; j++ {
-			out[j][l] = cw[j]
-		}
+	out := make([][]gf.Sym, n)
+	for j := range out {
+		out[j] = flat[j*m : (j+1)*m]
 	}
 	return out
 }
 
+// EncodeStripe writes the interleaved codeword into the position-major
+// stripe (length N*M) and returns it — the allocation-free matrix-form
+// encode: one copy/AddSlice/MulSliceXor sweep per encode-matrix entry.
+func (ic *Interleaved) EncodeStripe(data, stripe []gf.Sym) []gf.Sym {
+	k, n, m := ic.C.K, ic.C.N, ic.M
+	if len(data) != ic.DataSyms() {
+		panic(fmt.Sprintf("rs: interleaved Encode got %d symbols, want %d", len(data), ic.DataSyms()))
+	}
+	if len(stripe) != n*m {
+		panic(fmt.Sprintf("rs: EncodeStripe got a %d-symbol stripe, want N*M=%d", len(stripe), n*m))
+	}
+	if ic.C.enc == nil {
+		ic.encodeScalar(data, stripe)
+		return stripe
+	}
+	coefp := getSyms(k * m)
+	defer symPool.Put(coefp)
+	ic.encodeStripeWith(data, stripe, *coefp)
+	return stripe
+}
+
+// encodeStripeWith runs the matrix-form encode with caller-provided
+// transpose scratch (length K*M).
+func (ic *Interleaved) encodeStripeWith(data, stripe, coefT []gf.Sym) {
+	if parallelLanes(ic.M) {
+		forLanes(ic.M, func(lo, hi int) { ic.encodeRange(data, stripe, coefT, lo, hi) })
+	} else {
+		ic.encodeRange(data, stripe, coefT, 0, ic.M)
+	}
+}
+
+// encodeRange runs the matrix-form encode over the lane sub-range [lo, hi):
+// transpose the lane-major data into coefficient-major slabs (coefT[i*M+l]
+// is lane l's coefficient i), then sweep the encode matrix.
+func (ic *Interleaved) encodeRange(data, stripe, coefT []gf.Sym, lo, hi int) {
+	k, n, m := ic.C.K, ic.C.N, ic.M
+	for l := lo; l < hi; l++ {
+		for i := 0; i < k; i++ {
+			coefT[i*m+l] = data[l*k+i]
+		}
+	}
+	for j := 0; j < n; j++ {
+		dst := stripe[j*m+lo : j*m+hi]
+		copy(dst, coefT[lo:hi]) // coefficient 0: weight x_j^0 = 1
+		if j == 0 {
+			for i := 1; i < k; i++ {
+				gf.AddSlice(coefT[i*m+lo:i*m+hi], dst) // x_0 = 1
+			}
+			continue
+		}
+		for i := 1; i < k; i++ {
+			ic.C.enc[i*n+j].MulSliceXor(coefT[i*m+lo:i*m+hi], dst)
+		}
+	}
+}
+
+// encodeScalar is the per-lane reference encode (codes beyond the matrix
+// path's domain, and the oracle the fuzz tests compare against).
+func (ic *Interleaved) encodeScalar(data, stripe []gf.Sym) {
+	k, n, m := ic.C.K, ic.C.N, ic.M
+	cwp := getSyms(n)
+	defer symPool.Put(cwp)
+	cw := *cwp
+	for l := 0; l < m; l++ {
+		ic.C.EncodeInto(data[l*k:(l+1)*k], cw)
+		for j := 0; j < n; j++ {
+			stripe[j*m+l] = cw[j]
+		}
+	}
+}
+
 // Decode recovers the K*M data symbols from words at >= K positions,
-// verifying surplus positions lane by lane.
+// verifying surplus positions.
 func (ic *Interleaved) Decode(positions []int, words [][]gf.Sym) ([]gf.Sym, error) {
 	if len(positions) != len(words) {
 		panic("rs: positions/words length mismatch")
@@ -84,42 +168,154 @@ func (ic *Interleaved) Decode(positions []int, words [][]gf.Sym) ([]gf.Sym, erro
 		return nil, ErrTooFew
 	}
 	data := make([]gf.Sym, ic.DataSyms())
-	if err := ic.decodeInto(positions, words, data); err != nil {
+	if err := ic.DecodeInto(positions, words, data); err != nil {
 		return nil, err
 	}
 	return data, nil
 }
 
-// decodeInto is Decode writing into a caller-provided buffer, with pooled
-// lane scratch.
-func (ic *Interleaved) decodeInto(positions []int, words [][]gf.Sym, data []gf.Sym) error {
+// checkWords validates the incoming word shapes once per operation.
+func (ic *Interleaved) checkWords(words [][]gf.Sym) {
+	for i, w := range words {
+		if len(w) != ic.M {
+			panic(fmt.Sprintf("rs: word %d has %d lanes, want %d", i, len(w), ic.M))
+		}
+	}
+}
+
+// DecodeInto is Decode writing into a caller-provided K*M buffer — the
+// allocation-free variant. On the matrix path it runs K×K interpolation
+// sweeps plus one check-row sweep per surplus position; otherwise it decodes
+// lane by lane through the scalar reference.
+func (ic *Interleaved) DecodeInto(positions []int, words [][]gf.Sym, out []gf.Sym) error {
+	if len(positions) != len(words) {
+		panic("rs: positions/words length mismatch")
+	}
+	if len(out) != ic.DataSyms() {
+		panic(fmt.Sprintf("rs: DecodeInto got a %d-symbol buffer, want K*M=%d", len(out), ic.DataSyms()))
+	}
+	if len(positions) < ic.C.K {
+		return ErrTooFew
+	}
+	ic.checkWords(words)
+	st := ic.C.subsetFor(positions)
+	if st == nil {
+		return ic.decodeIntoScalar(positions, words, out)
+	}
+	k, m := ic.C.K, ic.M
+	if !ic.checkSurplus(st, words) {
+		return ErrInconsistent
+	}
+	coefp := getSyms(k * m)
+	defer symPool.Put(coefp)
+	coefT := *coefp
+	if parallelLanes(m) {
+		forLanes(m, func(lo, hi int) { ic.interpolateRange(st, words, out, coefT, lo, hi) })
+	} else {
+		ic.interpolateRange(st, words, out, coefT, 0, m)
+	}
+	return nil
+}
+
+// interpolateRange runs the K×K interpolation sweeps over the lane sub-range
+// [lo, hi) and transposes the coefficient slabs back into lane-major order.
+func (ic *Interleaved) interpolateRange(st *subsetTabs, words [][]gf.Sym, out, coefT []gf.Sym, lo, hi int) {
+	k, m := ic.C.K, ic.M
+	for i := 0; i < k; i++ {
+		slab := coefT[i*m+lo : i*m+hi]
+		st.dec[i*k].MulSlice(words[0][lo:hi], slab)
+		for mi := 1; mi < k; mi++ {
+			st.dec[i*k+mi].MulSliceXor(words[mi][lo:hi], slab)
+		}
+	}
+	for l := lo; l < hi; l++ {
+		for i := 0; i < k; i++ {
+			out[l*k+i] = coefT[i*m+l]
+		}
+	}
+}
+
+// checkSurplus verifies every surplus position's word against the value the
+// K chosen words predict for it — the membership test V/A ∈ C2t as cached
+// check-row sweeps, no interpolation needed.
+func (ic *Interleaved) checkSurplus(st *subsetTabs, words [][]gf.Sym) bool {
+	if len(words) == ic.C.K {
+		return true
+	}
+	if !parallelLanes(ic.M) {
+		return ic.checkRange(st, words, nil, 0, ic.M)
+	}
+	var bad atomic.Bool
+	forLanes(ic.M, func(lo, hi int) {
+		if !ic.checkRange(st, words, &bad, lo, hi) {
+			bad.Store(true)
+		}
+	})
+	return !bad.Load()
+}
+
+// checkRange verifies the surplus rows over the lane sub-range [lo, hi);
+// stop, when non-nil, lets parallel chunks short-circuit on a peer's
+// mismatch.
+func (ic *Interleaved) checkRange(st *subsetTabs, words [][]gf.Sym, stop *atomic.Bool, lo, hi int) bool {
+	k := ic.C.K
+	surplus := len(words) - k
+	predp := getSyms(hi - lo)
+	defer symPool.Put(predp)
+	pred := *predp
+	for si := 0; si < surplus; si++ {
+		if stop != nil && stop.Load() {
+			return false
+		}
+		st.chk[si*k].MulSlice(words[0][lo:hi], pred)
+		for mi := 1; mi < k; mi++ {
+			st.chk[si*k+mi].MulSliceXor(words[mi][lo:hi], pred)
+		}
+		got := words[k+si][lo:hi]
+		for i := range pred {
+			if pred[i] != got[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decodeIntoScalar is the per-lane reference decode.
+func (ic *Interleaved) decodeIntoScalar(positions []int, words [][]gf.Sym, out []gf.Sym) error {
 	lanep := getSyms(len(words))
 	defer symPool.Put(lanep)
 	lane := *lanep
 	for l := 0; l < ic.M; l++ {
 		for i, w := range words {
-			if len(w) != ic.M {
-				panic(fmt.Sprintf("rs: word %d has %d lanes, want %d", i, len(w), ic.M))
-			}
 			lane[i] = w[l]
 		}
-		if err := ic.C.DecodeInto(positions, lane, data[l*ic.C.K:(l+1)*ic.C.K]); err != nil {
+		if err := ic.C.DecodeInto(positions, lane, out[l*ic.C.K:(l+1)*ic.C.K]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Consistent reports whether there is a single interleaved codeword agreeing
-// with the given words at the given positions (every lane must agree). The
-// decoded symbols are discarded, so the whole check runs on pooled scratch.
+// Consistent implements the paper's membership test V/A ∈ C2t: it reports
+// whether there exists a single interleaved codeword agreeing with the given
+// words at the given positions (every lane must agree). On the matrix path
+// this runs only the surplus check rows — no interpolation at all. With
+// |A| <= K any assignment is consistent (the code has dimension K).
 func (ic *Interleaved) Consistent(positions []int, words [][]gf.Sym) bool {
+	if len(positions) != len(words) {
+		panic("rs: positions/words length mismatch")
+	}
 	if len(positions) <= ic.C.K {
 		return true
 	}
+	ic.checkWords(words)
+	if st := ic.C.subsetFor(positions); st != nil {
+		return ic.checkSurplus(st, words)
+	}
 	datap := getSyms(ic.DataSyms())
 	defer symPool.Put(datap)
-	return ic.decodeInto(positions, words, *datap) == nil
+	return ic.decodeIntoScalar(positions, words, *datap) == nil
 }
 
 // WordsEqual reports whether two interleaved words are identical.

@@ -1,0 +1,69 @@
+package rs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Lane fan-out: interleaved operations on very wide stripes (large-L
+// generations) split their lane range across a bounded worker pool. The
+// matrix sweeps are embarrassingly parallel in the lane dimension — every
+// chunk reads the shared tables and writes a disjoint lane sub-range — so
+// the workers need no synchronization beyond the completion wait.
+
+// laneChunk is the minimum number of lanes a worker chunk carries. A var so
+// tests can lower it to drive the parallel path with small stripes.
+var laneChunk = 4096
+
+// laneWorkers bounds the pool. The pool is lazy: no goroutines exist until
+// the first oversized stripe.
+var laneWorkers = min(runtime.GOMAXPROCS(0), 8)
+
+var (
+	laneOnce sync.Once
+	laneJobs chan func()
+)
+
+// parallelLanes reports whether a stripe of m lanes is worth fanning out.
+// Callers use it to run narrow stripes through straight-line range methods
+// (no closure allocation on the per-generation hot path).
+func parallelLanes(m int) bool {
+	return m >= 2*laneChunk && laneWorkers >= 2
+}
+
+// forLanes runs fn over [0, m) — inline when the stripe is small or the pool
+// would not help, in parallel lane chunks otherwise. fn must only touch lane
+// indices within its [lo, hi) range.
+func forLanes(m int, fn func(lo, hi int)) {
+	if !parallelLanes(m) {
+		fn(0, m)
+		return
+	}
+	laneOnce.Do(func() {
+		laneJobs = make(chan func(), laneWorkers)
+		for i := 0; i < laneWorkers; i++ {
+			go func() {
+				for job := range laneJobs {
+					job()
+				}
+			}()
+		}
+	})
+	chunks := min((m+laneChunk-1)/laneChunk, laneWorkers)
+	per := (m + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += per {
+		hi := min(lo+per, m)
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case laneJobs <- job:
+		default:
+			job() // pool saturated: run inline rather than queue behind it
+		}
+	}
+	wg.Wait()
+}

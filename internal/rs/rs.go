@@ -28,15 +28,27 @@ var ErrInconsistent = errors.New("rs: symbols inconsistent with any codeword")
 // ErrTooFew is returned when fewer than K positions are supplied to Decode.
 var ErrTooFew = errors.New("rs: fewer than K symbols supplied")
 
-// Code is an (N, K) Reed-Solomon code over the field F.
+// Code is an (N, K) Reed-Solomon code over the field F. Codes are interned:
+// New returns one shared, concurrency-safe instance per (field, n, k), so
+// the matrix-form tables (matrix.go) are built once per process.
 type Code struct {
 	F  *gf.Field
 	N  int      // code length
 	K  int      // dimension
 	xs []gf.Sym // evaluation points, xs[j] = alpha^j
+
+	// enc holds the K×N encode-matrix tables (nil for codes longer than
+	// maxMatrixN, which stay on the scalar path).
+	enc []gf.MulTab
+	// subs caches the interpolation/check matrices per present-position
+	// bitmask (see matrix.go).
+	subMu sync.RWMutex
+	subs  map[uint64]*subsetTabs
 }
 
-// New constructs an (n, k) Reed-Solomon code over f.
+// New returns the (n, k) Reed-Solomon code over f. Construction is cached:
+// repeated calls with the same parameters return the same instance (every
+// simulated processor of every generation constructs its codes).
 func New(f *gf.Field, n, k int) (*Code, error) {
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("rs: invalid dimension k=%d for n=%d", k, n)
@@ -44,11 +56,18 @@ func New(f *gf.Field, n, k int) (*Code, error) {
 	if n > f.MaxCodeLen() {
 		return nil, fmt.Errorf("rs: length n=%d exceeds max %d for GF(2^%d)", n, f.MaxCodeLen(), f.C())
 	}
+	key := codeKey{c: f.C(), n: n, k: k}
+	if v, ok := codeCache.Load(key); ok {
+		return v.(*Code), nil
+	}
 	xs := make([]gf.Sym, n)
 	for j := 0; j < n; j++ {
 		xs[j] = f.Exp(j)
 	}
-	return &Code{F: f, N: n, K: k, xs: xs}, nil
+	c := &Code{F: f, N: n, K: k, xs: xs}
+	c.buildEncTabs()
+	v, _ := codeCache.LoadOrStore(key, c)
+	return v.(*Code), nil
 }
 
 // Distance returns the minimum distance of the code, n-k+1.

@@ -26,23 +26,34 @@ type Network struct {
 	meter    *metrics.Meter
 	rand     *rand.Rand
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	done    int // processors whose body has returned
-	streams map[int]*streamState
-	// retired records fully released stream ids so a racing Squash cannot
-	// resurrect freed state. Fiber streams are allocated contiguously from 1
-	// and mostly retire in order, so the set compacts to the retiredBelow
-	// watermark (stream 0, the sequential stream, is never released).
-	retired      map[int]bool
-	retiredBelow int
-	failed       error
+	mu   sync.Mutex
+	done int // processors whose body has returned
+	// streams is keyed by (id, incarnation): the pipeline reuses the ids of
+	// cleanly committed streams (keeping the wire tag small and the barrier
+	// state hot), and each processor's Release advances its own incarnation
+	// counter for the id. Processors at different speeds therefore
+	// rendezvous on distinct states for the same id — per-processor
+	// incarnation counts are equal exactly when the processors are on the
+	// same logical use of the id, because the launch/release schedule is
+	// deterministic and identical everywhere.
+	streams map[streamKey]*streamState
+	// epochs[p] maps a stream id to processor p's incarnation count (how
+	// many times p has released the id). Ids not present are at 0.
+	epochs []map[int]int
+	failed error
 }
 
+// streamKey identifies one incarnation of a stream id.
+type streamKey struct{ id, epoch int }
+
 // stream is the barrier state of one round stream. A stream's phases are
-// strictly ordered; distinct streams rendezvous independently.
+// strictly ordered; distinct streams rendezvous independently. Each stream
+// has its own condition variable (sharing the network mutex), so completing
+// a round wakes exactly that round's waiters — one wakeup per completed
+// round instead of a broadcast herding every parked fiber of every stream.
 type streamState struct {
 	id      int
+	cond    *sync.Cond
 	phase   uint64
 	arrived int
 	step    StepID
@@ -84,13 +95,19 @@ func NewNetwork(n, instance int, faulty []bool, adv Adversary, meter *metrics.Me
 		adv:      adv,
 		meter:    meter,
 		rand:     rng,
-		streams:  make(map[int]*streamState),
-		retired:  make(map[int]bool),
-		// Stream 0 never retires; compaction starts at the first fiber id.
-		retiredBelow: 1,
+		streams:  make(map[streamKey]*streamState),
+		epochs:   make([]map[int]int, n),
 	}
-	net.cond = sync.NewCond(&net.mu)
 	return net
+}
+
+// keyFor returns processor p's current key for a stream id. Caller holds
+// net.mu.
+func (net *Network) keyFor(p, id int) streamKey {
+	if m := net.epochs[p]; m != nil {
+		return streamKey{id: id, epoch: m[id]}
+	}
+	return streamKey{id: id}
 }
 
 // Meter returns the network's bit meter.
@@ -132,37 +149,33 @@ func (net *Network) Sync(p, stream int, step StepID, val any, bits int64, tag st
 func (net *Network) Squash(p, stream int) {
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	if stream != 0 && (stream < net.retiredBelow || net.retired[stream]) {
-		return // fully released: every fiber already finished; nothing to unwind
-	}
-	ss := net.getStream(stream)
+	ss := net.getStream(p, stream)
 	if !ss.squashed[p] {
 		ss.squashed[p] = true
 		ss.squashedAny = true
-		net.cond.Broadcast()
+		ss.cond.Broadcast()
 	}
 }
 
-// Release implements Backend: processor p declares the stream finished; when
-// all n processors have, the stream's barrier state is dropped.
+// Release implements Backend: processor p declares its use of the stream id
+// finished and advances to the id's next incarnation; when all n processors
+// have, the incarnation's barrier state is dropped.
 func (net *Network) Release(p, stream int) {
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	ss, ok := net.streams[stream]
+	key := net.keyFor(p, stream)
+	if net.epochs[p] == nil {
+		net.epochs[p] = make(map[int]int)
+	}
+	net.epochs[p][stream] = key.epoch + 1
+	ss, ok := net.streams[key]
 	if !ok || ss.releasedBy[p] {
 		return
 	}
 	ss.releasedBy[p] = true
 	ss.released++
 	if ss.released == net.n {
-		delete(net.streams, stream)
-		if stream >= net.retiredBelow {
-			net.retired[stream] = true
-			for net.retired[net.retiredBelow] {
-				delete(net.retired, net.retiredBelow)
-				net.retiredBelow++
-			}
-		}
+		delete(net.streams, key)
 	}
 }
 
@@ -179,13 +192,16 @@ func (net *Network) FirstHonest() int {
 	return -1
 }
 
-// getStream returns the stream's barrier state, creating it on first use
-// (first rendezvous arrival, or an early squash). Caller holds net.mu.
-func (net *Network) getStream(id int) *streamState {
-	ss := net.streams[id]
+// getStream returns the barrier state of processor p's current incarnation
+// of the stream id, creating it on first use (first rendezvous arrival, or
+// an early squash). Caller holds net.mu.
+func (net *Network) getStream(p, id int) *streamState {
+	key := net.keyFor(p, id)
+	ss := net.streams[key]
 	if ss == nil {
 		ss = &streamState{
 			id:         id,
+			cond:       sync.NewCond(&net.mu),
 			outs:       make([][]Message, net.n),
 			vals:       make([]any, net.n),
 			bits:       make([]int64, net.n),
@@ -193,7 +209,7 @@ func (net *Network) getStream(id int) *streamState {
 			squashed:   make([]bool, net.n),
 			releasedBy: make([]bool, net.n),
 		}
-		net.streams[id] = ss
+		net.streams[key] = ss
 	}
 	return ss
 }
@@ -208,6 +224,15 @@ func (net *Network) errf(format string, args ...any) error {
 	return err
 }
 
+// wakeAllLocked wakes every parked participant of every stream, for
+// run-level events (failure) that any waiter must observe. Caller holds
+// net.mu.
+func (net *Network) wakeAllLocked() {
+	for _, ss := range net.streams {
+		ss.cond.Broadcast()
+	}
+}
+
 // procDone records that one processor's body returned. If other processors
 // are parked at a barrier that can now never be completed, the run is failed
 // rather than deadlocked. Streams squashed anywhere are exempt: a processor
@@ -219,7 +244,7 @@ func (net *Network) procDone() {
 	for _, ss := range net.streams {
 		if ss.arrived > 0 && !ss.squashedAny && ss.arrived+net.done >= net.n && net.failed == nil {
 			net.failed = net.errf("sim: %d processor(s) exited while others wait at step %q", net.done, ss.step)
-			net.cond.Broadcast()
+			net.wakeAllLocked()
 		}
 	}
 	net.mu.Unlock()
@@ -232,7 +257,7 @@ func (net *Network) fail(err error) {
 	if net.failed == nil {
 		net.failed = err
 	}
-	net.cond.Broadcast()
+	net.wakeAllLocked()
 	net.mu.Unlock()
 }
 
@@ -250,7 +275,7 @@ func (net *Network) rendezvous(p, streamID int, step StepID, kind int, submit fu
 	if net.failed != nil {
 		panic(abortError{net.failed})
 	}
-	ss := net.getStream(streamID)
+	ss := net.getStream(p, streamID)
 	if ss.squashed[p] {
 		panic(Squashed{Stream: streamID})
 	}
@@ -262,7 +287,7 @@ func (net *Network) rendezvous(p, streamID int, step StepID, kind int, submit fu
 		err := net.errf("sim: step mismatch: processor %d at %q (kind %d), stream %d barrier at %q (kind %d)",
 			p, step, kind, streamID, ss.step, ss.kind)
 		net.failed = err
-		net.cond.Broadcast()
+		net.wakeAllLocked()
 		panic(abortError{err})
 	}
 	submit(ss)
@@ -271,22 +296,22 @@ func (net *Network) rendezvous(p, streamID int, step StepID, kind int, submit fu
 	if net.done > 0 && !ss.squashedAny && ss.arrived+net.done >= net.n {
 		err := net.errf("sim: step %q can never complete: %d processor(s) already exited", step, net.done)
 		net.failed = err
-		net.cond.Broadcast()
+		net.wakeAllLocked()
 		panic(abortError{err})
 	}
 	if ss.arrived == net.n {
 		finalize(ss)
 		if net.failed != nil {
-			net.cond.Broadcast()
+			net.wakeAllLocked()
 			panic(abortError{net.failed})
 		}
 		net.meter.AddRound()
 		ss.arrived = 0
 		ss.phase++
-		net.cond.Broadcast()
+		ss.cond.Broadcast()
 	} else {
 		for ss.phase == myPhase && !ss.squashed[p] && net.failed == nil {
-			net.cond.Wait()
+			ss.cond.Wait()
 		}
 		if net.failed != nil {
 			panic(abortError{net.failed})

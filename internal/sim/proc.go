@@ -68,14 +68,20 @@ type Proc struct {
 	Stream int
 	Faulty bool // whether this processor is adversary-controlled
 	Rand   *rand.Rand
+	// Seed0 is the deterministic per-processor seed Rand was created from.
+	// Derivation layers (the pipeline's per-fiber seeds) mix sub-seeds from
+	// it directly, so spinning up fibers never pays Rand's lazy state
+	// initialization — protocol code that never draws randomness never
+	// seeds anything.
+	Seed0  int64
 	rt     Backend
 	rounds int64
 }
 
 // NewProc binds a processor handle to a backend. It exists for alternative
 // runtimes (internal/node); simulator runs construct their Procs internally.
-func NewProc(id, n, instance int, faulty bool, rng *rand.Rand, rt Backend) *Proc {
-	return &Proc{ID: id, N: n, Instance: instance, Faulty: faulty, Rand: rng, rt: rt}
+func NewProc(id, n, instance int, faulty bool, seed0 int64, rng *rand.Rand, rt Backend) *Proc {
+	return &Proc{ID: id, N: n, Instance: instance, Faulty: faulty, Seed0: seed0, Rand: rng, rt: rt}
 }
 
 // WithStream returns a handle equal to p but submitting to the given stream,
@@ -85,7 +91,7 @@ func NewProc(id, n, instance int, faulty bool, rng *rand.Rand, rt Backend) *Proc
 func (p *Proc) WithStream(stream int, rng *rand.Rand) *Proc {
 	return &Proc{
 		ID: p.ID, N: p.N, Instance: p.Instance, Stream: stream,
-		Faulty: p.Faulty, Rand: rng, rt: p.rt,
+		Faulty: p.Faulty, Rand: rng, Seed0: p.Seed0, rt: p.rt,
 	}
 }
 

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"byzcons/internal/metrics"
@@ -45,7 +44,7 @@ func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult
 		}
 		faulty[f] = true
 	}
-	net := NewNetwork(cfg.N, instance, faulty, cfg.Adversary, meter, rand.New(rand.NewSource(cfg.Seed^0x5DEECE66D)))
+	net := NewNetwork(cfg.N, instance, faulty, cfg.Adversary, meter, LazyRand(cfg.Seed^0x5DEECE66D))
 
 	values := make([]any, cfg.N)
 	var wg sync.WaitGroup
@@ -55,7 +54,8 @@ func runInstance(cfg RunConfig, instance int, body func(p *Proc) any) *RunResult
 			N:        cfg.N,
 			Instance: max(instance, 0),
 			Faulty:   faulty[i],
-			Rand:     rand.New(rand.NewSource(ProcSeed(cfg.Seed, i))),
+			Rand:     LazyRand(ProcSeed(cfg.Seed, i)),
+			Seed0:    ProcSeed(cfg.Seed, i),
 			rt:       net,
 		}
 		wg.Add(1)

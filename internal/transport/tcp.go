@@ -64,7 +64,11 @@ type tcpEndpoint struct {
 	n   int
 	opt TCPOptions
 
-	recv   *queue
+	recv *queue
+	// sink, when set (atomic.Value of Sink), receives inbound frames
+	// directly on the per-connection reader goroutines instead of through
+	// the recv queue (see PushCapable).
+	sink   atomic.Value
 	conns  []net.Conn // indexed by peer id; nil for self
 	wmu    []sync.Mutex
 	closed atomic.Bool
@@ -74,6 +78,9 @@ type tcpEndpoint struct {
 	framesRecv atomic.Int64
 	bytesRecv  atomic.Int64
 }
+
+// SetSink implements PushCapable.
+func (ep *tcpEndpoint) SetSink(s Sink) { ep.sink.Store(&s) }
 
 func (ep *tcpEndpoint) NodeID() int { return ep.id }
 func (ep *tcpEndpoint) N() int      { return ep.n }
@@ -156,13 +163,25 @@ func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
 			conn.Close()
 			return
 		}
-		data := make([]byte, size)
+		// Frame buffers are pooled: the consuming sink returns them via
+		// PutBuf once decoded. In queue mode ownership likewise passes to
+		// whoever drains Recv.
+		data := GetBuf()
+		if cap(data) < int(size) {
+			PutBuf(data)
+			data = make([]byte, size)
+		}
+		data = data[:size]
 		if _, err := io.ReadFull(r, data); err != nil {
 			ep.peerDown(peer, fmt.Errorf("truncated frame: %w", err))
 			return
 		}
 		ep.framesRecv.Add(1)
 		ep.bytesRecv.Add(int64(size) + int64(uvarintLen(size)))
+		if s := ep.sink.Load(); s != nil {
+			(*s.(*Sink)).Deliver(Frame{From: peer, Data: data})
+			continue
+		}
 		ep.recv.push(Frame{From: peer, Data: data})
 	}
 }
@@ -171,6 +190,10 @@ func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
 // closing (a deliberate local Close is not a peer failure).
 func (ep *tcpEndpoint) peerDown(peer int, err error) {
 	if ep.closed.Load() {
+		return
+	}
+	if s := ep.sink.Load(); s != nil {
+		(*s.(*Sink)).PeerDown(peer, err)
 		return
 	}
 	ep.recv.fail(&PeerError{Peer: peer, Err: err})

@@ -51,6 +51,52 @@ type Frame struct {
 	Data []byte
 }
 
+// Sink consumes delivered frames in the transport's delivery context — the
+// in-process bus invokes it on the sender's goroutine, the TCP mesh on the
+// per-connection reader. Implementations must be safe for concurrent calls
+// (per-peer FIFO order is preserved per From; frames from different peers
+// interleave) and must not block on protocol progress: a Deliver that waits
+// for another frame deadlocks the mesh.
+//
+// Ownership of Frame.Data passes to the sink; once it is done decoding it
+// should return the buffer via PutBuf so the sender/reader side can reuse
+// it.
+type Sink interface {
+	Deliver(f Frame)
+	// PeerDown reports a broken or misbehaving peer channel.
+	PeerDown(peer int, err error)
+}
+
+// PushCapable is implemented by endpoints that can bypass the Recv queue and
+// deliver frames synchronously to a Sink — removing one queue hop and two
+// goroutine wakeups from every frame of the lock-step hot path. SetSink must
+// be called before any traffic flows; afterwards Recv returns only ErrClosed
+// at teardown.
+type PushCapable interface {
+	SetSink(s Sink)
+}
+
+// bufPool recycles frame byte buffers across the send and receive sides of
+// the in-process hot path: a sender (or TCP connection reader) obtains a
+// buffer with GetBuf, and the consuming sink returns it with PutBuf once
+// decoded. sync.Pool tolerates unbalanced callers, so transports and tests
+// that do not participate simply miss the reuse.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// GetBuf returns a pooled, zero-length byte buffer.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles a buffer previously obtained from GetBuf (or any buffer
+// whose ownership ends at the caller).
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.Put(&b)
+}
+
 // Stats counts an endpoint's traffic in encoded on-wire bytes — the measured
 // counterpart of the protocol-level bit meter. For TCP, bytes include the
 // length prefix of every frame.

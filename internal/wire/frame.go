@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // StepKind distinguishes the two barrier primitives on the wire.
@@ -110,20 +111,44 @@ func (f *Frame) Append(buf []byte) ([]byte, error) {
 // tags follow the instance as a uvarint offset by streamInline.
 const streamInline = 63
 
+// framePool recycles decoded Frame shells (struct plus payload container).
+// One frame is decoded per peer per step per stream — the dominant small
+// allocation of the networked round hot path — and the consuming round
+// synchronizer returns frames via PutFrame once their payload values are
+// extracted.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// PutFrame recycles a decoded frame. The payload values themselves are not
+// touched (they escape into protocol messages); only the container is
+// reused. Callers must not keep any reference to f.
+func PutFrame(f *Frame) {
+	for i := range f.Payloads {
+		f.Payloads[i] = nil
+	}
+	f.Payloads = f.Payloads[:0]
+	framePool.Put(f)
+}
+
 // decodeHeader parses the frame header shared by DecodeFrame and
-// DecodeFrameHeader: kind, instance, stream and step checksum.
+// DecodeFrameHeader: kind, instance, stream and step checksum. The returned
+// frame comes from the shell pool; decode errors return it before
+// surfacing.
 func decodeHeader(data []byte) (*Frame, []byte, error) {
 	if len(data) == 0 {
 		return nil, nil, fmt.Errorf("wire: empty frame")
 	}
-	f := &Frame{Kind: StepKind(data[0] & 3)}
+	f := framePool.Get().(*Frame)
+	f.Kind = StepKind(data[0] & 3)
+	f.Payloads = f.Payloads[:0]
 	if f.Kind != StepExchange && f.Kind != StepSync {
+		PutFrame(f)
 		return nil, nil, fmt.Errorf("wire: bad frame kind %d", data[0]&3)
 	}
 	f.Stream = int(data[0] >> 2)
 	rest := data[1:]
 	inst, n := binary.Uvarint(rest)
 	if n <= 0 || inst > 1<<31 {
+		PutFrame(f)
 		return nil, nil, fmt.Errorf("wire: bad frame instance")
 	}
 	f.Instance = int(inst)
@@ -131,12 +156,14 @@ func decodeHeader(data []byte) (*Frame, []byte, error) {
 	if f.Stream == streamInline {
 		strm, n := binary.Uvarint(rest)
 		if n <= 0 || strm > 1<<31 {
+			PutFrame(f)
 			return nil, nil, fmt.Errorf("wire: bad frame stream")
 		}
 		f.Stream = streamInline + int(strm)
 		rest = rest[n:]
 	}
 	if len(rest) < 2 {
+		PutFrame(f)
 		return nil, nil, fmt.Errorf("wire: truncated frame header")
 	}
 	f.StepSum = uint16(rest[0])<<8 | uint16(rest[1])
@@ -153,21 +180,21 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	}
 	count, n := binary.Uvarint(rest)
 	if n <= 0 || count > MaxFramePayloads || count > uint64(len(rest)) {
+		PutFrame(f)
 		return nil, fmt.Errorf("wire: bad frame payload count")
 	}
 	rest = rest[n:]
-	if count > 0 {
-		f.Payloads = make([]any, 0, count)
-		for i := uint64(0); i < count; i++ {
-			p, r, err := DecodePayload(rest)
-			if err != nil {
-				return nil, fmt.Errorf("wire: frame payload %d: %w", i, err)
-			}
-			f.Payloads = append(f.Payloads, p)
-			rest = r
+	for i := uint64(0); i < count; i++ {
+		p, r, err := DecodePayload(rest)
+		if err != nil {
+			PutFrame(f)
+			return nil, fmt.Errorf("wire: frame payload %d: %w", i, err)
 		}
+		f.Payloads = append(f.Payloads, p)
+		rest = r
 	}
 	if len(rest) != 0 {
+		PutFrame(f)
 		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(rest))
 	}
 	return f, nil

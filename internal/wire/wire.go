@@ -52,15 +52,14 @@ func AppendPayload(buf []byte, p any) ([]byte, error) {
 	case []bool:
 		buf = append(buf, kindBits)
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
-		w := bitio.NewWriter()
-		for _, b := range v {
-			bit := uint32(0)
+		start := len(buf)
+		buf = appendZeros(buf, (len(v)+7)/8)
+		for i, b := range v {
 			if b {
-				bit = 1
+				buf[start+i>>3] |= 1 << (7 - uint(i)&7)
 			}
-			w.Write(bit, 1)
 		}
-		return append(buf, w.Bytes()...), nil
+		return buf, nil
 	case []gf.Sym:
 		width := uint(1)
 		for _, s := range v {
@@ -71,11 +70,16 @@ func AppendPayload(buf []byte, p any) ([]byte, error) {
 		buf = append(buf, kindWord)
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, byte(width))
-		w := bitio.NewWriter()
+		start := len(buf)
+		buf = appendZeros(buf, (len(v)*int(width)+7)/8)
+		pos := 0
 		for _, s := range v {
-			w.Write(uint32(s), width)
+			// In-place packing: a bitio.Writer here would be the codec hot
+			// path's dominant allocation.
+			bitio.PackBits(buf[start:], pos, uint32(s), width)
+			pos += int(width)
 		}
-		return append(buf, w.Bytes()...), nil
+		return buf, nil
 	case []byte:
 		buf = append(buf, kindBytes)
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
@@ -91,6 +95,19 @@ func AppendPayload(buf []byte, p any) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: unencodable payload type %T", p)
 	}
+}
+
+// zeros feeds appendZeros chunk-wise so extending a pooled buffer never
+// inherits stale bits.
+var zeros [256]byte
+
+// appendZeros extends buf by n zero bytes.
+func appendZeros(buf []byte, n int) []byte {
+	for n > len(zeros) {
+		buf = append(buf, zeros[:]...)
+		n -= len(zeros)
+	}
+	return append(buf, zeros[:n]...)
 }
 
 // appendGraph encodes a diagnosis graph: order, missing-edge pairs, the
