@@ -1,6 +1,7 @@
 package byzcons_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -167,11 +168,12 @@ func BenchmarkServiceAmortization(b *testing.B) {
 					b.Fatal(err)
 				}
 				for _, p := range pendings {
-					if d := p.Wait(); d.Err != nil {
+					if d := p.Wait(context.Background()); d.Err != nil {
 						b.Fatal(d.Err)
 					}
 				}
 				bits = svc.Stats().Bits
+				svc.Close()
 			}
 			b.ReportMetric(float64(bits)/workload, "bits/value")
 			b.ReportMetric(float64(workload)*float64(b.N)/b.Elapsed().Seconds(), "values/s")
@@ -206,11 +208,12 @@ func BenchmarkServicePipelining(b *testing.B) {
 					b.Fatal(err)
 				}
 				for _, p := range pendings {
-					if d := p.Wait(); d.Err != nil {
+					if d := p.Wait(context.Background()); d.Err != nil {
 						b.Fatal(d.Err)
 					}
 				}
 				rounds = svc.Stats().Rounds
+				svc.Close()
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})

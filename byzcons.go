@@ -79,6 +79,16 @@ type Config struct {
 	Trace io.Writer
 }
 
+// Validate reports whether the protocol parameters are runnable: processor
+// counts, the resilience bound (t < n/3, or t < n/2 under BroadcastProb),
+// symbol width, lanes and pipeline window are all checked up front. The
+// error-returning surface replaces failures that previously surfaced only
+// mid-run; Open, NewService, Consensus, Broadcast and ClusterConsensus all
+// route through it.
+func (c Config) Validate() error {
+	return c.consensusParams().Validate()
+}
+
 func (c Config) consensusParams() consensus.Params {
 	return consensus.Params{
 		N: c.N, T: c.T, SymBits: c.SymBits, Lanes: c.Lanes, Window: c.Window,
@@ -140,6 +150,9 @@ type Result struct {
 }
 
 func (c Config) validateInputs(inputs [][]byte, L int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
 	if len(inputs) != c.N {
 		return fmt.Errorf("byzcons: got %d inputs for n=%d processors", len(inputs), c.N)
 	}
@@ -202,6 +215,9 @@ func consensusSummary(n int) func(any) outSummary {
 // inputs[source] is consulted). All honest processors output a common value,
 // equal to the source's if the source is honest.
 func Broadcast(cfg Config, source int, value []byte, L int, sc Scenario) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if source < 0 || source >= cfg.N {
 		return nil, fmt.Errorf("byzcons: source %d out of range [0,%d)", source, cfg.N)
 	}

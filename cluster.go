@@ -128,6 +128,9 @@ func ClusterConsensus(cfg Config, inputs [][]byte, L int, sc Scenario, kind Tran
 		c := node.NewCluster(factory)
 		run = c.Run(runCfg, body)
 		wireStats = c.WireStats()
+		// A one-shot run owns its cluster: tear the persistent mesh down so
+		// sockets and reader goroutines do not outlive the result.
+		c.Close()
 	}
 	if run.Err != nil {
 		return nil, run.Err

@@ -2,6 +2,7 @@ package byzcons_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"byzcons"
@@ -156,6 +157,7 @@ func TestServiceOverNetworkedBackends(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer svc.Close()
 			const values = 12
 			pendings := make([]*byzcons.Pending, values)
 			want := make([][]byte, values)
@@ -169,7 +171,7 @@ func TestServiceOverNetworkedBackends(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i, p := range pendings {
-				d := p.Wait()
+				d := p.Wait(context.Background())
 				if d.Err != nil {
 					t.Fatalf("value %d: %v", i, d.Err)
 				}
@@ -194,6 +196,7 @@ func TestServiceSimBackendUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	p, err := svc.Submit([]byte("hello"))
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +204,7 @@ func TestServiceSimBackendUnchanged(t *testing.T) {
 	if _, err := svc.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if d := p.Wait(); d.Err != nil || !bytes.Equal(d.Value, []byte("hello")) {
+	if d := p.Wait(context.Background()); d.Err != nil || !bytes.Equal(d.Value, []byte("hello")) {
 		t.Fatalf("decision = %+v", d)
 	}
 	if ws := svc.WireStats(); ws != (byzcons.WireStats{}) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -119,6 +120,7 @@ func serviceRun(row *Row, values, valueBytes, batch, instances int) error {
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
 	pendings := make([]*byzcons.Pending, values)
 	val := make([]byte, valueBytes)
 	for i := range val {
@@ -135,7 +137,7 @@ func serviceRun(row *Row, values, valueBytes, batch, instances int) error {
 		return err
 	}
 	for _, p := range pendings {
-		if d := p.Wait(); d.Err != nil {
+		if d := p.Wait(context.Background()); d.Err != nil {
 			return d.Err
 		}
 	}

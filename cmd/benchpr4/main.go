@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -121,6 +122,7 @@ func serviceOnce(row *Row) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer svc.Close()
 	pendings := make([]*byzcons.Pending, values)
 	val := make([]byte, valueBytes)
 	for i := range val {
@@ -137,7 +139,7 @@ func serviceOnce(row *Row) (float64, error) {
 		return 0, err
 	}
 	for _, p := range pendings {
-		if d := p.Wait(); d.Err != nil {
+		if d := p.Wait(context.Background()); d.Err != nil {
 			return 0, d.Err
 		}
 	}

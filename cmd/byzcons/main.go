@@ -10,15 +10,18 @@
 //	byzcons -mode fitzihirt -n 7 -t 2 -kappa 8 -L 65536
 //	byzcons -mode naive -n 7 -t 2 -L 4096
 //
-// The serve mode drives the batched Service engine: a workload of client
-// values is coalesced into long per-instance inputs and pipelined over the
-// deployment, reporting amortized bits per value. With -sweep it repeats the
-// workload at doubling batch sizes to show the amortization curve, and
-// -transport selects the backend (sim, bus or tcp):
+// The serve mode drives the streaming Session as a real ingest loop:
+// -ingest client goroutines propose values concurrently, the background
+// flush policy (a full cycle of batches, bounded by -maxdelay) coalesces
+// them into long per-instance inputs pipelined over the deployment, and
+// per-cycle reports stream as they commit. A networked -transport (bus or
+// tcp) dials its mesh exactly once for the whole run — the summary's
+// meshDials/conns counters prove the reuse. With -sweep it instead repeats
+// the workload at doubling batch sizes to show the amortization curve:
 //
-//	byzcons -mode serve -n 7 -t 2 -values 64 -valbytes 64 -batch 16 -instances 4
+//	byzcons -mode serve -n 7 -t 2 -values 64 -valbytes 64 -batch 16 -instances 4 -ingest 8
 //	byzcons -mode serve -n 7 -t 2 -values 64 -sweep
-//	byzcons -mode serve -n 7 -t 2 -values 64 -transport tcp
+//	byzcons -mode serve -n 7 -t 2 -values 64 -transport tcp -maxdelay 2ms
 //
 // The cluster mode spawns one networked node per processor over a real
 // transport (loopback TCP by default), runs a consensus workload end to end,
@@ -43,6 +46,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +57,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"byzcons"
 )
@@ -86,6 +92,8 @@ func run() error {
 		valBytes  = flag.Int("valbytes", 64, "serve: bytes per client value")
 		batch     = flag.Int("batch", 16, "serve: max values coalesced per consensus instance")
 		instances = flag.Int("instances", 4, "serve: concurrent pipelined instances per cycle")
+		ingest    = flag.Int("ingest", 8, "serve: concurrent client goroutines proposing values")
+		maxDelay  = flag.Duration("maxdelay", byzcons.DefaultMaxDelay, "serve: flush-policy delay bound (values never wait longer than this for a full batch)")
 		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
 
 		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
@@ -170,7 +178,7 @@ func run() error {
 		}
 		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Window: *window, Broadcast: kind,
 			BroadcastEpsilon: *eps, Seed: *seed}
-		return serve(os.Stdout, cfg, sc, tk, *values, *valBytes, *batch, *instances, *sweep)
+		return serve(os.Stdout, cfg, sc, tk, *values, *valBytes, *batch, *instances, *ingest, *maxDelay, *sweep)
 	case "cluster":
 		tk, err := parseTransport(*transportStr, byzcons.TransportTCP)
 		if err != nil {
@@ -266,77 +274,161 @@ func cluster(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, inputs [][]by
 	return nil
 }
 
-// serve drives the batched Service engine over a synthetic workload and
-// reports per-batch metrics plus the amortized bits/value. With sweep it
-// repeats the workload at doubling batch sizes up to the configured batch.
-func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind, values, valBytes, batch, instances int, sweep bool) error {
-	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 {
-		return fmt.Errorf("serve: values, valbytes, batch and instances must all be >= 1")
+// serve drives the streaming Session over a synthetic ingest workload:
+// `ingest` client goroutines propose values concurrently, flush cycles are
+// triggered by the background policy (a full cycle of batches, or maxDelay
+// for a trickle), per-cycle reports stream live, and the mesh of a networked
+// transport is dialed exactly once for the whole run. With sweep it instead
+// repeats the workload at doubling batch sizes to show the amortization
+// curve.
+func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
+	values, valBytes, batch, instances, ingest int, maxDelay time.Duration, sweep bool) error {
+	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 || ingest < 1 {
+		return fmt.Errorf("serve: values, valbytes, batch, instances and ingest must all be >= 1")
 	}
-	fmt.Fprintf(w, "mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes\n", tk, cfg.N, cfg.T, values, valBytes)
-
-	batches := []int{batch}
-	if sweep {
-		batches = batches[:0]
-		for b := 1; b < batch; b *= 2 {
-			batches = append(batches, b)
+	fmt.Fprintf(w, "mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes ingest=%d\n",
+		tk, cfg.N, cfg.T, values, valBytes, ingest)
+	workload := func(i int) []byte {
+		val := make([]byte, valBytes)
+		for j := range val {
+			val[j] = byte(0x41 + (i+j)%26)
 		}
-		batches = append(batches, batch)
-		fmt.Fprintf(w, "%8s %10s %10s %8s %14s\n", "batch", "instances", "rounds", "bits", "bits/value")
+		return val
 	}
+
+	if sweep {
+		return serveSweep(w, cfg, sc, tk, values, batch, instances, workload)
+	}
+
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config:      cfg,
+		Scenario:    sc,
+		Transport:   tk,
+		BatchValues: batch,
+		Instances:   instances,
+		Policy:      byzcons.FlushPolicy{MaxValues: batch * instances, MaxDelay: maxDelay},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	// Live per-cycle reporting off the Reports stream; the goroutine exits
+	// when Close retires the stream.
+	var reports sync.WaitGroup
+	reports.Add(1)
+	go func() {
+		defer reports.Done()
+		fmt.Fprintf(w, "%6s %8s %8s %10s %10s %12s\n",
+			"cycle", "batches", "values", "bits", "prounds", "bits/value")
+		for rep := range s.Reports() {
+			var prounds int64
+			for _, bs := range rep.Batches {
+				if bs.PipelinedRounds > prounds {
+					prounds = bs.PipelinedRounds
+				}
+			}
+			perValue := 0.0
+			if rep.Values > 0 {
+				perValue = float64(rep.Bits) / float64(rep.Values)
+			}
+			fmt.Fprintf(w, "%6d %8d %8d %10d %10d %12.1f\n",
+				rep.Cycle, len(rep.Batches), rep.Values, rep.Bits, prounds, perValue)
+		}
+	}()
+
+	// The ingest loop: each client goroutine proposes its share of the
+	// workload and blocks per proposal, like a real submitter would.
+	ctx := context.Background()
+	errs := make(chan error, ingest)
+	var clients sync.WaitGroup
+	for g := 0; g < ingest; g++ {
+		clients.Add(1)
+		go func(g int) {
+			defer clients.Done()
+			for i := g; i < values; i += ingest {
+				val := workload(i)
+				d, err := s.Propose(ctx, val)
+				if err != nil {
+					errs <- fmt.Errorf("serve: value %d: %w", i, err)
+					return
+				}
+				if !bytes.Equal(d.Value, val) {
+					errs <- fmt.Errorf("serve: value %d decided %x, want %x", i, d.Value, val)
+					return
+				}
+			}
+		}(g)
+	}
+	clients.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	if err := s.Drain(ctx); err != nil {
+		return err
+	}
+	st := s.Stats()
+	ws := s.WireStats()
+	dials := s.MeshDials()
+	s.Close() // retire the Reports stream before the summary
+	reports.Wait()
+
+	fmt.Fprintf(w, "decided=%d defaulted=%d batches=%d cycles=%d meshDials=%d\n",
+		st.Decided, st.Defaulted, st.Batches, st.Cycles, dials)
+	fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
+		st.Rounds, st.Bits, float64(st.Bits)/float64(values))
+	if ws.BytesSent > 0 {
+		fmt.Fprintf(w, "wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value\n",
+			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(values))
+	}
+	return nil
+}
+
+// serveSweep reruns the workload at doubling batch sizes (manual flushing,
+// so each row is one deterministic drain) to render the amortization curve.
+func serveSweep(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
+	values, batch, instances int, workload func(int) []byte) error {
+	var batches []int
+	for b := 1; b < batch; b *= 2 {
+		batches = append(batches, b)
+	}
+	batches = append(batches, batch)
+	fmt.Fprintf(w, "%8s %10s %10s %8s %14s\n", "batch", "instances", "rounds", "bits", "bits/value")
+	ctx := context.Background()
 	for _, b := range batches {
-		svc, err := byzcons.NewService(byzcons.ServiceConfig{
+		s, err := byzcons.Open(byzcons.SessionConfig{
 			Config:      cfg,
 			Scenario:    sc,
 			Transport:   tk,
 			BatchValues: b,
 			Instances:   instances,
+			Policy:      byzcons.FlushPolicy{MaxValues: -1, MaxBytes: -1, MaxDelay: -1},
 		})
 		if err != nil {
 			return err
 		}
 		pendings := make([]*byzcons.Pending, values)
 		for i := range pendings {
-			val := make([]byte, valBytes)
-			for j := range val {
-				val[j] = byte(0x41 + (i+j)%26)
-			}
-			if pendings[i], err = svc.Submit(val); err != nil {
+			if pendings[i], err = s.ProposeAsync(ctx, workload(i)); err != nil {
+				s.Close()
 				return err
 			}
 		}
-		report, err := svc.Flush()
-		if err != nil {
+		if err := s.Drain(ctx); err != nil {
+			s.Close()
 			return err
 		}
 		for i, p := range pendings {
-			d := p.Wait()
-			if d.Err != nil {
+			if d := p.Wait(ctx); d.Err != nil {
+				s.Close()
 				return fmt.Errorf("serve: value %d: %w", i, d.Err)
 			}
 		}
-		st := svc.Stats()
-		if sweep {
-			fmt.Fprintf(w, "%8d %10d %10d %8d %14.1f\n",
-				b, instances, st.Rounds, st.Bits, float64(st.Bits)/float64(values))
-			continue
-		}
-		fmt.Fprintln(w, "per-batch metrics:")
-		fmt.Fprintf(w, "%6s %6s %5s %7s %8s %7s %5s %5s %8s %4s %12s\n",
-			"batch", "cycle", "inst", "values", "L(bits)", "bits", "gens", "diags", "prounds", "sqsh", "bits/value")
-		for _, bs := range report.Batches {
-			fmt.Fprintf(w, "%6d %6d %5d %7d %8d %7d %5d %5d %8d %4d %12.1f\n",
-				bs.Batch, bs.Cycle, bs.Instance, bs.Values, bs.PackedBits, bs.Bits,
-				bs.Generations, bs.DiagnosisRuns, bs.PipelinedRounds, bs.Squashes, bs.BitsPerValue)
-		}
-		fmt.Fprintf(w, "decided=%d defaulted=%d batches=%d cycles=%d\n",
-			st.Decided, st.Defaulted, st.Batches, st.Cycles)
-		fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
-			st.Rounds, st.Bits, float64(st.Bits)/float64(values))
-		if ws := svc.WireStats(); ws.BytesSent > 0 {
-			fmt.Fprintf(w, "wire: frames=%d encodedBytes=%d encoded=%.1f bytes/value\n",
-				ws.FramesSent, ws.BytesSent, float64(ws.BytesSent)/float64(values))
-		}
+		st := s.Stats()
+		s.Close()
+		fmt.Fprintf(w, "%8d %10d %10d %8d %14.1f\n",
+			b, instances, st.Rounds, st.Bits, float64(st.Bits)/float64(values))
 	}
 	return nil
 }

@@ -60,13 +60,30 @@ func TestServeModeReportsAmortizedBits(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := byzcons.Config{N: 7, T: 2, Seed: 1}
 	sc := byzcons.Scenario{Faulty: []int{1, 4}, Behavior: byzcons.Equivocator{Victims: []int{6}}}
-	if err := serve(&buf, cfg, sc, byzcons.TransportSim, 8, 32, 4, 2, false); err != nil {
+	if err := serve(&buf, cfg, sc, byzcons.TransportSim, 8, 32, 4, 2, 4, byzcons.DefaultMaxDelay, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"per-batch metrics", "decided=8", "defaulted=0", "bits/value", "pipelined rounds="} {
+	for _, want := range []string{"cycle", "decided=8", "defaulted=0", "bits/value", "meshDials=0", "pipelined rounds="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("serve report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeModeIngestOverTCP is the end-to-end smoke of the streaming ingest
+// loop on a real transport: concurrent clients, policy-triggered cycles, one
+// mesh dial for the whole run.
+func TestServeModeIngestOverTCP(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := byzcons.Config{N: 4, T: 1, Seed: 1}
+	if err := serve(&buf, cfg, byzcons.Scenario{}, byzcons.TransportTCP, 12, 24, 3, 2, 4, byzcons.DefaultMaxDelay, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"decided=12", "meshDials=1", "conns=12", "wire: frames="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve TCP report missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -74,7 +91,7 @@ func TestServeModeReportsAmortizedBits(t *testing.T) {
 func TestServeSweepRendersCurve(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := byzcons.Config{N: 4, T: 1, Seed: 1}
-	if err := serve(&buf, cfg, byzcons.Scenario{}, byzcons.TransportSim, 8, 32, 4, 2, true); err != nil {
+	if err := serve(&buf, cfg, byzcons.Scenario{}, byzcons.TransportSim, 8, 32, 4, 2, 1, byzcons.DefaultMaxDelay, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -123,7 +140,7 @@ func TestParseTransportDefaults(t *testing.T) {
 }
 
 func TestServeRejectsBadWorkload(t *testing.T) {
-	if err := serve(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, byzcons.TransportSim, 0, 32, 4, 2, false); err == nil {
+	if err := serve(&bytes.Buffer{}, byzcons.Config{N: 4, T: 1}, byzcons.Scenario{}, byzcons.TransportSim, 0, 32, 4, 2, 1, byzcons.DefaultMaxDelay, false); err == nil {
 		t.Error("values=0 accepted")
 	}
 }

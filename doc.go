@@ -20,14 +20,17 @@
 //     (Config.Window) that runs independent generations concurrently and
 //     squash-and-replays the window whenever a diagnosis rewrites the trust
 //     graph, keeping decisions bit-identical to the sequential protocol;
-//   - a batched consensus engine via Service: client values are coalesced
-//     into one long input per consensus instance (the paper's large-L regime,
-//     where the per-generation broadcast overhead amortizes away) and several
-//     instances are pipelined concurrently over the deployment;
+//   - a streaming consensus service via Session (Open / Propose / Drain /
+//     Close): proposals from any number of goroutines are coalesced into one
+//     long input per consensus instance (the paper's large-L regime, where
+//     the per-generation broadcast overhead amortizes away), several
+//     instances are pipelined concurrently, flush cycles are driven by a
+//     background FlushPolicy, and per-cycle FlushReports stream back;
 //   - a real message-passing runtime via ClusterConsensus and
-//     ServiceConfig.Transport: one networked node per processor, every
+//     SessionConfig.Transport: one networked node per processor, every
 //     protocol payload crossing a self-describing wire codec over a pluggable
-//     transport (in-process bus or loopback TCP), with measured on-wire bytes
+//     transport (in-process bus or loopback TCP) whose mesh is dialed once at
+//     Open and reused across every flush cycle, with measured on-wire bytes
 //     reported next to the protocol-level bit meter;
 //   - the Section 4 multi-valued broadcast extension via Broadcast;
 //   - the Fitzi-Hirt (PODC 2006) probabilistic baseline via FitziHirt;
@@ -50,28 +53,46 @@
 //	})
 //	// res.Value is the agreed value; res.Bits the exact communication cost.
 //
-// # Batched service
+// # Streaming session
 //
-// For throughput workloads, submit individual client values to a Service and
-// let it coalesce them into long consensus inputs — amortized bits per value
-// fall strictly as the batch size grows (O(nL) total makes large L cheap per
-// bit), and independent instances run pipelined over shared rounds:
+// For service workloads, open a long-lived Session and propose values from
+// as many goroutines as you like. A background FlushPolicy coalesces queued
+// proposals into long consensus inputs — amortized bits per value fall
+// strictly as batches fill (O(nL) total makes large L cheap per bit) — and
+// independent instances run pipelined over shared rounds. Every wait takes a
+// context and returns promptly on cancellation; Drain flushes and waits;
+// Close fails anything still queued with ErrClosed instead of hanging:
 //
-//	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+//	s, err := byzcons.Open(byzcons.SessionConfig{
 //		Config:      byzcons.Config{N: 7, T: 2},
 //		BatchValues: 32, // values coalesced per consensus instance
 //		Instances:   4,  // instances pipelined per flush cycle
+//		Policy: byzcons.FlushPolicy{ // zero value = these defaults
+//			MaxValues: 128,                  // flush at a full cycle
+//			MaxDelay:  byzcons.DefaultMaxDelay, // ... or after 5ms, whichever first
+//		},
 //	})
-//	p, err := svc.Submit([]byte("one client command"))
-//	report, err := svc.Flush() // runs the pending batches
-//	d := p.Wait()              // d.Value is this client's decision
+//	d, err := s.Propose(ctx, []byte("one client command"))
+//	// d.Value is this client's decision; errors are ctx.Err(), ErrClosed
+//	// or the batch's failure.
+//	for rep := range s.Reports() { ... } // one FlushReport per cycle
+//	s.Drain(ctx)                         // flush stragglers and wait
+//	s.Close()
+//
+// ProposeAsync returns a *Pending immediately (it never blocks on consensus
+// progress); Pending.Wait(ctx) honors cancellation and deadlines, and a
+// cancelled wait does not lose the proposal. The older Submit/Flush Service
+// remains as a deprecated shim over the same engine.
 //
 // # Networked cluster
 //
-// Set ServiceConfig.Transport (or call ClusterConsensus directly) to run
+// Set SessionConfig.Transport (or call ClusterConsensus directly) to run
 // the same protocols over real encoded messages instead of the simulator's
 // shared memory — TransportBus for an in-process channel mesh, TransportTCP
-// for loopback TCP:
+// for loopback TCP. A session's mesh is dialed once at Open and reused by
+// every flush cycle (Session.MeshDials and WireStats().Conns expose the
+// invariant); successive cycles are demultiplexed by an epoch tag in the
+// frame headers rather than fresh connections:
 //
 //	res, err := byzcons.ClusterConsensus(cfg, inputs, L, scenario,
 //		byzcons.TransportTCP)
@@ -107,7 +128,10 @@
 // goroutine continues as the next launch) and the networked runtime
 // delivers frames synchronously in the transport's context with one wakeup
 // per completed round, so windowed throughput holds up even on a single
-// core where speculation buys no parallelism. BENCH_PR4.json records the
+// core where speculation buys no parallelism. A Session's transport mesh
+// persists across flush cycles, so the per-flush TCP connection setup cost
+// is gone (BenchmarkTransportThroughput compares fresh-mesh and reused-mesh
+// modes). BENCH_PR4.json records the
 // measured grid; profile any workload with
 // cmd/byzcons -cpuprofile/-memprofile/-exectrace.
 //

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,11 +49,12 @@ func main() {
 	fmt.Printf("for reference: naive bitwise consensus would cost %d bits\n",
 		byzcons.PredictNaive(byzcons.NaiveConfig{N: n, T: t}, int64(L)))
 
-	// The same workload through the batching Service: submit the commands
-	// individually and let the engine coalesce them into long consensus
-	// inputs — each instance amortizes its broadcast overhead over the whole
-	// batch, and instances are pipelined over shared rounds.
-	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+	// The same workload through the streaming Session: propose the commands
+	// individually and let the background flush policy coalesce them into
+	// long consensus inputs — each instance amortizes its broadcast overhead
+	// over the whole batch, and instances are pipelined over shared rounds.
+	ctx := context.Background()
+	s, err := byzcons.Open(byzcons.SessionConfig{
 		Config: byzcons.Config{N: n, T: t},
 		Scenario: byzcons.Scenario{
 			Faulty:   []int{2, 5},
@@ -64,19 +66,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 	pendings := make([]*byzcons.Pending, 128)
 	for i := range pendings {
 		cmd := []byte(fmt.Sprintf("command #%03d: transfer %3d tokens from A to B\n", i, i%100))
-		if pendings[i], err = svc.Submit(cmd); err != nil {
+		if pendings[i], err = s.ProposeAsync(ctx, cmd); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := svc.Flush(); err != nil {
+	if err := s.Drain(ctx); err != nil { // flush policy would also get there on its own
 		log.Fatal(err)
 	}
-	first := pendings[0].Wait()
-	st := svc.Stats()
-	fmt.Printf("\nbatched service: %d commands decided in %d batches over %d pipelined rounds\n",
+	first := pendings[0].Wait(ctx)
+	st := s.Stats()
+	fmt.Printf("\nstreaming session: %d commands decided in %d batches over %d pipelined rounds\n",
 		st.Decided, st.Batches, st.Rounds)
 	fmt.Printf("per-client decision #0: %q\n", first.Value)
 	fmt.Printf("amortized cost: %.0f bits/command (batching shares each generation's broadcast overhead)\n",

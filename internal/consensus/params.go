@@ -85,6 +85,15 @@ type GenInfo struct {
 	Graph     *diag.Graph // clone of the diagnosis graph after the generation
 }
 
+// Validate checks the parameters without running a protocol: it normalizes
+// against a nominal 8-bit value length, so every length-independent
+// constraint (n, the resilience bound, symbol width, lanes, window) is
+// checked up front by the public configuration surface.
+func (par Params) Validate() error {
+	_, err := par.normalized(8)
+	return err
+}
+
 // normalized fills derived defaults and validates; L is the value length in
 // bits (used for auto lane selection).
 func (par Params) normalized(L int) (Params, error) {

@@ -1,10 +1,17 @@
-// Package engine is the batched multi-instance consensus engine behind the
-// public Service API: it coalesces pending client values into one long L-bit
-// input per consensus instance — amortizing the per-generation
-// Broadcast_Single_Bit overhead exactly as the paper's O(nL) result intends —
-// and pipelines up to Config.Instances concurrent instances over the
-// simulator (sim.RunBatch), demultiplexing the decided batches back into
-// per-client decisions with per-instance and per-batch metrics.
+// Package engine is the streaming consensus engine behind the public Session
+// API: it coalesces pending client values into one long L-bit input per
+// consensus instance — amortizing the per-generation Broadcast_Single_Bit
+// overhead exactly as the paper's O(nL) result intends — and pipelines up to
+// Config.Instances concurrent instances over the deployment backend,
+// demultiplexing the decided batches back into per-client decisions with
+// per-instance and per-batch metrics.
+//
+// Flushing is driven by a background Policy (value-count, byte-size and delay
+// triggers) so callers submit from any number of goroutines and decisions
+// stream back; the manual Flush entry point remains for callers that want
+// explicit batch boundaries. Each flush cycle runs over the configured Runner
+// — the in-memory simulator by default, or a networked cluster whose
+// transport mesh persists across cycles (internal/node).
 //
 // The engine models a replicated service: all n processors receive the same
 // stream of client values (the validity case), while up to t of them are
@@ -15,18 +22,30 @@ package engine
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"byzcons/internal/consensus"
 	"byzcons/internal/sim"
 )
 
-// Runner abstracts the deployment backend that executes a cycle of batched
-// consensus instances: the in-memory simulator (sim.RunBatch, the default)
-// or a networked cluster (internal/node) that runs the same instances over
-// encoded messages on a transport. Both return the simulator's result types,
-// so batching, metrics and decision demux are backend-agnostic.
+// ErrClosed is the sentinel for work that outlives its engine: Submit after
+// Close returns it, and every submission still queued (not yet flushing) when
+// Close is called resolves promptly with a Decision carrying it — a Wait
+// never blocks on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Runner abstracts the deployment backend that executes one flush cycle of
+// batched consensus instances: the in-memory simulator (sim.RunBatch, the
+// default) or a networked cluster (internal/node) that runs the same
+// instances over encoded messages on a transport mesh dialed once and reused
+// across cycles — per-cycle instance demux rides an epoch tag in the frames,
+// not fresh connections. Both return the simulator's result types, so
+// batching, metrics and decision demux are backend-agnostic. The engine
+// serializes RunBatch calls: at most one cycle is in flight at a time.
 type Runner interface {
 	RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult
 }
@@ -36,6 +55,26 @@ type simRunner struct{}
 
 func (simRunner) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
 	return sim.RunBatch(cfg, body)
+}
+
+// Policy drives background flushing. A trigger with a non-positive value is
+// disabled; the zero Policy disables auto-flushing entirely (manual Flush /
+// Drain only).
+type Policy struct {
+	// MaxValues flushes once at least this many values are queued.
+	MaxValues int
+	// MaxBytes flushes once the queued values' packed payload bytes reach
+	// this threshold.
+	MaxBytes int
+	// MaxDelay flushes at most this long after a value was enqueued, so a
+	// trickle of submissions never waits indefinitely for a full batch.
+	MaxDelay time.Duration
+}
+
+// active reports whether any trigger is enabled (the engine only runs a
+// background flusher when one is).
+func (p Policy) active() bool {
+	return p.MaxValues > 0 || p.MaxBytes > 0 || p.MaxDelay > 0
 }
 
 // Config configures an Engine.
@@ -60,8 +99,20 @@ type Config struct {
 	// A single oversized value still forms its own batch.
 	BatchBytes int
 	// Instances is the number of consensus instances pipelined concurrently
-	// over the simulator per flush cycle (0 = 4).
+	// over the deployment per flush cycle (0 = 4).
 	Instances int
+	// Policy drives background flushing; the zero value keeps the engine
+	// fully manual (Flush/Drain/Close only).
+	Policy Policy
+	// ReportBuffer is the capacity of the Reports stream (0 = 16). The
+	// stream is lossy: when the consumer lags, new per-cycle reports are
+	// dropped (counted in Stats.ReportsDropped) rather than stalling flushes.
+	ReportBuffer int
+	// OnCycle, if non-nil, is called synchronously after every flush cycle
+	// with that cycle's report — the per-cycle observability hook. It runs on
+	// the flushing goroutine, so it must not block on engine progress, and it
+	// must treat the report (including its Batches slice) as read-only.
+	OnCycle func(Report)
 }
 
 // Decision is the consensus outcome for one submitted value.
@@ -70,23 +121,57 @@ type Decision struct {
 	// submitted value whenever the honest processors agree on the batch
 	// (always, under the error-free guarantee).
 	Value []byte
-	// Batch is the global sequence number of the batch the value rode in.
+	// Batch is the global sequence number of the batch the value rode in
+	// (-1 when the value never reached a batch, e.g. failed by Close).
 	Batch int
 	// Defaulted reports that the batch's instance decided the default value
 	// (honest inputs provably differed), so Value is nil.
 	Defaulted bool
-	// Err is set when the batch's instance failed outright.
+	// Err is set when the batch's instance failed outright, or when the
+	// engine was closed before the value flushed (ErrClosed).
 	Err error
 }
 
-// Pending is a handle on a submitted value's eventual decision.
+// Pending is a handle on a submitted value's eventual decision. A Pending
+// always resolves: with the batch's decision once its flush cycle commits,
+// or with ErrClosed when the engine closes first.
 type Pending struct {
-	ch chan Decision
+	once sync.Once
+	done chan struct{}
+	d    Decision
 }
 
-// Wait blocks until the engine flushes the submission's batch and returns
-// the decision.
-func (p *Pending) Wait() Decision { return <-p.ch }
+func newPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// resolve delivers the decision; the first resolution wins.
+func (p *Pending) resolve(d Decision) {
+	p.once.Do(func() {
+		p.d = d
+		close(p.done)
+	})
+}
+
+// Wait blocks until the submission's decision is available or ctx is done.
+// On cancellation it returns a Decision carrying ctx.Err(); the submission
+// itself stays in flight and a later Wait can still retrieve its decision.
+// A decision that is already available wins over a cancelled context.
+func (p *Pending) Wait(ctx context.Context) Decision {
+	select {
+	case <-p.done:
+		return p.d
+	case <-ctx.Done():
+		select {
+		case <-p.done:
+			return p.d
+		default:
+			return Decision{Batch: -1, Err: ctx.Err()}
+		}
+	}
+}
+
+// Done returns a channel closed once the decision is available, for callers
+// multiplexing pendings in their own select loops.
+func (p *Pending) Done() <-chan struct{} { return p.done }
 
 // BatchStats describes one consensus instance (= one batch of values).
 type BatchStats struct {
@@ -112,14 +197,31 @@ type BatchStats struct {
 	BitsPerValue float64
 }
 
-// Report summarises one Flush.
+// Report summarises flushed work: one cycle on the Reports stream and the
+// OnCycle hook, or every cycle a manual Flush/Drain ran.
 type Report struct {
+	// Cycle is the cycle id of a per-cycle report; -1 on the aggregated
+	// reports returned by Flush.
+	Cycle   int
 	Batches []BatchStats
 	Values  int
 	Bits    int64
-	// Rounds is the pipelined round count: the sum over cycles of the
-	// maximum per-instance rounds within each cycle.
+	// Rounds is the pipelined round count: the maximum per-instance rounds
+	// within a cycle (summed over cycles for aggregated reports).
 	Rounds int64
+	// Err is the first instance failure of the covered cycles, if any.
+	Err error
+}
+
+// merge folds a per-cycle report into an aggregate.
+func (r *Report) merge(c Report) {
+	r.Batches = append(r.Batches, c.Batches...)
+	r.Values += c.Values
+	r.Bits += c.Bits
+	r.Rounds += c.Rounds
+	if r.Err == nil {
+		r.Err = c.Err
+	}
 }
 
 // Stats is the engine's cumulative accounting.
@@ -127,10 +229,16 @@ type Stats struct {
 	Submitted int
 	Decided   int
 	Defaulted int
-	Batches   int
-	Cycles    int
-	Bits      int64
-	Rounds    int64 // pipelined rounds, summed over all cycles
+	// Failed counts submissions resolved with an error: their batch's
+	// instance failed, or the engine closed before they flushed.
+	Failed  int
+	Batches int
+	Cycles  int
+	Bits    int64
+	Rounds  int64 // pipelined rounds, summed over all cycles
+	// ReportsDropped counts per-cycle reports the lossy Reports stream had
+	// to drop because its consumer lagged.
+	ReportsDropped int
 }
 
 type submission struct {
@@ -138,20 +246,45 @@ type submission struct {
 	pending *Pending
 }
 
+// packedSize is the bytes the submission contributes to a packed batch.
+func (s submission) packedSize() int {
+	return uvarintLen(uint64(len(s.value))) + len(s.value)
+}
+
 // Engine batches submissions and drives pipelined consensus instances.
-// All methods are safe for concurrent use; Flush serializes with itself.
+// All methods are safe for concurrent use. Cycle execution serializes on an
+// internal lock, but the submission queue stays open while a cycle runs, so
+// Submit never blocks behind consensus progress.
 type Engine struct {
 	cfg Config
 
-	mu        sync.Mutex
-	queue     []submission
-	stats     Stats
-	nextBatch int
-	nextCycle int
-	closed    bool
+	// mu guards the submission queue, counters and stats. It is never held
+	// across a cycle run.
+	mu         sync.Mutex
+	queue      []submission
+	queueBytes int
+	stats      Stats
+	nextBatch  int
+	nextCycle  int
+	closed     bool
+	timer      *time.Timer
+	timerArmed bool
+
+	// flushMu serializes cycle execution across the background flusher and
+	// manual Flush/Drain callers.
+	flushMu sync.Mutex
+
+	trigger     chan struct{} // wakes the background flusher (cap 1)
+	stop        chan struct{} // closed by Close to retire the flusher
+	flusherDone chan struct{} // closed when the flusher goroutine exits; nil if never started
+
+	repMu     sync.Mutex
+	reports   chan Report
+	repClosed bool
 }
 
-// New validates cfg, fills defaults and returns an Engine.
+// New validates cfg, fills defaults, starts the background flusher when the
+// policy enables one, and returns an Engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Consensus.N < 1 {
 		return nil, fmt.Errorf("engine: need n >= 1, got %d", cfg.Consensus.N)
@@ -177,27 +310,99 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Instances < 1 {
 		return nil, fmt.Errorf("engine: Instances must be >= 1, got %d", cfg.Instances)
 	}
+	if cfg.ReportBuffer == 0 {
+		cfg.ReportBuffer = 16
+	}
+	if cfg.ReportBuffer < 1 {
+		return nil, fmt.Errorf("engine: ReportBuffer must be >= 1, got %d", cfg.ReportBuffer)
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = simRunner{}
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{
+		cfg:     cfg,
+		trigger: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		reports: make(chan Report, cfg.ReportBuffer),
+	}
+	if cfg.Policy.active() {
+		e.flusherDone = make(chan struct{})
+		go e.flusher()
+	}
+	return e, nil
 }
 
-// Submit queues a client value for the next flush and returns a handle on
-// its decision. The value is copied; the caller may reuse the slice.
+// Submit queues a client value for the next flush cycle and returns a handle
+// on its decision. The value is copied; the caller may reuse the slice.
+// Submit never blocks on consensus progress: it only appends to the queue
+// and, when a policy threshold trips, nudges the background flusher.
 func (e *Engine) Submit(value []byte) (*Pending, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
-		return nil, fmt.Errorf("engine: closed")
+		e.mu.Unlock()
+		return nil, ErrClosed
 	}
-	p := &Pending{ch: make(chan Decision, 1)}
-	e.queue = append(e.queue, submission{value: append([]byte(nil), value...), pending: p})
+	p := newPending()
+	s := submission{value: append([]byte(nil), value...), pending: p}
+	e.queue = append(e.queue, s)
+	e.queueBytes += s.packedSize()
 	e.stats.Submitted++
+	pol := e.cfg.Policy
+	trigger := (pol.MaxValues > 0 && len(e.queue) >= pol.MaxValues) ||
+		(pol.MaxBytes > 0 && e.queueBytes >= pol.MaxBytes)
+	if pol.MaxDelay > 0 && !e.timerArmed {
+		// Arm the delay trigger for the oldest unflushed value. The flag is
+		// cleared only when the timer fires, so the timer always fires within
+		// MaxDelay of any enqueue it covers — at worst it fires early
+		// (a value enqueued mid-period is flushed sooner than MaxDelay).
+		e.timerArmed = true
+		if e.timer == nil {
+			e.timer = time.AfterFunc(pol.MaxDelay, e.delayFire)
+		} else {
+			e.timer.Reset(pol.MaxDelay)
+		}
+	}
+	e.mu.Unlock()
+	if trigger {
+		e.signal()
+	}
 	return p, nil
 }
 
-// PendingCount returns the number of values queued for the next flush.
+// signal nudges the background flusher; a nudge already pending is enough.
+func (e *Engine) signal() {
+	select {
+	case e.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// delayFire is the MaxDelay timer callback.
+func (e *Engine) delayFire() {
+	e.mu.Lock()
+	e.timerArmed = false
+	pending := len(e.queue) > 0
+	e.mu.Unlock()
+	if pending {
+		e.signal()
+	}
+}
+
+// flusher is the background goroutine draining the queue whenever a policy
+// trigger trips.
+func (e *Engine) flusher() {
+	defer close(e.flusherDone)
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.trigger:
+			e.flushAll() // failures land in the affected decisions and reports
+		}
+	}
+}
+
+// PendingCount returns the number of values queued for the next flush cycle.
 func (e *Engine) PendingCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -211,8 +416,16 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Close rejects further submissions, flushes any queued values and returns
-// the final flush error (nil when the queue was empty).
+// Reports returns the per-cycle report stream: one Report per flush cycle,
+// in commit order. The channel is buffered and lossy (see
+// Config.ReportBuffer) and is closed by Close once no further cycle can run.
+func (e *Engine) Reports() <-chan Report { return e.reports }
+
+// Close rejects further submissions and promptly fails every submission
+// still queued with ErrClosed — a Pending.Wait never hangs on a closed
+// engine. A cycle already in flight completes and resolves its own
+// submissions with real decisions; Close waits for it, retires the
+// background flusher, and closes the Reports stream. Close is idempotent.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -220,46 +433,119 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
-	pending := len(e.queue) > 0
+	orphans := e.queue
+	e.queue, e.queueBytes = nil, 0
+	e.stats.Failed += len(orphans)
+	if e.timer != nil {
+		e.timer.Stop()
+	}
 	e.mu.Unlock()
-	if !pending {
-		return nil
+
+	// Fail the queued-but-never-flushed submissions before waiting on the
+	// in-flight cycle: their Wait callers unblock immediately.
+	for _, s := range orphans {
+		s.pending.resolve(Decision{Batch: -1, Err: ErrClosed})
 	}
-	_, err := e.flush()
-	return err
+	close(e.stop)
+	if e.flusherDone != nil {
+		<-e.flusherDone
+	}
+	// Wait out a manual Flush/Drain cycle still running, then retire the
+	// report stream: emissions only happen under flushMu, so after this
+	// handover no send can race the close.
+	e.flushMu.Lock()
+	e.flushMu.Unlock() //nolint:staticcheck // lock/unlock is the handover barrier
+	e.repMu.Lock()
+	if !e.repClosed {
+		e.repClosed = true
+		close(e.reports)
+	}
+	e.repMu.Unlock()
+	return nil
 }
 
-// Flush drains the queue: values are coalesced into batches of at most
-// BatchValues values / BatchBytes bytes, batches are run Instances at a time
-// as pipelined consensus instances, and every submission's Pending is
-// resolved with its per-client decision. Flush returns the per-batch metrics
-// of everything it ran.
+// Flush drains the queue synchronously: values are coalesced into batches of
+// at most BatchValues values / BatchBytes bytes, batches run Instances at a
+// time as pipelined consensus instances, and every flushed submission's
+// Pending resolves with its per-client decision. Flush returns the
+// aggregated per-batch metrics of everything it ran. With an active Policy,
+// Flush remains the manual override — it serializes with the background
+// flusher.
 func (e *Engine) Flush() (*Report, error) {
-	return e.flush()
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	return e.flushAll()
 }
 
-func (e *Engine) flush() (*Report, error) {
-	// Serialize whole flushes against each other and against Submit bursts:
-	// the simulator runs synchronously anyway, so holding the lock keeps the
-	// cycle composition deterministic for a given submission order.
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	report := &Report{}
-	var firstErr error
-	for len(e.queue) > 0 {
-		cycle := e.takeCycleLocked()
-		if err := e.runCycleLocked(cycle, report); err != nil && firstErr == nil {
-			firstErr = err
-		}
+// Drain flushes everything queued and waits until those cycles committed, or
+// until ctx is done. A nil return means every value submitted before Drain
+// was called has resolved its Pending. On cancellation the flushing itself
+// keeps running to completion in the background (cycles are not abortable);
+// only the wait is abandoned.
+func (e *Engine) Drain(ctx context.Context) error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.flushAll()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	// Release the drained backing array: e.queue is a tail slice of it, and
-	// keeping it alive would pin every flushed submission's value bytes.
-	e.queue = nil
-	return report, firstErr
+}
+
+// flushAll runs flush cycles until the queue is empty. It is the single
+// cycle-execution path shared by the background flusher, Flush and Drain;
+// flushMu makes cycles mutually exclusive while the queue stays open for
+// concurrent Submits.
+func (e *Engine) flushAll() (*Report, error) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+
+	agg := &Report{Cycle: -1}
+	var firstErr error
+	for {
+		e.mu.Lock()
+		cycle := e.takeCycleLocked()
+		if len(cycle) == 0 {
+			if len(e.queue) == 0 {
+				// Release the drained backing array: e.queue is a tail slice
+				// of it, and keeping it alive would pin every flushed
+				// submission's value bytes.
+				e.queue = nil
+			}
+			e.mu.Unlock()
+			break
+		}
+		cycleID := e.nextCycle
+		e.nextCycle++
+		e.stats.Cycles++
+		batchIDs := make([]int, len(cycle))
+		for k := range cycle {
+			batchIDs[k] = e.nextBatch
+			e.nextBatch++
+			e.stats.Batches++
+		}
+		e.mu.Unlock()
+
+		rep := e.runCycle(cycleID, batchIDs, cycle)
+		agg.merge(rep)
+		if rep.Err != nil && firstErr == nil {
+			firstErr = rep.Err
+		}
+		e.emit(rep)
+	}
+	return agg, firstErr
 }
 
 // takeCycleLocked carves up to Instances batches off the queue head.
+// Caller holds e.mu.
 func (e *Engine) takeCycleLocked() [][]submission {
 	var cycle [][]submission
 	for len(e.queue) > 0 && len(cycle) < e.cfg.Instances {
@@ -267,7 +553,7 @@ func (e *Engine) takeCycleLocked() [][]submission {
 		size := 0
 		for len(e.queue) > 0 && len(batch) < e.cfg.BatchValues {
 			next := e.queue[0]
-			need := uvarintLen(uint64(len(next.value))) + len(next.value)
+			need := next.packedSize()
 			// The packed form also carries the count header; budget it so
 			// the blob never exceeds BatchBytes (see packedBits).
 			header := uvarintLen(uint64(len(batch) + 1))
@@ -276,6 +562,7 @@ func (e *Engine) takeCycleLocked() [][]submission {
 			}
 			batch = append(batch, next)
 			size += need
+			e.queueBytes -= need
 			e.queue = e.queue[1:]
 		}
 		cycle = append(cycle, batch)
@@ -283,24 +570,36 @@ func (e *Engine) takeCycleLocked() [][]submission {
 	return cycle
 }
 
-// runCycleLocked runs one cycle of batches as pipelined consensus instances
-// and resolves every submission of the cycle.
-func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
-	cycleID := e.nextCycle
-	e.nextCycle++
-	e.stats.Cycles++
+// emit delivers one cycle's report to the observability surfaces: the
+// synchronous OnCycle hook and the lossy Reports stream.
+func (e *Engine) emit(rep Report) {
+	if e.cfg.OnCycle != nil {
+		e.cfg.OnCycle(rep)
+	}
+	e.repMu.Lock()
+	if !e.repClosed {
+		select {
+		case e.reports <- rep:
+		default:
+			e.mu.Lock()
+			e.stats.ReportsDropped++
+			e.mu.Unlock()
+		}
+	}
+	e.repMu.Unlock()
+}
 
+// runCycle runs one cycle of batches as pipelined consensus instances and
+// resolves every submission of the cycle. It holds no engine lock while the
+// instances run.
+func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Report {
 	inputs := make([][]byte, len(cycle))
-	batchIDs := make([]int, len(cycle))
 	for k, batch := range cycle {
 		values := make([][]byte, len(batch))
 		for i, s := range batch {
 			values[i] = s.value
 		}
 		inputs[k] = packValues(values)
-		batchIDs[k] = e.nextBatch
-		e.nextBatch++
-		e.stats.Batches++
 	}
 
 	par := e.cfg.Consensus
@@ -314,12 +613,8 @@ func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
 		return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
 	})
 
-	report.Rounds += res.Rounds
-	report.Bits += res.Bits
-	e.stats.Rounds += res.Rounds
-	e.stats.Bits += res.Bits
-
-	var firstErr error
+	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits}
+	var decided, defaulted, failed int
 	for k, batch := range cycle {
 		ir := res.Instances[k]
 		st := BatchStats{
@@ -338,11 +633,12 @@ func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
 		}
 		if err != nil {
 			err = fmt.Errorf("engine: batch %d: %w", batchIDs[k], err)
-			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
-			if firstErr == nil {
-				firstErr = err
+			resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
+			failed += len(batch)
+			if rep.Err == nil {
+				rep.Err = err
 			}
-			report.Batches = append(report.Batches, st)
+			rep.Batches = append(rep.Batches, st)
 			continue
 		}
 		st.Generations = out.Generations
@@ -351,32 +647,41 @@ func (e *Engine) runCycleLocked(cycle [][]submission, report *Report) error {
 		st.Squashes = out.Squashes
 		st.Defaulted = out.Defaulted
 		st.BitsPerValue = float64(st.Bits) / float64(len(batch))
-		report.Batches = append(report.Batches, st)
-		report.Values += len(batch)
+		rep.Batches = append(rep.Batches, st)
+		rep.Values += len(batch)
 
 		if out.Defaulted {
-			e.stats.Defaulted += len(batch)
-			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Defaulted: true})
+			defaulted += len(batch)
+			resolveBatch(batch, Decision{Batch: batchIDs[k], Defaulted: true})
 			continue
 		}
-		decided, err := unpackValues(out.Value)
-		if err == nil && len(decided) != len(batch) {
-			err = fmt.Errorf("engine: decided %d values for a %d-value batch", len(decided), len(batch))
+		values, err := unpackValues(out.Value)
+		if err == nil && len(values) != len(batch) {
+			err = fmt.Errorf("engine: decided %d values for a %d-value batch", len(values), len(batch))
 		}
 		if err != nil {
 			err = fmt.Errorf("engine: batch %d: %w", batchIDs[k], err)
-			e.resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
-			if firstErr == nil {
-				firstErr = err
+			resolveBatch(batch, Decision{Batch: batchIDs[k], Err: err})
+			failed += len(batch)
+			if rep.Err == nil {
+				rep.Err = err
 			}
 			continue
 		}
 		for i, s := range batch {
-			e.stats.Decided++
-			s.pending.ch <- Decision{Value: decided[i], Batch: batchIDs[k]}
+			decided++
+			s.pending.resolve(Decision{Value: values[i], Batch: batchIDs[k]})
 		}
 	}
-	return firstErr
+
+	e.mu.Lock()
+	e.stats.Rounds += rep.Rounds
+	e.stats.Bits += rep.Bits
+	e.stats.Decided += decided
+	e.stats.Defaulted += defaulted
+	e.stats.Failed += failed
+	e.mu.Unlock()
+	return rep
 }
 
 // agreedOutput cross-checks the honest processors' outputs of one instance
@@ -411,8 +716,8 @@ func (e *Engine) agreedOutput(values []any) (*consensus.Output, error) {
 }
 
 // resolveBatch delivers one decision to every submission of a batch.
-func (e *Engine) resolveBatch(batch []submission, d Decision) {
+func resolveBatch(batch []submission, d Decision) {
 	for _, s := range batch {
-		s.pending.ch <- d
+		s.pending.resolve(d)
 	}
 }

@@ -2,8 +2,11 @@ package engine
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"byzcons/internal/adversary"
 	"byzcons/internal/bsb"
@@ -82,7 +85,7 @@ func TestEngineBatchesAndDecides(t *testing.T) {
 		t.Errorf("instance slot = %d, want 1", report.Batches[1].Instance)
 	}
 	for i, p := range pendings {
-		d := p.Wait()
+		d := p.Wait(context.Background())
 		if d.Err != nil {
 			t.Fatalf("value %d: %v", i, d.Err)
 		}
@@ -155,7 +158,7 @@ func TestEngineBatchBytesCap(t *testing.T) {
 		}
 	}
 	for _, p := range pendings {
-		if d := p.Wait(); d.Err != nil {
+		if d := p.Wait(context.Background()); d.Err != nil {
 			t.Fatal(d.Err)
 		}
 	}
@@ -177,7 +180,7 @@ func TestEngineOversizedValueGetsOwnBatch(t *testing.T) {
 	if _, err := e.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	d := p.Wait()
+	d := p.Wait(context.Background())
 	if d.Err != nil || !bytes.Equal(d.Value, big) {
 		t.Fatalf("oversized value mishandled: %+v", d)
 	}
@@ -200,7 +203,7 @@ func TestEngineDeterministicAcrossRuns(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range pendings {
-			if d := p.Wait(); d.Err != nil {
+			if d := p.Wait(context.Background()); d.Err != nil {
 				t.Fatal(d.Err)
 			}
 		}
@@ -257,7 +260,7 @@ func TestEngineAdversaryGalleryAgreement(t *testing.T) {
 				t.Fatalf("report.Values = %d", report.Values)
 			}
 			for i, p := range pendings {
-				d := p.Wait()
+				d := p.Wait(context.Background())
 				if d.Err != nil {
 					t.Fatalf("value %d: %v", i, d.Err)
 				}
@@ -295,7 +298,7 @@ func TestEngineAmortizedBitsDecrease(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range pendings {
-			if d := p.Wait(); d.Err != nil {
+			if d := p.Wait(context.Background()); d.Err != nil {
 				t.Fatal(d.Err)
 			}
 		}
@@ -307,27 +310,145 @@ func TestEngineAmortizedBitsDecrease(t *testing.T) {
 	}
 }
 
-func TestEngineCloseFlushesAndRejects(t *testing.T) {
+// TestEngineCloseFailsQueuedPendings pins the Close contract: submissions
+// still queued when Close is called fail promptly with ErrClosed — a Wait
+// caller never hangs on a closed engine — and further submissions are
+// rejected with the same sentinel. Callers that want queued work decided
+// flush (or Drain) first.
+func TestEngineCloseFailsQueuedPendings(t *testing.T) {
 	t.Parallel()
 	e, err := New(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	values, pendings := submitN(t, e, 3, 8)
+	_, pendings := submitN(t, e, 3, 8)
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range pendings {
-		d := p.Wait()
-		if d.Err != nil || !bytes.Equal(d.Value, values[i]) {
-			t.Fatalf("close did not flush value %d: %+v", i, d)
+		// The decisions are already resolved: an expired context must not
+		// matter, since Wait prefers an available decision.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		d := p.Wait(ctx)
+		if !errors.Is(d.Err, ErrClosed) {
+			t.Fatalf("pending %d after Close: %+v, want ErrClosed", i, d)
 		}
 	}
-	if _, err := e.Submit([]byte{1}); err == nil {
-		t.Error("Submit accepted after Close")
+	if _, err := e.Submit([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if _, err := e.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush after Close: %v, want ErrClosed", err)
 	}
 	if err := e.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
+	}
+	if st := e.Stats(); st.Failed != 3 {
+		t.Errorf("Failed = %d, want 3", st.Failed)
+	}
+	if _, ok := <-e.Reports(); ok {
+		t.Error("Reports stream not closed by Close")
+	}
+}
+
+// TestEnginePolicyMaxValues: the background flusher must run a cycle once
+// the queued value count trips the policy — no manual Flush anywhere.
+func TestEnginePolicyMaxValues(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.BatchValues = 4
+	cfg.Policy = Policy{MaxValues: 4}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	values, pendings := submitN(t, e, 4, 8)
+	for i, p := range pendings {
+		d := p.Wait(context.Background())
+		if d.Err != nil || !bytes.Equal(d.Value, values[i]) {
+			t.Fatalf("auto-flushed value %d: %+v", i, d)
+		}
+	}
+	rep, ok := <-e.Reports()
+	if !ok || rep.Values != 4 || rep.Cycle != 0 {
+		t.Errorf("per-cycle report = %+v, %v", rep, ok)
+	}
+}
+
+// TestEnginePolicyMaxDelay: a single value below every size threshold must
+// still flush within (roughly) MaxDelay.
+func TestEnginePolicyMaxDelay(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.Policy = Policy{MaxValues: 1 << 30, MaxDelay: 10 * time.Millisecond}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	p, err := e.Submit([]byte("lonely"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if d := p.Wait(ctx); d.Err != nil || !bytes.Equal(d.Value, []byte("lonely")) {
+		t.Fatalf("delay-flushed value: %+v", d)
+	}
+}
+
+// TestEngineWaitHonorsContext: Wait must return promptly with ctx.Err()
+// while the submission stays pending (no auto-flush, nothing will decide
+// it), and still deliver the real decision to a later Wait.
+func TestEngineWaitHonorsContext(t *testing.T) {
+	t.Parallel()
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Submit([]byte("parked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if d := p.Wait(ctx); !errors.Is(d.Err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under expired ctx = %+v", d)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Wait(context.Background()); d.Err != nil || !bytes.Equal(d.Value, []byte("parked")) {
+		t.Fatalf("decision lost after cancelled Wait: %+v", d)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDrainWaitsForEverything: after Drain returns nil, every prior
+// submission has resolved.
+func TestEngineDrainWaitsForEverything(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.BatchValues = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, pendings := submitN(t, e, 5, 8)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pendings {
+		select {
+		case <-p.Done():
+		default:
+			t.Fatalf("pending %d unresolved after Drain", i)
+		}
 	}
 }
 
@@ -383,7 +504,7 @@ func TestEngineRunErrorSurfacesInDecisions(t *testing.T) {
 	if _, err := e.Flush(); err == nil {
 		t.Fatal("flush swallowed the run error")
 	}
-	if d := p.Wait(); d.Err == nil {
+	if d := p.Wait(context.Background()); d.Err == nil {
 		t.Fatal("decision swallowed the run error")
 	}
 }
@@ -401,7 +522,7 @@ func TestEngineZeroByteValue(t *testing.T) {
 	if _, err := e.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	d := p.Wait()
+	d := p.Wait(context.Background())
 	if d.Err != nil || len(d.Value) != 0 || d.Defaulted {
 		t.Fatalf("zero-byte value mishandled: %+v", d)
 	}
@@ -419,7 +540,7 @@ func ExampleEngine() {
 		pendings = append(pendings, p)
 	}
 	e.Flush()
-	d := pendings[2].Wait()
+	d := pendings[2].Wait(context.Background())
 	fmt.Printf("%s batch=%d\n", d.Value, d.Batch)
 	// Output: command 2 batch=0
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"byzcons/internal/metrics"
@@ -17,20 +18,35 @@ import (
 // types, so the consensus engine selects its backend by picking a runner,
 // and everything downstream (batching, metrics, decision demux) is untouched.
 //
-// Every batched run gets a fresh mesh from the factory: transports are cheap
-// on loopback, and a fresh mesh guarantees no frame of an aborted run can
-// leak into the next. Pipelined instances of one batch share the mesh,
-// demultiplexed by the instance id in every frame header.
+// The transport mesh is persistent: it is dialed once — eagerly via Connect,
+// or lazily by the first run — and reused by every subsequent run until
+// Close. Cycles are demultiplexed by a monotone global instance id carried in
+// every frame header (the epoch tag): each run claims the next contiguous id
+// range, per-node routers attach the run's runtimes for exactly those ids,
+// and a frame whose id predates the current range is a stale leftover of an
+// earlier (possibly aborted) cycle and is dropped by tag instead of being
+// fenced off by a mesh teardown. Runs serialize on the cluster: one epoch
+// owns the mesh at a time.
 type Cluster struct {
 	factory transport.Factory
 	// StepTimeout bounds each barrier step (0 = DefaultStepTimeout).
 	StepTimeout time.Duration
 
-	mu        sync.Mutex
-	wireStats transport.Stats
+	// runMu serializes runs: the persistent mesh carries one epoch at a time.
+	runMu sync.Mutex
+
+	mu          sync.Mutex
+	eps         []transport.Endpoint
+	routers     []*nodeRouter
+	n           int
+	nextInst    int // next global instance id (the epoch tag high-water mark)
+	meshDials   int
+	retired     transport.Stats // accounting of the mesh after Close
+	closed      bool
+	dispatchers sync.WaitGroup // fallback Recv loops of non-push endpoints
 }
 
-// NewCluster returns a Cluster building meshes from the given factory.
+// NewCluster returns a Cluster building its mesh from the given factory.
 func NewCluster(f transport.Factory) *Cluster {
 	return &Cluster{factory: f}
 }
@@ -38,17 +54,111 @@ func NewCluster(f transport.Factory) *Cluster {
 // Kind names the cluster's transport.
 func (c *Cluster) Kind() string { return c.factory.Kind() }
 
-// WireStats returns the cumulative encoded-byte accounting of every mesh the
-// cluster has run — the measured on-wire cost standing next to the
-// protocol-level bit meters.
+// Connect dials the n-endpoint mesh eagerly so transport failures surface at
+// open time rather than at the first run. It is idempotent; a mesh already
+// dialed for a different n is an error.
+func (c *Cluster) Connect(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connectLocked(n)
+}
+
+// connectLocked dials the mesh if the cluster does not hold one yet and
+// wires the persistent per-node routers. Caller holds c.mu.
+func (c *Cluster) connectLocked(n int) error {
+	if c.closed {
+		return errors.New("node: cluster closed")
+	}
+	if c.eps != nil {
+		if c.n != n {
+			return fmt.Errorf("node: cluster mesh is dialed for n=%d, got a run with n=%d", c.n, n)
+		}
+		return nil
+	}
+	if n < 1 {
+		return fmt.Errorf("node: mesh needs n >= 1, got %d", n)
+	}
+	eps, err := c.factory.Mesh(n)
+	if err != nil {
+		return fmt.Errorf("node: building %s mesh: %w", c.factory.Kind(), err)
+	}
+	routers := make([]*nodeRouter, n)
+	for i := range routers {
+		routers[i] = newNodeRouter(i, n)
+		// Receive routing: push-capable transports deliver frames
+		// synchronously in their own delivery context (the sender's goroutine
+		// on the bus, the connection readers on TCP) through a Sink — no
+		// dispatcher goroutine, no queue hop, no extra wakeup per frame.
+		// Endpoints without push delivery fall back to a per-node dispatcher
+		// draining Recv for the mesh's whole lifetime.
+		if pc, ok := eps[i].(transport.PushCapable); ok {
+			pc.SetSink(routers[i])
+			continue
+		}
+		c.dispatchers.Add(1)
+		go func(ep transport.Endpoint, r *nodeRouter) {
+			defer c.dispatchers.Done()
+			dispatch(ep, r)
+		}(eps[i], routers[i])
+	}
+	c.eps, c.routers, c.n = eps, routers, n
+	c.meshDials++
+	return nil
+}
+
+// MeshDials reports how many times the cluster built a transport mesh — the
+// persistent-mesh invariant is that any number of runs over one cluster cost
+// exactly one dial.
+func (c *Cluster) MeshDials() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meshDials
+}
+
+// Close tears the mesh down: endpoints close, fallback dispatchers drain,
+// and the mesh's wire accounting is retained for WireStats. Close is
+// idempotent; runs after Close fail.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	eps := c.eps
+	// Fold the endpoints' accounting into retired in the same critical
+	// section that unlinks them, so a WireStats racing Close never sees the
+	// mesh half-gone (no live endpoints, empty retired). Close runs with no
+	// cycle in flight, so the counters are quiescent up to teardown noise.
+	for _, ep := range eps {
+		c.retired.Add(ep.Stats())
+	}
+	c.eps, c.routers = nil, nil
+	c.mu.Unlock()
+
+	for _, ep := range eps {
+		ep.Close()
+	}
+	c.dispatchers.Wait()
+	return nil
+}
+
+// WireStats returns the cumulative encoded-byte accounting of the cluster's
+// mesh — the measured on-wire cost standing next to the protocol-level bit
+// meters. With the mesh persistent, its Conns counter is flat across cycles:
+// connections are established once at dial time, never per flush.
 func (c *Cluster) WireStats() transport.Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.wireStats
+	st := c.retired
+	for _, ep := range c.eps {
+		st.Add(ep.Stats())
+	}
+	return st
 }
 
-// Run executes body at each of cfg.N processors over a fresh mesh, one
-// networked node per processor — the Cluster analogue of sim.Run.
+// Run executes body at each of cfg.N processors over the persistent mesh,
+// one networked node per processor — the Cluster analogue of sim.Run.
 func (c *Cluster) Run(cfg sim.RunConfig, body func(p *sim.Proc) any) *sim.RunResult {
 	br := c.runBatch(sim.BatchConfig{
 		N: cfg.N, Faulty: cfg.Faulty, Adversary: cfg.Adversary, Seed: cfg.Seed, Instances: 1,
@@ -57,13 +167,17 @@ func (c *Cluster) Run(cfg sim.RunConfig, body func(p *sim.Proc) any) *sim.RunRes
 	return &sim.RunResult{Values: ir.Values, Meter: ir.Meter, Err: ir.Err}
 }
 
-// RunBatch executes cfg.Instances pipelined instances over one fresh mesh —
-// the Cluster analogue of sim.RunBatch and the engine's Runner entry point.
+// RunBatch executes cfg.Instances pipelined instances as one epoch over the
+// persistent mesh — the Cluster analogue of sim.RunBatch and the engine's
+// Runner entry point.
 func (c *Cluster) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
 	return c.runBatch(cfg, true, body)
 }
 
 func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
 	b := cfg.Instances
 	if b < 1 {
 		b = 1
@@ -96,13 +210,19 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	if cfg.Adversary != nil {
 		adv = sim.LockAdversary(cfg.Adversary)
 	}
-	eps, err := c.factory.Mesh(cfg.N)
-	if err != nil {
-		return failAll(fmt.Errorf("node: building %s mesh: %w", c.factory.Kind(), err))
-	}
 
-	// One runtime per (instance, node); one dispatcher and one endpoint per
-	// node, shared by the node's instances.
+	c.mu.Lock()
+	if err := c.connectLocked(cfg.N); err != nil {
+		c.mu.Unlock()
+		return failAll(err)
+	}
+	base := c.nextInst
+	c.nextInst += b
+	eps, routers := c.eps, c.routers
+	c.mu.Unlock()
+
+	// One runtime per (instance, node); the persistent endpoint and router of
+	// each node are shared by the node's instances and by every cycle.
 	runtimes := make([][]*runtime, b) // [instance][node]
 	for k := 0; k < b; k++ {
 		instSeed := sim.InstanceSeed(cfg.Seed, k)
@@ -113,7 +233,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		runtimes[k] = make([]*runtime, cfg.N)
 		for i := 0; i < cfg.N; i++ {
 			runtimes[k][i] = newRuntime(options{
-				id: i, n: cfg.N, instTag: instTag, wireInst: k,
+				id: i, n: cfg.N, instTag: instTag, wireInst: base + k,
 				faulty: faulty, adv: adv,
 				procSeed:        sim.ProcSeed(instSeed, i),
 				procRand:        sim.LazyRand(sim.ProcSeed(instSeed, i)),
@@ -137,39 +257,27 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		}
 	}
 
-	// Receive routing: push-capable transports deliver frames synchronously
-	// in their own delivery context (the sender's goroutine on the bus, the
-	// connection readers on TCP) through a Sink — no dispatcher goroutine,
-	// no queue hop, no extra wakeup per frame. Endpoints without push
-	// delivery fall back to a per-node dispatcher draining Recv.
-	var dispatchers sync.WaitGroup
+	// Attach this epoch to the persistent routers: incoming frames for the
+	// claimed id range route to the fresh runtimes, frames of earlier epochs
+	// are discarded by tag, and peer channels already known broken replay
+	// into the new inboxes.
 	for i := 0; i < cfg.N; i++ {
-		router := &nodeRouter{runtimes: runtimes, node: i}
-		if pc, ok := eps[i].(transport.PushCapable); ok {
-			pc.SetSink(router)
-			continue
+		rts := make([]*runtime, b)
+		for k := 0; k < b; k++ {
+			rts[k] = runtimes[k][i]
 		}
-		dispatchers.Add(1)
-		go func(i int, r *nodeRouter) {
-			defer dispatchers.Done()
-			c.dispatch(eps[i], r, failInstance)
-		}(i, router)
+		routers[i].begin(base, rts)
 	}
 
-	// Per-node completion gates the endpoint teardown: a node's endpoint
-	// must outlive every instance it serves.
-	nodeWGs := make([]sync.WaitGroup, cfg.N)
-	var instErrs []error = make([]error, b)
+	var instErrs = make([]error, b)
 	var instMu sync.Mutex
 	var bodies sync.WaitGroup
 	for k := 0; k < b; k++ {
 		for i := 0; i < cfg.N; i++ {
 			bodies.Add(1)
-			nodeWGs[i].Add(1)
 			k, i := k, i
 			go func() {
 				defer bodies.Done()
-				defer nodeWGs[i].Done()
 				v, err := runtimes[k][i].run(func(p *sim.Proc) any { return body(k, p) })
 				res.Instances[k].Values[i] = v
 				if err != nil {
@@ -183,23 +291,13 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 			}()
 		}
 	}
-	for i := 0; i < cfg.N; i++ {
-		go func(i int) {
-			nodeWGs[i].Wait()
-			eps[i].Close()
-		}(i)
-	}
 	bodies.Wait()
-	dispatchers.Wait()
-
-	var wireTotal transport.Stats
-	for _, ep := range eps {
-		ep.Close()
-		wireTotal.Add(ep.Stats())
+	// Detach the epoch. Honest traffic is fully consumed once every body
+	// returned (one frame per peer per step, every step awaited); whatever a
+	// failed run left in flight is dropped by the next epoch's base check.
+	for i := range routers {
+		routers[i].end()
 	}
-	c.mu.Lock()
-	c.wireStats.Add(wireTotal)
-	c.mu.Unlock()
 
 	for k := range res.Instances {
 		ir := &res.Instances[k]
@@ -218,27 +316,107 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	return res
 }
 
-// nodeRouter is one node's receive routing: it decodes incoming frames and
-// routes them to the owning instance runtime. It implements transport.Sink,
-// so push-capable transports invoke it directly from their delivery context;
-// the fallback dispatcher drives the same router from a Recv loop. Frames
-// whose payloads do not decode degrade to payload-free frames (⊥ messages —
-// a legal Byzantine payload); frames whose headers do not decode, unroutable
-// instance ids, and broken connections are channel-level violations scoped
-// to the offending peer: a round that already holds that peer's frames still
-// completes, and only a round genuinely missing one fails. (A finished node
-// closes its endpoint, so peers one step behind see a benign EOF after its
-// final frames.)
-type nodeRouter struct {
-	runtimes [][]*runtime
-	node     int
+// routerEpoch is one run's attachment to a node's persistent router: the
+// run's claimed global instance id range and the node's runtime per instance.
+type routerEpoch struct {
+	base int
+	rts  []*runtime
 }
+
+// nodeRouter is one node's persistent receive routing: it decodes incoming
+// frames and routes them to the owning instance runtime of the current
+// epoch. It implements transport.Sink, so push-capable transports invoke it
+// directly from their delivery context; the fallback dispatcher drives the
+// same router from a Recv loop. Frames whose payloads do not decode degrade
+// to payload-free frames (⊥ messages — a legal Byzantine payload); frames
+// whose headers do not decode, instance ids beyond the current epoch's
+// range, and broken connections are channel-level violations scoped to the
+// offending peer: a round that already holds that peer's frames still
+// completes, and only a round genuinely missing one fails. Frames whose
+// instance id predates the current epoch are stale leftovers of an earlier
+// cycle and are dropped silently. Peer-channel failures outlive epochs: a
+// connection broken in one cycle replays into every later cycle's inboxes,
+// since the persistent mesh cannot grow it back.
+type nodeRouter struct {
+	node  int
+	n     int
+	epoch atomic.Pointer[routerEpoch] // nil between runs
+
+	mu    sync.Mutex
+	down  []error // first recorded failure per peer channel
+	fatal error   // first mesh-fatal (non-peer-attributable) receive failure
+}
+
+func newNodeRouter(node, n int) *nodeRouter {
+	return &nodeRouter{node: node, n: n, down: make([]error, n)}
+}
+
+// begin attaches a run's runtimes to the router and replays persistent
+// failure state into their fresh inboxes. The epoch is published before the
+// failure state is snapshotted: a PeerDown racing begin then either lands in
+// the snapshot (replayed below) or sees the stored epoch and delivers live —
+// possibly both, which inbox.peerDown's first-failure-wins makes idempotent.
+// Snapshot-first would lose a failure arriving in between to neither path.
+func (r *nodeRouter) begin(base int, rts []*runtime) {
+	r.epoch.Store(&routerEpoch{base: base, rts: rts})
+	r.mu.Lock()
+	down := append([]error(nil), r.down...)
+	fatal := r.fatal
+	r.mu.Unlock()
+	for peer, err := range down {
+		if err == nil {
+			continue
+		}
+		for _, rt := range rts {
+			rt.inbox.peerDown(peer, err)
+		}
+	}
+	if fatal != nil {
+		for _, rt := range rts {
+			rt.Fail(fatal)
+		}
+	}
+}
+
+// end detaches the current epoch; frames arriving until the next begin are
+// stale by definition and dropped.
+func (r *nodeRouter) end() { r.epoch.Store(nil) }
 
 // PeerDown implements transport.Sink.
 func (r *nodeRouter) PeerDown(peer int, err error) {
+	if peer < 0 || peer >= r.n {
+		return
+	}
 	err = fmt.Errorf("node %d: %w", r.node, err)
-	for k := range r.runtimes {
-		r.runtimes[k][r.node].inbox.peerDown(peer, err)
+	r.mu.Lock()
+	if r.down[peer] == nil {
+		r.down[peer] = err
+	} else {
+		err = r.down[peer] // every cycle sees the first failure
+	}
+	r.mu.Unlock()
+	if ep := r.epoch.Load(); ep != nil {
+		for _, rt := range ep.rts {
+			rt.inbox.peerDown(peer, err)
+		}
+	}
+}
+
+// runFail records a mesh-fatal receive failure not attributable to one peer
+// and fails the current (and, via begin, every future) epoch's runtimes.
+func (r *nodeRouter) runFail(err error) {
+	err = fmt.Errorf("node %d: %w", r.node, err)
+	r.mu.Lock()
+	if r.fatal == nil {
+		r.fatal = err
+	} else {
+		err = r.fatal
+	}
+	r.mu.Unlock()
+	if ep := r.epoch.Load(); ep != nil {
+		for _, rt := range ep.rts {
+			rt.Fail(err)
+		}
 	}
 }
 
@@ -258,17 +436,28 @@ func (r *nodeRouter) Deliver(fr transport.Frame) {
 		f = hdr
 	}
 	transport.PutBuf(fr.Data)
-	if f.Instance >= len(r.runtimes) {
+	ep := r.epoch.Load()
+	if ep == nil || f.Instance < ep.base {
+		// Stale: the frame belongs to an earlier epoch (an aborted run's
+		// leftovers, or delivery racing a cycle's teardown). The persistent
+		// mesh replaces the old fresh-mesh-per-run fence with this tag check.
+		wire.PutFrame(f)
+		return
+	}
+	k := f.Instance - ep.base
+	if k >= len(ep.rts) {
+		wire.PutFrame(f)
 		r.PeerDown(fr.From, fmt.Errorf("frame from node %d for unknown instance %d", fr.From, f.Instance))
 		return
 	}
-	if !r.runtimes[f.Instance][r.node].inbox.push(fr.From, f.Stream, f) {
+	if !ep.rts[k].inbox.push(fr.From, f.Stream, f) {
 		r.PeerDown(fr.From, fmt.Errorf("node %d floods never-awaited stream tags (stream %d)", fr.From, f.Stream))
 	}
 }
 
-// dispatch is the fallback receive loop for endpoints without push delivery.
-func (c *Cluster) dispatch(ep transport.Endpoint, r *nodeRouter, failInstance func(int, error)) {
+// dispatch is the fallback receive loop for endpoints without push delivery;
+// it runs for the mesh's whole lifetime and exits when the endpoint closes.
+func dispatch(ep transport.Endpoint, r *nodeRouter) {
 	for {
 		fr, err := ep.Recv()
 		if err == transport.ErrClosed {
@@ -279,9 +468,7 @@ func (c *Cluster) dispatch(ep transport.Endpoint, r *nodeRouter, failInstance fu
 			if errors.As(err, &pe) {
 				r.PeerDown(pe.Peer, err)
 			} else {
-				for k := range r.runtimes {
-					r.runtimes[k][r.node].Fail(fmt.Errorf("node %d: %w", r.node, err))
-				}
+				r.runFail(err)
 			}
 			continue
 		}

@@ -54,6 +54,7 @@ func TestClusterRunsBarrierProtocol(t *testing.T) {
 			t.Parallel()
 			const n = 4
 			c := NewCluster(f)
+			defer c.Close()
 			res := c.Run(sim.RunConfig{N: n, Seed: 7}, gatherBody)
 			if res.Err != nil {
 				t.Fatal(res.Err)
@@ -111,6 +112,7 @@ func TestClusterTCPMatchesSimulatorEquivocator(t *testing.T) {
 
 	simRes := consensusOutputs(t, sim.Run, par, inputs, L, faulty, adv, 42)
 	c := NewCluster(transport.TCPFactory{Options: transport.TCPOptions{SetupTimeout: 10 * time.Second}})
+	defer c.Close()
 	netRes := consensusOutputs(t, c.Run, par, inputs, L, faulty, adv, 42)
 
 	for i := 0; i < n; i++ {
@@ -161,6 +163,7 @@ func TestClusterMatchesSimulatorPerTagMeters(t *testing.T) {
 	}
 	simRes := consensusOutputs(t, sim.Run, par, inputs, L, []int{2}, adversary.Equivocator{}, 9)
 	c := NewCluster(transport.BusFactory{})
+	defer c.Close()
 	netRes := consensusOutputs(t, c.Run, par, inputs, L, []int{2}, adversary.Equivocator{}, 9)
 
 	simTags := simRes.Meter.Snapshot()
@@ -184,6 +187,7 @@ func TestClusterRunBatchPipelinesInstances(t *testing.T) {
 		inputs[k] = bytes.Repeat([]byte{byte(0x10 + k)}, 32)
 	}
 	c := NewCluster(transport.BusFactory{})
+	defer c.Close()
 	res := c.RunBatch(sim.BatchConfig{N: n, Faulty: []int{3}, Adversary: adversary.Equivocator{}, Seed: 5, Instances: instances},
 		func(inst int, p *sim.Proc) any {
 			return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
@@ -215,6 +219,7 @@ func TestClusterRunBatchPipelinesInstances(t *testing.T) {
 func TestClusterBodyErrorFailsOnlyItsInstance(t *testing.T) {
 	t.Parallel()
 	c := NewCluster(transport.BusFactory{})
+	defer c.Close()
 	c.StepTimeout = 5 * time.Second
 	res := c.RunBatch(sim.BatchConfig{N: 3, Seed: 5, Instances: 3}, func(inst int, p *sim.Proc) any {
 		if inst == 0 && p.ID == 1 {
@@ -247,6 +252,7 @@ func TestClusterDivergentNodeFailsRun(t *testing.T) {
 		t.Run(kind, func(t *testing.T) {
 			t.Parallel()
 			c := NewCluster(f)
+			defer c.Close()
 			c.StepTimeout = 2 * time.Second
 			res := c.Run(sim.RunConfig{N: 3, Seed: 1}, func(p *sim.Proc) any {
 				if p.ID == 2 {
@@ -265,6 +271,7 @@ func TestClusterDivergentNodeFailsRun(t *testing.T) {
 func TestClusterStepMismatchIsDetected(t *testing.T) {
 	t.Parallel()
 	c := NewCluster(transport.BusFactory{})
+	defer c.Close()
 	c.StepTimeout = 5 * time.Second
 	res := c.Run(sim.RunConfig{N: 2, Seed: 1}, func(p *sim.Proc) any {
 		if p.ID == 0 {
@@ -316,6 +323,7 @@ func TestClusterGarbagePayloadDegradesToBot(t *testing.T) {
 	// sync contribution with nil, the canonical ⊥.
 	var sawNil atomic.Bool
 	c := NewCluster(transport.BusFactory{})
+	defer c.Close()
 	res := c.Run(sim.RunConfig{N: 3, Faulty: []int{0}, Seed: 3,
 		Adversary: adversary.Func{Sync: func(ctx *sim.SyncCtx) {
 			ctx.Vals[0] = nil
@@ -332,5 +340,105 @@ func TestClusterGarbagePayloadDegradesToBot(t *testing.T) {
 	}
 	if !sawNil.Load() {
 		t.Error("nil contribution was not delivered as ⊥")
+	}
+}
+
+// TestClusterMeshPersistsAcrossRuns pins the persistent-mesh contract: any
+// number of runs over one cluster cost exactly one mesh dial, successive
+// cycles are demultiplexed by the global instance id, and the connection
+// counter stays flat — no re-dial between cycles.
+func TestClusterMeshPersistsAcrossRuns(t *testing.T) {
+	t.Parallel()
+	for kind, f := range factories() {
+		kind, f := kind, f
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			const n, runs = 4, 3
+			c := NewCluster(f)
+			defer c.Close()
+			if err := c.Connect(n); err != nil {
+				t.Fatal(err)
+			}
+			connsAtDial := c.WireStats().Conns
+			for r := 0; r < runs; r++ {
+				res := c.RunBatch(sim.BatchConfig{N: n, Seed: int64(r + 1), Instances: 2},
+					func(inst int, p *sim.Proc) any { return gatherBody(p) })
+				if res.Err != nil {
+					t.Fatalf("run %d: %v", r, res.Err)
+				}
+				for k := range res.Instances {
+					for i, v := range res.Instances[k].Values {
+						if v != int64(24) {
+							t.Errorf("run %d inst %d node %d = %v, want 24", r, k, i, v)
+						}
+					}
+				}
+				if conns := c.WireStats().Conns; conns != connsAtDial {
+					t.Fatalf("run %d grew the connection counter %d -> %d: mesh was re-dialed", r, connsAtDial, conns)
+				}
+			}
+			if dials := c.MeshDials(); dials != 1 {
+				t.Errorf("%d mesh dials across %d runs, want exactly 1", dials, runs)
+			}
+			if kind == "tcp" {
+				if conns := c.WireStats().Conns; conns != int64(n*(n-1)) {
+					t.Errorf("connection counter = %d, want %d", conns, n*(n-1))
+				}
+			}
+		})
+	}
+}
+
+// TestClusterStaleFramesOfAbortedRunAreDropped: a run that aborts mid-round
+// leaves frames in flight; the next run over the same mesh must drop them by
+// epoch tag and complete normally — the persistent-mesh replacement for the
+// old fresh-mesh-per-run fence.
+func TestClusterStaleFramesOfAbortedRunAreDropped(t *testing.T) {
+	t.Parallel()
+	for kind, f := range factories() {
+		kind, f := kind, f
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			const n = 3
+			c := NewCluster(f)
+			defer c.Close()
+			c.StepTimeout = 5 * time.Second
+			// Round 1 completes everywhere; node 2 then dies, so nodes 0 and
+			// 1 send round-2 frames (to node 2 among others) that no await
+			// will ever consume before the failure latch aborts them.
+			res := c.Run(sim.RunConfig{N: n, Seed: 1}, func(p *sim.Proc) any {
+				var out []sim.Message
+				for j := 0; j < n; j++ {
+					if j != p.ID {
+						out = append(out, sim.Message{To: j, Payload: []byte{byte(p.ID)}, Bits: 8, Tag: "x"})
+					}
+				}
+				p.Exchange("r1", out, nil)
+				if p.ID == 2 {
+					panic("die between rounds")
+				}
+				p.Exchange("r2", out, nil)
+				return "done"
+			})
+			if res.Err == nil {
+				t.Fatal("aborted run reported no error")
+			}
+			// The same mesh must now carry a clean run end to end: whatever
+			// the aborted epoch left in flight is discarded by tag.
+			res = c.Run(sim.RunConfig{N: n, Seed: 2}, gatherBody)
+			if res.Err != nil {
+				t.Fatalf("%s: clean run after aborted run failed: %v", kind, res.Err)
+			}
+			for i, v := range res.Values {
+				// gatherBody at n=3: per-node exchange sum 0+1+2 = 3, synced
+				// total 3 x 3 = 9.
+				if v != int64(9) {
+					t.Errorf("node %d = %v after recovery, want 9", i, v)
+				}
+			}
+			if dials := c.MeshDials(); dials != 1 {
+				t.Errorf("recovery re-dialed the mesh (%d dials)", dials)
+			}
+		})
 	}
 }

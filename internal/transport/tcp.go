@@ -77,6 +77,10 @@ type tcpEndpoint struct {
 	bytesSent  atomic.Int64
 	framesRecv atomic.Int64
 	bytesRecv  atomic.Int64
+	// connsOpened counts established peer connections (n-1 at mesh dial
+	// time); it only ever grows at dial, so a flat reading across flush
+	// cycles proves the mesh was reused rather than rebuilt.
+	connsOpened atomic.Int64
 }
 
 // SetSink implements PushCapable.
@@ -141,6 +145,7 @@ func (ep *tcpEndpoint) Stats() Stats {
 		BytesSent:  ep.bytesSent.Load(),
 		FramesRecv: ep.framesRecv.Load(),
 		BytesRecv:  ep.bytesRecv.Load(),
+		Conns:      ep.connsOpened.Load(),
 	}
 }
 
@@ -266,6 +271,7 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 	for i, ep := range eps {
 		for peer, conn := range ep.conns {
 			if conn != nil {
+				ep.connsOpened.Add(1)
 				go ep.readFrom(peer, conn)
 			}
 		}

@@ -105,6 +105,12 @@ type Stats struct {
 	BytesSent  int64
 	FramesRecv int64
 	BytesRecv  int64
+	// Conns counts the peer connections the endpoint established (n-1 per
+	// TCP endpoint at mesh dial time; 0 for the in-process bus, which has no
+	// connections). A consumer holding one mesh across many flush cycles
+	// sees this stay flat — the persistent-mesh invariant — whereas
+	// per-cycle redialing would grow it by n·(n-1) per cycle.
+	Conns int64
 }
 
 // Add accumulates other into s.
@@ -113,6 +119,7 @@ func (s *Stats) Add(other Stats) {
 	s.BytesSent += other.BytesSent
 	s.FramesRecv += other.FramesRecv
 	s.BytesRecv += other.BytesRecv
+	s.Conns += other.Conns
 }
 
 // Endpoint is one node's attachment to the deployment's n-processor mesh.
@@ -145,9 +152,11 @@ type Endpoint interface {
 	Stats() Stats
 }
 
-// Factory creates fully connected in-process meshes on demand. The cluster
-// runtime builds one mesh per batched run, so stale frames of an aborted run
-// can never leak into the next.
+// Factory creates fully connected meshes on demand. The cluster runtime
+// (internal/node) dials one mesh per Cluster and keeps it for the cluster's
+// whole life, demultiplexing successive runs by an epoch tag in the frame
+// headers — stale frames of an aborted run are discarded by tag, not fenced
+// off by a mesh teardown.
 type Factory interface {
 	// Mesh returns n connected endpoints, endpoint i for processor i.
 	Mesh(n int) ([]Endpoint, error)

@@ -2,6 +2,7 @@ package byzcons_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -142,6 +143,7 @@ func TestServiceWindowedPipeline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer svc.Close()
 		const count = 16
 		pendings := make([]*byzcons.Pending, count)
 		for i := range pendings {
@@ -155,7 +157,7 @@ func TestServiceWindowedPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range pendings {
-			d := p.Wait()
+			d := p.Wait(context.Background())
 			if d.Err != nil {
 				t.Fatal(d.Err)
 			}

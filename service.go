@@ -1,11 +1,17 @@
 package byzcons
 
 import (
+	"context"
+
 	"byzcons/internal/engine"
-	"byzcons/internal/node"
 )
 
 // ServiceConfig configures a batching consensus Service.
+//
+// Deprecated: the Service API is the manual batch pump that predates the
+// streaming Session; use SessionConfig with Open. ServiceConfig is kept so
+// existing callers keep compiling and behaving identically (a Service is a
+// Session with every auto-flush trigger disabled).
 type ServiceConfig struct {
 	// Config carries the protocol parameters (N, T, broadcast substrate,
 	// seed, ...). Config.Window > 1 additionally pipelines each instance's
@@ -14,14 +20,13 @@ type ServiceConfig struct {
 	// in-flight generations of all in-flight instances. Trace is ignored by
 	// the Service.
 	Config
-	// Scenario injects faults into the simulated deployment: the same faulty
-	// set and adversary apply to every consensus instance the service runs.
+	// Scenario injects faults into the deployment: the same faulty set and
+	// adversary apply to every consensus instance the service runs.
 	Scenario Scenario
 	// Transport selects the deployment backend the consensus instances run
-	// over: TransportSim (default, shared-memory simulator), TransportBus
-	// (networked nodes over an in-process bus, full wire encoding) or
-	// TransportTCP (networked nodes over a loopback TCP mesh). Networked
-	// backends build a fresh mesh per flush cycle.
+	// over: TransportSim (default), TransportBus or TransportTCP. Networked
+	// backends dial one persistent mesh at NewService and reuse it across
+	// every Flush.
 	Transport TransportKind
 	// BatchValues caps how many submitted values are coalesced into one
 	// consensus instance (0 = 64). Bigger batches mean longer inputs and
@@ -43,17 +48,16 @@ type Pending = engine.Pending
 // BatchStats is the per-batch (= per consensus instance) metric record.
 type BatchStats = engine.BatchStats
 
-// FlushReport summarises one Service.Flush.
+// FlushReport summarises flushed work: one cycle on the Reports stream, or
+// everything one manual Flush ran.
 type FlushReport = engine.Report
 
 // ServiceStats is the service's cumulative accounting.
 type ServiceStats = engine.Stats
 
-// Service is the batched consensus engine behind a Submit/Decide API: client
-// values are coalesced into long inputs (one per consensus instance,
-// amortizing the per-generation broadcast overhead), instances are pipelined
-// over the simulated deployment, and each submission resolves to its own
-// per-client Decision.
+// Service is the manual-flush facade over the streaming Session: Submit
+// queues values, Flush coalesces them into pipelined consensus instances,
+// and each submission resolves to its own per-client Decision.
 //
 //	svc, _ := byzcons.NewService(byzcons.ServiceConfig{
 //		Config:      byzcons.Config{N: 7, T: 2},
@@ -61,68 +65,63 @@ type ServiceStats = engine.Stats
 //	})
 //	p, _ := svc.Submit([]byte("command"))
 //	svc.Flush()
-//	d := p.Wait() // d.Value == []byte("command")
+//	d := p.Wait(ctx) // d.Value == []byte("command")
+//
+// Deprecated: use Open and the Session API — Propose/ProposeAsync with a
+// background FlushPolicy replace the Submit/Flush pump, Drain/Close have
+// precise lifecycle semantics, and Reports streams per-cycle metrics. The
+// Service remains a thin shim over the same engine for behavioral parity.
 type Service struct {
-	eng     *engine.Engine
-	cluster *node.Cluster // nil when backed by the simulator
+	s *Session
 }
 
-// NewService validates cfg and returns a Service.
+// NewService validates cfg and returns a Service: a Session with auto-flush
+// disabled, so nothing runs until the caller flushes.
+//
+// Deprecated: use Open.
 func NewService(cfg ServiceConfig) (*Service, error) {
-	factory, err := cfg.Transport.factory()
-	if err != nil {
-		return nil, err
-	}
-	var cluster *node.Cluster
-	var runner engine.Runner
-	if factory != nil {
-		cluster = node.NewCluster(factory)
-		runner = cluster
-	}
-	eng, err := engine.New(engine.Config{
-		Consensus:   cfg.consensusParams(),
-		Runner:      runner,
-		Seed:        cfg.Seed,
-		Faulty:      cfg.Scenario.Faulty,
-		Adversary:   cfg.Scenario.Behavior,
+	s, err := Open(SessionConfig{
+		Config:      cfg.Config,
+		Scenario:    cfg.Scenario,
+		Transport:   cfg.Transport,
 		BatchValues: cfg.BatchValues,
 		BatchBytes:  cfg.BatchBytes,
 		Instances:   cfg.Instances,
+		// Fully manual: the Service contract is that work runs on Flush, not
+		// behind the caller's back.
+		Policy: FlushPolicy{MaxValues: -1, MaxBytes: -1, MaxDelay: -1},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Service{eng: eng, cluster: cluster}, nil
+	return &Service{s: s}, nil
 }
 
 // Submit queues a client value for the next Flush and returns a handle on
 // its decision. The value is copied; the caller may reuse the slice.
 func (s *Service) Submit(value []byte) (*Pending, error) {
-	return s.eng.Submit(value)
+	return s.s.ProposeAsync(context.Background(), value)
 }
 
 // Flush drains the queue: pending values are coalesced into batches, batches
 // run as pipelined consensus instances, and every outstanding Pending
 // resolves. It returns per-batch metrics for everything it ran.
-func (s *Service) Flush() (*FlushReport, error) {
-	return s.eng.Flush()
-}
+func (s *Service) Flush() (*FlushReport, error) { return s.s.Flush() }
 
 // PendingCount returns the number of values queued for the next Flush.
-func (s *Service) PendingCount() int { return s.eng.PendingCount() }
+func (s *Service) PendingCount() int { return s.s.PendingCount() }
 
 // Stats returns the service's cumulative accounting.
-func (s *Service) Stats() ServiceStats { return s.eng.Stats() }
+func (s *Service) Stats() ServiceStats { return s.s.Stats() }
 
 // WireStats returns the cumulative encoded on-wire traffic of a networked
 // service (zero when backed by the simulator, whose payloads never leave
 // the process).
-func (s *Service) WireStats() WireStats {
-	if s.cluster == nil {
-		return WireStats{}
-	}
-	return s.cluster.WireStats()
-}
+func (s *Service) WireStats() WireStats { return s.s.WireStats() }
 
-// Close flushes any queued values and rejects further submissions.
-func (s *Service) Close() error { return s.eng.Close() }
+// Close rejects further submissions, promptly fails values still queued with
+// ErrClosed — their Wait callers unblock instead of hanging — and tears the
+// transport mesh down. Call Flush first to have queued values decided rather
+// than failed. (Close used to flush implicitly; failing fast is the fixed
+// contract, shared with Session.Close.)
+func (s *Service) Close() error { return s.s.Close() }

@@ -2,8 +2,11 @@ package byzcons_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"byzcons"
 )
@@ -19,6 +22,7 @@ func TestServiceSubmitFlushDecide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	var values [][]byte
 	var pendings []*byzcons.Pending
 	for i := 0; i < 10; i++ {
@@ -43,7 +47,7 @@ func TestServiceSubmitFlushDecide(t *testing.T) {
 		}
 	}
 	for i, p := range pendings {
-		d := p.Wait()
+		d := p.Wait(context.Background())
 		if d.Err != nil {
 			t.Fatalf("value %d: %v", i, d.Err)
 		}
@@ -79,6 +83,7 @@ func TestServiceAmortizedBitsPerValueDecreases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer svc.Close()
 		for v := 0; v < workload; v++ {
 			if _, err := svc.Submit(bytes.Repeat([]byte{byte(v)}, 64)); err != nil {
 				t.Fatal(err)
@@ -93,6 +98,38 @@ func TestServiceAmortizedBitsPerValueDecreases(t *testing.T) {
 			t.Errorf("batch=%d: %.0f bits/value does not beat %.0f at the previous size", batch, perValue, prev)
 		}
 		prev = perValue
+	}
+}
+
+// TestServiceCloseFailsUndecidedPendings is the deprecated-surface
+// regression for the fixed Close contract: closing a Service with undecided
+// pendings fails them promptly with ErrClosed instead of leaving Wait
+// callers blocked forever (the shim shares Session.Close's semantics).
+func TestServiceCloseFailsUndecidedPendings(t *testing.T) {
+	t.Parallel()
+	svc, err := byzcons.NewService(byzcons.ServiceConfig{
+		Config: byzcons.Config{N: 4, T: 1, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	p, err := svc.Submit([]byte("never flushed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan byzcons.Decision, 1)
+	go func() { waited <- p.Wait(context.Background()) }()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-waited:
+		if !errors.Is(d.Err, byzcons.ErrClosed) {
+			t.Fatalf("decision after Close = %+v, want ErrClosed", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait still blocked after Service.Close")
 	}
 }
 

@@ -1,0 +1,325 @@
+package byzcons
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"byzcons/internal/engine"
+	"byzcons/internal/node"
+)
+
+// ErrClosed is the sentinel failing work that outlives its Session: Propose
+// after Close returns it, and every proposal still undecided when Close is
+// called resolves with a Decision carrying it, so no Wait ever hangs on a
+// closed session.
+var ErrClosed = engine.ErrClosed
+
+// FlushPolicy drives a Session's background flushing: instead of callers
+// pumping Flush by hand, queued proposals are coalesced into consensus
+// batches whenever a trigger trips. Each field stands on its own: 0 selects
+// that trigger's default, a negative value disables that trigger. In
+// particular the MaxDelay backstop stays armed (at DefaultMaxDelay) even
+// when only a size trigger was set explicitly — a trickle of proposals
+// below the size threshold must still decide. Disabling all three triggers
+// makes the session fully manual (Flush/Drain/Close only) — the deprecated
+// Service shim runs in that mode.
+type FlushPolicy struct {
+	// MaxValues flushes once at least this many proposals are queued
+	// (0 = one full cycle: BatchValues × Instances; negative = disabled).
+	MaxValues int
+	// MaxBytes flushes once the queued proposals' packed payload bytes reach
+	// this threshold (0 or negative = disabled; the batch-size caps already
+	// bound per-instance bytes).
+	MaxBytes int
+	// MaxDelay flushes at most this long after a proposal was enqueued, so a
+	// trickle of traffic never waits indefinitely for a full batch
+	// (0 = DefaultMaxDelay; negative = disabled).
+	MaxDelay time.Duration
+}
+
+// DefaultMaxDelay is the flush-delay bound a zero FlushPolicy.MaxDelay gets:
+// low enough that a lone Propose decides interactively, high enough that a
+// busy ingest stream fills whole batches before the timer ever fires.
+const DefaultMaxDelay = 5 * time.Millisecond
+
+// normalized resolves the policy against the batch geometry, field by
+// field: explicit positives are kept, zeros take that field's default,
+// negatives disable.
+func (p FlushPolicy) normalized(batchValues, instances int) engine.Policy {
+	var out engine.Policy
+	switch {
+	case p.MaxValues > 0:
+		out.MaxValues = p.MaxValues
+	case p.MaxValues == 0:
+		out.MaxValues = batchValues * instances
+	}
+	if p.MaxBytes > 0 {
+		out.MaxBytes = p.MaxBytes
+	}
+	switch {
+	case p.MaxDelay > 0:
+		out.MaxDelay = p.MaxDelay
+	case p.MaxDelay == 0:
+		out.MaxDelay = DefaultMaxDelay
+	}
+	return out
+}
+
+// SessionConfig configures a consensus Session.
+type SessionConfig struct {
+	// Config carries the protocol parameters (N, T, broadcast substrate,
+	// seed, ...). Config.Window > 1 additionally pipelines each instance's
+	// generations (speculative execution with squash-and-replay), which
+	// composes with Instances: rounds then carry the traffic of all
+	// in-flight generations of all in-flight instances. Trace is ignored by
+	// the Session.
+	Config
+	// Scenario injects faults into the deployment: the same faulty set and
+	// adversary apply to every consensus instance the session runs.
+	Scenario Scenario
+	// Transport selects the deployment backend the consensus instances run
+	// over: TransportSim (default, shared-memory simulator), TransportBus
+	// (networked nodes over an in-process bus, full wire encoding) or
+	// TransportTCP (networked nodes over a loopback TCP mesh). Networked
+	// backends dial the mesh once at Open and reuse it across every flush
+	// cycle; successive cycles are demultiplexed by an epoch tag in the
+	// frame headers, not by fresh connections.
+	Transport TransportKind
+	// BatchValues caps how many proposals are coalesced into one consensus
+	// instance (0 = 64). Bigger batches mean longer inputs and fewer
+	// amortized bits per value — the paper's large-L regime.
+	BatchValues int
+	// BatchBytes caps the packed payload bytes per instance (0 = 1 MiB).
+	BatchBytes int
+	// Instances is the number of consensus instances pipelined concurrently
+	// per flush cycle (0 = 4).
+	Instances int
+	// Policy drives background flushing (see FlushPolicy; the zero value
+	// selects the defaults).
+	Policy FlushPolicy
+	// ReportBuffer is the capacity of the Reports stream (0 = 16). The
+	// stream is lossy: a lagging consumer drops reports instead of stalling
+	// flushes.
+	ReportBuffer int
+	// OnFlush, if non-nil, is called synchronously after every flush cycle
+	// with that cycle's report — the per-cycle observability hook. It runs
+	// on the flushing goroutine: treat the report as read-only and return
+	// quickly.
+	OnFlush func(FlushReport)
+}
+
+// withDefaults fills the zero-value fields.
+func (cfg SessionConfig) withDefaults() SessionConfig {
+	if cfg.BatchValues == 0 {
+		cfg.BatchValues = 64
+	}
+	if cfg.BatchBytes == 0 {
+		cfg.BatchBytes = 1 << 20
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 4
+	}
+	return cfg
+}
+
+// Validate reports whether the configuration is runnable, with every
+// constraint checked up front — protocol parameters, fault scenario, batch
+// geometry and transport — instead of surfacing mid-run. Open calls it; it
+// is exported so callers assembling configurations (CLIs, config files) can
+// validate without dialing a mesh.
+func (cfg SessionConfig) Validate() error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Config.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Scenario.validate(cfg.N, cfg.T); err != nil {
+		return err
+	}
+	if _, err := cfg.Transport.factory(); err != nil {
+		return err
+	}
+	if cfg.BatchValues < 1 {
+		return fmt.Errorf("byzcons: BatchValues must be >= 1, got %d", cfg.BatchValues)
+	}
+	if cfg.BatchBytes < 1 {
+		return fmt.Errorf("byzcons: BatchBytes must be >= 1, got %d", cfg.BatchBytes)
+	}
+	if cfg.Instances < 1 {
+		return fmt.Errorf("byzcons: Instances must be >= 1, got %d", cfg.Instances)
+	}
+	if cfg.ReportBuffer < 0 {
+		return fmt.Errorf("byzcons: ReportBuffer must be >= 0, got %d", cfg.ReportBuffer)
+	}
+	return nil
+}
+
+// Session is the streaming consensus service: a long-lived handle over a
+// persistent deployment. Proposals from any number of goroutines are
+// coalesced into long per-instance inputs (amortizing the per-generation
+// broadcast overhead, the paper's O(nL) result), flush cycles are driven by
+// the background FlushPolicy, decisions stream back per proposal, and on a
+// networked transport the whole lifetime runs over one mesh dialed at Open.
+//
+//	s, err := byzcons.Open(byzcons.SessionConfig{
+//		Config: byzcons.Config{N: 7, T: 2},
+//	})
+//	d, err := s.Propose(ctx, []byte("command")) // d.Value == []byte("command")
+//	...
+//	s.Drain(ctx) // flush stragglers and wait
+//	s.Close()    // fail anything still queued with ErrClosed
+type Session struct {
+	eng     *engine.Engine
+	cluster *node.Cluster // nil when backed by the simulator
+}
+
+// Open validates cfg, dials the transport mesh (networked backends dial
+// eagerly, so transport failures surface here, not at the first flush) and
+// starts the session's background flusher.
+func Open(cfg SessionConfig) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	factory, err := cfg.Transport.factory()
+	if err != nil {
+		return nil, err
+	}
+	var cluster *node.Cluster
+	var runner engine.Runner
+	if factory != nil {
+		cluster = node.NewCluster(factory)
+		if err := cluster.Connect(cfg.N); err != nil {
+			return nil, err
+		}
+		runner = cluster
+	}
+	eng, err := engine.New(engine.Config{
+		Consensus:    cfg.consensusParams(),
+		Runner:       runner,
+		Seed:         cfg.Seed,
+		Faulty:       cfg.Scenario.Faulty,
+		Adversary:    cfg.Scenario.Behavior,
+		BatchValues:  cfg.BatchValues,
+		BatchBytes:   cfg.BatchBytes,
+		Instances:    cfg.Instances,
+		Policy:       cfg.Policy.normalized(cfg.BatchValues, cfg.Instances),
+		ReportBuffer: cfg.ReportBuffer,
+		OnCycle:      cfg.OnFlush, // FlushReport = engine.Report, so the hook passes through
+	})
+	if err != nil {
+		if cluster != nil {
+			cluster.Close()
+		}
+		return nil, err
+	}
+	return &Session{eng: eng, cluster: cluster}, nil
+}
+
+// Propose submits one value and blocks until its consensus decision is
+// available or ctx is done. A nil error means the value decided; otherwise
+// the error is ctx.Err() (the proposal stays in flight and will still be
+// agreed by the deployment), ErrClosed (the session closed before the value
+// flushed), or the batch's instance failure.
+func (s *Session) Propose(ctx context.Context, value []byte) (Decision, error) {
+	p, err := s.ProposeAsync(ctx, value)
+	if err != nil {
+		return Decision{Batch: -1, Err: err}, err
+	}
+	d := p.Wait(ctx)
+	return d, d.Err
+}
+
+// ProposeAsync submits one value and returns a handle on its eventual
+// decision without waiting. It never blocks on consensus progress — the
+// value only joins the queue (the ctx therefore only gates entry); flushing
+// is the background policy's job. The value is copied; the caller may reuse
+// the slice.
+func (s *Session) ProposeAsync(ctx context.Context, value []byte) (*Pending, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.eng.Submit(value)
+}
+
+// Flush drains the queue synchronously and returns the aggregated per-batch
+// metrics — the manual override next to the background policy, for callers
+// that want explicit batch boundaries.
+func (s *Session) Flush() (*FlushReport, error) { return s.eng.Flush() }
+
+// Drain flushes everything queued and waits until those cycles committed, or
+// until ctx is done: after a nil return, every proposal accepted before
+// Drain was called has resolved. Cancellation abandons only the wait; the
+// flushing runs to completion in the background.
+func (s *Session) Drain(ctx context.Context) error { return s.eng.Drain(ctx) }
+
+// Close shuts the session down: further proposals are rejected with
+// ErrClosed, proposals still queued fail promptly with ErrClosed (their Wait
+// callers unblock — Close never strands a Pending), a flush cycle already in
+// flight completes with real decisions, the Reports stream closes, and the
+// transport mesh is torn down. Close is idempotent. Callers that want
+// queued work decided instead of failed should Drain first.
+func (s *Session) Close() error {
+	err := s.eng.Close()
+	if s.cluster != nil {
+		if cErr := s.cluster.Close(); err == nil {
+			err = cErr
+		}
+	}
+	return err
+}
+
+// Reports returns the per-cycle report stream: one FlushReport per flush
+// cycle in commit order, closed by Close. The stream is buffered and lossy
+// (SessionConfig.ReportBuffer); Stats().ReportsDropped counts what a lagging
+// consumer missed.
+func (s *Session) Reports() <-chan FlushReport { return s.eng.Reports() }
+
+// PendingCount returns the number of proposals queued for the next flush
+// cycle.
+func (s *Session) PendingCount() int { return s.eng.PendingCount() }
+
+// Stats returns the session's cumulative accounting.
+func (s *Session) Stats() SessionStats { return s.eng.Stats() }
+
+// WireStats returns the cumulative encoded on-wire traffic of a networked
+// session (zero when backed by the simulator, whose payloads never leave
+// the process). Its Conns counter stays flat across flush cycles: the mesh
+// is dialed once at Open.
+func (s *Session) WireStats() WireStats {
+	if s.cluster == nil {
+		return WireStats{}
+	}
+	return s.cluster.WireStats()
+}
+
+// MeshDials reports how many times the session dialed a transport mesh:
+// always 1 for a networked session (the persistent-mesh invariant, whatever
+// the number of flush cycles), 0 for the simulator backend.
+func (s *Session) MeshDials() int {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.MeshDials()
+}
+
+// SessionStats is the session's cumulative accounting.
+type SessionStats = engine.Stats
+
+// Scenario validation: ids must be in range, distinct, and at most T.
+func (sc Scenario) validate(n, t int) error {
+	seen := make(map[int]bool, len(sc.Faulty))
+	for _, f := range sc.Faulty {
+		if f < 0 || f >= n {
+			return fmt.Errorf("byzcons: faulty id %d out of range [0,%d)", f, n)
+		}
+		if seen[f] {
+			return fmt.Errorf("byzcons: duplicate faulty id %d", f)
+		}
+		seen[f] = true
+	}
+	if len(sc.Faulty) > t {
+		return fmt.Errorf("byzcons: %d faulty processors exceed t=%d", len(sc.Faulty), t)
+	}
+	return nil
+}

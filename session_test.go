@@ -1,0 +1,454 @@
+package byzcons_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"byzcons"
+)
+
+// transports lists every deployment backend a Session can run over.
+func transports() []byzcons.TransportKind {
+	return []byzcons.TransportKind{byzcons.TransportSim, byzcons.TransportBus, byzcons.TransportTCP}
+}
+
+// manualPolicy disables every auto-flush trigger.
+func manualPolicy() byzcons.FlushPolicy {
+	return byzcons.FlushPolicy{MaxValues: -1, MaxBytes: -1, MaxDelay: -1}
+}
+
+// TestSessionCloseFailsPendingsPromptly is the Close-semantics regression
+// test: closing a session with undecided proposals must fail them promptly
+// with ErrClosed — Wait callers unblock instead of hanging — and must leak no
+// goroutines (clients, flusher, TCP readers all retire). Deliberately not
+// parallel: the goroutine-count baseline must not see other tests' workers.
+func TestSessionCloseFailsPendingsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config:    byzcons.Config{N: 4, T: 1, Seed: 2},
+		Transport: byzcons.TransportTCP,
+		Policy:    manualPolicy(), // nothing will ever flush these
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	decisions := make(chan byzcons.Decision, clients)
+	var started sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		p, err := s.ProposeAsync(context.Background(), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		started.Add(1)
+		go func() {
+			started.Done()
+			decisions <- p.Wait(context.Background())
+		}()
+	}
+	started.Wait()
+	if n := s.PendingCount(); n != clients {
+		t.Fatalf("PendingCount = %d, want %d", n, clients)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < clients; i++ {
+		select {
+		case d := <-decisions:
+			if !errors.Is(d.Err, byzcons.ErrClosed) {
+				t.Fatalf("decision %d after Close: %+v, want ErrClosed", i, d)
+			}
+		case <-deadline:
+			t.Fatalf("Wait caller %d still blocked after Close", i)
+		}
+	}
+	if _, err := s.Propose(context.Background(), []byte("late")); !errors.Is(err, byzcons.ErrClosed) {
+		t.Errorf("Propose after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// TCP readers (12 at n=4), the flusher and the clients must all be gone;
+	// allow a little scheduler slack, far below a real leak's footprint.
+	var after int
+	for wait := time.Duration(0); wait < 5*time.Second; wait += 10 * time.Millisecond {
+		if after = runtime.NumGoroutine(); after <= before+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked across Close: %d before, %d after", before, after)
+}
+
+// TestSessionAutoFlushMaxValues: a full cycle's worth of proposals decides
+// with no Flush/Drain anywhere — the background policy does the pumping.
+func TestSessionAutoFlushMaxValues(t *testing.T) {
+	t.Parallel()
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config:      byzcons.Config{N: 4, T: 1, Seed: 3},
+		BatchValues: 2,
+		Instances:   2,
+		Policy:      byzcons.FlushPolicy{MaxValues: 4, MaxBytes: -1, MaxDelay: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := make([][]byte, 4)
+	pendings := make([]*byzcons.Pending, 4)
+	for i := range pendings {
+		want[i] = []byte{0xB0, byte(i)}
+		if pendings[i], err = s.ProposeAsync(context.Background(), want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, p := range pendings {
+		d := p.Wait(ctx)
+		if d.Err != nil || !bytes.Equal(d.Value, want[i]) {
+			t.Fatalf("auto-flushed decision %d: %+v", i, d)
+		}
+	}
+}
+
+// TestSessionAutoFlushMaxDelay: one lonely proposal, far below every size
+// threshold, still decides — bounded by the policy's delay trigger.
+func TestSessionAutoFlushMaxDelay(t *testing.T) {
+	t.Parallel()
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config: byzcons.Config{N: 4, T: 1, Seed: 4},
+		Policy: byzcons.FlushPolicy{MaxValues: 1 << 30, MaxBytes: -1, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d, err := s.Propose(ctx, []byte("trickle"))
+	if err != nil || !bytes.Equal(d.Value, []byte("trickle")) {
+		t.Fatalf("Propose under MaxDelay policy: %+v, %v", d, err)
+	}
+}
+
+// TestSessionProposeContextCancel pins the acceptance criterion that
+// Propose(ctx) and Pending.Wait(ctx) return promptly on cancellation: with
+// auto-flushing disabled nothing will ever decide the value, so only the
+// context can unblock the call — and the proposal itself must survive for a
+// later flush.
+func TestSessionProposeContextCancel(t *testing.T) {
+	t.Parallel()
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config: byzcons.Config{N: 4, T: 1, Seed: 5},
+		Policy: manualPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	d, err := s.Propose(ctx, []byte("cancelled"))
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(d.Err, context.DeadlineExceeded) {
+		t.Fatalf("Propose under dead ctx = %+v, %v", d, err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", waited)
+	}
+	// An already-cancelled context rejects at entry.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if _, err := s.ProposeAsync(dead, []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProposeAsync under cancelled ctx: %v", err)
+	}
+	// The cancelled proposal is still queued; a manual flush decides it.
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Decided != 1 {
+		t.Errorf("cancelled proposal lost: %+v", st)
+	}
+}
+
+// TestSessionConcurrentPropose hammers one session per transport from 64
+// goroutines under the race detector: concurrent Propose, mid-flight context
+// cancellation, and Drain racing Propose. Every non-cancelled call must get
+// back exactly the value it proposed.
+func TestSessionConcurrentPropose(t *testing.T) {
+	t.Parallel()
+	for _, tk := range transports() {
+		tk := tk
+		t.Run(tk.String(), func(t *testing.T) {
+			t.Parallel()
+			s, err := byzcons.Open(byzcons.SessionConfig{
+				Config:      byzcons.Config{N: 4, T: 1, Seed: 6},
+				Scenario:    byzcons.Scenario{Faulty: []int{3}, Behavior: byzcons.Equivocator{}},
+				Transport:   tk,
+				BatchValues: 8,
+				Instances:   2,
+				Policy:      byzcons.FlushPolicy{MaxValues: 16, MaxDelay: 2 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			const goroutines, perG = 64, 2
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			errc := make(chan error, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						val := []byte{0xC0, byte(g), byte(i)}
+						if g%8 == 0 && i == 0 {
+							// Mid-flight cancellation: a dead-on-arrival wait
+							// must return promptly, and the proposal must
+							// still decide for a later Wait.
+							p, err := s.ProposeAsync(ctx, val)
+							if err != nil {
+								errc <- err
+								return
+							}
+							tight, killTight := context.WithTimeout(ctx, time.Microsecond)
+							d := p.Wait(tight)
+							killTight()
+							if d.Err != nil && !errors.Is(d.Err, context.DeadlineExceeded) {
+								errc <- fmt.Errorf("tight Wait: %v", d.Err)
+								return
+							}
+							if d = p.Wait(ctx); d.Err != nil || !bytes.Equal(d.Value, val) {
+								errc <- fmt.Errorf("re-Wait after cancel: %+v", d)
+								return
+							}
+							continue
+						}
+						d, err := s.Propose(ctx, val)
+						if err != nil || !bytes.Equal(d.Value, val) {
+							errc <- fmt.Errorf("goroutine %d value %d: %+v, %v", g, i, d, err)
+							return
+						}
+					}
+				}(g)
+			}
+			// Drain races Propose the whole time.
+			stopDrain := make(chan struct{})
+			drainDone := make(chan struct{})
+			go func() {
+				defer close(drainDone)
+				for {
+					if err := s.Drain(ctx); err != nil {
+						errc <- fmt.Errorf("racing Drain: %w", err)
+						return
+					}
+					select {
+					case <-stopDrain:
+						return
+					case <-time.After(time.Millisecond):
+					}
+				}
+			}()
+			wg.Wait()
+			close(stopDrain)
+			<-drainDone
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			if err := s.Drain(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if st := s.Stats(); st.Decided != goroutines*perG {
+				t.Errorf("decided %d of %d proposals: %+v", st.Decided, goroutines*perG, st)
+			}
+		})
+	}
+}
+
+// TestSessionTCPPersistentMesh is the acceptance-criteria test: one Session
+// over TCP completes three policy-triggered flush cycles on a single mesh —
+// no re-dial between cycles, asserted via the transport connection counters —
+// with every decision bit-identical to the same workload on the simulator
+// backend, and per-cycle reports streaming in commit order.
+func TestSessionTCPPersistentMesh(t *testing.T) {
+	t.Parallel()
+	const n, tf = 4, 1
+	const waves, perWave = 3, 8
+
+	runWaves := func(tk byzcons.TransportKind) (decisions []byzcons.Decision, s *byzcons.Session) {
+		s, err := byzcons.Open(byzcons.SessionConfig{
+			Config:      byzcons.Config{N: n, T: tf, Seed: 21},
+			Scenario:    byzcons.Scenario{Faulty: []int{1}, Behavior: byzcons.Equivocator{}},
+			Transport:   tk,
+			BatchValues: 4,
+			Instances:   2,
+			// Exactly one cycle per wave: the 8th proposal trips the trigger.
+			Policy: byzcons.FlushPolicy{MaxValues: perWave, MaxBytes: -1, MaxDelay: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		var connsAfterFirstCycle int64
+		for w := 0; w < waves; w++ {
+			pendings := make([]*byzcons.Pending, perWave)
+			for i := range pendings {
+				val := bytes.Repeat([]byte{byte(0x30 + w), byte(i)}, 12)
+				if pendings[i], err = s.ProposeAsync(ctx, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, p := range pendings {
+				d := p.Wait(ctx)
+				if d.Err != nil {
+					t.Fatalf("%v wave %d: %v", tk, w, d.Err)
+				}
+				decisions = append(decisions, d)
+			}
+			if tk == byzcons.TransportTCP {
+				if conns := s.WireStats().Conns; w == 0 {
+					connsAfterFirstCycle = conns
+				} else if conns != connsAfterFirstCycle {
+					t.Fatalf("connection count moved between cycles: %d -> %d (mesh re-dialed)", connsAfterFirstCycle, conns)
+				}
+			}
+		}
+		return decisions, s
+	}
+
+	tcpDecisions, tcpSession := runWaves(byzcons.TransportTCP)
+	simDecisions, simSession := runWaves(byzcons.TransportSim)
+
+	// ≥3 policy-triggered cycles over exactly one mesh dial.
+	st := tcpSession.Stats()
+	if st.Cycles < waves {
+		t.Errorf("TCP session ran %d cycles, want >= %d", st.Cycles, waves)
+	}
+	if dials := tcpSession.MeshDials(); dials != 1 {
+		t.Errorf("mesh dialed %d times across %d cycles, want exactly 1", dials, st.Cycles)
+	}
+	if conns := tcpSession.WireStats().Conns; conns != int64(n*(n-1)) {
+		t.Errorf("connection counter = %d, want %d (one mesh, never rebuilt)", conns, n*(n-1))
+	}
+
+	// Decisions bit-identical to the simulator backend.
+	if len(tcpDecisions) != len(simDecisions) {
+		t.Fatalf("decision counts diverge: tcp %d, sim %d", len(tcpDecisions), len(simDecisions))
+	}
+	for i := range tcpDecisions {
+		td, sd := tcpDecisions[i], simDecisions[i]
+		if !bytes.Equal(td.Value, sd.Value) || td.Batch != sd.Batch || td.Defaulted != sd.Defaulted {
+			t.Errorf("decision %d diverges across backends: tcp %+v, sim %+v", i, td, sd)
+		}
+	}
+
+	// Per-cycle reports streamed in commit order; Close retires the stream.
+	reports := tcpSession.Reports()
+	if err := tcpSession.Close(); err != nil {
+		t.Fatal(err)
+	}
+	simSession.Close()
+	var cycles []int
+	for rep := range reports {
+		cycles = append(cycles, rep.Cycle)
+		if rep.Values != perWave {
+			t.Errorf("cycle %d report carries %d values, want %d", rep.Cycle, rep.Values, perWave)
+		}
+	}
+	if len(cycles) < waves {
+		t.Fatalf("got %d per-cycle reports, want >= %d", len(cycles), waves)
+	}
+	for i, c := range cycles {
+		if c != i {
+			t.Errorf("report order: got cycle %d at position %d", c, i)
+		}
+	}
+}
+
+// TestSessionOnFlushHook: the synchronous per-cycle hook fires once per
+// cycle with that cycle's report.
+func TestSessionOnFlushHook(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var hooked []int
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config:      byzcons.Config{N: 4, T: 1, Seed: 8},
+		BatchValues: 2,
+		Instances:   1,
+		Policy:      manualPolicy(),
+		OnFlush: func(rep byzcons.FlushReport) {
+			mu.Lock()
+			hooked = append(hooked, rep.Cycle)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := s.ProposeAsync(context.Background(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hooked) != 2 || hooked[0] != 0 || hooked[1] != 1 {
+		t.Errorf("OnFlush saw cycles %v, want [0 1]", hooked)
+	}
+}
+
+// TestSessionConfigValidation: the options-style surface rejects broken
+// configurations up front, with errors instead of mid-run failures.
+func TestSessionConfigValidation(t *testing.T) {
+	t.Parallel()
+	base := func() byzcons.SessionConfig {
+		return byzcons.SessionConfig{Config: byzcons.Config{N: 7, T: 2}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*byzcons.SessionConfig)
+	}{
+		{"zero n", func(c *byzcons.SessionConfig) { c.N = 0 }},
+		{"resilience bound", func(c *byzcons.SessionConfig) { c.T = 3 }},
+		{"bad symbits", func(c *byzcons.SessionConfig) { c.SymBits = 12 }},
+		{"negative window", func(c *byzcons.SessionConfig) { c.Window = -1 }},
+		{"faulty out of range", func(c *byzcons.SessionConfig) { c.Scenario.Faulty = []int{9} }},
+		{"duplicate faulty", func(c *byzcons.SessionConfig) { c.Scenario.Faulty = []int{1, 1} }},
+		{"too many faulty", func(c *byzcons.SessionConfig) { c.Scenario.Faulty = []int{0, 1, 2} }},
+		{"negative batch", func(c *byzcons.SessionConfig) { c.BatchValues = -1 }},
+		{"negative instances", func(c *byzcons.SessionConfig) { c.Instances = -2 }},
+		{"unknown transport", func(c *byzcons.SessionConfig) { c.Transport = byzcons.TransportKind(99) }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if _, err := byzcons.Open(cfg); err == nil {
+			t.Errorf("%s: Open accepted", tc.name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
