@@ -61,13 +61,20 @@ func ParseTransportKind(s string) (TransportKind, error) {
 // factory returns the transport factory behind a networked kind, or nil for
 // the simulator.
 func (k TransportKind) factory() (transport.Factory, error) {
+	return k.factoryFor(transport.RetryPolicy{})
+}
+
+// factoryFor returns the kind's factory with the given peer-channel retry
+// policy applied (TCP is the only bundled transport with real connections to
+// lose, so it is the only one the policy reaches).
+func (k TransportKind) factoryFor(retry transport.RetryPolicy) (transport.Factory, error) {
 	switch k {
 	case TransportSim:
 		return nil, nil
 	case TransportBus:
 		return transport.BusFactory{}, nil
 	case TransportTCP:
-		return transport.TCPFactory{}, nil
+		return transport.TCPFactory{Options: transport.TCPOptions{Retry: retry}}, nil
 	default:
 		return nil, fmt.Errorf("byzcons: unknown transport kind %d", int(k))
 	}

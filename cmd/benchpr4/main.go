@@ -351,25 +351,50 @@ func run(out string, reps int) error {
 
 // runSmoke asserts the pipelined-throughput invariant the coding-core PR
 // restored: Window=4 must not lose wall-clock against Window=1 on the bus
-// (a 10% grace absorbs shared-runner noise in CI).
+// (a 10% grace absorbs shared-runner noise in CI). A failing point gets one
+// retry with fresh measurements before the run is declared broken —
+// interleaved best-of-k sampling still loses to a single long scheduler
+// stall — and on single-CPU hosts, where pipelining has no parallelism to
+// win and the comparison is pure noise, the ratio is printed but not
+// enforced.
 func runSmoke(reps int) error {
+	enforce := runtime.NumCPU() >= 2
+	if !enforce {
+		fmt.Println("smoke: single-CPU host, printing throughput without enforcing the ratio")
+	}
 	for _, nt := range []struct{ n, t int }{{4, 1}, {7, 2}} {
-		var w1, w4 Row
-		w1 = Row{N: nt.n, T: nt.t, Window: 1}
-		w4 = Row{N: nt.n, T: nt.t, Window: 4}
-		for r := 0; r < reps; r++ { // interleaved: see run()
-			if err := serviceBest(&w1, 1); err != nil {
-				return err
-			}
-			if err := serviceBest(&w4, 1); err != nil {
-				return err
-			}
+		ok, err := smokePoint(nt.n, nt.t, reps)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("smoke n=%d: window=1 %.0f values/s, window=4 %.0f values/s\n", nt.n, w1.ValuesPerSec, w4.ValuesPerSec)
-		if w4.ValuesPerSec < 0.9*w1.ValuesPerSec {
-			return fmt.Errorf("n=%d: Window=4 throughput %.0f values/s below 0.9x Window=1 (%.0f values/s)",
-				nt.n, w4.ValuesPerSec, w1.ValuesPerSec)
+		if ok || !enforce {
+			continue
+		}
+		// A transient host stall fails once; a real regression fails twice.
+		fmt.Printf("smoke n=%d: below threshold, retrying once\n", nt.n)
+		if ok, err = smokePoint(nt.n, nt.t, reps); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("n=%d: Window=4 throughput below 0.9x Window=1 in both measurements", nt.n)
 		}
 	}
 	return nil
+}
+
+// smokePoint measures one (n, t) point — interleaved best-of-reps for
+// Window=1 and Window=4, see run() — and reports whether the pipelined
+// window held the throughput bar.
+func smokePoint(n, t, reps int) (bool, error) {
+	w1 := Row{N: n, T: t, Window: 1}
+	w4 := Row{N: n, T: t, Window: 4}
+	for r := 0; r < reps; r++ {
+		if err := serviceBest(&w1, 1); err != nil {
+			return false, err
+		}
+		if err := serviceBest(&w4, 1); err != nil {
+			return false, err
+		}
+	}
+	fmt.Printf("smoke n=%d: window=1 %.0f values/s, window=4 %.0f values/s\n", n, w1.ValuesPerSec, w4.ValuesPerSec)
+	return w4.ValuesPerSec >= 0.9*w1.ValuesPerSec, nil
 }

@@ -96,6 +96,11 @@ func run() error {
 		maxDelay  = flag.Duration("maxdelay", byzcons.DefaultMaxDelay, "serve: flush-policy delay bound (values never wait longer than this for a full batch)")
 		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
 
+		peerBackoff  = flag.Duration("peerbackoff", 0, "serve: peer reconnect backoff cap on TCP (0 = 1s)")
+		peerMaxFlaps = flag.Int("peermaxflaps", 0, "serve: transient losses per peer channel before permanent demotion (0 = 64, negative = unlimited)")
+		stallTimeout = flag.Duration("stalltimeout", 0, "serve: isolate a peer silent this long while a round waits on it (0 = 20s, negative = disabled)")
+		noRetry      = flag.Bool("noretry", false, "serve: disable peer reconnects (the first connection loss fails the channel for good)")
+
 		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (all modes; perf work starts from a profile, not a guess)")
@@ -178,7 +183,13 @@ func run() error {
 		}
 		cfg := byzcons.Config{N: *n, T: *t, SymBits: *sym, Lanes: *lanes, Window: *window, Broadcast: kind,
 			BroadcastEpsilon: *eps, Seed: *seed}
-		return serve(os.Stdout, cfg, sc, tk, *values, *valBytes, *batch, *instances, *ingest, *maxDelay, *sweep)
+		retry := byzcons.PeerRetry{
+			Disable:      *noRetry,
+			MaxBackoff:   *peerBackoff,
+			MaxFlaps:     *peerMaxFlaps,
+			StallTimeout: *stallTimeout,
+		}
+		return serve(os.Stdout, cfg, sc, tk, retry, *values, *valBytes, *batch, *instances, *ingest, *maxDelay, *sweep)
 	case "cluster":
 		tk, err := parseTransport(*transportStr, byzcons.TransportTCP)
 		if err != nil {
@@ -282,7 +293,7 @@ func cluster(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, inputs [][]by
 // repeats the workload at doubling batch sizes to show the amortization
 // curve.
 func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
-	values, valBytes, batch, instances, ingest int, maxDelay time.Duration, sweep bool) error {
+	retry byzcons.PeerRetry, values, valBytes, batch, instances, ingest int, maxDelay time.Duration, sweep bool) error {
 	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 || ingest < 1 {
 		return fmt.Errorf("serve: values, valbytes, batch, instances and ingest must all be >= 1")
 	}
@@ -304,6 +315,7 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 		Config:      cfg,
 		Scenario:    sc,
 		Transport:   tk,
+		PeerRetry:   retry,
 		BatchValues: batch,
 		Instances:   instances,
 		Policy:      byzcons.FlushPolicy{MaxValues: batch * instances, MaxDelay: maxDelay},
@@ -332,8 +344,12 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 			if rep.Values > 0 {
 				perValue = float64(rep.Bits) / float64(rep.Values)
 			}
-			fmt.Fprintf(w, "%6d %8d %8d %10d %10d %12.1f\n",
+			line := fmt.Sprintf("%6d %8d %8d %10d %10d %12.1f",
 				rep.Cycle, len(rep.Batches), rep.Values, rep.Bits, prounds, perValue)
+			if len(rep.PeersDown) > 0 {
+				line += fmt.Sprintf("  peersDown=%v", rep.PeersDown)
+			}
+			fmt.Fprintln(w, line)
 		}
 	}()
 
@@ -379,8 +395,8 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 	fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
 		st.Rounds, st.Bits, float64(st.Bits)/float64(values))
 	if ws.BytesSent > 0 {
-		fmt.Fprintf(w, "wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value\n",
-			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(values))
+		fmt.Fprintf(w, "wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value reconnects=%d peerFlaps=%d\n",
+			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(values), ws.Reconnects, ws.PeerFlaps)
 	}
 	return nil
 }

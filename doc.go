@@ -99,6 +99,16 @@
 //	// res.Wire.BytesSent is the measured on-wire cost; res.Bits the
 //	// protocol-level meter the paper's formulas predict.
 //
+// The mesh is self-healing: a dropped TCP connection is re-dialed with
+// capped exponential backoff and re-handshaked, the rejoining peer
+// participates again from the next flush cycle (failures are scoped to the
+// cycles that observe them, never latched across the session), and a peer
+// that stalls while a round waits on it is isolated for that cycle with an
+// attributed error. SessionConfig.PeerRetry tunes the policy — backoff
+// bounds, attempt and flap budgets, the stall timeout, or Disable to fail
+// channels on first loss — and FlushReport.PeersDown names the peers each
+// cycle ran without (WireStats().Reconnects and PeerFlaps count the churn).
+//
 // # Pipelined generations
 //
 // Algorithm 1 splits an L-bit value into independent generations; the

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -209,6 +210,12 @@ type Report struct {
 	// Rounds is the pipelined round count: the maximum per-instance rounds
 	// within a cycle (summed over cycles for aggregated reports).
 	Rounds int64
+	// PeersDown lists (sorted, deduplicated) the processors whose channels
+	// were observed down during the covered cycles — dropped connections and
+	// stall-detector isolations on a networked backend. A peer listed for
+	// one cycle and absent from the next recovered and rejoined at the epoch
+	// boundary; always empty on the simulator backend.
+	PeersDown []int
 	// Err is the first instance failure of the covered cycles, if any.
 	Err error
 }
@@ -219,9 +226,30 @@ func (r *Report) merge(c Report) {
 	r.Values += c.Values
 	r.Bits += c.Bits
 	r.Rounds += c.Rounds
+	r.PeersDown = mergePeers(r.PeersDown, c.PeersDown)
 	if r.Err == nil {
 		r.Err = c.Err
 	}
+}
+
+// mergePeers unions two sorted peer-id lists.
+func mergePeers(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, p := range a {
+		seen[p] = true
+	}
+	out := append([]int(nil), a...)
+	for _, p := range b {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Stats is the engine's cumulative accounting.
@@ -613,7 +641,7 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 		return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
 	})
 
-	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits}
+	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits, PeersDown: res.PeersDown}
 	var decided, defaulted, failed int
 	for k, batch := range cycle {
 		ir := res.Instances[k]

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"testing"
 	"time"
 
@@ -543,4 +544,40 @@ func ExampleEngine() {
 	d := pendings[2].Wait(context.Background())
 	fmt.Printf("%s batch=%d\n", d.Value, d.Batch)
 	// Output: command 2 batch=0
+}
+
+// downRunner wraps the simulator runner and stamps every cycle's membership
+// report, standing in for a networked backend with broken peer channels.
+type downRunner struct{ peers []int }
+
+func (d downRunner) RunBatch(cfg sim.BatchConfig, body func(int, *sim.Proc) any) *sim.BatchResult {
+	res := simRunner{}.RunBatch(cfg, body)
+	res.PeersDown = append([]int(nil), d.peers...)
+	return res
+}
+
+// TestEngineReportsPeersDown pins the membership-report plumbing: a backend
+// reporting peers down per cycle surfaces them on the flush report, unioned,
+// deduplicated and sorted across the flush's cycles.
+func TestEngineReportsPeersDown(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.BatchValues = 2
+	cfg.Instances = 1
+	cfg.Runner = downRunner{peers: []int{5, 2}}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, e, 4, 8) // two batches -> two cycles, each reporting {5, 2}
+	rep, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(rep.Batches))
+	}
+	if want := []int{2, 5}; !slices.Equal(rep.PeersDown, want) {
+		t.Errorf("flush report PeersDown = %v, want %v", rep.PeersDown, want)
+	}
 }

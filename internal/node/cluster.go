@@ -31,6 +31,14 @@ type Cluster struct {
 	factory transport.Factory
 	// StepTimeout bounds each barrier step (0 = DefaultStepTimeout).
 	StepTimeout time.Duration
+	// StallTimeout bounds how long a peer may stay silent while a round
+	// waits on its frame before the stall detector isolates it for the
+	// cycle (0 = DefaultStallTimeout; negative = disabled). Unlike the
+	// step timeout — which fires only when the whole node stops making
+	// progress — a stall is attributed to the silent peer and scoped to the
+	// cycle that observed it: the peer rejoins at the next epoch if its
+	// channel is healthy.
+	StallTimeout time.Duration
 
 	// runMu serializes runs: the persistent mesh carries one epoch at a time.
 	runMu sync.Mutex
@@ -125,7 +133,7 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
-	eps := c.eps
+	eps, routers := c.eps, c.routers
 	// Fold the endpoints' accounting into retired in the same critical
 	// section that unlinks them, so a WireStats racing Close never sees the
 	// mesh half-gone (no live endpoints, empty retired). Close runs with no
@@ -136,6 +144,12 @@ func (c *Cluster) Close() error {
 	c.eps, c.routers = nil, nil
 	c.mu.Unlock()
 
+	// Routers are closed before the endpoints: tearing a mesh down severs
+	// every connection, and the remote readers racing it would otherwise
+	// register the deliberate shutdown as peer failures.
+	for _, r := range routers {
+		r.close()
+	}
 	for _, ep := range eps {
 		ep.Close()
 	}
@@ -232,6 +246,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		}
 		runtimes[k] = make([]*runtime, cfg.N)
 		for i := 0; i < cfg.N; i++ {
+			router := routers[i]
 			runtimes[k][i] = newRuntime(options{
 				id: i, n: cfg.N, instTag: instTag, wireInst: base + k,
 				faulty: faulty, adv: adv,
@@ -241,6 +256,8 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 				meter:           res.Instances[k].Meter,
 				countRounds:     i == 0,
 				stepTimeout:     c.StepTimeout,
+				stallTimeout:    c.StallTimeout,
+				onStall:         router.observeStall,
 				send:            eps[i].Send,
 				recycleSendBufs: !eps[i].Retains(),
 			})
@@ -295,8 +312,18 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	// Detach the epoch. Honest traffic is fully consumed once every body
 	// returned (one frame per peer per step, every step awaited); whatever a
 	// failed run left in flight is dropped by the next epoch's base check.
+	// Each router also reports which peers it observed down during the cycle;
+	// the union is the cycle's membership gap.
+	downSet := make([]bool, cfg.N)
 	for i := range routers {
-		routers[i].end()
+		for _, peer := range routers[i].end() {
+			downSet[peer] = true
+		}
+	}
+	for peer, d := range downSet {
+		if d {
+			res.PeersDown = append(res.PeersDown, peer)
+		}
 	}
 
 	for k := range res.Instances {
@@ -323,44 +350,71 @@ type routerEpoch struct {
 	rts  []*runtime
 }
 
+// peerState is one peer channel's failure state at a router: the current
+// failure (nil = healthy) and whether it is permanent. Transient losses —
+// dropped connections, injected faults — are cleared by the transport's
+// PeerUp once the channel recovers; protocol-level violations (undecodable
+// frame headers, unknown instance ids, stream-tag floods, transports'
+// permanent demotions) never are.
+type peerState struct {
+	err       error
+	permanent bool
+}
+
 // nodeRouter is one node's persistent receive routing: it decodes incoming
 // frames and routes them to the owning instance runtime of the current
-// epoch. It implements transport.Sink, so push-capable transports invoke it
-// directly from their delivery context; the fallback dispatcher drives the
-// same router from a Recv loop. Frames whose payloads do not decode degrade
-// to payload-free frames (⊥ messages — a legal Byzantine payload); frames
-// whose headers do not decode, instance ids beyond the current epoch's
-// range, and broken connections are channel-level violations scoped to the
-// offending peer: a round that already holds that peer's frames still
-// completes, and only a round genuinely missing one fails. Frames whose
-// instance id predates the current epoch are stale leftovers of an earlier
-// cycle and are dropped silently. Peer-channel failures outlive epochs: a
-// connection broken in one cycle replays into every later cycle's inboxes,
-// since the persistent mesh cannot grow it back.
+// epoch. It implements transport.Sink (and transport.RecoverySink), so
+// push-capable transports invoke it directly from their delivery context;
+// the fallback dispatcher drives the same router from a Recv loop. Frames
+// whose payloads do not decode degrade to payload-free frames (⊥ messages —
+// a legal Byzantine payload); frames whose headers do not decode, instance
+// ids beyond the current epoch's range, and broken connections are
+// channel-level violations scoped to the offending peer: a round that
+// already holds that peer's frames still completes, and only a round
+// genuinely missing one fails. Frames whose instance id predates the current
+// epoch are stale leftovers of an earlier cycle and are dropped silently.
+//
+// Failure scoping: a peer-channel failure is replayed into the inboxes of
+// every epoch that begins while it stands — but no further. A transient loss
+// cleared by the transport's recovery (PeerUp) leaves the next epoch clean;
+// only protocol violations latch forever. Recovery is resynchronized at the
+// epoch boundary: a PeerUp never touches the current epoch's inboxes, so a
+// rejoining peer participates only from the next instance-id base — there is
+// no mid-generation rejoin, preserving the synchronous-round model within
+// each epoch.
 type nodeRouter struct {
 	node  int
 	n     int
 	epoch atomic.Pointer[routerEpoch] // nil between runs
 
-	mu    sync.Mutex
-	down  []error // first recorded failure per peer channel
-	fatal error   // first mesh-fatal (non-peer-attributable) receive failure
+	mu       sync.Mutex
+	peers    []peerState
+	fatal    error  // first mesh-fatal (non-peer-attributable) receive failure
+	observed []bool // peers seen down during the current epoch (reset at begin)
+	closed   bool   // cluster teardown: suppress further lifecycle events
 }
 
 func newNodeRouter(node, n int) *nodeRouter {
-	return &nodeRouter{node: node, n: n, down: make([]error, n)}
+	return &nodeRouter{node: node, n: n, peers: make([]peerState, n), observed: make([]bool, n)}
 }
 
-// begin attaches a run's runtimes to the router and replays persistent
-// failure state into their fresh inboxes. The epoch is published before the
-// failure state is snapshotted: a PeerDown racing begin then either lands in
-// the snapshot (replayed below) or sees the stored epoch and delivers live —
-// possibly both, which inbox.peerDown's first-failure-wins makes idempotent.
-// Snapshot-first would lose a failure arriving in between to neither path.
+// begin attaches a run's runtimes to the router and replays the currently
+// standing failure state into their fresh inboxes. The epoch is published
+// before the failure state is snapshotted: a PeerDown racing begin then
+// either lands in the snapshot (replayed below) or sees the stored epoch and
+// delivers live — possibly both, which inbox.peerDown's first-failure-wins
+// makes idempotent. Snapshot-first would lose a failure arriving in between
+// to neither path. The per-epoch observation set starts as exactly the
+// replayed failures: a peer healed before the epoch began is a clean member
+// of this cycle.
 func (r *nodeRouter) begin(base int, rts []*runtime) {
 	r.epoch.Store(&routerEpoch{base: base, rts: rts})
 	r.mu.Lock()
-	down := append([]error(nil), r.down...)
+	down := make([]error, r.n)
+	for peer := range r.peers {
+		down[peer] = r.peers[peer].err
+		r.observed[peer] = down[peer] != nil
+	}
 	fatal := r.fatal
 	r.mu.Unlock()
 	for peer, err := range down {
@@ -378,28 +432,95 @@ func (r *nodeRouter) begin(base int, rts []*runtime) {
 	}
 }
 
-// end detaches the current epoch; frames arriving until the next begin are
-// stale by definition and dropped.
-func (r *nodeRouter) end() { r.epoch.Store(nil) }
+// end detaches the current epoch and returns the peers observed down during
+// it (for the cycle's membership report); frames arriving until the next
+// begin are stale by definition and dropped.
+func (r *nodeRouter) end() []int {
+	r.epoch.Store(nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var down []int
+	for peer, seen := range r.observed {
+		if seen {
+			down = append(down, peer)
+		}
+	}
+	return down
+}
 
-// PeerDown implements transport.Sink.
+// close suppresses further lifecycle events: the cluster marks every router
+// closed before it closes the endpoints, so the connection teardown of a
+// deliberate mesh shutdown cannot register as peer failures.
+func (r *nodeRouter) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+}
+
+// PeerDown implements transport.Sink. Transient channel losses (per
+// transport.Transient) are recoverable — PeerUp clears them — while protocol
+// violations latch permanently; either way the failure is delivered to the
+// current epoch's inboxes, failing only rounds that genuinely miss the
+// peer's frames.
 func (r *nodeRouter) PeerDown(peer int, err error) {
 	if peer < 0 || peer >= r.n {
 		return
 	}
+	transient := transport.Transient(err)
 	err = fmt.Errorf("node %d: %w", r.node, err)
 	r.mu.Lock()
-	if r.down[peer] == nil {
-		r.down[peer] = err
-	} else {
-		err = r.down[peer] // every cycle sees the first failure
+	if r.closed {
+		r.mu.Unlock()
+		return
 	}
+	st := &r.peers[peer]
+	switch {
+	case st.err == nil:
+		st.err, st.permanent = err, !transient
+	case !st.permanent && !transient:
+		// A permanent conviction upgrades a standing transient failure.
+		st.err, st.permanent = err, true
+	default:
+		err = st.err // the epoch keeps seeing the first failure
+	}
+	r.observed[peer] = true
 	r.mu.Unlock()
 	if ep := r.epoch.Load(); ep != nil {
 		for _, rt := range ep.rts {
 			rt.inbox.peerDown(peer, err)
 		}
 	}
+}
+
+// PeerUp implements transport.RecoverySink: a recovered transient failure is
+// cleared, so the next epoch begins with the peer as a clean member. The
+// current epoch's inboxes are deliberately left untouched — the rejoining
+// peer missed rounds this cycle already depends on, so it participates only
+// from the next instance-id base (the resync-at-epoch-boundary rule).
+func (r *nodeRouter) PeerUp(peer int) {
+	if peer < 0 || peer >= r.n {
+		return
+	}
+	r.mu.Lock()
+	if !r.closed && !r.peers[peer].permanent {
+		r.peers[peer].err = nil
+	}
+	r.mu.Unlock()
+}
+
+// observeStall records a stall-detector isolation for the cycle's membership
+// report. The stall is scoped to the inbox that detected it (inherently
+// per-cycle), so unlike PeerDown nothing latches in the router: the peer
+// starts the next epoch clean unless its channel actually broke.
+func (r *nodeRouter) observeStall(peer int) {
+	if peer < 0 || peer >= r.n {
+		return
+	}
+	r.mu.Lock()
+	if !r.closed {
+		r.observed[peer] = true
+	}
+	r.mu.Unlock()
 }
 
 // runFail records a mesh-fatal receive failure not attributable to one peer

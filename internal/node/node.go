@@ -61,6 +61,19 @@ import (
 // timer re-arms instead of failing a live deployment.
 const DefaultStepTimeout = 30 * time.Second
 
+// DefaultStallTimeout bounds how long one peer may stay silent — no frame on
+// any stream — while a parked round waits on its frame, before the stall
+// detector marks the peer down for the cycle. It rides behind the node-wide
+// progress timer: the step timeout fires only when the whole node stops
+// completing rounds, which a single unresponsive peer can postpone
+// indefinitely on a pipelined node (other streams keep re-arming the timer).
+// The stall detector attributes the silence to the peer and isolates it for
+// the current cycle only — the failure lives in the cycle's inboxes, not the
+// persistent router state, so the peer participates again from the next
+// epoch. Deliberately below DefaultStepTimeout, and generous enough that a
+// compute-bound honest peer on a loaded host is not convicted.
+const DefaultStallTimeout = 20 * time.Second
+
 // options configures one processor runtime of one protocol instance.
 type options struct {
 	id       int
@@ -78,7 +91,12 @@ type options struct {
 	// counting at each would multiply the round count by n).
 	countRounds bool
 	stepTimeout time.Duration
-	send        func(to int, data []byte) error
+	// stallTimeout enables the per-peer stall detector (0 = default,
+	// negative = disabled); onStall, when set, is notified once per peer the
+	// detector isolates (used for the cycle's membership report).
+	stallTimeout time.Duration
+	onStall      func(peer int)
+	send         func(to int, data []byte) error
 	// recycleSendBufs enables pooling of encoded frame buffers; set only
 	// when the transport does not retain sent slices (Endpoint.Retains).
 	recycleSendBufs bool
@@ -101,7 +119,16 @@ func newRuntime(opts options) *runtime {
 	if opts.stepTimeout <= 0 {
 		opts.stepTimeout = DefaultStepTimeout
 	}
-	return &runtime{opts: opts, inbox: newInbox(opts.n, opts.id)}
+	switch {
+	case opts.stallTimeout == 0:
+		opts.stallTimeout = DefaultStallTimeout
+	case opts.stallTimeout < 0:
+		opts.stallTimeout = 0 // disabled
+	}
+	ib := newInbox(opts.n, opts.id)
+	ib.stallTimeout = opts.stallTimeout
+	ib.onStall = opts.onStall
+	return &runtime{opts: opts, inbox: ib}
 }
 
 // run executes the protocol body at this runtime's processor.
@@ -417,15 +444,27 @@ type inbox struct {
 	// Node-wide progress timer: one timer guards every parked await instead
 	// of one timer per round (arming/stopping a runtime timer per barrier
 	// step was a measurable slice of the round hot path). It is armed while
-	// waiters > 0, re-arms whenever delivered advanced since the last check,
-	// and marks timedOut — failing every parked await — only when a full
-	// period passes with no round completing anywhere on the node.
-	waiters    int
-	timer      *time.Timer
-	timerSnap  uint64
-	timerDur   time.Duration
-	timerArmed time.Time // when the period began (guards stale fires)
-	timedOut   bool
+	// waiters > 0, tracks the last observed progress whenever delivered
+	// advanced since the previous check, and marks timedOut — failing every
+	// parked await — only when a full step-timeout passes with no round
+	// completing anywhere on the node.
+	waiters      int
+	timer        *time.Timer
+	timerSnap    uint64
+	timerDur     time.Duration // the step timeout (wedge bound)
+	timerPeriod  time.Duration // firing granularity: min(stall, step timeout)
+	timerArmed   time.Time     // when the period began (guards stale fires)
+	lastProgress time.Time     // when delivered last advanced (at fire granularity)
+	timedOut     bool
+	// Stall detector (see DefaultStallTimeout): lastSeen stamps each peer's
+	// most recent frame on any stream; timer fires at stall granularity and
+	// convicts a peer that stayed silent for a full stallTimeout while a
+	// parked await was missing exactly its frame. The conviction writes
+	// down[peer] — inbox state, hence scoped to this cycle — and notifies
+	// onStall for the cycle's membership report.
+	stallTimeout time.Duration // 0 = disabled
+	onStall      func(peer int)
+	lastSeen     []time.Time
 }
 
 // streamQueues holds one stream's per-peer FIFO queues and the stream's
@@ -443,7 +482,10 @@ type streamQueues struct {
 	// the head row is complete when it reaches n-1, making push's
 	// round-completion check O(1).
 	nonEmpty int
-	awaited  bool
+	// waiting counts fibers currently parked on this stream; the stall
+	// detector only examines streams a round is actually blocked on.
+	waiting int
+	awaited bool
 	// pendingCounted marks entries counted in inbox.pending (created by
 	// push before any await attached).
 	pendingCounted bool
@@ -497,6 +539,10 @@ func (ib *inbox) push(from, stream int, f *wire.Frame) bool {
 	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
+	if ib.stallTimeout > 0 && ib.lastSeen != nil {
+		// Any frame on any stream is liveness, squashed or not.
+		ib.lastSeen[from] = time.Now()
+	}
 	if ib.dead[stream] {
 		return true
 	}
@@ -615,6 +661,7 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 	parked := false
 	defer func() {
 		if parked {
+			sq.waiting--
 			ib.waiters--
 			if ib.waiters == 0 && ib.timer != nil {
 				ib.timer.Stop()
@@ -669,6 +716,7 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 		}
 		if !parked {
 			parked = true
+			sq.waiting++
 			ib.waiters++
 			if ib.waiters == 1 {
 				ib.armTimerLocked(timeout)
@@ -678,41 +726,106 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 	}
 }
 
-// armTimerLocked (re)arms the node-wide progress timer. Caller holds ib.mu.
+// armTimerLocked (re)arms the node-wide progress timer. With the stall
+// detector enabled the timer fires at stall granularity (detection within
+// one period of the deadline) and the step timeout is judged across fires
+// via lastProgress; without it the single period is the step timeout, as
+// before. Arming restamps every peer's lastSeen: silence is measured from
+// the start of the park window, so a peer idle while this node computed is
+// not convicted the moment the node first parks. Caller holds ib.mu.
 func (ib *inbox) armTimerLocked(timeout time.Duration) {
+	period := timeout
+	if ib.stallTimeout > 0 && ib.stallTimeout < period {
+		period = ib.stallTimeout
+	}
 	ib.timerDur = timeout
+	ib.timerPeriod = period
 	ib.timerSnap = ib.delivered
-	ib.timerArmed = time.Now()
+	now := time.Now()
+	ib.timerArmed = now
+	ib.lastProgress = now
+	if ib.stallTimeout > 0 {
+		if ib.lastSeen == nil {
+			ib.lastSeen = make([]time.Time, ib.n)
+		}
+		for j := range ib.lastSeen {
+			ib.lastSeen[j] = now
+		}
+	}
 	if ib.timer == nil {
-		ib.timer = time.AfterFunc(timeout, ib.timerFire)
+		ib.timer = time.AfterFunc(period, ib.timerFire)
 	} else {
-		ib.timer.Reset(timeout)
+		ib.timer.Reset(period)
 	}
 }
 
-// timerFire is the progress timer callback: re-arm while rounds completed
-// since the last check (live progress elsewhere on the node — typically a
-// speculative stream waiting out its own squash), fail every parked await
-// once a full period passes without any.
+// timerFire is the progress timer callback: track progress while rounds
+// complete (live progress elsewhere on the node — typically a speculative
+// stream waiting out its own squash), convict individually stalled peers at
+// stall granularity, and fail every parked await once a full step timeout
+// passes with no progress at all.
 func (ib *inbox) timerFire() {
 	ib.mu.Lock()
-	defer ib.mu.Unlock()
 	if ib.waiters == 0 {
+		ib.mu.Unlock()
 		return
 	}
-	if remaining := ib.timerDur - time.Since(ib.timerArmed); remaining > 0 {
+	now := time.Now()
+	if remaining := ib.timerPeriod - now.Sub(ib.timerArmed); remaining > 0 {
 		// A stale fire: the timer was stopped and re-armed while this
 		// callback was blocked on the mutex. The current period has not
 		// elapsed — sleep out its remainder instead of judging it early.
 		ib.timer.Reset(remaining)
+		ib.mu.Unlock()
 		return
 	}
 	if ib.delivered != ib.timerSnap {
 		ib.timerSnap = ib.delivered
-		ib.timerArmed = time.Now()
-		ib.timer.Reset(ib.timerDur)
+		ib.lastProgress = now
+	}
+	if now.Sub(ib.lastProgress) >= ib.timerDur {
+		ib.timedOut = true
+		ib.wakeAllLocked()
+		ib.mu.Unlock()
 		return
 	}
-	ib.timedOut = true
-	ib.wakeAllLocked()
+	var stalled []int
+	if ib.stallTimeout > 0 {
+		stalled = ib.stallCheckLocked(now)
+	}
+	ib.timerArmed = now
+	ib.timer.Reset(ib.timerPeriod)
+	ib.mu.Unlock()
+	if ib.onStall != nil {
+		for _, peer := range stalled {
+			ib.onStall(peer)
+		}
+	}
+}
+
+// stallCheckLocked scans the streams a fiber is parked on for peers whose
+// frame the round is missing and who delivered nothing anywhere on the node
+// for a full stallTimeout, and marks them down — failing exactly the awaits
+// that depend on them, like any other per-peer channel failure, but scoped
+// to this inbox and hence to this cycle. Caller holds ib.mu.
+func (ib *inbox) stallCheckLocked(now time.Time) []int {
+	var stalled []int
+	for _, sq := range ib.streams {
+		if sq.waiting == 0 || sq.nonEmpty == ib.n-1 {
+			continue
+		}
+		for j := 0; j < ib.n; j++ {
+			if j == ib.me || ib.down[j] != nil || len(sq.fifo[j]) > 0 {
+				continue
+			}
+			if now.Sub(ib.lastSeen[j]) >= ib.stallTimeout {
+				ib.down[j] = fmt.Errorf("peer %d stalled: no frame for %v while a round waits on it", j, ib.stallTimeout)
+				stalled = append(stalled, j)
+			}
+		}
+	}
+	if len(stalled) > 0 {
+		ib.wakeAllLocked()
+	}
+	return stalled
 }

@@ -43,6 +43,12 @@ type BatchResult struct {
 	Rounds int64
 	// Bits is the total protocol traffic summed over all instances.
 	Bits int64
+	// PeersDown lists (sorted, deduplicated) the processors whose channels
+	// were observed down at any node during the batch — broken or dropped
+	// connections, stall-detector isolations. It is filled by the networked
+	// cluster backend (internal/node); the simulator's shared-memory barrier
+	// has no channels to lose, so it leaves the list empty.
+	PeersDown []int
 	// Err is the first per-instance error, if any instance failed.
 	Err error
 }

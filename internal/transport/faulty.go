@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultyFactory wraps another transport factory and injects peer-channel
+// faults deterministically: CutPair severs the channel between a pair of
+// nodes in both directions — sends fail, deliveries are blackholed, and both
+// sinks observe a transient PeerDown — and HealPair restores it, announcing
+// the recovery via RecoverySink. The wrapper operates above the inner
+// transport, so it composes with any backend (bus or TCP) and gives chaos
+// tests an exact, schedulable analogue of a connection drop: cut between two
+// flush cycles models a one-cycle outage, cut before a cycle models a peer
+// that is down when the cycle starts.
+type FaultyFactory struct {
+	Inner Factory
+
+	mu  sync.Mutex
+	eps []*faultyEndpoint
+}
+
+// Mesh implements Factory.
+func (f *FaultyFactory) Mesh(n int) ([]Endpoint, error) {
+	inner, err := f.Inner.Mesh(n)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.eps = make([]*faultyEndpoint, n)
+	out := make([]Endpoint, n)
+	for i := range inner {
+		fe := &faultyEndpoint{inner: inner[i], cut: make([]bool, n)}
+		if pc, ok := inner[i].(PushCapable); ok {
+			pc.SetSink(&filterSink{ep: fe})
+		}
+		f.eps[i] = fe
+		out[i] = fe
+	}
+	return out, nil
+}
+
+// Kind implements Factory, keeping the inner transport's name so consumers'
+// reporting is unchanged.
+func (f *FaultyFactory) Kind() string { return f.Inner.Kind() }
+
+// CutPair severs the channel between nodes i and j in both directions.
+func (f *FaultyFactory) CutPair(i, j int) {
+	f.mu.Lock()
+	eps := f.eps
+	f.mu.Unlock()
+	eps[i].setCut(j, true)
+	eps[j].setCut(i, true)
+}
+
+// HealPair restores the channel between nodes i and j in both directions.
+func (f *FaultyFactory) HealPair(i, j int) {
+	f.mu.Lock()
+	eps := f.eps
+	f.mu.Unlock()
+	eps[i].setCut(j, false)
+	eps[j].setCut(i, false)
+}
+
+// errInjected is the failure a cut channel reports.
+type errInjected struct{ peer int }
+
+func (e errInjected) Error() string {
+	return fmt.Sprintf("injected fault: channel to peer %d cut", e.peer)
+}
+
+// faultyEndpoint is one node's fault-filtered view of its inner endpoint.
+type faultyEndpoint struct {
+	inner Endpoint
+
+	mu   sync.Mutex
+	cut  []bool
+	sink Sink // the consumer's sink, when one was set
+}
+
+func (ep *faultyEndpoint) NodeID() int   { return ep.inner.NodeID() }
+func (ep *faultyEndpoint) N() int        { return ep.inner.N() }
+func (ep *faultyEndpoint) Retains() bool { return ep.inner.Retains() }
+func (ep *faultyEndpoint) Close() error  { return ep.inner.Close() }
+func (ep *faultyEndpoint) Stats() Stats  { return ep.inner.Stats() }
+func (ep *faultyEndpoint) Recv() (Frame, error) {
+	return ep.inner.Recv()
+}
+
+// Send fails on a cut channel exactly like a transport whose connection to
+// the peer is down.
+func (ep *faultyEndpoint) Send(to int, data []byte) error {
+	ep.mu.Lock()
+	isCut := to >= 0 && to < len(ep.cut) && ep.cut[to]
+	ep.mu.Unlock()
+	if isCut {
+		return &PeerError{Peer: to, Err: errInjected{peer: to}, Transient: true}
+	}
+	return ep.inner.Send(to, data)
+}
+
+// SetSink implements PushCapable: the consumer's sink receives the filtered
+// stream (the inner endpoint already delivers into the wrapper's filter).
+func (ep *faultyEndpoint) SetSink(s Sink) {
+	ep.mu.Lock()
+	ep.sink = s
+	ep.mu.Unlock()
+}
+
+// setCut flips one direction of an injected fault and synthesizes the
+// matching lifecycle event for the consumer's sink.
+func (ep *faultyEndpoint) setCut(peer int, cut bool) {
+	ep.mu.Lock()
+	changed := ep.cut[peer] != cut
+	ep.cut[peer] = cut
+	sink := ep.sink
+	ep.mu.Unlock()
+	if !changed || sink == nil {
+		return
+	}
+	if cut {
+		sink.PeerDown(peer, &PeerError{Peer: peer, Err: errInjected{peer: peer}, Transient: true})
+		return
+	}
+	if rs, ok := sink.(RecoverySink); ok {
+		rs.PeerUp(peer)
+	}
+}
+
+// filterSink sits between the inner endpoint's delivery context and the
+// consumer's sink, blackholing traffic of cut channels.
+type filterSink struct{ ep *faultyEndpoint }
+
+func (fs *filterSink) Deliver(f Frame) {
+	fs.ep.mu.Lock()
+	isCut := f.From >= 0 && f.From < len(fs.ep.cut) && fs.ep.cut[f.From]
+	sink := fs.ep.sink
+	fs.ep.mu.Unlock()
+	if isCut || sink == nil {
+		PutBuf(f.Data)
+		return
+	}
+	sink.Deliver(f)
+}
+
+func (fs *filterSink) PeerDown(peer int, err error) {
+	fs.ep.mu.Lock()
+	sink := fs.ep.sink
+	fs.ep.mu.Unlock()
+	if sink != nil {
+		sink.PeerDown(peer, err)
+	}
+}
+
+// PeerUp forwards the inner transport's recovery events (a TCP reconnect
+// under an injected cut still heals the real channel; the cut keeps
+// filtering traffic until HealPair).
+func (fs *filterSink) PeerUp(peer int) {
+	fs.ep.mu.Lock()
+	sink := fs.ep.sink
+	fs.ep.mu.Unlock()
+	if rs, ok := sink.(RecoverySink); ok {
+		rs.PeerUp(peer)
+	}
+}

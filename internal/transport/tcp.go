@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -31,8 +32,15 @@ type TCPOptions struct {
 	// channel.
 	MaxFrame int
 	// SetupTimeout bounds mesh construction: dials, handshakes and accepts
-	// (0 = 10s).
+	// (0 = 10s). Reconnect handshakes reuse the same bound per attempt.
 	SetupTimeout time.Duration
+	// Retry governs peer-channel recovery: when a connection drops, the
+	// dialing side of the pair re-dials with capped exponential backoff and
+	// jitter, the accepting side keeps its listener open for re-handshakes,
+	// and a recovered channel is announced to the sink via RecoverySink.
+	// The zero value enables recovery with defaults; Retry.Disabled restores
+	// the old any-loss-is-permanent behaviour.
+	Retry RetryPolicy
 }
 
 func (o TCPOptions) maxFrame() int {
@@ -55,23 +63,61 @@ type writeBuf struct{ b []byte }
 
 var writeBufPool = sync.Pool{New: func() any { return new(writeBuf) }}
 
+// ConnDropper is implemented by endpoints whose live peer connections can be
+// severed on demand — the fault-injection hook chaos tests use to simulate a
+// peer crash without reaching into transport internals. Dropping a
+// connection closes it at the socket level, so both ends observe the loss
+// exactly as they would a real failure (and recover through the same
+// reconnect path, when enabled).
+type ConnDropper interface {
+	// DropConn severs the live connection to the given peer. It reports
+	// whether there was one to drop.
+	DropConn(peer int) bool
+}
+
+// connBox wraps one live peer connection so the slot can be swapped
+// atomically: readers compare their own box against the slot to tell a
+// superseded connection's teardown from the current one's.
+type connBox struct{ c net.Conn }
+
+// peerLife is one peer channel's lifecycle state (guarded by tcpEndpoint.mu):
+// the current failure (nil = healthy), whether it is permanent (protocol
+// violation, exhausted retry or flap budget), the lifetime flap count, and
+// whether a re-dial loop is already running for it.
+type peerLife struct {
+	down      error
+	permanent bool
+	flaps     int
+	redialing bool
+}
+
 // tcpEndpoint is one node's end of a fully connected TCP mesh: one
 // connection per peer, a reader goroutine per connection feeding the shared
 // receive queue, and per-peer write locks so pipelined instances can send
-// concurrently.
+// concurrently. With recovery enabled the endpoint also keeps its listener
+// open for the mesh's whole life: the dialing side of a dropped pair
+// re-dials with backoff, the accepting side re-handshakes fresh dials, and
+// the slot's atomic connection box makes the swap safe against the old
+// connection's reader.
 type tcpEndpoint struct {
-	id  int
-	n   int
-	opt TCPOptions
+	id    int
+	n     int
+	opt   TCPOptions
+	addrs []string     // peer listen addresses, for re-dials
+	ln    net.Listener // kept open for re-handshakes; nil when retry is disabled
 
 	recv *queue
 	// sink, when set (atomic.Value of Sink), receives inbound frames
 	// directly on the per-connection reader goroutines instead of through
 	// the recv queue (see PushCapable).
 	sink   atomic.Value
-	conns  []net.Conn // indexed by peer id; nil for self
+	conns  []atomic.Pointer[connBox] // indexed by peer id; nil slot = down (or self)
 	wmu    []sync.Mutex
 	closed atomic.Bool
+	stop   chan struct{} // closed by Close; interrupts re-dial backoff sleeps
+
+	mu    sync.Mutex
+	peers []peerLife
 
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
@@ -79,8 +125,11 @@ type tcpEndpoint struct {
 	bytesRecv  atomic.Int64
 	// connsOpened counts established peer connections (n-1 at mesh dial
 	// time); it only ever grows at dial, so a flat reading across flush
-	// cycles proves the mesh was reused rather than rebuilt.
+	// cycles proves the mesh was reused rather than rebuilt. Recovery is
+	// accounted separately (reconnects), so the invariant survives flaps.
 	connsOpened atomic.Int64
+	reconnects  atomic.Int64
+	flaps       atomic.Int64
 }
 
 // SetSink implements PushCapable.
@@ -107,7 +156,13 @@ func (ep *tcpEndpoint) Send(to int, data []byte) error {
 	buf := binary.AppendUvarint(wb.b[:0], uint64(len(data)))
 	buf = append(buf, data...)
 	ep.wmu[to].Lock()
-	_, err := ep.conns[to].Write(buf)
+	var err error
+	transient := true
+	if box := ep.conns[to].Load(); box != nil {
+		_, err = box.c.Write(buf)
+	} else {
+		err, transient = ep.downErr(to)
+	}
 	ep.wmu[to].Unlock()
 	wb.b = buf
 	writeBufPool.Put(wb)
@@ -115,24 +170,59 @@ func (ep *tcpEndpoint) Send(to int, data []byte) error {
 		if ep.closed.Load() {
 			return ErrClosed
 		}
-		return &PeerError{Peer: to, Err: err}
+		return &PeerError{Peer: to, Err: err, Transient: transient}
 	}
 	ep.framesSent.Add(1)
 	ep.bytesSent.Add(int64(len(buf)))
 	return nil
 }
 
+// downErr returns the recorded failure behind an empty connection slot and
+// whether it is still considered transient (a reconnect may be in flight).
+func (ep *tcpEndpoint) downErr(peer int) (error, bool) {
+	ep.mu.Lock()
+	err := ep.peers[peer].down
+	permanent := ep.peers[peer].permanent
+	ep.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("peer %d channel down", peer)
+	}
+	return err, !permanent
+}
+
 func (ep *tcpEndpoint) Recv() (Frame, error) {
 	return ep.recv.pop()
+}
+
+// DropConn implements ConnDropper: it closes the live connection to peer at
+// the socket level, so both ends' readers observe the loss like a real
+// failure.
+func (ep *tcpEndpoint) DropConn(peer int) bool {
+	if peer < 0 || peer >= ep.n || peer == ep.id {
+		return false
+	}
+	box := ep.conns[peer].Load()
+	if box == nil {
+		return false
+	}
+	box.c.Close()
+	return true
 }
 
 func (ep *tcpEndpoint) Close() error {
 	if !ep.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	for _, c := range ep.conns {
-		if c != nil {
-			c.Close()
+	close(ep.stop)
+	if ep.ln != nil {
+		ep.ln.Close()
+	}
+	// Connections are closed without taking the write locks: a Send blocked
+	// in a socket write holds its peer's lock, and closing the socket is
+	// exactly what unblocks it. The atomic slot swap keeps this race-clean.
+	for i := range ep.conns {
+		if box := ep.conns[i].Swap(nil); box != nil {
+			box.c.Close()
 		}
 	}
 	ep.recv.close()
@@ -146,26 +236,29 @@ func (ep *tcpEndpoint) Stats() Stats {
 		FramesRecv: ep.framesRecv.Load(),
 		BytesRecv:  ep.bytesRecv.Load(),
 		Conns:      ep.connsOpened.Load(),
+		Reconnects: ep.reconnects.Load(),
+		PeerFlaps:  ep.flaps.Load(),
 	}
 }
 
 // readFrom is the per-connection reader: it decodes length-prefixed frames
 // from peer and feeds the receive queue until the connection breaks or the
-// endpoint closes. Any protocol violation — oversized declaration, short
-// read, EOF mid-round — fails the queue with a PeerError; whether that is
-// fatal is the consuming runtime's call (for lock-step consensus it is).
-func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
+// endpoint closes. Read failures are transient channel losses (the peer may
+// come back); an oversized declaration is a protocol violation and convicts
+// the peer permanently. Whether a loss is fatal for the run in flight is the
+// consuming runtime's call (for lock-step consensus it is).
+func (ep *tcpEndpoint) readFrom(peer int, box *connBox) {
+	conn := box.c
 	r := bufio.NewReader(conn)
 	maxFrame := uint64(ep.opt.maxFrame())
 	for {
 		size, err := binary.ReadUvarint(r)
 		if err != nil {
-			ep.peerDown(peer, fmt.Errorf("connection lost: %w", err))
+			ep.connLost(peer, box, fmt.Errorf("connection lost: %w", err), true)
 			return
 		}
 		if size > maxFrame {
-			ep.peerDown(peer, fmt.Errorf("oversized frame: %d bytes exceeds limit %d", size, maxFrame))
-			conn.Close()
+			ep.connLost(peer, box, fmt.Errorf("oversized frame: %d bytes exceeds limit %d", size, maxFrame), false)
 			return
 		}
 		// Frame buffers are pooled: the consuming sink returns them via
@@ -178,7 +271,7 @@ func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
 		}
 		data = data[:size]
 		if _, err := io.ReadFull(r, data); err != nil {
-			ep.peerDown(peer, fmt.Errorf("truncated frame: %w", err))
+			ep.connLost(peer, box, fmt.Errorf("truncated frame: %w", err), true)
 			return
 		}
 		ep.framesRecv.Add(1)
@@ -191,17 +284,175 @@ func (ep *tcpEndpoint) readFrom(peer int, conn net.Conn) {
 	}
 }
 
-// peerDown records a broken peer channel unless the endpoint itself is
-// closing (a deliberate local Close is not a peer failure).
-func (ep *tcpEndpoint) peerDown(peer int, err error) {
+// connLost tears one peer connection down and records the failure: the slot
+// is cleared only if it still holds this reader's connection (a reconnect
+// may already have superseded it, in which case the loss is stale and
+// silent), the flap is accounted against the peer's budget, the sink or
+// queue is notified, and — for a transient loss on the dialing side of the
+// pair, with retry enabled — a re-dial loop is started.
+func (ep *tcpEndpoint) connLost(peer int, box *connBox, err error, transient bool) {
+	current := ep.conns[peer].CompareAndSwap(box, nil)
+	box.c.Close()
+	if !current || ep.closed.Load() {
+		// Superseded by a newer connection, or a deliberate local Close — in
+		// neither case is this a live peer failure.
+		return
+	}
+	retry := ep.opt.Retry
+	ep.mu.Lock()
+	pl := &ep.peers[peer]
+	if pl.permanent {
+		err = pl.down
+		ep.mu.Unlock()
+		ep.notifyDown(peer, err, false)
+		return
+	}
+	if transient {
+		pl.flaps++
+		ep.flaps.Add(1)
+		if budget := retry.maxFlaps(); budget > 0 && pl.flaps > budget {
+			transient = false
+			err = fmt.Errorf("peer channel flapped %d times (budget %d), demoted permanently: %w", pl.flaps, budget, err)
+		}
+	}
+	pl.down = err
+	pl.permanent = !transient
+	redial := transient && !retry.Disabled && peer < ep.id && !pl.redialing
+	if redial {
+		pl.redialing = true
+	}
+	ep.mu.Unlock()
+	ep.notifyDown(peer, err, transient)
+	if redial {
+		go ep.redial(peer)
+	}
+}
+
+// notifyDown reports a broken peer channel to the sink (or the fallback
+// receive queue) unless the endpoint itself is closing — a deliberate local
+// Close is not a peer failure.
+func (ep *tcpEndpoint) notifyDown(peer int, err error, transient bool) {
+	if ep.closed.Load() {
+		return
+	}
+	pe := &PeerError{Peer: peer, Err: err, Transient: transient}
+	if s := ep.sink.Load(); s != nil {
+		(*s.(*Sink)).PeerDown(peer, pe)
+		return
+	}
+	ep.recv.fail(pe)
+}
+
+// notifyUp announces a recovered peer channel to a recovery-aware sink.
+func (ep *tcpEndpoint) notifyUp(peer int) {
 	if ep.closed.Load() {
 		return
 	}
 	if s := ep.sink.Load(); s != nil {
-		(*s.(*Sink)).PeerDown(peer, err)
-		return
+		if rs, ok := (*s.(*Sink)).(RecoverySink); ok {
+			rs.PeerUp(peer)
+		}
 	}
-	ep.recv.fail(&PeerError{Peer: peer, Err: err})
+}
+
+// install wires a fresh (handshaked) connection into the peer's slot, starts
+// its reader and announces the recovery. It refuses permanently demoted
+// peers and loses gracefully against a concurrent Close.
+func (ep *tcpEndpoint) install(peer int, conn net.Conn) bool {
+	ep.mu.Lock()
+	if ep.closed.Load() || ep.peers[peer].permanent {
+		ep.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	ep.peers[peer].down = nil
+	ep.peers[peer].redialing = false
+	ep.mu.Unlock()
+	box := &connBox{c: conn}
+	if old := ep.conns[peer].Swap(box); old != nil {
+		// A half-open leftover: the remote noticed the loss and re-dialed
+		// before our reader did. Closing it here makes that reader's
+		// eventual error a stale, silent one.
+		old.c.Close()
+	}
+	if ep.closed.Load() {
+		// Raced Close's teardown sweep: undo.
+		if ep.conns[peer].CompareAndSwap(box, nil) {
+			conn.Close()
+		}
+		return false
+	}
+	ep.reconnects.Add(1)
+	go ep.readFrom(peer, box)
+	ep.notifyUp(peer)
+	return true
+}
+
+// redial is the per-outage reconnect loop run by the dialing side of a pair
+// (the higher id dials the lower, at mesh setup and ever after): capped
+// exponential backoff with jitter, a fresh handshake per attempt, permanent
+// demotion when the attempt budget runs out.
+func (ep *tcpEndpoint) redial(peer int) {
+	retry := ep.opt.Retry
+	backoff := retry.minBackoff()
+	maxBackoff := retry.maxBackoff()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-ep.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if ep.closed.Load() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", ep.addrs[peer], ep.opt.setupTimeout())
+		if err == nil {
+			err = writeHello(conn, ep.n, ep.id, time.Now().Add(ep.opt.setupTimeout()))
+			if err == nil {
+				ep.install(peer, conn)
+				return
+			}
+			conn.Close()
+		}
+		lastErr = err
+		if budget := retry.maxAttempts(); budget > 0 && attempt >= budget {
+			derr := fmt.Errorf("reconnect to peer %d failed after %d attempts, demoted permanently: %w", peer, attempt, lastErr)
+			ep.mu.Lock()
+			pl := &ep.peers[peer]
+			pl.redialing = false
+			pl.permanent = true
+			pl.down = derr
+			ep.mu.Unlock()
+			ep.notifyDown(peer, derr, false)
+			return
+		}
+		backoff = min(2*backoff, maxBackoff)
+	}
+}
+
+// acceptLoop keeps the endpoint's listener serving re-handshakes for the
+// mesh's whole life: a valid hello from a higher-id peer (the pair's
+// designated dialer) replaces that peer's connection slot. It exits when
+// Close closes the listener.
+func (ep *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			from, err := readHello(conn, ep.n, time.Now().Add(ep.opt.setupTimeout()))
+			if err != nil || from <= ep.id || from >= ep.n {
+				conn.Close()
+				return
+			}
+			ep.install(from, conn)
+		}(conn)
+	}
 }
 
 func uvarintLen(x uint64) int {
@@ -217,7 +468,9 @@ func uvarintLen(x uint64) int {
 // listeners on 127.0.0.1, every pair connected by exactly one handshaked
 // connection (the higher id dials the lower). It returns only when every
 // connection is established, so the caller holds a ready mesh or an error —
-// never a half-connected one.
+// never a half-connected one. Unless opt.Retry.Disabled is set, listeners
+// stay open for the endpoints' whole life so dropped connections can be
+// re-dialed and re-handshaked.
 func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: mesh needs n >= 1, got %d", n)
@@ -237,10 +490,12 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 	eps := make([]*tcpEndpoint, n)
 	for i := range eps {
 		eps[i] = &tcpEndpoint{
-			id: i, n: n, opt: opt,
+			id: i, n: n, opt: opt, addrs: addrs,
 			recv:  newQueue(),
-			conns: make([]net.Conn, n),
+			conns: make([]atomic.Pointer[connBox], n),
 			wmu:   make([]sync.Mutex, n),
+			peers: make([]peerLife, n),
+			stop:  make(chan struct{}),
 		}
 	}
 
@@ -265,15 +520,27 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 			return nil, err
 		}
 	}
-	// Mesh complete: start the readers and drop the listeners.
-	closeAll(lns)
+	// Mesh complete: start the readers. With recovery enabled the listeners
+	// stay attached — each endpoint keeps accepting re-handshakes from the
+	// peers that dial it; with recovery disabled they are dropped, restoring
+	// the fixed-mesh behaviour.
 	out := make([]Endpoint, n)
 	for i, ep := range eps {
-		for peer, conn := range ep.conns {
-			if conn != nil {
+		for peer := range ep.conns {
+			if box := ep.conns[peer].Load(); box != nil {
 				ep.connsOpened.Add(1)
-				go ep.readFrom(peer, conn)
+				go ep.readFrom(peer, box)
 			}
+		}
+		if opt.Retry.Disabled {
+			lns[i].Close()
+		} else {
+			type lnDeadline interface{ SetDeadline(time.Time) error }
+			if d, ok := lns[i].(lnDeadline); ok {
+				d.SetDeadline(time.Time{}) // undo the setup deadline
+			}
+			ep.ln = lns[i]
+			go ep.acceptLoop()
 		}
 		out[i] = ep
 	}
@@ -293,7 +560,7 @@ func meshNode(ep *tcpEndpoint, ln net.Listener, addrs []string, deadline time.Ti
 			conn.Close()
 			return fmt.Errorf("transport: node %d hello to node %d: %w", i, j, err)
 		}
-		ep.conns[j] = conn
+		ep.conns[j].Store(&connBox{c: conn})
 	}
 	type lnDeadline interface{ SetDeadline(time.Time) error }
 	if d, ok := ln.(lnDeadline); ok {
@@ -309,11 +576,11 @@ func meshNode(ep *tcpEndpoint, ln net.Listener, addrs []string, deadline time.Ti
 			conn.Close()
 			return fmt.Errorf("transport: node %d handshake: %w", i, err)
 		}
-		if from <= i || from >= ep.n || ep.conns[from] != nil {
+		if from <= i || from >= ep.n || ep.conns[from].Load() != nil {
 			conn.Close()
 			return fmt.Errorf("transport: node %d got hello from unexpected peer %d", i, from)
 		}
-		ep.conns[from] = conn
+		ep.conns[from].Store(&connBox{c: conn})
 	}
 	return nil
 }
@@ -329,17 +596,32 @@ func writeHello(conn net.Conn, n, from int, deadline time.Time) error {
 	return err
 }
 
+// byteReader reads a connection one byte at a time — the hello decoder must
+// not buffer past the handshake, because a reconnecting dialer may pipeline
+// frames right behind its hello and those bytes belong to the frame reader.
+type byteReader struct {
+	conn net.Conn
+	buf  [1]byte
+}
+
+func (br *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(br.conn, br.buf[:]); err != nil {
+		return 0, err
+	}
+	return br.buf[0], nil
+}
+
 func readHello(conn net.Conn, n int, deadline time.Time) (int, error) {
 	conn.SetReadDeadline(deadline)
 	defer conn.SetReadDeadline(time.Time{})
-	r := bufio.NewReaderSize(conn, 32)
 	var magic [5]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
 		return 0, err
 	}
 	if [4]byte(magic[:4]) != tcpMagic || magic[4] != tcpVersion {
 		return 0, fmt.Errorf("bad magic/version %x", magic)
 	}
+	r := &byteReader{conn: conn}
 	gotN, err := binary.ReadUvarint(r)
 	if err != nil {
 		return 0, err
@@ -350,12 +632,6 @@ func readHello(conn net.Conn, n int, deadline time.Time) (int, error) {
 	from, err := binary.ReadUvarint(r)
 	if err != nil {
 		return 0, err
-	}
-	if r.Buffered() > 0 {
-		// Hand buffered post-hello bytes back is impossible with this
-		// reader split; forbid peers from pipelining frames before the
-		// handshake completes instead.
-		return 0, fmt.Errorf("peer sent frames before handshake completion")
 	}
 	return int(from), nil
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed endpoint once its receive
@@ -33,10 +34,17 @@ var ErrClosed = errors.New("transport: endpoint closed")
 
 // PeerError reports a broken or misbehaving peer channel. In the lock-step
 // protocols this runtime carries, a lost peer means the current round can
-// never complete, so receivers treat it as fatal for the run.
+// never complete, so receivers treat it as fatal for the run in flight;
+// whether the peer may ever come back is the Transient flag's call.
 type PeerError struct {
 	Peer int
 	Err  error
+	// Transient marks a recoverable channel loss — a dropped connection, a
+	// truncated stream — as opposed to a protocol-level violation (oversized
+	// frame declarations, handshake abuse), which convicts the peer
+	// permanently. Transports with reconnect only re-dial transient losses,
+	// and consumers scope transient failures to the cycle that observed them.
+	Transient bool
 }
 
 func (e *PeerError) Error() string {
@@ -44,6 +52,76 @@ func (e *PeerError) Error() string {
 }
 
 func (e *PeerError) Unwrap() error { return e.Err }
+
+// Transient reports whether err describes a recoverable peer-channel loss
+// (see PeerError.Transient). Errors that are not PeerErrors — mesh-fatal
+// failures, protocol violations wrapped without the flag — are permanent.
+func Transient(err error) bool {
+	var pe *PeerError
+	return errors.As(err, &pe) && pe.Transient
+}
+
+// RetryPolicy bounds a transport's peer-channel recovery: how aggressively a
+// lost connection is re-dialed and when a flapping peer is demoted for good.
+// The zero value enables recovery with the defaults below; Disabled restores
+// the old fail-forever behaviour (one connection per peer pair for the mesh's
+// whole life, any loss permanent).
+type RetryPolicy struct {
+	// Disabled turns reconnection off entirely: listeners close after mesh
+	// setup and any connection loss permanently fails the peer's channel.
+	Disabled bool
+	// MinBackoff is the first re-dial delay (0 = 25ms). Each failed attempt
+	// doubles it, capped at MaxBackoff, with up to 50% random jitter added so
+	// a mesh-wide outage does not re-dial in lockstep.
+	MinBackoff time.Duration
+	// MaxBackoff caps the re-dial delay (0 = 1s).
+	MaxBackoff time.Duration
+	// MaxAttempts bounds re-dial attempts per outage before the channel is
+	// demoted permanently (0 = 20; negative = unlimited).
+	MaxAttempts int
+	// MaxFlaps bounds how many times a peer's channel may be lost over the
+	// endpoint's lifetime before it is demoted permanently — a flap budget,
+	// so a pathologically unstable peer cannot keep a deployment churning
+	// forever (0 = 64; negative = unlimited).
+	MaxFlaps int
+}
+
+func (p RetryPolicy) minBackoff() time.Duration {
+	if p.MinBackoff <= 0 {
+		return 25 * time.Millisecond
+	}
+	return p.MinBackoff
+}
+
+func (p RetryPolicy) maxBackoff() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return time.Second
+	}
+	if mb := p.minBackoff(); p.MaxBackoff < mb {
+		return mb
+	}
+	return p.MaxBackoff
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts == 0 {
+		return 20
+	}
+	if p.MaxAttempts < 0 {
+		return 0 // unlimited
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) maxFlaps() int {
+	if p.MaxFlaps == 0 {
+		return 64
+	}
+	if p.MaxFlaps < 0 {
+		return 0 // unlimited
+	}
+	return p.MaxFlaps
+}
 
 // Frame is one received message: opaque bytes from an authenticated sender.
 type Frame struct {
@@ -65,6 +143,16 @@ type Sink interface {
 	Deliver(f Frame)
 	// PeerDown reports a broken or misbehaving peer channel.
 	PeerDown(peer int, err error)
+}
+
+// RecoverySink is an optional Sink extension: a transport with channel
+// recovery (the TCP mesh's reconnect loop, the faulty-transport wrapper's
+// heal) reports a re-established peer channel via PeerUp. Like the other
+// sink callbacks it runs in the transport's delivery context and must not
+// block. A sink that does not implement it simply never learns of
+// recoveries — the channel then stays down from its point of view.
+type RecoverySink interface {
+	PeerUp(peer int)
 }
 
 // PushCapable is implemented by endpoints that can bypass the Recv queue and
@@ -111,6 +199,14 @@ type Stats struct {
 	// sees this stay flat — the persistent-mesh invariant — whereas
 	// per-cycle redialing would grow it by n·(n-1) per cycle.
 	Conns int64
+	// Reconnects counts peer connections the endpoint re-established after a
+	// transient loss (both ends count their own side of a healed channel).
+	// Recovery does not grow Conns — that counter keeps proving the mesh was
+	// dialed once — so reconnects are visible here and only here.
+	Reconnects int64
+	// PeerFlaps counts transient peer-channel losses observed by the
+	// endpoint, whether or not the channel later recovered.
+	PeerFlaps int64
 }
 
 // Add accumulates other into s.
@@ -120,6 +216,8 @@ func (s *Stats) Add(other Stats) {
 	s.FramesRecv += other.FramesRecv
 	s.BytesRecv += other.BytesRecv
 	s.Conns += other.Conns
+	s.Reconnects += other.Reconnects
+	s.PeerFlaps += other.PeerFlaps
 }
 
 // Endpoint is one node's attachment to the deployment's n-processor mesh.

@@ -177,7 +177,7 @@ func TestOversizedDeclarationWithoutBody(t *testing.T) {
 	defer closeEndpoints(eps)
 	raw := eps[0].(*tcpEndpoint)
 	prefix := binary.AppendUvarint(nil, 1<<30)
-	if _, err := raw.conns[1].Write(prefix); err != nil {
+	if _, err := raw.conns[1].Load().c.Write(prefix); err != nil {
 		t.Fatal(err)
 	}
 	_, err = eps[1].Recv()

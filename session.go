@@ -7,6 +7,7 @@ import (
 
 	"byzcons/internal/engine"
 	"byzcons/internal/node"
+	"byzcons/internal/transport"
 )
 
 // ErrClosed is the sentinel failing work that outlives its Session: Propose
@@ -66,6 +67,65 @@ func (p FlushPolicy) normalized(batchValues, instances int) engine.Policy {
 	return out
 }
 
+// PeerRetry tunes the peer-lifecycle layer of a networked session: how a
+// dropped peer connection is reconnected, when a flapping peer is demoted
+// for good, and how quickly an unresponsive peer is isolated from a cycle.
+// The zero value enables recovery with defaults. Only the TCP transport has
+// real connections to reconnect; the stall detector applies to every
+// networked backend.
+//
+// Failure semantics under the policy: a transient channel loss fails only
+// rounds of the cycle that observed it — the peer is isolated for that cycle
+// and, once the transport re-establishes the channel, participates again
+// from the next flush cycle (rejoin happens at epoch boundaries only, never
+// mid-cycle). Protocol-level violations remain permanent convictions.
+type PeerRetry struct {
+	// Disable turns reconnection off: any connection loss permanently fails
+	// that peer's channel, the pre-recovery behaviour.
+	Disable bool
+	// MinBackoff is the first re-dial delay (0 = 25ms); each failed attempt
+	// doubles it up to MaxBackoff, with jitter.
+	MinBackoff time.Duration
+	// MaxBackoff caps the re-dial delay (0 = 1s).
+	MaxBackoff time.Duration
+	// MaxAttempts bounds re-dial attempts per outage before the peer is
+	// demoted permanently (0 = 20; negative = unlimited).
+	MaxAttempts int
+	// MaxFlaps bounds how many times a peer's channel may drop over the
+	// session's lifetime before it is demoted permanently (0 = 64;
+	// negative = unlimited).
+	MaxFlaps int
+	// StallTimeout bounds how long a peer may stay silent while a round
+	// waits on its frame before the stall detector isolates it for the
+	// current cycle (0 = 20s; negative = disabled).
+	StallTimeout time.Duration
+}
+
+// validate rejects nonsensical bounds.
+func (p PeerRetry) validate() error {
+	if p.MinBackoff < 0 {
+		return fmt.Errorf("byzcons: PeerRetry.MinBackoff must be >= 0, got %v", p.MinBackoff)
+	}
+	if p.MaxBackoff < 0 {
+		return fmt.Errorf("byzcons: PeerRetry.MaxBackoff must be >= 0, got %v", p.MaxBackoff)
+	}
+	if p.MinBackoff > 0 && p.MaxBackoff > 0 && p.MinBackoff > p.MaxBackoff {
+		return fmt.Errorf("byzcons: PeerRetry.MinBackoff %v exceeds MaxBackoff %v", p.MinBackoff, p.MaxBackoff)
+	}
+	return nil
+}
+
+// policy maps the public knobs onto the transport's retry policy.
+func (p PeerRetry) policy() transport.RetryPolicy {
+	return transport.RetryPolicy{
+		Disabled:    p.Disable,
+		MinBackoff:  p.MinBackoff,
+		MaxBackoff:  p.MaxBackoff,
+		MaxAttempts: p.MaxAttempts,
+		MaxFlaps:    p.MaxFlaps,
+	}
+}
+
 // SessionConfig configures a consensus Session.
 type SessionConfig struct {
 	// Config carries the protocol parameters (N, T, broadcast substrate,
@@ -86,6 +146,11 @@ type SessionConfig struct {
 	// cycle; successive cycles are demultiplexed by an epoch tag in the
 	// frame headers, not by fresh connections.
 	Transport TransportKind
+	// PeerRetry tunes the peer-lifecycle layer of a networked transport:
+	// reconnect backoff bounds, the flap budget before permanent demotion,
+	// and the stall detector (see PeerRetry). The zero value enables
+	// recovery with defaults; ignored by TransportSim.
+	PeerRetry PeerRetry
 	// BatchValues caps how many proposals are coalesced into one consensus
 	// instance (0 = 64). Bigger batches mean longer inputs and fewer
 	// amortized bits per value — the paper's large-L regime.
@@ -139,6 +204,9 @@ func (cfg SessionConfig) Validate() error {
 	if _, err := cfg.Transport.factory(); err != nil {
 		return err
 	}
+	if err := cfg.PeerRetry.validate(); err != nil {
+		return err
+	}
 	if cfg.BatchValues < 1 {
 		return fmt.Errorf("byzcons: BatchValues must be >= 1, got %d", cfg.BatchValues)
 	}
@@ -181,7 +249,7 @@ func Open(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	factory, err := cfg.Transport.factory()
+	factory, err := cfg.Transport.factoryFor(cfg.PeerRetry.policy())
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +257,7 @@ func Open(cfg SessionConfig) (*Session, error) {
 	var runner engine.Runner
 	if factory != nil {
 		cluster = node.NewCluster(factory)
+		cluster.StallTimeout = cfg.PeerRetry.StallTimeout
 		if err := cluster.Connect(cfg.N); err != nil {
 			return nil, err
 		}
