@@ -7,6 +7,7 @@ import (
 
 	"byzcons/internal/consensus"
 	"byzcons/internal/node"
+	"byzcons/internal/obs"
 	"byzcons/internal/sim"
 	"byzcons/internal/transport"
 	"byzcons/internal/wire"
@@ -61,20 +62,22 @@ func ParseTransportKind(s string) (TransportKind, error) {
 // factory returns the transport factory behind a networked kind, or nil for
 // the simulator.
 func (k TransportKind) factory() (transport.Factory, error) {
-	return k.factoryFor(transport.RetryPolicy{})
+	return k.factoryFor(transport.RetryPolicy{}, nil)
 }
 
 // factoryFor returns the kind's factory with the given peer-channel retry
 // policy applied (TCP is the only bundled transport with real connections to
-// lose, so it is the only one the policy reaches).
-func (k TransportKind) factoryFor(retry transport.RetryPolicy) (transport.Factory, error) {
+// lose, so it is the only one the policy reaches). A non-nil registry turns
+// on the transport's sampled write-latency timing (again TCP-only: the bus
+// has no socket writes to time).
+func (k TransportKind) factoryFor(retry transport.RetryPolicy, reg *obs.Registry) (transport.Factory, error) {
 	switch k {
 	case TransportSim:
 		return nil, nil
 	case TransportBus:
 		return transport.BusFactory{}, nil
 	case TransportTCP:
-		return transport.TCPFactory{Options: transport.TCPOptions{Retry: retry}}, nil
+		return transport.TCPFactory{Options: transport.TCPOptions{Retry: retry, Obs: reg}}, nil
 	default:
 		return nil, fmt.Errorf("byzcons: unknown transport kind %d", int(k))
 	}

@@ -1,11 +1,17 @@
 // Command benchpr4 runs the word-parallel-coding-core benchmark grid and
-// emits BENCH_PR4.json, the performance-trajectory record following
-// BENCH_PR3.json: batched-service throughput (values/s over the bus
-// transport, full wire codec) and fault-free consensus latency in pipelined
-// rounds, on the same axes as PR 3 — Window ∈ {1, 2, 4, 8}, n ∈ {4, 7} —
-// plus the micro-benchmark deltas of the matrix-form Reed-Solomon core.
+// emits BENCH_PR7.json, the performance-trajectory record following
+// BENCH_PR3.json and BENCH_PR4.json: batched-service throughput (values/s
+// over the bus transport, full wire codec) and fault-free consensus latency
+// in pipelined rounds, on the same axes as PR 3 — Window ∈ {1, 2, 4, 8},
+// n ∈ {4, 7} — plus the micro-benchmark deltas of the matrix-form
+// Reed-Solomon core. Since PR 7 every row also carries the observability
+// layer's per-phase timing breakdown (match/broadcast/RS/diagnosis
+// wall-clock and decision-latency percentiles of the best run) and the
+// report records GOMAXPROCS, so regressions can be attributed to a phase —
+// and throughput rows from differently-provisioned hosts are not compared
+// blind.
 //
-//	go run ./cmd/benchpr4 -out BENCH_PR4.json
+//	go run ./cmd/benchpr4 -out BENCH_PR7.json
 //	go run ./cmd/benchpr4 -smoke   # CI: assert Window=4 >= Window=1 on the bus
 //
 // Round and bit figures are deterministic (fixed seeds, fault-free);
@@ -48,7 +54,22 @@ type Row struct {
 	// Consensus latency: one fault-free L-bit consensus on the simulator.
 	ConsensusPipelinedRounds int64 `json:"consensusPipelinedRounds"`
 	ConsensusGenerations     int   `json:"consensusGenerations"`
+
+	// Per-phase timing of the best run's flush, aggregated across its
+	// cycles (FlushReport.Timing): total wall-clock, the
+	// match/broadcast/RS/diagnosis partition of the consensus work, and
+	// exact decision-latency percentiles over the run's values.
+	CycleMs       float64 `json:"cycleMs"`
+	MatchMs       float64 `json:"matchMs"`
+	BroadcastMs   float64 `json:"broadcastMs"`
+	RSMs          float64 `json:"rsMs"`
+	DiagnosisMs   float64 `json:"diagnosisMs"`
+	DecisionP50Ms float64 `json:"decisionP50Ms"`
+	DecisionP99Ms float64 `json:"decisionP99Ms"`
 }
+
+// ms renders a duration as float milliseconds for the JSON rows.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // Micro records the coding-core micro-benchmarks at the acceptance shape
 // (n=7, k=3, M=512 lanes, GF(2^8)): the matrix-form hot paths next to the
@@ -69,10 +90,11 @@ type Micro struct {
 	MulSliceXorMBPerSec float64 `json:"mulSliceXorMBPerSec"`
 }
 
-// Report is the BENCH_PR4.json document.
+// Report is the BENCH_PR7.json document.
 type Report struct {
 	Generated  string `json:"generated"`
 	GoVersion  string `json:"goVersion,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	Transport  string `json:"transport"`
 	Values     int    `json:"values"`
 	ValueBytes int    `json:"valueBytes"`
@@ -93,7 +115,7 @@ const (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path")
+	out := flag.String("out", "BENCH_PR7.json", "output path")
 	reps := flag.Int("reps", 5, "throughput runs per grid point (best is reported)")
 	smoke := flag.Bool("smoke", false, "CI smoke: assert Window=4 values/s >= 0.9x Window=1 on the bus at n=4 and n=7, print, and exit")
 	flag.Parse()
@@ -110,9 +132,9 @@ func main() {
 	}
 }
 
-// serviceOnce runs the throughput workload once, returning values/s and
-// filling the deterministic row fields.
-func serviceOnce(row *Row) (float64, error) {
+// serviceOnce runs the throughput workload once, returning values/s and the
+// flush's timing breakdown, and filling the deterministic row fields.
+func serviceOnce(row *Row) (float64, byzcons.FlushTiming, error) {
 	svc, err := byzcons.NewService(byzcons.ServiceConfig{
 		Config:      byzcons.Config{N: row.N, T: row.T, Window: row.Window, Seed: 1},
 		Transport:   byzcons.TransportBus,
@@ -120,7 +142,7 @@ func serviceOnce(row *Row) (float64, error) {
 		Instances:   instances,
 	})
 	if err != nil {
-		return 0, err
+		return 0, byzcons.FlushTiming{}, err
 	}
 	defer svc.Close()
 	pendings := make([]*byzcons.Pending, values)
@@ -131,16 +153,16 @@ func serviceOnce(row *Row) (float64, error) {
 	start := time.Now()
 	for i := range pendings {
 		if pendings[i], err = svc.Submit(val); err != nil {
-			return 0, err
+			return 0, byzcons.FlushTiming{}, err
 		}
 	}
 	report, err := svc.Flush()
 	if err != nil {
-		return 0, err
+		return 0, byzcons.FlushTiming{}, err
 	}
 	for _, p := range pendings {
 		if d := p.Wait(context.Background()); d.Err != nil {
-			return 0, d.Err
+			return 0, byzcons.FlushTiming{}, d.Err
 		}
 	}
 	elapsed := time.Since(start)
@@ -157,18 +179,26 @@ func serviceOnce(row *Row) (float64, error) {
 	for _, r := range perCycle {
 		row.ServicePipelinedRounds += r
 	}
-	return float64(values) / elapsed.Seconds(), nil
+	return float64(values) / elapsed.Seconds(), report.Timing, nil
 }
 
-// serviceBest repeats the workload and keeps the best run.
+// serviceBest repeats the workload and keeps the best run, recording that
+// run's timing breakdown alongside its throughput.
 func serviceBest(row *Row, reps int) error {
 	for i := 0; i < reps; i++ {
-		vps, err := serviceOnce(row)
+		vps, tm, err := serviceOnce(row)
 		if err != nil {
 			return err
 		}
 		if vps > row.ValuesPerSec {
 			row.ValuesPerSec = vps
+			row.CycleMs = ms(tm.Cycle)
+			row.MatchMs = ms(tm.Match)
+			row.BroadcastMs = ms(tm.Broadcast)
+			row.RSMs = ms(tm.RS)
+			row.DiagnosisMs = ms(tm.Diagnosis)
+			row.DecisionP50Ms = ms(tm.DecisionP50)
+			row.DecisionP99Ms = ms(tm.DecisionP99)
 		}
 	}
 	return nil
@@ -301,6 +331,7 @@ func run(out string, reps int) error {
 	rep := &Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Transport:  byzcons.TransportBus.String(),
 		Values:     values,
 		ValueBytes: valueBytes,

@@ -72,7 +72,7 @@ func main() {
 
 func run() error {
 	var (
-		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive | serve | cluster")
+		mode   = flag.String("mode", "consensus", "consensus | broadcast | fitzihirt | naive | serve | cluster | tracefmt")
 		n      = flag.Int("n", 7, "number of processors")
 		t      = flag.Int("t", 2, "Byzantine fault bound (t < n/3)")
 		L      = flag.Int("L", 8192, "value length in bits")
@@ -95,6 +95,9 @@ func run() error {
 		ingest    = flag.Int("ingest", 8, "serve: concurrent client goroutines proposing values")
 		maxDelay  = flag.Duration("maxdelay", byzcons.DefaultMaxDelay, "serve: flush-policy delay bound (values never wait longer than this for a full batch)")
 		sweep     = flag.Bool("sweep", false, "serve: rerun the workload at doubling batch sizes")
+		debugAddr = flag.String("debugaddr", "", "serve: listen address for the live debug endpoint (/metrics, /events, expvar, pprof); empty = off")
+		traceFile = flag.String("tracefile", "", "serve: write the protocol event trace as JSONL to this file; tracefmt: the JSONL file to pretty-print")
+		linger    = flag.Duration("linger", 0, "serve: keep the debug endpoint alive this long after the workload drains")
 
 		peerBackoff  = flag.Duration("peerbackoff", 0, "serve: peer reconnect backoff cap on TCP (0 = 1s)")
 		peerMaxFlaps = flag.Int("peermaxflaps", 0, "serve: transient losses per peer channel before permanent demotion (0 = 64, negative = unlimited)")
@@ -189,7 +192,22 @@ func run() error {
 			MaxFlaps:     *peerMaxFlaps,
 			StallTimeout: *stallTimeout,
 		}
-		return serve(os.Stdout, cfg, sc, tk, retry, *values, *valBytes, *batch, *instances, *ingest, *maxDelay, *sweep)
+		opts := serveOpts{
+			values: *values, valBytes: *valBytes, batch: *batch, instances: *instances,
+			ingest: *ingest, maxDelay: *maxDelay, sweep: *sweep,
+			debugAddr: *debugAddr, traceFile: *traceFile, linger: *linger,
+		}
+		return serve(os.Stdout, cfg, sc, tk, retry, opts)
+	case "tracefmt":
+		if *traceFile == "" {
+			return fmt.Errorf("tracefmt: pass the trace JSONL via -tracefile")
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tracefmt(os.Stdout, f)
 	case "cluster":
 		tk, err := parseTransport(*transportStr, byzcons.TransportTCP)
 		if err != nil {
@@ -285,6 +303,23 @@ func cluster(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, inputs [][]by
 	return nil
 }
 
+// serveOpts bundles the serve-mode knobs.
+type serveOpts struct {
+	values, valBytes, batch, instances, ingest int
+	maxDelay                                   time.Duration
+	sweep                                      bool
+	// debugAddr, when non-empty, serves the live debug endpoint for the
+	// run's lifetime: /metrics (text exposition), /events (trace JSONL),
+	// /debug/vars (expvar) and /debug/pprof.
+	debugAddr string
+	// traceFile, when non-empty, streams every protocol trace event to this
+	// file as JSONL (feed it back through -mode tracefmt).
+	traceFile string
+	// linger keeps the process (and the debug endpoint) alive this long
+	// after the workload drains, so scrapers get a stable target.
+	linger time.Duration
+}
+
 // serve drives the streaming Session over a synthetic ingest workload:
 // `ingest` client goroutines propose values concurrently, flush cycles are
 // triggered by the background policy (a full cycle of batches, or maxDelay
@@ -292,38 +327,81 @@ func cluster(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, inputs [][]by
 // transport is dialed exactly once for the whole run. With sweep it instead
 // repeats the workload at doubling batch sizes to show the amortization
 // curve.
+//
+// All output funnels through one printer goroutine: the per-cycle report
+// stream commits asynchronously with the ingest loop and the summary, and a
+// shared line channel is what keeps concurrent lines whole instead of
+// interleaved mid-line.
 func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
-	retry byzcons.PeerRetry, values, valBytes, batch, instances, ingest int, maxDelay time.Duration, sweep bool) error {
-	if values < 1 || valBytes < 1 || batch < 1 || instances < 1 || ingest < 1 {
+	retry byzcons.PeerRetry, opts serveOpts) error {
+	if opts.values < 1 || opts.valBytes < 1 || opts.batch < 1 || opts.instances < 1 || opts.ingest < 1 {
 		return fmt.Errorf("serve: values, valbytes, batch, instances and ingest must all be >= 1")
 	}
-	fmt.Fprintf(w, "mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes ingest=%d\n",
-		tk, cfg.N, cfg.T, values, valBytes, ingest)
 	workload := func(i int) []byte {
-		val := make([]byte, valBytes)
+		val := make([]byte, opts.valBytes)
 		for j := range val {
 			val[j] = byte(0x41 + (i+j)%26)
 		}
 		return val
 	}
 
-	if sweep {
-		return serveSweep(w, cfg, sc, tk, values, batch, instances, workload)
+	// The single printer goroutine: every line from every goroutine goes
+	// through this channel, closed only after all writers retired.
+	lines := make(chan string, 64)
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for ln := range lines {
+			fmt.Fprintln(w, ln)
+		}
+	}()
+	printf := func(format string, a ...any) { lines <- fmt.Sprintf(format, a...) }
+	defer func() { close(lines); <-printed }()
+
+	printf("mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes ingest=%d",
+		tk, cfg.N, cfg.T, opts.values, opts.valBytes, opts.ingest)
+
+	if opts.sweep {
+		return serveSweep(printf, cfg, sc, tk, opts.values, opts.batch, opts.instances, workload)
 	}
 
-	s, err := byzcons.Open(byzcons.SessionConfig{
+	scfg := byzcons.SessionConfig{
 		Config:      cfg,
 		Scenario:    sc,
 		Transport:   tk,
 		PeerRetry:   retry,
-		BatchValues: batch,
-		Instances:   instances,
-		Policy:      byzcons.FlushPolicy{MaxValues: batch * instances, MaxDelay: maxDelay},
-	})
+		BatchValues: opts.batch,
+		Instances:   opts.instances,
+		Policy:      byzcons.FlushPolicy{MaxValues: opts.batch * opts.instances, MaxDelay: opts.maxDelay},
+	}
+	var traceOut *os.File
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
+		if err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		traceOut = f
+		defer traceOut.Close()
+		scfg.TraceSink = traceOut
+	}
+	if opts.debugAddr != "" && scfg.TraceRing == 0 {
+		// The /events page reads the ring; give it one even without a file.
+		scfg.TraceRing = 4096
+	}
+	s, err := byzcons.Open(scfg)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+
+	if opts.debugAddr != "" {
+		srv, addr, err := startDebugServer(opts.debugAddr, s)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		printf("debug endpoint: http://%s (/metrics /events /debug/vars /debug/pprof)", addr)
+	}
 
 	// Live per-cycle reporting off the Reports stream; the goroutine exits
 	// when Close retires the stream.
@@ -331,8 +409,8 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 	reports.Add(1)
 	go func() {
 		defer reports.Done()
-		fmt.Fprintf(w, "%6s %8s %8s %10s %10s %12s\n",
-			"cycle", "batches", "values", "bits", "prounds", "bits/value")
+		printf("%6s %8s %8s %10s %10s %12s %10s",
+			"cycle", "batches", "values", "bits", "prounds", "bits/value", "cycleMs")
 		for rep := range s.Reports() {
 			var prounds int64
 			for _, bs := range rep.Batches {
@@ -344,25 +422,29 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 			if rep.Values > 0 {
 				perValue = float64(rep.Bits) / float64(rep.Values)
 			}
-			line := fmt.Sprintf("%6d %8d %8d %10d %10d %12.1f",
-				rep.Cycle, len(rep.Batches), rep.Values, rep.Bits, prounds, perValue)
+			line := fmt.Sprintf("%6d %8d %8d %10d %10d %12.1f %10.2f",
+				rep.Cycle, len(rep.Batches), rep.Values, rep.Bits, prounds, perValue,
+				float64(rep.Timing.Cycle)/float64(time.Millisecond))
 			if len(rep.PeersDown) > 0 {
 				line += fmt.Sprintf("  peersDown=%v", rep.PeersDown)
 			}
-			fmt.Fprintln(w, line)
+			lines <- line
 		}
 	}()
+	// Once the stream retires, no goroutine but this one writes lines.
+	defer reports.Wait()
+	defer s.Close()
 
 	// The ingest loop: each client goroutine proposes its share of the
 	// workload and blocks per proposal, like a real submitter would.
 	ctx := context.Background()
-	errs := make(chan error, ingest)
+	errs := make(chan error, opts.ingest)
 	var clients sync.WaitGroup
-	for g := 0; g < ingest; g++ {
+	for g := 0; g < opts.ingest; g++ {
 		clients.Add(1)
 		go func(g int) {
 			defer clients.Done()
-			for i := g; i < values; i += ingest {
+			for i := g; i < opts.values; i += opts.ingest {
 				val := workload(i)
 				d, err := s.Propose(ctx, val)
 				if err != nil {
@@ -384,33 +466,42 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 	if err := s.Drain(ctx); err != nil {
 		return err
 	}
+	if opts.linger > 0 {
+		printf("workload drained; lingering %v for the debug endpoint", opts.linger)
+		time.Sleep(opts.linger)
+	}
 	st := s.Stats()
 	ws := s.WireStats()
 	dials := s.MeshDials()
+	snap := s.Snapshot()
 	s.Close() // retire the Reports stream before the summary
 	reports.Wait()
 
-	fmt.Fprintf(w, "decided=%d defaulted=%d batches=%d cycles=%d meshDials=%d\n",
+	printf("decided=%d defaulted=%d batches=%d cycles=%d meshDials=%d",
 		st.Decided, st.Defaulted, st.Batches, st.Cycles, dials)
-	fmt.Fprintf(w, "pipelined rounds=%d totalBits=%d amortized=%.1f bits/value\n",
-		st.Rounds, st.Bits, float64(st.Bits)/float64(values))
+	printf("pipelined rounds=%d totalBits=%d amortized=%.1f bits/value",
+		st.Rounds, st.Bits, float64(st.Bits)/float64(opts.values))
+	if d := snap.Histograms["engine_decision_ns"]; d.Count > 0 {
+		printf("decision latency: p50=%v p99=%v max=%v over %d decisions",
+			time.Duration(d.P50), time.Duration(d.P99), time.Duration(d.Max), d.Count)
+	}
 	if ws.BytesSent > 0 {
-		fmt.Fprintf(w, "wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value reconnects=%d peerFlaps=%d\n",
-			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(values), ws.Reconnects, ws.PeerFlaps)
+		printf("wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value reconnects=%d peerFlaps=%d",
+			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(opts.values), ws.Reconnects, ws.PeerFlaps)
 	}
 	return nil
 }
 
 // serveSweep reruns the workload at doubling batch sizes (manual flushing,
 // so each row is one deterministic drain) to render the amortization curve.
-func serveSweep(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
+func serveSweep(printf func(string, ...any), cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.TransportKind,
 	values, batch, instances int, workload func(int) []byte) error {
 	var batches []int
 	for b := 1; b < batch; b *= 2 {
 		batches = append(batches, b)
 	}
 	batches = append(batches, batch)
-	fmt.Fprintf(w, "%8s %10s %10s %8s %14s\n", "batch", "instances", "rounds", "bits", "bits/value")
+	printf("%8s %10s %10s %8s %14s", "batch", "instances", "rounds", "bits", "bits/value")
 	ctx := context.Background()
 	for _, b := range batches {
 		s, err := byzcons.Open(byzcons.SessionConfig{
@@ -443,7 +534,7 @@ func serveSweep(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons
 		}
 		st := s.Stats()
 		s.Close()
-		fmt.Fprintf(w, "%8d %10d %10d %8d %14.1f\n",
+		printf("%8d %10d %10d %8d %14.1f",
 			b, instances, st.Rounds, st.Bits, float64(st.Bits)/float64(values))
 	}
 	return nil

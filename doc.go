@@ -84,6 +84,24 @@
 // cancelled wait does not lose the proposal. The older Submit/Flush Service
 // remains as a deprecated shim over the same engine.
 //
+// # Observability
+//
+// Every session carries a runtime metrics registry and, when configured, a
+// protocol event tracer — both lock-free on the hot path, so they stay on in
+// production. FlushReport.Timing breaks each cycle down into wall-clock,
+// the match/broadcast/RS/diagnosis phase partition of the consensus work,
+// and exact enqueue-to-decision latency percentiles; Session.Snapshot
+// returns the cumulative view (MetricsSnapshot): counters, gauges and
+// log-bucket latency histograms for queue wait, cycle duration, decision
+// latency, round-sync wait and sampled socket writes. WriteMetrics renders
+// the same registry as sorted "name value" text. Setting
+// SessionConfig.TraceRing (or TraceSink, for a JSONL stream) enables the
+// tracer: TraceEvents returns the buffered TraceEvent ring — flush
+// triggers, cycle and phase spans, squashes, peer up/down/stall — oldest
+// first. The serve mode of cmd/byzcons exposes all of it live via
+// -debugaddr (/metrics, /events, expvar, pprof) and pretty-prints captured
+// traces with -mode tracefmt.
+//
 // # Networked cluster
 //
 // Set SessionConfig.Transport (or call ClusterConsensus directly) to run
@@ -141,9 +159,9 @@
 // core where speculation buys no parallelism. A Session's transport mesh
 // persists across flush cycles, so the per-flush TCP connection setup cost
 // is gone (BenchmarkTransportThroughput compares fresh-mesh and reused-mesh
-// modes). BENCH_PR4.json records the
-// measured grid; profile any workload with
-// cmd/byzcons -cpuprofile/-memprofile/-exectrace.
+// modes). BENCH_PR7.json records the
+// measured grid, now with per-phase timing per row; profile any workload
+// with cmd/byzcons -cpuprofile/-memprofile/-exectrace.
 //
 // See DESIGN.md for the system inventory and layering (§11 for the coding
 // core); the reproduction of the paper's quantitative claims is produced by

@@ -28,6 +28,7 @@ package consensus
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"byzcons/internal/bsb"
 	"byzcons/internal/diag"
@@ -76,6 +77,60 @@ type Params struct {
 	// of this processor's protocol state. It is test/trace instrumentation,
 	// not protocol state: it must not influence behaviour.
 	Observer func(procID, gen int, info GenInfo)
+
+	// PhaseTimer, if non-nil, receives per-generation wall-clock phase
+	// durations, measured at processor 0 only (the same single-tally
+	// convention as the runtime's round meter, so n processors do not
+	// record the same wall-clock n times). The four phases partition a
+	// generation's duration without overlap: Broadcast and RS are the time
+	// inside Broadcast_Single_Bit and Reed-Solomon kernel calls, Match and
+	// Diagnosis the stage-1/2 and stage-3 residuals. Speculative fibers may
+	// invoke it concurrently. Instrumentation only: it must not influence
+	// behaviour.
+	PhaseTimer func(procID, gen int, ph Phase, d time.Duration)
+
+	// FiberGauge, if non-nil, observes the number of live generation fibers
+	// whenever it changes (processor 0 only; Window > 1 pipelines).
+	// Instrumentation only: it must not influence behaviour.
+	FiberGauge func(procID, live int)
+}
+
+// Phase names one timed slice of a generation's wall-clock, reported
+// through Params.PhaseTimer. The four phases are disjoint and sum to the
+// generation's total duration.
+type Phase int
+
+const (
+	// PhaseMatch is the matching+checking residual: symbol exchange rounds,
+	// match-vector assembly, clique search — stages 1-2 minus the time spent
+	// inside broadcast and RS calls.
+	PhaseMatch Phase = iota
+	// PhaseBroadcast is the time inside Broadcast_Single_Bit calls, across
+	// all stages.
+	PhaseBroadcast
+	// PhaseRS is the time inside Reed-Solomon kernel calls
+	// (Encode/Decode/Consistent), across all stages.
+	PhaseRS
+	// PhaseDiagnosis is the stage-3 residual: trust bookkeeping, graph
+	// updates, Pdecide search — minus broadcast and RS time.
+	PhaseDiagnosis
+	// NumPhases bounds the enum for array-indexed accumulators.
+	NumPhases
+)
+
+// String names the phase for traces and expositions.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseMatch:
+		return "match"
+	case PhaseBroadcast:
+		return "broadcast"
+	case PhaseRS:
+		return "rs"
+	case PhaseDiagnosis:
+		return "diagnosis"
+	}
+	return fmt.Sprintf("phase(%d)", int(ph))
 }
 
 // GenInfo is the per-generation snapshot passed to Params.Observer.

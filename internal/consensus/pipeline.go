@@ -255,6 +255,7 @@ func (d *pipeline) runPipelined(out *Output) {
 	d.seedState = uint64(d.p.Seed0) ^ 0x9E3779B97F4A7C15*uint64(d.p.Instance+1) ^ uint64(d.p.Stream)<<32
 	d.mu.Lock()
 	d.live++
+	d.fiberGaugeLocked()
 	a := d.driveLocked()
 	d.mu.Unlock()
 	d.workLoop(a)
@@ -337,6 +338,7 @@ func (d *pipeline) workLoop(a *assignment) {
 	}
 	d.mu.Lock()
 	d.live--
+	d.fiberGaugeLocked()
 	if d.live == 0 {
 		d.cond.Broadcast()
 	}
@@ -506,7 +508,16 @@ func (d *pipeline) squashFromLocked(g int, count bool) {
 // Caller holds d.mu.
 func (d *pipeline) spawnLocked(a *assignment) {
 	d.live++
+	d.fiberGaugeLocked()
 	go d.workLoop(a)
+}
+
+// fiberGaugeLocked reports the live-fiber count to Params.FiberGauge
+// (processor 0 only — same convention as PhaseTimer). Caller holds d.mu.
+func (d *pipeline) fiberGaugeLocked() {
+	if d.par.FiberGauge != nil && d.p.ID == 0 {
+		d.par.FiberGauge(d.p.ID, d.live)
+	}
 }
 
 // splitmix64 advances the seed-derivation state (Vigna's SplitMix64).

@@ -294,11 +294,15 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	sc := pr.sc
 	sc.grab(n)
 	defer sc.release()
+	pc := pr.clock(g)
+	defer pc.finish()
 	active := pr.g.Active()
 
 	// --- Matching stage ---------------------------------------------------
 	// 1(a): encode and send my codeword symbol to every trusted processor.
+	pt := pc.now()
 	S := pr.ic.Encode(data)
+	pc.addRS(pt)
 	out := sc.out
 	active.ForEach(func(j int) bool {
 		if j != me && pr.g.Trusts(me, j) {
@@ -346,7 +350,9 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		return true
 	})
 	sc.insts, sc.mine = insts, mine
+	pt = pc.now()
 	res := pr.bcast.Broadcast(labels.matchM, insts, mine, "match.M")
+	pc.addBcast(pt)
 	Mall := sc.mall
 	for idx, inst := range insts {
 		Mall[inst.A][inst.B] = res[idx]
@@ -386,14 +392,18 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	myDetected := false
 	if nonMembers.Has(me) {
 		pos, words := pr.trustedWords(sc, pmSet, R)
+		pt = pc.now()
 		myDetected = !pr.ic.Consistent(pos, words)
+		pc.addRS(pt)
 	}
 	nonMembers.ForEach(func(j int) bool {
 		dInsts = append(dInsts, bsb.Inst{Src: j, Kind: "Det", A: j})
 		dMine = append(dMine, j == me && myDetected)
 		return true
 	})
+	pt = pc.now()
 	dRes := pr.bcast.Broadcast(labels.checkDet, dInsts, dMine, "check.det")
+	pc.addBcast(pt)
 	detected := sc.detected
 	anyDetected := false
 	for idx, inst := range dInsts {
@@ -417,7 +427,9 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 			// honest members of Pmatch.
 			return make([]gf.Sym, len(data)), false
 		}
+		pt = pc.now()
 		dec, err := pr.ic.Decode(pos, words)
+		pc.addRS(pt)
 		if err != nil {
 			pr.p.Abort(fmt.Errorf("consensus: g%d: undetected inconsistency at decode: %v", g, err))
 		}
@@ -425,6 +437,7 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	}
 
 	// --- Diagnosis stage ----------------------------------------------------
+	pc.enterDiag()
 	pr.diags++
 	// Copy-on-write: speculative fibers launch sharing the driver's graph
 	// read-only; the diagnosis stage is the only writer, so the snapshot
@@ -445,7 +458,9 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		}
 	}
 	sc.insts, sc.mine = sInsts[:0], sMine[:0] // keep any growth pooled
+	pt = pc.now()
 	sRes := pr.bcast.Broadcast(labels.diagSym, sInsts, sMine, "diag.sym")
+	pc.addBcast(pt)
 	Rhash := make([][]gf.Sym, n)
 	for mi, j := range pm {
 		Rhash[j] = bitsToWord(sRes[mi*wordBits:(mi+1)*wordBits], pr.par.Lanes, pr.par.SymBits)
@@ -461,7 +476,9 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 		return true
 	})
 	sc.insts, sc.mine = tInsts, tMine
+	pt = pc.now()
 	tRes := pr.bcast.Broadcast(labels.diagTrust, tInsts, tMine, "diag.trust")
+	pc.addBcast(pt)
 	trust := sc.trust
 	for idx, inst := range tInsts {
 		trust[inst.A][inst.B] = tRes[idx]
@@ -488,7 +505,10 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	for i, j := range pm {
 		pmWords[i] = Rhash[j]
 	}
-	if pr.ic.Consistent(pmPos, pmWords) {
+	pt = pc.now()
+	pmOK := pr.ic.Consistent(pmPos, pmWords)
+	pc.addRS(pt)
+	if pmOK {
 		nonMembers.ForEach(func(j int) bool {
 			if detected[j] && removedNow[j] == 0 {
 				pr.g.Isolate(j)
@@ -519,7 +539,9 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	for i, j := range pd {
 		pdWords[i] = Rhash[j]
 	}
+	pt = pc.now()
 	dec, err := pr.ic.Decode(pd, pdWords)
+	pc.addRS(pt)
 	if err != nil {
 		pr.p.Abort(fmt.Errorf("consensus: g%d: Pdecide decode failed: %v", g, err))
 	}

@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"byzcons/internal/consensus"
+	"byzcons/internal/obs"
 	"byzcons/internal/sim"
 )
 
@@ -114,6 +116,20 @@ type Config struct {
 	// the flushing goroutine, so it must not block on engine progress, and it
 	// must treat the report (including its Batches slice) as read-only.
 	OnCycle func(Report)
+	// Metrics is the registry the engine records runtime metrics into
+	// (queue depth and wait, cycle/decision latency histograms, per-phase
+	// wall-clock counters). nil creates a private registry; Metrics() on the
+	// engine returns it either way.
+	Metrics *obs.Registry
+	// Tracer, if non-nil and enabled, receives structured protocol trace
+	// events (cycle spans, per-generation phase spans, squashes, flush
+	// triggers). A nil or disabled tracer costs one branch per event site.
+	Tracer *obs.Tracer
+	// DisableMetrics turns all metric recording off (the tracer too). It
+	// exists for the observability overhead guard — an A/B benchmark needs
+	// an instrumentation-free twin in the same binary — not for production
+	// use: the record paths are a few atomics per event.
+	DisableMetrics bool
 }
 
 // Decision is the consensus outcome for one submitted value.
@@ -216,8 +232,55 @@ type Report struct {
 	// one cycle and absent from the next recovered and rejoined at the epoch
 	// boundary; always empty on the simulator backend.
 	PeersDown []int
+	// Timing is the cycle's wall-clock breakdown: total duration, the
+	// per-phase partition of the consensus work, and exact decision-latency
+	// percentiles for the values the cycle resolved. Zeroed when the
+	// engine's metrics are disabled.
+	Timing Timing
 	// Err is the first instance failure of the covered cycles, if any.
 	Err error
+}
+
+// Timing is one flush cycle's wall-clock accounting (Report.Timing).
+type Timing struct {
+	// Cycle is the cycle's wall-clock: input packing through decision
+	// demux, consensus included.
+	Cycle time.Duration
+	// Match, Broadcast, RS and Diagnosis partition the per-generation
+	// protocol wall-clock measured at processor 0 (consensus.Phase), summed
+	// over the cycle's instances and generations. Instances run
+	// concurrently, so the four phases' sum can exceed Cycle — it reads as
+	// aggregate protocol work, while Cycle is elapsed wall-clock.
+	Match, Broadcast, RS, Diagnosis time.Duration
+	// DecisionP50/P90/P99/Max are exact (sorted, not histogram-estimated)
+	// percentiles of the enqueue-to-decision latency of the values this
+	// cycle resolved successfully.
+	DecisionP50, DecisionP90, DecisionP99, DecisionMax time.Duration
+	// Decisions is the latency sample count (values resolved this cycle).
+	Decisions int
+}
+
+// merge folds a cycle's timing into an aggregate: durations and sample
+// counts sum, percentiles keep the worst cycle's value (percentiles do not
+// compose across cycles; the worst is the honest summary).
+func (t *Timing) merge(c Timing) {
+	t.Cycle += c.Cycle
+	t.Match += c.Match
+	t.Broadcast += c.Broadcast
+	t.RS += c.RS
+	t.Diagnosis += c.Diagnosis
+	t.Decisions += c.Decisions
+	t.DecisionP50 = maxDur(t.DecisionP50, c.DecisionP50)
+	t.DecisionP90 = maxDur(t.DecisionP90, c.DecisionP90)
+	t.DecisionP99 = maxDur(t.DecisionP99, c.DecisionP99)
+	t.DecisionMax = maxDur(t.DecisionMax, c.DecisionMax)
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // merge folds a per-cycle report into an aggregate.
@@ -227,6 +290,7 @@ func (r *Report) merge(c Report) {
 	r.Bits += c.Bits
 	r.Rounds += c.Rounds
 	r.PeersDown = mergePeers(r.PeersDown, c.PeersDown)
+	r.Timing.merge(c.Timing)
 	if r.Err == nil {
 		r.Err = c.Err
 	}
@@ -272,6 +336,10 @@ type Stats struct {
 type submission struct {
 	value   []byte
 	pending *Pending
+	// enq stamps the submission's arrival for queue-wait and
+	// Propose-to-decision latency accounting. Zero when metrics are
+	// disabled (one time.Now saved per submission).
+	enq time.Time
 }
 
 // packedSize is the bytes the submission contributes to a packed batch.
@@ -309,6 +377,54 @@ type Engine struct {
 	repMu     sync.Mutex
 	reports   chan Report
 	repClosed bool
+
+	reg *obs.Registry
+	met engineMetrics
+}
+
+// engineMetrics caches the engine's registry entries so the hot path never
+// takes the registry lock. All fields are nil when Config.DisableMetrics
+// is set — every obs record method is a nil-safe no-op, so call sites need
+// no guards.
+type engineMetrics struct {
+	enabled    bool
+	queueDepth *obs.Gauge     // values waiting for a flush cycle
+	queueWait  *obs.Histogram // ns from enqueue to cycle pack
+	cycleDur   *obs.Histogram // ns per flush cycle
+	decision   *obs.Histogram // ns from enqueue to decision resolve
+	fibers     *obs.Gauge     // live generation fibers (processor 0)
+	phases     [consensus.NumPhases]*obs.Counter
+}
+
+// registerMetrics wires the engine's metrics and read-through stat gauges
+// into reg.
+func (e *Engine) registerMetrics() {
+	e.met = engineMetrics{
+		enabled:    true,
+		queueDepth: e.reg.Gauge("engine_queue_depth"),
+		queueWait:  e.reg.Histogram("engine_queue_wait_ns"),
+		cycleDur:   e.reg.Histogram("engine_cycle_ns"),
+		decision:   e.reg.Histogram("engine_decision_ns"),
+		fibers:     e.reg.Gauge("consensus_fibers_live"),
+	}
+	for ph := consensus.Phase(0); ph < consensus.NumPhases; ph++ {
+		e.met.phases[ph] = e.reg.Counter("consensus_phase_" + ph.String() + "_ns")
+	}
+	for _, sf := range []struct {
+		name string
+		read func(Stats) int64
+	}{
+		{"engine_submitted", func(s Stats) int64 { return int64(s.Submitted) }},
+		{"engine_decided", func(s Stats) int64 { return int64(s.Decided) }},
+		{"engine_defaulted", func(s Stats) int64 { return int64(s.Defaulted) }},
+		{"engine_failed", func(s Stats) int64 { return int64(s.Failed) }},
+		{"engine_batches", func(s Stats) int64 { return int64(s.Batches) }},
+		{"engine_cycles", func(s Stats) int64 { return int64(s.Cycles) }},
+		{"engine_reports_dropped", func(s Stats) int64 { return int64(s.ReportsDropped) }},
+	} {
+		read := sf.read
+		e.reg.Func(sf.name, func() int64 { return read(e.Stats()) })
+	}
 }
 
 // New validates cfg, fills defaults, starts the background flusher when the
@@ -352,6 +468,13 @@ func New(cfg Config) (*Engine, error) {
 		trigger: make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		reports: make(chan Report, cfg.ReportBuffer),
+		reg:     cfg.Metrics,
+	}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	if !cfg.DisableMetrics {
+		e.registerMetrics()
 	}
 	if cfg.Policy.active() {
 		e.flusherDone = make(chan struct{})
@@ -372,12 +495,17 @@ func (e *Engine) Submit(value []byte) (*Pending, error) {
 	}
 	p := newPending()
 	s := submission{value: append([]byte(nil), value...), pending: p}
+	if e.met.enabled {
+		s.enq = time.Now()
+	}
 	e.queue = append(e.queue, s)
 	e.queueBytes += s.packedSize()
 	e.stats.Submitted++
+	e.met.queueDepth.Set(int64(len(e.queue)))
 	pol := e.cfg.Policy
-	trigger := (pol.MaxValues > 0 && len(e.queue) >= pol.MaxValues) ||
-		(pol.MaxBytes > 0 && e.queueBytes >= pol.MaxBytes)
+	byValues := pol.MaxValues > 0 && len(e.queue) >= pol.MaxValues
+	byBytes := pol.MaxBytes > 0 && e.queueBytes >= pol.MaxBytes
+	trigger := byValues || byBytes
 	if pol.MaxDelay > 0 && !e.timerArmed {
 		// Arm the delay trigger for the oldest unflushed value. The flag is
 		// cleared only when the timer fires, so the timer always fires within
@@ -392,6 +520,13 @@ func (e *Engine) Submit(value []byte) (*Pending, error) {
 	}
 	e.mu.Unlock()
 	if trigger {
+		if e.cfg.Tracer.Enabled() {
+			why := "values"
+			if !byValues {
+				why = "bytes"
+			}
+			e.cfg.Tracer.Emit(obs.Event{Cat: "flush", Name: "trigger", Detail: why})
+		}
 		e.signal()
 	}
 	return p, nil
@@ -412,6 +547,9 @@ func (e *Engine) delayFire() {
 	pending := len(e.queue) > 0
 	e.mu.Unlock()
 	if pending {
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Emit(obs.Event{Cat: "flush", Name: "trigger", Detail: "delay"})
+		}
 		e.signal()
 	}
 }
@@ -506,6 +644,9 @@ func (e *Engine) Flush() (*Report, error) {
 	if closed {
 		return nil, ErrClosed
 	}
+	if e.cfg.Tracer.Enabled() {
+		e.cfg.Tracer.Emit(obs.Event{Cat: "flush", Name: "trigger", Detail: "manual"})
+	}
 	return e.flushAll()
 }
 
@@ -560,6 +701,7 @@ func (e *Engine) flushAll() (*Report, error) {
 			e.nextBatch++
 			e.stats.Batches++
 		}
+		e.met.queueDepth.Set(int64(len(e.queue)))
 		e.mu.Unlock()
 
 		rep := e.runCycle(cycleID, batchIDs, cycle)
@@ -621,16 +763,47 @@ func (e *Engine) emit(rep Report) {
 // resolves every submission of the cycle. It holds no engine lock while the
 // instances run.
 func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Report {
+	cycleStart := time.Now()
 	inputs := make([][]byte, len(cycle))
 	for k, batch := range cycle {
 		values := make([][]byte, len(batch))
 		for i, s := range batch {
 			values[i] = s.value
+			if !s.enq.IsZero() {
+				e.met.queueWait.Record(int64(cycleStart.Sub(s.enq)))
+			}
 		}
 		inputs[k] = packValues(values)
 	}
 
 	par := e.cfg.Consensus
+	// Phase accumulation: each instance's processor 0 reports its
+	// generation phase partition (consensus.Params.PhaseTimer); instances
+	// run concurrently, so the cycle totals accumulate atomically.
+	var phaseNS [consensus.NumPhases]atomic.Int64
+	if e.met.enabled {
+		prevTimer, prevGauge, tracer := par.PhaseTimer, par.FiberGauge, e.cfg.Tracer
+		met := &e.met
+		par.PhaseTimer = func(procID, gen int, ph consensus.Phase, d time.Duration) {
+			phaseNS[ph].Add(int64(d))
+			met.phases[ph].Add(int64(d))
+			if tracer.Enabled() {
+				tracer.Emit(obs.Event{
+					TS: time.Now().Add(-d).UnixNano(), Dur: int64(d),
+					Cat: "phase", Name: ph.String(), Cycle: cycleID, Gen: gen, Node: procID,
+				})
+			}
+			if prevTimer != nil {
+				prevTimer(procID, gen, ph, d)
+			}
+		}
+		par.FiberGauge = func(procID, live int) {
+			met.fibers.Set(int64(live))
+			if prevGauge != nil {
+				prevGauge(procID, live)
+			}
+		}
+	}
 	res := e.cfg.Runner.RunBatch(sim.BatchConfig{
 		N:         par.N,
 		Faulty:    e.cfg.Faulty,
@@ -642,6 +815,10 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 	})
 
 	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits, PeersDown: res.PeersDown}
+	var decisionLats []time.Duration
+	if e.met.enabled {
+		decisionLats = make([]time.Duration, 0, len(batchIDs)*e.cfg.BatchValues)
+	}
 	var decided, defaulted, failed int
 	for k, batch := range cycle {
 		ir := res.Instances[k]
@@ -680,8 +857,23 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 
 		if out.Defaulted {
 			defaulted += len(batch)
+			if out.Squashes > 0 && e.cfg.Tracer.Enabled() {
+				e.cfg.Tracer.Emit(obs.Event{Cat: "gen", Name: "squash",
+					Cycle: cycleID, Inst: k, Detail: fmt.Sprintf("count=%d", out.Squashes)})
+			}
+			for _, s := range batch {
+				if !s.enq.IsZero() {
+					lat := time.Since(s.enq)
+					decisionLats = append(decisionLats, lat)
+					e.met.decision.Record(int64(lat))
+				}
+			}
 			resolveBatch(batch, Decision{Batch: batchIDs[k], Defaulted: true})
 			continue
+		}
+		if out.Squashes > 0 && e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Emit(obs.Event{Cat: "gen", Name: "squash",
+				Cycle: cycleID, Inst: k, Detail: fmt.Sprintf("count=%d", out.Squashes)})
 		}
 		values, err := unpackValues(out.Value)
 		if err == nil && len(values) != len(batch) {
@@ -698,7 +890,30 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 		}
 		for i, s := range batch {
 			decided++
+			if !s.enq.IsZero() {
+				lat := time.Since(s.enq)
+				decisionLats = append(decisionLats, lat)
+				e.met.decision.Record(int64(lat))
+			}
 			s.pending.resolve(Decision{Value: values[i], Batch: batchIDs[k]})
+		}
+	}
+
+	if e.met.enabled {
+		rep.Timing = Timing{
+			Cycle:     time.Since(cycleStart),
+			Match:     time.Duration(phaseNS[consensus.PhaseMatch].Load()),
+			Broadcast: time.Duration(phaseNS[consensus.PhaseBroadcast].Load()),
+			RS:        time.Duration(phaseNS[consensus.PhaseRS].Load()),
+			Diagnosis: time.Duration(phaseNS[consensus.PhaseDiagnosis].Load()),
+		}
+		rep.Timing.DecisionP50, rep.Timing.DecisionP90, rep.Timing.DecisionP99, rep.Timing.DecisionMax =
+			latencyPercentiles(decisionLats)
+		rep.Timing.Decisions = len(decisionLats)
+		e.met.cycleDur.Record(int64(rep.Timing.Cycle))
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Span(cycleStart, obs.Event{Cat: "cycle", Name: "flush", Cycle: cycleID,
+				Detail: fmt.Sprintf("values=%d batches=%d", rep.Values, len(rep.Batches))})
 		}
 	}
 
@@ -711,6 +926,28 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 	e.mu.Unlock()
 	return rep
 }
+
+// latencyPercentiles returns exact p50/p90/p99/max over lats (sorted in
+// place). Exactness is affordable here: a cycle resolves at most
+// BatchValues*Instances values.
+func latencyPercentiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q int) time.Duration {
+		rank := (len(lats)*q + 99) / 100 // ceil rank, 1-based
+		if rank < 1 {
+			rank = 1
+		}
+		return lats[rank-1]
+	}
+	return at(50), at(90), at(99), lats[len(lats)-1]
+}
+
+// Metrics returns the engine's registry (the one passed in Config.Metrics,
+// or the private one created at New).
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // agreedOutput cross-checks the honest processors' outputs of one instance
 // and returns their common output. Any divergence means the error-free

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"byzcons/internal/obs"
+)
+
+// TestEngineTimingAndMetrics: a flush cycle fills in Report.Timing (cycle
+// wall-clock, per-phase partition, exact decision percentiles), records the
+// matching histograms and counters in the registry, and traces cycle and
+// phase spans.
+func TestEngineTimingAndMetrics(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.BatchValues = 4
+	cfg.Instances = 2
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(256, nil)
+	cfg.Tracer.SetEnabled(true)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pendings := submitN(t, e, 10, 16)
+	rep, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pendings {
+		if d := p.Wait(context.Background()); d.Err != nil {
+			t.Fatal(d.Err)
+		}
+	}
+
+	tm := rep.Timing
+	if tm.Cycle <= 0 {
+		t.Errorf("Timing.Cycle = %v, want > 0", tm.Cycle)
+	}
+	if tm.Decisions != 10 {
+		t.Errorf("Timing.Decisions = %d, want 10", tm.Decisions)
+	}
+	if tm.DecisionP50 <= 0 {
+		t.Errorf("DecisionP50 = %v, want > 0", tm.DecisionP50)
+	}
+	if tm.DecisionP90 < tm.DecisionP50 || tm.DecisionP99 < tm.DecisionP90 || tm.DecisionMax < tm.DecisionP99 {
+		t.Errorf("percentiles out of order: p50=%v p90=%v p99=%v max=%v",
+			tm.DecisionP50, tm.DecisionP90, tm.DecisionP99, tm.DecisionMax)
+	}
+	// Fail-free run: real matching/broadcast/RS work, no diagnoses.
+	if tm.Broadcast <= 0 || tm.RS <= 0 {
+		t.Errorf("phase partition empty: match=%v bcast=%v rs=%v", tm.Match, tm.Broadcast, tm.RS)
+	}
+	if tm.Match < 0 || tm.Diagnosis != 0 {
+		t.Errorf("unexpected phase values: match=%v diag=%v", tm.Match, tm.Diagnosis)
+	}
+
+	snap := e.Metrics().Snapshot()
+	if got := snap.Histograms["engine_decision_ns"].Count; got != 10 {
+		t.Errorf("engine_decision_ns count = %d, want 10", got)
+	}
+	if got := snap.Histograms["engine_queue_wait_ns"].Count; got != 10 {
+		t.Errorf("engine_queue_wait_ns count = %d, want 10", got)
+	}
+	if got := snap.Histograms["engine_cycle_ns"].Count; got < 1 {
+		t.Errorf("engine_cycle_ns count = %d, want >= 1", got)
+	}
+	if got := snap.Counters["consensus_phase_broadcast_ns"]; got <= 0 {
+		t.Errorf("consensus_phase_broadcast_ns = %d, want > 0", got)
+	}
+	if got := snap.Gauges["engine_decided"]; got != 10 {
+		t.Errorf("engine_decided gauge = %d, want 10", got)
+	}
+
+	var sawCycle, sawPhase bool
+	phases := map[string]bool{"match": true, "broadcast": true, "rs": true, "diagnosis": true}
+	for _, ev := range cfg.Tracer.Events() {
+		switch ev.Cat {
+		case "cycle":
+			if ev.Name == "flush" && ev.Dur > 0 {
+				sawCycle = true
+			}
+		case "phase":
+			if !phases[ev.Name] {
+				t.Errorf("unknown phase event %q", ev.Name)
+			}
+			sawPhase = true
+		}
+	}
+	if !sawCycle || !sawPhase {
+		t.Errorf("trace missing spans: cycle=%v phase=%v (of %d events)",
+			sawCycle, sawPhase, len(cfg.Tracer.Events()))
+	}
+}
+
+// TestEngineTimingZeroWhenDisabled: DisableMetrics turns the whole layer
+// off — Timing stays zeroed and nothing lands in the registry.
+func TestEngineTimingZeroWhenDisabled(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.BatchValues = 4
+	cfg.DisableMetrics = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, e, 4, 16)
+	rep, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timing != (Timing{}) {
+		t.Errorf("Timing recorded with metrics disabled: %+v", rep.Timing)
+	}
+	if snap := e.Metrics().Snapshot(); len(snap.Histograms) != 0 {
+		t.Errorf("histograms registered with metrics disabled: %v", snap.Histograms)
+	}
+}
+
+// obsGuardThroughput runs one engine (metrics on or off) through the given
+// number of identical flush cycles and returns decided values per second.
+func obsGuardThroughput(t *testing.T, disable bool, cycles, values int) float64 {
+	t.Helper()
+	cfg := testConfig()
+	cfg.BatchValues = 16
+	cfg.Instances = 2
+	cfg.DisableMetrics = disable
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		pendings := make([]*Pending, values)
+		for i := range pendings {
+			v := []byte(fmt.Sprintf("guard-%d-%04d", c, i))
+			if pendings[i], err = e.Submit(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pendings {
+			if d := p.Wait(context.Background()); d.Err != nil {
+				t.Fatal(d.Err)
+			}
+		}
+	}
+	return float64(cycles*values) / time.Since(start).Seconds()
+}
+
+// TestMetricsOverheadGuard is the observability overhead guard: with the
+// tracer off, full metric recording must stay within noise of the
+// DisableMetrics twin. The instrumentation budget is 5%; scheduling noise on
+// a loaded CI box is real, so each side takes its best of a few interleaved
+// runs and a failing comparison gets one clean retry before it counts.
+func TestMetricsOverheadGuard(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU: simulator scheduling noise swamps a 5% budget")
+	}
+	cycles, values := 6, 32
+	if testing.Short() {
+		cycles = 2
+	}
+	best := func(disable bool, runs int) float64 {
+		var b float64
+		for i := 0; i < runs; i++ {
+			if v := obsGuardThroughput(t, disable, cycles, values); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	const budget = 0.95
+	for attempt := 0; ; attempt++ {
+		off := best(true, 3)
+		on := best(false, 3)
+		ratio := on / off
+		t.Logf("attempt %d: metrics on %.0f values/s, off %.0f values/s, ratio %.3f", attempt, on, off, ratio)
+		if ratio >= budget {
+			return
+		}
+		if attempt >= 1 {
+			t.Fatalf("metrics overhead above budget: ratio %.3f < %.2f (on %.0f vs off %.0f values/s)",
+				ratio, budget, on, off)
+		}
+	}
+}

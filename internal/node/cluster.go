@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"byzcons/internal/metrics"
+	"byzcons/internal/obs"
 	"byzcons/internal/sim"
 	"byzcons/internal/transport"
 	"byzcons/internal/wire"
@@ -39,6 +40,13 @@ type Cluster struct {
 	// cycle that observed it: the peer rejoins at the next epoch if its
 	// channel is healthy.
 	StallTimeout time.Duration
+	// Obs, if non-nil, is the registry the cluster's runtimes record into:
+	// round-sync wait histograms and inbox depth, tallied once per instance
+	// (the countRounds runtime). Set before the first run.
+	Obs *obs.Registry
+	// Tracer, if non-nil and enabled, receives peer lifecycle trace events
+	// (down, up, stall) from the per-node routers. Set before Connect.
+	Tracer *obs.Tracer
 
 	// runMu serializes runs: the persistent mesh carries one epoch at a time.
 	runMu sync.Mutex
@@ -93,6 +101,7 @@ func (c *Cluster) connectLocked(n int) error {
 	routers := make([]*nodeRouter, n)
 	for i := range routers {
 		routers[i] = newNodeRouter(i, n)
+		routers[i].tracer = c.Tracer
 		// Receive routing: push-capable transports deliver frames
 		// synchronously in their own delivery context (the sender's goroutine
 		// on the bus, the connection readers on TCP) through a Sink — no
@@ -237,6 +246,12 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 
 	// One runtime per (instance, node); the persistent endpoint and router of
 	// each node are shared by the node's instances and by every cycle.
+	var roundWait *obs.Histogram
+	var inboxDepth *obs.Gauge
+	if c.Obs != nil {
+		roundWait = c.Obs.Histogram("node_round_wait_ns")
+		inboxDepth = c.Obs.Gauge("node_inbox_depth")
+	}
 	runtimes := make([][]*runtime, b) // [instance][node]
 	for k := 0; k < b; k++ {
 		instSeed := sim.InstanceSeed(cfg.Seed, k)
@@ -260,6 +275,8 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 				onStall:         router.observeStall,
 				send:            eps[i].Send,
 				recycleSendBufs: !eps[i].Retains(),
+				roundWait:       roundWait,
+				inboxDepth:      inboxDepth,
 			})
 		}
 	}
@@ -383,9 +400,10 @@ type peerState struct {
 // no mid-generation rejoin, preserving the synchronous-round model within
 // each epoch.
 type nodeRouter struct {
-	node  int
-	n     int
-	epoch atomic.Pointer[routerEpoch] // nil between runs
+	node   int
+	n      int
+	epoch  atomic.Pointer[routerEpoch] // nil between runs
+	tracer *obs.Tracer                 // peer lifecycle events; nil-safe
 
 	mu       sync.Mutex
 	peers    []peerState
@@ -485,6 +503,14 @@ func (r *nodeRouter) PeerDown(peer int, err error) {
 	}
 	r.observed[peer] = true
 	r.mu.Unlock()
+	if r.tracer.Enabled() {
+		kind := "transient"
+		if !transient {
+			kind = "permanent"
+		}
+		r.tracer.Emit(obs.Event{Cat: "peer", Name: "down", Node: peer,
+			Detail: fmt.Sprintf("at=%d %s: %v", r.node, kind, err)})
+	}
 	if ep := r.epoch.Load(); ep != nil {
 		for _, rt := range ep.rts {
 			rt.inbox.peerDown(peer, err)
@@ -502,10 +528,15 @@ func (r *nodeRouter) PeerUp(peer int) {
 		return
 	}
 	r.mu.Lock()
-	if !r.closed && !r.peers[peer].permanent {
+	cleared := !r.closed && !r.peers[peer].permanent && r.peers[peer].err != nil
+	if cleared {
 		r.peers[peer].err = nil
 	}
 	r.mu.Unlock()
+	if cleared && r.tracer.Enabled() {
+		r.tracer.Emit(obs.Event{Cat: "peer", Name: "up", Node: peer,
+			Detail: fmt.Sprintf("at=%d reconnected, rejoins next epoch", r.node)})
+	}
 }
 
 // observeStall records a stall-detector isolation for the cycle's membership
@@ -517,10 +548,15 @@ func (r *nodeRouter) observeStall(peer int) {
 		return
 	}
 	r.mu.Lock()
-	if !r.closed {
+	stalled := !r.closed
+	if stalled {
 		r.observed[peer] = true
 	}
 	r.mu.Unlock()
+	if stalled && r.tracer.Enabled() {
+		r.tracer.Emit(obs.Event{Cat: "peer", Name: "stall", Node: peer,
+			Detail: fmt.Sprintf("at=%d isolated for this cycle", r.node)})
+	}
 }
 
 // runFail records a mesh-fatal receive failure not attributable to one peer

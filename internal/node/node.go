@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"byzcons/internal/metrics"
+	"byzcons/internal/obs"
 	"byzcons/internal/sim"
 	"byzcons/internal/transport"
 	"byzcons/internal/wire"
@@ -100,6 +101,16 @@ type options struct {
 	// recycleSendBufs enables pooling of encoded frame buffers; set only
 	// when the transport does not retain sent slices (Endpoint.Retains).
 	recycleSendBufs bool
+	// roundWait, if non-nil, records the wall-clock each barrier spends in
+	// its round synchronizer (send done, frames awaited) — recorded only at
+	// the countRounds runtime, matching the round meter's single-tally
+	// convention. Nil-safe (obs no-op receivers).
+	roundWait *obs.Histogram
+	// inboxDepth, if non-nil, gauges the frames buffered ahead of
+	// consumption in the countRounds runtime's inbox (peers running ahead
+	// of this node). Approximate across failed cycles: frames a failed run
+	// abandoned stay counted until the gauge next moves.
+	inboxDepth *obs.Gauge
 }
 
 
@@ -128,6 +139,9 @@ func newRuntime(opts options) *runtime {
 	ib := newInbox(opts.n, opts.id)
 	ib.stallTimeout = opts.stallTimeout
 	ib.onStall = opts.onStall
+	if opts.countRounds {
+		ib.depth = opts.inboxDepth
+	}
 	return &runtime{opts: opts, inbox: ib}
 }
 
@@ -226,7 +240,14 @@ func (rt *runtime) Exchange(p, stream int, step sim.StepID, out []sim.Message, m
 		}
 	}
 	putByTo(byTop)
+	var waitT0 time.Time
+	if o.countRounds && o.roundWait != nil {
+		waitT0 = time.Now()
+	}
 	frames := rt.await(stream, step, wire.StepExchange, sum)
+	if !waitT0.IsZero() {
+		o.roundWait.Record(int64(time.Since(waitT0)))
+	}
 	total := 0
 	for j := 0; j < o.n; j++ {
 		if j != o.id {
@@ -297,7 +318,14 @@ func (rt *runtime) Sync(p, stream int, step sim.StepID, val any, bits int64, tag
 		}
 	}
 	transport.PutBuf(tmpl)
+	var waitT0 time.Time
+	if o.countRounds && o.roundWait != nil {
+		waitT0 = time.Now()
+	}
 	frames := rt.await(stream, step, wire.StepSync, sum)
+	if !waitT0.IsZero() {
+		o.roundWait.Record(int64(time.Since(waitT0)))
+	}
 	vals := make([]any, o.n)
 	vals[o.id] = val
 	for j := 0; j < o.n; j++ {
@@ -465,6 +493,9 @@ type inbox struct {
 	stallTimeout time.Duration // 0 = disabled
 	onStall      func(peer int)
 	lastSeen     []time.Time
+	// depth, if non-nil, gauges the frames currently buffered across the
+	// inbox's streams (options.inboxDepth; nil-safe).
+	depth *obs.Gauge
 }
 
 // streamQueues holds one stream's per-peer FIFO queues and the stream's
@@ -556,6 +587,7 @@ func (ib *inbox) push(from, stream int, f *wire.Frame) bool {
 		sq.pendingCounted = true
 	}
 	sq.fifo[from] = append(sq.fifo[from], f)
+	ib.depth.Add(1)
 	if len(sq.fifo[from]) == 1 {
 		sq.nonEmpty++
 		if sq.nonEmpty == ib.n-1 {
@@ -625,8 +657,17 @@ func (ib *inbox) release(stream int) {}
 // never come through here — their ids are reused and their retained entries
 // continue across incarnations. Caller holds ib.mu.
 func (ib *inbox) drop(stream int) {
-	if sq := ib.streams[stream]; sq != nil && sq.pendingCounted {
-		ib.pending--
+	if sq := ib.streams[stream]; sq != nil {
+		if sq.pendingCounted {
+			ib.pending--
+		}
+		if ib.depth != nil {
+			buffered := 0
+			for _, q := range sq.fifo {
+				buffered += len(q)
+			}
+			ib.depth.Add(-int64(buffered))
+		}
 	}
 	delete(ib.streams, stream)
 }
@@ -675,6 +716,7 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 		}
 		if sq.nonEmpty == ib.n-1 {
 			ib.delivered++
+			ib.depth.Add(-int64(ib.n - 1))
 			if sq.heads == nil {
 				sq.heads = make([]*wire.Frame, ib.n)
 			}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Each value must land in the bucket whose upper bound is the smallest
+	// 2^k-1 >= v; a histogram holding only v must report exactly that
+	// bound for every quantile.
+	cases := []struct {
+		v    int64
+		want int64
+	}{
+		{0, 0}, {-5, 0},
+		{1, 1},
+		{2, 3}, {3, 3},
+		{4, 7}, {7, 7},
+		{8, 15},
+		{1023, 1023}, {1024, 2047}, {1025, 2047},
+		{1 << 40, 1<<41 - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Record(c.v)
+		s := h.Snapshot()
+		if s.Count != 1 {
+			t.Fatalf("Record(%d): count = %d, want 1", c.v, s.Count)
+		}
+		if s.P50 != c.want || s.P99 != c.want {
+			t.Errorf("Record(%d): p50=%d p99=%d, want %d", c.v, s.P50, s.P99, c.want)
+		}
+		wantMax := c.v
+		if wantMax < 0 {
+			wantMax = 0
+		}
+		if s.Max != wantMax {
+			t.Errorf("Record(%d): max = %d, want %d", c.v, s.Max, wantMax)
+		}
+	}
+}
+
+func TestHistogramQuantileRanks(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v, want count=100 sum=5050 max=100", s)
+	}
+	// Rank 50 is value 50 -> bucket upper 63; rank 90 is value 90 -> 127;
+	// rank 99 is value 99 -> 127. Upper bounds, never under-estimates.
+	wantUpper := func(v int64) int64 { return int64(1)<<bits.Len64(uint64(v)) - 1 }
+	if s.P50 != wantUpper(50) {
+		t.Errorf("p50 = %d, want %d", s.P50, wantUpper(50))
+	}
+	if s.P90 != wantUpper(90) {
+		t.Errorf("p90 = %d, want %d", s.P90, wantUpper(90))
+	}
+	if s.P99 != wantUpper(99) {
+		t.Errorf("p99 = %d, want %d", s.P99, wantUpper(99))
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > 2*s.Max {
+		t.Errorf("quantiles not ordered/bounded: %+v", s)
+	}
+}
+
+func TestHistogramConcurrentRecording(t *testing.T) {
+	// Hammer one histogram from many goroutines while snapshotting
+	// concurrently; under -race this doubles as the lock-freedom proof.
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.P50 > s.P99 {
+				t.Errorf("mid-flight snapshot disordered: %+v", s)
+				return
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(seed int64) {
+			defer rec.Done()
+			for i := int64(0); i < per; i++ {
+				h.Record(seed*1000 + i)
+			}
+		}(int64(w))
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestRegistrySnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_cycles").Add(3)
+	r.Gauge("engine_queue_depth").Set(7)
+	r.Histogram("decision_ns").Record(100)
+	r.Func("transport_conns", func() int64 { return 12 })
+
+	s := r.Snapshot()
+	if s.Counters["engine_cycles"] != 3 {
+		t.Errorf("counter = %d, want 3", s.Counters["engine_cycles"])
+	}
+	if s.Gauges["engine_queue_depth"] != 7 {
+		t.Errorf("gauge = %d, want 7", s.Gauges["engine_queue_depth"])
+	}
+	if s.Gauges["transport_conns"] != 12 {
+		t.Errorf("func gauge = %d, want 12", s.Gauges["transport_conns"])
+	}
+	if s.Histograms["decision_ns"].Count != 1 {
+		t.Errorf("hist count = %d, want 1", s.Histograms["decision_ns"].Count)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"engine_cycles 3\n",
+		"engine_queue_depth 7\n",
+		"transport_conns 12\n",
+		"decision_ns_count 1\n",
+		"decision_ns_p99 127\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Deterministic: sorted lines.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Errorf("exposition not sorted at line %d: %q > %q", i, lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Record(1)
+	r.Func("f", func() int64 { return 0 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot non-empty")
+	}
+	var tr *Tracer
+	tr.Emit(Event{Cat: "x", Name: "y"})
+	if tr.Enabled() || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Errorf("nil tracer not inert")
+	}
+}

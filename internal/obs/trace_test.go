@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.Emit(Event{Cat: "cycle", Name: "flush"})
+	if got := tr.Events(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(got))
+	}
+	tr.SetEnabled(true)
+	tr.Emit(Event{Cat: "cycle", Name: "flush"})
+	if got := tr.Events(); len(got) != 1 {
+		t.Fatalf("enabled tracer recorded %d events, want 1", len(got))
+	}
+	tr.SetEnabled(false)
+	tr.Emit(Event{Cat: "cycle", Name: "flush"})
+	if got := tr.Events(); len(got) != 1 {
+		t.Fatalf("re-disabled tracer recorded %d events, want 1", len(got))
+	}
+}
+
+func TestTraceRingOverflowDropsOldest(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.SetEnabled(true)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{TS: int64(i + 1), Cat: "gen", Name: "commit", Gen: i})
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := 3 + i; e.Gen != want {
+			t.Errorf("event %d: gen = %d, want %d (oldest must drop first)", i, e.Gen, want)
+		}
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Errorf("dropped = %d, want 3", d)
+	}
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2, &buf)
+	tr.SetEnabled(true)
+	tr.Emit(Event{TS: 10, Cat: "peer", Name: "down", Node: 2, Detail: "conn reset"})
+	tr.Emit(Event{TS: 20, Dur: 5, Cat: "rs", Name: "encode", Gen: 1})
+	tr.Emit(Event{TS: 30, Cat: "peer", Name: "up", Node: 2})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink holds %d lines, want 3 (sink must see every event, ring only the tail)", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if e.Cat != "peer" || e.Name != "down" || e.Node != 2 || e.Detail != "conn reset" {
+		t.Errorf("round-tripped event = %+v", e)
+	}
+	// Ring kept only the newest two despite the sink seeing all three.
+	if got := tr.Events(); len(got) != 2 || got[0].TS != 20 {
+		t.Errorf("ring = %+v, want the two newest", got)
+	}
+}
+
+func TestTracerSpanStamps(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.SetEnabled(true)
+	t0 := time.Now().Add(-time.Millisecond)
+	tr.Span(t0, Event{Cat: "cycle", Name: "flush", Cycle: 3})
+	got := tr.Events()
+	if len(got) != 1 {
+		t.Fatalf("span not recorded")
+	}
+	if got[0].TS != t0.UnixNano() {
+		t.Errorf("span TS = %d, want start time %d", got[0].TS, t0.UnixNano())
+	}
+	if got[0].Dur < int64(time.Millisecond) {
+		t.Errorf("span dur = %d, want >= 1ms", got[0].Dur)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64, nil)
+	tr.SetEnabled(true)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Event{TS: 1, Cat: "gen", Name: "commit", Node: id, Gen: i})
+				_ = tr.Events()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := int64(len(tr.Events()))+tr.Dropped(), int64(workers*per); got != want {
+		t.Fatalf("events+dropped = %d, want %d", got, want)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"byzcons/internal/obs"
 )
 
 // TCP wire format. Each connection starts with a hello — magic, protocol
@@ -41,6 +43,11 @@ type TCPOptions struct {
 	// The zero value enables recovery with defaults; Retry.Disabled restores
 	// the old any-loss-is-permanent behaviour.
 	Retry RetryPolicy
+	// Obs, when set, receives sampled write timing: every 16th frame's
+	// synchronous socket write lands in the transport_write_ns histogram.
+	// Sampling keeps the hot send path to one counter increment per frame;
+	// nil disables timing entirely.
+	Obs *obs.Registry
 }
 
 func (o TCPOptions) maxFrame() int {
@@ -130,6 +137,11 @@ type tcpEndpoint struct {
 	connsOpened atomic.Int64
 	reconnects  atomic.Int64
 	flaps       atomic.Int64
+
+	// writeLat, when non-nil, records every 16th frame's socket write time
+	// (see TCPOptions.Obs); sendSeq is the shared sampling counter.
+	writeLat *obs.Histogram
+	sendSeq  atomic.Int64
 }
 
 // SetSink implements PushCapable.
@@ -155,6 +167,11 @@ func (ep *tcpEndpoint) Send(to int, data []byte) error {
 	wb := writeBufPool.Get().(*writeBuf)
 	buf := binary.AppendUvarint(wb.b[:0], uint64(len(data)))
 	buf = append(buf, data...)
+	timed := ep.writeLat != nil && ep.sendSeq.Add(1)&15 == 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	ep.wmu[to].Lock()
 	var err error
 	transient := true
@@ -164,6 +181,9 @@ func (ep *tcpEndpoint) Send(to int, data []byte) error {
 		err, transient = ep.downErr(to)
 	}
 	ep.wmu[to].Unlock()
+	if timed && err == nil {
+		ep.writeLat.Record(int64(time.Since(t0)))
+	}
 	wb.b = buf
 	writeBufPool.Put(wb)
 	if err != nil {
@@ -491,11 +511,12 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 	for i := range eps {
 		eps[i] = &tcpEndpoint{
 			id: i, n: n, opt: opt, addrs: addrs,
-			recv:  newQueue(),
-			conns: make([]atomic.Pointer[connBox], n),
-			wmu:   make([]sync.Mutex, n),
-			peers: make([]peerLife, n),
-			stop:  make(chan struct{}),
+			recv:     newQueue(),
+			conns:    make([]atomic.Pointer[connBox], n),
+			wmu:      make([]sync.Mutex, n),
+			peers:    make([]peerLife, n),
+			stop:     make(chan struct{}),
+			writeLat: opt.Obs.Histogram("transport_write_ns"),
 		}
 	}
 

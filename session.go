@@ -3,10 +3,12 @@ package byzcons
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"byzcons/internal/engine"
 	"byzcons/internal/node"
+	"byzcons/internal/obs"
 	"byzcons/internal/transport"
 )
 
@@ -172,6 +174,19 @@ type SessionConfig struct {
 	// on the flushing goroutine: treat the report as read-only and return
 	// quickly.
 	OnFlush func(FlushReport)
+	// TraceRing enables protocol event tracing with a bounded in-memory
+	// ring of this many events; once full, the oldest event is dropped per
+	// new one (TraceEvents reports what survived, the trace_dropped metric
+	// what did not). 0 leaves tracing disabled — the hot path then pays a
+	// single predictable branch — unless TraceSink is set, in which case
+	// the ring takes a default capacity.
+	TraceRing int
+	// TraceSink, when non-nil, additionally receives every trace event as
+	// one JSON line (JSONL) at emit time, so a trace longer than the ring
+	// survives to disk. Writes are synchronous on the emitting goroutine;
+	// hand a buffered writer for high-volume traces. Setting only TraceSink
+	// enables tracing with the default ring size.
+	TraceSink io.Writer
 }
 
 // withDefaults fills the zero-value fields.
@@ -219,6 +234,9 @@ func (cfg SessionConfig) Validate() error {
 	if cfg.ReportBuffer < 0 {
 		return fmt.Errorf("byzcons: ReportBuffer must be >= 0, got %d", cfg.ReportBuffer)
 	}
+	if cfg.TraceRing < 0 {
+		return fmt.Errorf("byzcons: TraceRing must be >= 0, got %d", cfg.TraceRing)
+	}
 	return nil
 }
 
@@ -239,6 +257,8 @@ func (cfg SessionConfig) Validate() error {
 type Session struct {
 	eng     *engine.Engine
 	cluster *node.Cluster // nil when backed by the simulator
+	reg     *obs.Registry
+	tracer  *obs.Tracer // nil unless tracing was configured
 }
 
 // Open validates cfg, dials the transport mesh (networked backends dial
@@ -249,7 +269,18 @@ func Open(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	factory, err := cfg.Transport.factoryFor(cfg.PeerRetry.policy())
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if cfg.TraceRing > 0 || cfg.TraceSink != nil {
+		ring := cfg.TraceRing
+		if ring == 0 {
+			ring = obs.DefaultTraceRing
+		}
+		tracer = obs.NewTracer(ring, cfg.TraceSink)
+		tracer.SetEnabled(true)
+		reg.Func("trace_dropped", tracer.Dropped)
+	}
+	factory, err := cfg.Transport.factoryFor(cfg.PeerRetry.policy(), reg)
 	if err != nil {
 		return nil, err
 	}
@@ -258,10 +289,19 @@ func Open(cfg SessionConfig) (*Session, error) {
 	if factory != nil {
 		cluster = node.NewCluster(factory)
 		cluster.StallTimeout = cfg.PeerRetry.StallTimeout
+		cluster.Obs = reg
+		cluster.Tracer = tracer
 		if err := cluster.Connect(cfg.N); err != nil {
 			return nil, err
 		}
 		runner = cluster
+		// Read-through gauges over the mesh's cumulative wire accounting,
+		// so one /metrics scrape carries the transport alongside the engine.
+		reg.Func("transport_conns", func() int64 { return cluster.WireStats().Conns })
+		reg.Func("transport_reconnects", func() int64 { return cluster.WireStats().Reconnects })
+		reg.Func("transport_peer_flaps", func() int64 { return cluster.WireStats().PeerFlaps })
+		reg.Func("transport_frames_sent", func() int64 { return cluster.WireStats().FramesSent })
+		reg.Func("transport_bytes_sent", func() int64 { return cluster.WireStats().BytesSent })
 	}
 	eng, err := engine.New(engine.Config{
 		Consensus:    cfg.consensusParams(),
@@ -275,6 +315,8 @@ func Open(cfg SessionConfig) (*Session, error) {
 		Policy:       cfg.Policy.normalized(cfg.BatchValues, cfg.Instances),
 		ReportBuffer: cfg.ReportBuffer,
 		OnCycle:      cfg.OnFlush, // FlushReport = engine.Report, so the hook passes through
+		Metrics:      reg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		if cluster != nil {
@@ -282,7 +324,7 @@ func Open(cfg SessionConfig) (*Session, error) {
 		}
 		return nil, err
 	}
-	return &Session{eng: eng, cluster: cluster}, nil
+	return &Session{eng: eng, cluster: cluster, reg: reg, tracer: tracer}, nil
 }
 
 // Propose submits one value and blocks until its consensus decision is
@@ -351,6 +393,29 @@ func (s *Session) PendingCount() int { return s.eng.PendingCount() }
 // Stats returns the session's cumulative accounting.
 func (s *Session) Stats() SessionStats { return s.eng.Stats() }
 
+// Snapshot returns a point-in-time copy of the session's runtime metrics:
+// counters (flush triggers, per-phase wall-clock totals), gauges (queue and
+// inbox depth, live fibers, transport connections) and latency histograms
+// (queue wait, flush-cycle duration, per-proposal decision latency, sampled
+// socket writes), each histogram with count/sum/max and p50/p90/p99
+// estimates. Taking a snapshot never blocks the hot path: values are read
+// through atomics while recording continues.
+func (s *Session) Snapshot() MetricsSnapshot { return s.reg.Snapshot() }
+
+// WriteMetrics writes every metric as one "name value" line, sorted by name
+// — the text exposition behind the debug endpoint's /metrics page.
+func (s *Session) WriteMetrics(w io.Writer) error { return s.reg.WriteText(w) }
+
+// TraceEvents returns the buffered protocol trace, oldest event first — up
+// to SessionConfig.TraceRing events; older ones were dropped (see
+// TraceDropped). Nil when tracing was not configured.
+func (s *Session) TraceEvents() []TraceEvent { return s.tracer.Events() }
+
+// TraceDropped reports how many trace events were overwritten because the
+// ring was full. A long-running session with a finite ring will drop —
+// point TraceSink at a file to keep everything.
+func (s *Session) TraceDropped() int64 { return s.tracer.Dropped() }
+
 // WireStats returns the cumulative encoded on-wire traffic of a networked
 // session (zero when backed by the simulator, whose payloads never leave
 // the process). Its Conns counter stays flat across flush cycles: the mesh
@@ -374,6 +439,28 @@ func (s *Session) MeshDials() int {
 
 // SessionStats is the session's cumulative accounting.
 type SessionStats = engine.Stats
+
+// MetricsSnapshot is a point-in-time copy of a session's runtime metrics
+// (see Session.Snapshot): counter and gauge values plus histogram summaries,
+// keyed by metric name.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot summarizes one latency histogram: count, sum and exact
+// max, plus p50/p90/p99 estimates from log-scale buckets (quantiles are
+// bucket upper bounds, so at most 2x above the true value).
+type HistogramSnapshot = obs.HistSnapshot
+
+// TraceEvent is one structured protocol event (see Session.TraceEvents):
+// a timestamped, optionally-spanned record of a flush trigger, cycle, phase,
+// squash or peer-lifecycle transition. Events marshal to stable JSON — the
+// JSONL lines TraceSink receives.
+type TraceEvent = obs.Event
+
+// FlushTiming is the timing breakdown of one flush cycle (see
+// FlushReport.Timing): cycle wall clock, the per-phase partition
+// (match/broadcast/RS/diagnosis), and exact decision-latency percentiles
+// over the proposals the cycle resolved.
+type FlushTiming = engine.Timing
 
 // Scenario validation: ids must be in range, distinct, and at most T.
 func (sc Scenario) validate(n, t int) error {
