@@ -1,18 +1,18 @@
-// Command benchpr4 runs the word-parallel-coding-core benchmark grid and
-// emits BENCH_PR7.json, the performance-trajectory record following
-// BENCH_PR3.json and BENCH_PR4.json: batched-service throughput (values/s
-// over the bus transport, full wire codec) and fault-free consensus latency
-// in pipelined rounds, on the same axes as PR 3 — Window ∈ {1, 2, 4, 8},
-// n ∈ {4, 7} — plus the micro-benchmark deltas of the matrix-form
-// Reed-Solomon core. Since PR 7 every row also carries the observability
-// layer's per-phase timing breakdown (match/broadcast/RS/diagnosis
-// wall-clock and decision-latency percentiles of the best run) and the
-// report records GOMAXPROCS, so regressions can be attributed to a phase —
-// and throughput rows from differently-provisioned hosts are not compared
-// blind.
+// Command benchpr4 runs the multi-core benchmark grid and emits
+// BENCH_PR8.json, the performance-trajectory record following BENCH_PR3,
+// BENCH_PR4 and BENCH_PR7: batched-service throughput (values/s over the bus
+// transport, full wire codec) and fault-free consensus latency in pipelined
+// rounds, on the axes Window ∈ {1, 2, 4, 8}, n ∈ {4, 7} — now swept across a
+// GOMAXPROCS grid (-cpus, default 1,2,4) so the report shows how the
+// word-sliced kernels, the core-aware lane pool and the pipelined fibers
+// scale with cores. Every row records the gomaxprocs it ran under and the
+// report records the host's NumCPU, so rows from differently-provisioned
+// hosts are never compared blind; the coding-core micro benchmarks
+// (matrix-form and word-sliced hot paths against the scalar reference) run
+// once at the process's native width.
 //
-//	go run ./cmd/benchpr4 -out BENCH_PR7.json
-//	go run ./cmd/benchpr4 -smoke   # CI: assert Window=4 >= Window=1 on the bus
+//	go run ./cmd/benchpr4 -out BENCH_PR8.json
+//	go run ./cmd/benchpr4 -smoke -cpus 1,2   # CI: window + core-scaling gates
 //
 // Round and bit figures are deterministic (fixed seeds, fault-free);
 // values/s depends on the host. Each throughput point runs -reps times and
@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -36,11 +38,15 @@ import (
 	"byzcons/internal/rs"
 )
 
-// Row is one (n, window) grid point.
+// Row is one (gomaxprocs, n, window) grid point.
 type Row struct {
 	N      int `json:"n"`
 	T      int `json:"t"`
 	Window int `json:"window"`
+	// GoMaxProcs is the GOMAXPROCS this row was measured under — the -cpus
+	// grid dimension. A value above the report's numCPU means the row ran
+	// oversubscribed and measures scheduling overhead, not speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
 
 	// Service throughput: Values values of ValueBytes bytes each, batched
 	// over the bus transport; best of Reps runs.
@@ -90,11 +96,14 @@ type Micro struct {
 	MulSliceXorMBPerSec float64 `json:"mulSliceXorMBPerSec"`
 }
 
-// Report is the BENCH_PR7.json document.
+// Report is the BENCH_PR8.json document.
 type Report struct {
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"goVersion,omitempty"`
-	GoMaxProcs int    `json:"gomaxprocs"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"goVersion,omitempty"`
+	// NumCPU is the host's logical CPU count; grid points with gomaxprocs
+	// beyond it ran oversubscribed.
+	NumCPU     int    `json:"numCPU"`
+	Cpus       []int  `json:"cpus"`
 	Transport  string `json:"transport"`
 	Values     int    `json:"values"`
 	ValueBytes int    `json:"valueBytes"`
@@ -103,7 +112,11 @@ type Report struct {
 	L          int    `json:"consensusL"`
 	Reps       int    `json:"reps"`
 	Rows       []Row  `json:"rows"`
-	Micro      Micro  `json:"micro"`
+	// Micro is measured once, at the process's native GOMAXPROCS: the
+	// acceptance-shape stripes sit below the lane pool's fan-out threshold,
+	// so the kernels are single-core by construction and re-measuring them
+	// per grid point would only add noise.
+	Micro Micro `json:"micro"`
 }
 
 const (
@@ -115,21 +128,47 @@ const (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output path")
+	out := flag.String("out", "BENCH_PR8.json", "output path")
 	reps := flag.Int("reps", 5, "throughput runs per grid point (best is reported)")
-	smoke := flag.Bool("smoke", false, "CI smoke: assert Window=4 values/s >= 0.9x Window=1 on the bus at n=4 and n=7, print, and exit")
+	cpusFlag := flag.String("cpus", "1,2,4", "comma-separated GOMAXPROCS values to sweep")
+	smoke := flag.Bool("smoke", false, "CI smoke: assert Window=4 values/s >= 0.9x Window=1 on the bus at n=4 and n=7, plus the -cpus core-scaling gate, print, and exit")
 	flag.Parse()
+	cpus, err := parseCpus(*cpusFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr4:", err)
+		os.Exit(1)
+	}
 	if *smoke {
-		if err := runSmoke(*reps); err != nil {
+		if err := runSmoke(*reps, cpus); err != nil {
 			fmt.Fprintln(os.Stderr, "benchpr4:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*out, *reps); err != nil {
+	if err := run(*out, *reps, cpus); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpr4:", err)
 		os.Exit(1)
 	}
+}
+
+// parseCpus decodes the -cpus grid ("1,2,4") into GOMAXPROCS values.
+func parseCpus(s string) ([]int, error) {
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -cpus entry %q: want positive integers", part)
+		}
+		cpus = append(cpus, c)
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("-cpus is empty")
+	}
+	return cpus, nil
 }
 
 // serviceOnce runs the throughput workload once, returning values/s and the
@@ -327,11 +366,12 @@ func microBench() (Micro, error) {
 	return m, nil
 }
 
-func run(out string, reps int) error {
+func run(out string, reps int, cpus []int) error {
 	rep := &Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Cpus:       cpus,
 		Transport:  byzcons.TransportBus.String(),
 		Values:     values,
 		ValueBytes: valueBytes,
@@ -340,30 +380,36 @@ func run(out string, reps int) error {
 		L:          consensusL,
 		Reps:       reps,
 	}
-	for _, nt := range []struct{ n, t int }{{4, 1}, {7, 2}} {
-		rows := make([]Row, 0, 4)
-		for _, window := range []int{1, 2, 4, 8} {
-			rows = append(rows, Row{N: nt.n, T: nt.t, Window: window})
-		}
-		// Interleave the repetitions across the windows so every row's best
-		// run samples the same stretch of host conditions — back-to-back
-		// per-row loops would let load drift bias the window comparison.
-		for r := 0; r < reps; r++ {
-			for i := range rows {
-				if err := serviceBest(&rows[i], 1); err != nil {
-					return err
+	native := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(native)
+	for _, c := range cpus {
+		runtime.GOMAXPROCS(c)
+		for _, nt := range []struct{ n, t int }{{4, 1}, {7, 2}} {
+			rows := make([]Row, 0, 4)
+			for _, window := range []int{1, 2, 4, 8} {
+				rows = append(rows, Row{N: nt.n, T: nt.t, Window: window, GoMaxProcs: c})
+			}
+			// Interleave the repetitions across the windows so every row's best
+			// run samples the same stretch of host conditions — back-to-back
+			// per-row loops would let load drift bias the window comparison.
+			for r := 0; r < reps; r++ {
+				for i := range rows {
+					if err := serviceBest(&rows[i], 1); err != nil {
+						return err
+					}
 				}
 			}
-		}
-		for i := range rows {
-			if err := consensusRun(&rows[i]); err != nil {
-				return err
+			for i := range rows {
+				if err := consensusRun(&rows[i]); err != nil {
+					return err
+				}
+				rep.Rows = append(rep.Rows, rows[i])
+				fmt.Printf("cpus=%d n=%d window=%d: %.0f values/s (best of %d), service pipelined rounds %d (all rounds %d), consensus pipelined rounds %d\n",
+					c, nt.n, rows[i].Window, rows[i].ValuesPerSec, reps, rows[i].ServicePipelinedRounds, rows[i].ServiceRounds, rows[i].ConsensusPipelinedRounds)
 			}
-			rep.Rows = append(rep.Rows, rows[i])
-			fmt.Printf("n=%d window=%d: %.0f values/s (best of %d), service pipelined rounds %d (all rounds %d), consensus pipelined rounds %d\n",
-				nt.n, rows[i].Window, rows[i].ValuesPerSec, reps, rows[i].ServicePipelinedRounds, rows[i].ServiceRounds, rows[i].ConsensusPipelinedRounds)
 		}
 	}
+	runtime.GOMAXPROCS(native)
 	micro, err := microBench()
 	if err != nil {
 		return err
@@ -380,18 +426,21 @@ func run(out string, reps int) error {
 	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
-// runSmoke asserts the pipelined-throughput invariant the coding-core PR
-// restored: Window=4 must not lose wall-clock against Window=1 on the bus
-// (a 10% grace absorbs shared-runner noise in CI). A failing point gets one
-// retry with fresh measurements before the run is declared broken —
-// interleaved best-of-k sampling still loses to a single long scheduler
-// stall — and on single-CPU hosts, where pipelining has no parallelism to
-// win and the comparison is pure noise, the ratio is printed but not
-// enforced.
-func runSmoke(reps int) error {
+// runSmoke asserts two throughput invariants on the bus. First, the
+// pipelined-window invariant the coding-core PR restored: Window=4 must not
+// lose wall-clock against Window=1 (a 10% grace absorbs shared-runner noise
+// in CI). Second, the core-scaling gate of the multi-core PR: with at least
+// two -cpus values, throughput at the widest GOMAXPROCS must beat the
+// narrowest by 1.2x — the parallel fibers, lane pool and write path must
+// actually buy something when cores appear. Each failing gate gets one retry
+// with fresh measurements before the run is declared broken — interleaved
+// best-of-k sampling still loses to a single long scheduler stall — and on
+// single-CPU hosts, where neither gate has parallelism to win and the
+// comparison is pure noise, ratios are printed but not enforced.
+func runSmoke(reps int, cpus []int) error {
 	enforce := runtime.NumCPU() >= 2
 	if !enforce {
-		fmt.Println("smoke: single-CPU host, printing throughput without enforcing the ratio")
+		fmt.Println("smoke: single-CPU host, printing throughput without enforcing the ratios")
 	}
 	for _, nt := range []struct{ n, t int }{{4, 1}, {7, 2}} {
 		ok, err := smokePoint(nt.n, nt.t, reps)
@@ -409,7 +458,54 @@ func runSmoke(reps int) error {
 			return fmt.Errorf("n=%d: Window=4 throughput below 0.9x Window=1 in both measurements", nt.n)
 		}
 	}
+	if len(cpus) < 2 {
+		return nil
+	}
+	lo, hi := cpus[0], cpus[len(cpus)-1]
+	for _, c := range cpus {
+		lo, hi = min(lo, c), max(hi, c)
+	}
+	if lo == hi {
+		return nil
+	}
+	ok, err := corePoint(lo, hi, reps)
+	if err != nil {
+		return err
+	}
+	if ok || !enforce {
+		return nil
+	}
+	fmt.Printf("smoke cores: below threshold, retrying once\n")
+	if ok, err = corePoint(lo, hi, reps); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("throughput at GOMAXPROCS=%d below 1.2x GOMAXPROCS=%d in both measurements", hi, lo)
+	}
 	return nil
+}
+
+// corePoint measures the core-scaling gate's workload — n=7, Window=4, the
+// point with the most concurrent fibers — at the narrow and wide GOMAXPROCS,
+// interleaving the repetitions like the grid does, and reports whether the
+// wide setting scaled by at least 1.2x.
+func corePoint(lo, hi, reps int) (bool, error) {
+	native := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(native)
+	narrow := Row{N: 7, T: 2, Window: 4, GoMaxProcs: lo}
+	wide := Row{N: 7, T: 2, Window: 4, GoMaxProcs: hi}
+	for r := 0; r < reps; r++ {
+		runtime.GOMAXPROCS(lo)
+		if err := serviceBest(&narrow, 1); err != nil {
+			return false, err
+		}
+		runtime.GOMAXPROCS(hi)
+		if err := serviceBest(&wide, 1); err != nil {
+			return false, err
+		}
+	}
+	fmt.Printf("smoke cores: GOMAXPROCS=%d %.0f values/s, GOMAXPROCS=%d %.0f values/s (%.2fx)\n",
+		lo, narrow.ValuesPerSec, hi, wide.ValuesPerSec, wide.ValuesPerSec/narrow.ValuesPerSec)
+	return wide.ValuesPerSec >= 1.2*narrow.ValuesPerSec, nil
 }
 
 // smokePoint measures one (n, t) point — interleaved best-of-reps for

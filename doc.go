@@ -146,24 +146,35 @@
 //
 // # Performance
 //
-// The coding hot path is word-parallel: bulk GF(2^c) kernels over
-// per-scalar split tables (internal/gf) and matrix-form Reed-Solomon with
-// cached encode and per-position-subset interpolation matrices over
-// contiguous lane stripes (internal/rs) — roughly 5x (encode) to 29x
+// The coding hot path is word-parallel twice over: bulk GF(2^c) kernels
+// over per-scalar split tables (internal/gf) and matrix-form Reed-Solomon
+// with cached encode and per-position-subset interpolation matrices over
+// contiguous lane stripes (internal/rs) — roughly 5x (encode) to 35x
 // (consistency check) over the scalar log/exp reference at generation
-// widths, with zero steady-state allocations. The pipeline scheduler is
-// self-driving (a finishing generation fiber commits the cascade and its
-// goroutine continues as the next launch) and the networked runtime
-// delivers frames synchronously in the transport's context with one wakeup
-// per completed round, so windowed throughput holds up even on a single
-// core where speculation buys no parallelism. A Session's transport mesh
-// persists across flush cycles, so the per-flush TCP connection setup cost
-// is gone (BenchmarkTransportThroughput compares fresh-mesh and reused-mesh
-// modes). BENCH_PR7.json records the
-// measured grid, now with per-phase timing per row; profile any workload
-// with cmd/byzcons -cpuprofile/-memprofile/-exectrace.
+// widths, with zero steady-state allocations — and, for stripes of 16+
+// lanes, a word-sliced tier that packs 8 (c <= 8) or 4 (c <= 16) symbols
+// per uint64 and sweeps whole words per table lookup. Wide stripes fan
+// their lane ranges out across a worker pool sized from GOMAXPROCS at call
+// time, so the same binary uses the cores it is given. The pipeline
+// scheduler is self-driving (a finishing generation fiber commits the
+// cascade and its goroutine continues as the next launch), fibers read
+// their inputs and pack their outputs off the scheduler lock so Window > 1
+// coding phases run truly in parallel, and the networked runtime delivers
+// frames synchronously in the transport's context with one wakeup per
+// completed round, so windowed throughput holds up even on a single core
+// where speculation buys no parallelism. On TCP the send path is zero-copy
+// and batched: frames are encoded once behind prefix headroom
+// (transport.PrefixedSender) and concurrent frames to one peer coalesce
+// into a single vectored write. A Session's transport mesh persists across
+// flush cycles, so the per-flush TCP connection setup cost is gone
+// (BenchmarkTransportThroughput compares fresh-mesh and reused-mesh
+// modes). BENCH_PR8.json records the measured grid — per-phase timing per
+// row, swept across a GOMAXPROCS axis (cmd/benchpr4 -cpus) with the host's
+// CPU count recorded so oversubscribed rows are legible; profile any
+// workload with cmd/byzcons -cpuprofile/-memprofile/-exectrace.
 //
 // See DESIGN.md for the system inventory and layering (§11 for the coding
-// core); the reproduction of the paper's quantitative claims is produced by
-// cmd/experiments (index in DESIGN.md §8).
+// core, §15 for the multi-core execution model); the reproduction of the
+// paper's quantitative claims is produced by cmd/experiments (index in
+// DESIGN.md §8).
 package byzcons

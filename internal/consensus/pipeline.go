@@ -74,6 +74,14 @@ type pipeline struct {
 	// reader streams the input; data[g] holds generation g's symbols from
 	// its first launch (replays reuse them) until its commit frees them, so
 	// at most a window's worth of symbol slices is resident at a time.
+	// readMu (not the scheduler's mu) guards the read cursor: input reads
+	// are L-proportional, so pipelined fibers perform them on their own
+	// goroutine before entering the generation body, keeping launch and
+	// commit O(1) under mu instead of serializing every fiber behind a
+	// window's worth of bit-stream reads. Commit's data[g] = nil writes
+	// touch only committed (hence long-since-read) entries — disjoint
+	// elements from the cursor's writes.
+	readMu sync.Mutex
 	reader *bitio.Reader
 	data   [][]gf.Sym
 	read   int // generations read off the input so far
@@ -95,7 +103,13 @@ type pipeline struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	out  *Output
-	writer *bitio.Writer
+	// outSyms collects the decided symbols in commit order; the bit-packing
+	// into writer happens once after the run drains, so the commit cascade —
+	// which runs under mu while every other fiber wanting to record a result
+	// waits — appends one slice header per generation instead of doing
+	// L-proportional bit I/O.
+	outSyms [][]gf.Sym
+	writer  *bitio.Writer
 	// fibers is the in-flight ring: generation g lives in slot g mod window
 	// (at most window generations are in flight, and they are consecutive).
 	fibers     []*genFiber
@@ -117,11 +131,11 @@ type pipeline struct {
 	// lazy protocol randomness — a 600-step state build per processor that
 	// only Window > 1 used to pay.
 	seedState uint64
-	live       int // fiber bodies currently executing (incl. the caller's)
-	finished   bool
-	defaulted  bool
-	abortErr   error // driver-detected invariant violation (abort after drain)
-	panicked   any   // first fiber panic, re-raised on the caller
+	live      int // fiber bodies currently executing (incl. the caller's)
+	finished  bool
+	defaulted bool
+	abortErr  error // driver-detected invariant violation (abort after drain)
+	panicked  any   // first fiber panic, re-raised on the caller
 }
 
 // fiberBox bundles one launch's context objects — fiber, worker, processor
@@ -130,7 +144,12 @@ type pipeline struct {
 // instead of half a dozen allocations. Boxes recycle when their generation
 // commits or their stale result is discarded.
 type fiberBox struct {
-	f      genFiber
+	f genFiber
+	// The scheduler flips f's flags (done, stale) under pipeline.mu while
+	// the fiber's goroutine is hammering w's fields on another core; the pad
+	// keeps the two on separate cache lines so commit-cascade flag writes
+	// never bounce the line the worker's hot state lives on.
+	_      [64]byte
 	w      worker
 	a      assignment
 	fp     *sim.Proc
@@ -188,9 +207,15 @@ func (d *pipeline) releaseScratch() {
 }
 
 // dataFor returns generation g's input symbols, reading the input stream
-// forward on demand (launches are issued in non-decreasing generation order;
-// replays hit generations that are already resident).
+// forward on demand (fibers may arrive out of order; whichever arrives first
+// reads the stream forward through its generation, and replays hit
+// generations that are already resident). Safe from any goroutine. A nil
+// return means g has already committed and its symbols were freed — only
+// possible for a fiber that was squashed before its body started, whose
+// replay twin raced ahead; the caller unwinds without running the body.
 func (d *pipeline) dataFor(g int) []gf.Sym {
+	d.readMu.Lock()
+	defer d.readMu.Unlock()
 	for d.read <= g {
 		syms := make([]gf.Sym, d.shared.ic.DataSyms())
 		for i := range syms {
@@ -276,6 +301,11 @@ func (d *pipeline) runPipelined(out *Output) {
 		out.Defaulted = true
 		out.Value = defaultValue(d.par.Default, out.L)
 	} else {
+		for _, syms := range d.outSyms {
+			for _, s := range syms {
+				d.writer.Write(uint32(s), d.par.SymBits)
+			}
+		}
 		out.Value = d.writer.Truncate(out.L)
 	}
 	d.finish(out)
@@ -301,7 +331,18 @@ func (d *pipeline) finish(out *Output) {
 // backend.
 func (d *pipeline) workLoop(a *assignment) {
 	for a != nil {
-		r := runGeneration(a)
+		// The input symbols are fetched here, off the scheduler lock: the
+		// launch left a.data nil so that driveLocked never does
+		// L-proportional work under mu.
+		var r fiberOut
+		if a.data = d.dataFor(a.f.gen); a.data == nil {
+			// The generation committed (via a replay) before this squashed
+			// fiber ever started its body: unwind as a squash — the stream
+			// was already marked squashed when the fiber went stale.
+			r = fiberOut{squashed: true}
+		} else {
+			r = runGeneration(a)
+		}
 		f := a.f
 		fp, stream := a.w.p, f.stream
 		var next *assignment
@@ -433,10 +474,13 @@ func (d *pipeline) commitLocked(f *genFiber) {
 		d.finishRunLocked(true)
 		return
 	}
-	for _, s := range r.decided {
-		d.writer.Write(uint32(s), d.par.SymBits)
-	}
+	d.outSyms = append(d.outSyms, r.decided) // bit-packed after the drain
+	// Free the committed input under readMu: a stale twin squashed before
+	// its body started may concurrently probe data[f.gen] (dataFor), and
+	// must observe either the symbols or the nil, never a torn mix.
+	d.readMu.Lock()
 	d.data[f.gen] = nil // committed: can never be relaunched
+	d.readMu.Unlock()
 	// The scheduler releases the committed stream (the fiber's goroutine
 	// may still be between recording its result and exiting): release
 	// happens-before the id enters the reuse list, so a reusing launch
@@ -546,6 +590,11 @@ func (d *pipeline) launchLocked(g int) *assignment {
 		box = d.boxes[l-1]
 		d.boxes = d.boxes[:l-1]
 		box.reseed(seed)
+		if box.w.sc == nil {
+			// The previous occupant unwound on a squash and abandoned its
+			// scratch to the network (worker.generation's defer).
+			box.w.sc = scratchPool.Get().(*genScratch)
+		}
 	} else {
 		box = &fiberBox{}
 		box.rng, box.reseed = sim.LazyRandReseedable(seed)
@@ -573,6 +622,8 @@ func (d *pipeline) launchLocked(g int) *assignment {
 		box.w.bcast = newBroadcaster(box.fp, d.par)
 	}
 	d.fibers[g%d.window] = f
-	box.a.data = d.dataFor(g)
+	// a.data is filled by the fiber's own goroutine (workLoop) off this
+	// lock; input reads are L-proportional.
+	box.a.data = nil
 	return &box.a
 }

@@ -233,3 +233,76 @@ func TestWindowValidation(t *testing.T) {
 		t.Errorf("Window = 0 did not run as the sequential default: %+v", ref)
 	}
 }
+
+// TestWindowWordKernelBitIdentical pins the multi-core hot path end to end:
+// wide lanes put every RS sweep on the word-sliced kernel tier (gf/word.go),
+// Window 4 runs generation fibers concurrently, and the decisions must still
+// be bit-identical to the sequential, narrow-lane-oracle-checked protocol —
+// clean and through a squash-forcing mid-window diagnosis. Run under -race
+// with -cpu 2,4 (the CI multi-core smoke matrix) this is also the data-race
+// check for the off-lock input reads and deferred output assembly of the
+// commit cascade.
+func TestWindowWordKernelBitIdentical(t *testing.T) {
+	t.Parallel()
+	const n, tf, L = 7, 2, 65536
+	const lanes = 64 // >= rs wordMinLanes: every sweep runs word-sliced
+	run := func(window int, faulty []int, adv sim.Adversary) *consensus.Output {
+		t.Helper()
+		val := make([]byte, L/8)
+		for i := range val {
+			val[i] = byte(0xA7 * (i + 3))
+		}
+		par := consensus.Params{N: n, T: tf, Window: window, Lanes: lanes}
+		res := sim.Run(sim.RunConfig{N: n, Faulty: faulty, Adversary: adv, Seed: 1}, func(p *sim.Proc) any {
+			return consensus.Run(p, par, val, L)
+		})
+		if res.Err != nil {
+			t.Fatalf("window %d: %v", window, res.Err)
+		}
+		isFaulty := make(map[int]bool)
+		for _, f := range faulty {
+			isFaulty[f] = true
+		}
+		var ref *consensus.Output
+		for i, v := range res.Values {
+			if isFaulty[i] {
+				continue
+			}
+			o := v.(*consensus.Output)
+			if ref == nil {
+				ref = o
+			} else if !bytes.Equal(o.Value, ref.Value) || o.Defaulted != ref.Defaulted {
+				t.Fatalf("window %d: honest processor %d diverges", window, i)
+			}
+		}
+		return ref
+	}
+	for _, sc := range []struct {
+		name   string
+		faulty []int
+		adv    sim.Adversary
+	}{
+		{"clean", nil, nil},
+		{"midwindow-squash", []int{1, 4}, adversary.Equivocator{FromGen: 2, ToGen: 3}},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			seq := run(1, sc.faulty, sc.adv)
+			pipe := run(4, sc.faulty, sc.adv)
+			if !bytes.Equal(pipe.Value, seq.Value) || pipe.Defaulted != seq.Defaulted {
+				t.Error("word-kernel pipelined decision diverges from sequential")
+			}
+			if pipe.Generations != seq.Generations || pipe.DiagnosisRuns != seq.DiagnosisRuns {
+				t.Errorf("progress %d/%d, sequential %d/%d",
+					pipe.Generations, pipe.DiagnosisRuns, seq.Generations, seq.DiagnosisRuns)
+			}
+			if !pipe.Graph.Equal(seq.Graph) {
+				t.Error("word-kernel pipelined graph diverges from sequential")
+			}
+			if sc.adv != nil && pipe.Squashes == 0 {
+				t.Error("mid-window diagnosis did not squash any speculative generation")
+			}
+		})
+	}
+}

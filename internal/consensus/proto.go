@@ -293,7 +293,21 @@ func (pr *worker) generation(g int, data []gf.Sym) (decided []gf.Sym, defaulted 
 	labels := labelsFor(g)
 	sc := pr.sc
 	sc.grab(n)
-	defer sc.release()
+	defer func() {
+		if r := recover(); r != nil {
+			// Unwinding (squash, abort): a barrier this fiber submitted to
+			// may still be finalized later by the remaining participants,
+			// which reads the outbox and broadcast-batch slices living in
+			// this scratch. Abandon the scratch to the garbage collector —
+			// the network's references keep it alive and intact — instead of
+			// recycling storage the simulator may still read. Squashes are
+			// rare (bounded by the diagnosis count), so the leak is bounded;
+			// the worker's next launch grabs a fresh scratch.
+			pr.sc = nil
+			panic(r)
+		}
+		sc.release()
+	}()
 	pc := pr.clock(g)
 	defer pc.finish()
 	active := pr.g.Active()

@@ -252,6 +252,16 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		roundWait = c.Obs.Histogram("node_round_wait_ns")
 		inboxDepth = c.Obs.Gauge("node_inbox_depth")
 	}
+	// Capability-detect the transport's zero-copy write path once per node.
+	// The TCP mesh offers it; the bus (which moves frames by reference) and
+	// wrapping transports like FaultyFactory (which must intercept every
+	// send) surface only the base Endpoint and fall back to plain Send.
+	sendPref := make([]func(int, []byte) error, cfg.N)
+	for i, ep := range eps {
+		if ps, ok := ep.(transport.PrefixedSender); ok {
+			sendPref[i] = ps.SendPrefixed
+		}
+	}
 	runtimes := make([][]*runtime, b) // [instance][node]
 	for k := 0; k < b; k++ {
 		instSeed := sim.InstanceSeed(cfg.Seed, k)
@@ -274,6 +284,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 				stallTimeout:    c.StallTimeout,
 				onStall:         router.observeStall,
 				send:            eps[i].Send,
+				sendPrefixed:    sendPref[i],
 				recycleSendBufs: !eps[i].Retains(),
 				roundWait:       roundWait,
 				inboxDepth:      inboxDepth,

@@ -188,6 +188,8 @@ func FuzzMatrixVsScalar(f *testing.F) {
 	f.Add(uint8(16), uint8(2), uint8(0x2D), uint8(9), []byte{0xFF, 0, 0xAA})
 	f.Add(uint8(4), uint8(1), uint8(0x7F), uint8(77), []byte{})
 	f.Add(uint8(11), uint8(4), uint8(0x3B), uint8(200), []byte{7, 7, 7, 7})
+	f.Add(uint8(5), uint8(18), uint8(0x5D), uint8(41), []byte{9, 0, 3}) // 19 lanes: word tier, ragged tail
+	f.Add(uint8(13), uint8(16), uint8(0x6B), uint8(5), []byte{1, 2, 3}) // 17 lanes, c > 8 half-word packing
 	f.Fuzz(func(t *testing.T, cRaw, lanesRaw, mask, corrupt uint8, raw []byte) {
 		c := uint(cRaw)%14 + 3 // field widths 3..16 (n=7 needs order > 7)
 		field, err := gf.New(c)
@@ -199,7 +201,10 @@ func FuzzMatrixVsScalar(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := int(lanesRaw%5) + 1
+		// 1..37 lanes: spans the scalar tier, the gf.MulTab sym sweeps and —
+		// from wordMinLanes up, including counts that straddle a packed-word
+		// boundary — the word-sliced tier of word.go.
+		m := int(lanesRaw%37) + 1
 		ic, err := NewInterleaved(code, m)
 		if err != nil {
 			t.Fatal(err)

@@ -19,11 +19,13 @@ import (
 // order generation inputs are read off the bit stream); codewords are stripe
 // buffers — one contiguous []gf.Sym of N*M symbols, position-major, where
 // stripe[j*M:(j+1)*M] is the word sent to position j. All hot operations run
-// matrix-form (matrix.go) as contiguous M-symbol gf.MulTab sweeps over the
-// lane slabs instead of per-lane, per-symbol scalar arithmetic; stripes wide
-// enough to matter additionally fan their lane range out across the bounded
-// worker pool (pool.go). The scalar per-lane path is kept as the reference
-// oracle and as the fallback for codes outside the matrix path's domain.
+// matrix-form (matrix.go) as contiguous M-symbol sweeps over the lane slabs
+// instead of per-lane, per-symbol scalar arithmetic — gf.MulTab sym sweeps
+// for narrow stripes, the packed word-sliced kernels of word.go from
+// wordMinLanes up — and stripes wide enough to matter additionally fan their
+// lane range out across the bounded worker pool (pool.go). The scalar
+// per-lane path is kept as the reference oracle and as the fallback for
+// codes outside the matrix path's domain.
 type Interleaved struct {
 	C *Code
 	M int // number of lanes
@@ -74,7 +76,7 @@ func (ic *Interleaved) Encode(data []gf.Sym) [][]gf.Sym {
 		panic(fmt.Sprintf("rs: interleaved Encode got %d symbols, want %d", len(data), ic.DataSyms()))
 	}
 	block := make([]gf.Sym, (n+k)*m)
-	flat := block[:n*m:n*m]
+	flat := block[: n*m : n*m]
 	if ic.C.enc == nil {
 		ic.encodeScalar(data, flat)
 	} else {
@@ -109,10 +111,23 @@ func (ic *Interleaved) EncodeStripe(data, stripe []gf.Sym) []gf.Sym {
 }
 
 // encodeStripeWith runs the matrix-form encode with caller-provided
-// transpose scratch (length K*M).
+// transpose scratch (length K*M), on the word tier for wide stripes and the
+// gf.MulTab sym sweeps for narrow ones.
 func (ic *Interleaved) encodeStripeWith(data, stripe, coefT []gf.Sym) {
+	// Dispatch branches (rather than binding a method value) so the
+	// narrow-stripe path stays allocation-free: a method value captures the
+	// receiver in a heap closure on every call.
+	word := ic.wordsOK(ic.M)
 	if parallelLanes(ic.M) {
-		forLanes(ic.M, func(lo, hi int) { ic.encodeRange(data, stripe, coefT, lo, hi) })
+		forLanes(ic.M, func(lo, hi int) {
+			if word {
+				ic.encodeWordRange(data, stripe, coefT, lo, hi)
+			} else {
+				ic.encodeRange(data, stripe, coefT, lo, hi)
+			}
+		})
+	} else if word {
+		ic.encodeWordRange(data, stripe, coefT, 0, ic.M)
 	} else {
 		ic.encodeRange(data, stripe, coefT, 0, ic.M)
 	}
@@ -209,8 +224,17 @@ func (ic *Interleaved) DecodeInto(positions []int, words [][]gf.Sym, out []gf.Sy
 	coefp := getSyms(k * m)
 	defer symPool.Put(coefp)
 	coefT := *coefp
+	word := ic.wordsOK(m)
 	if parallelLanes(m) {
-		forLanes(m, func(lo, hi int) { ic.interpolateRange(st, words, out, coefT, lo, hi) })
+		forLanes(m, func(lo, hi int) {
+			if word {
+				ic.interpolateWordRange(st, words, out, coefT, lo, hi)
+			} else {
+				ic.interpolateRange(st, words, out, coefT, lo, hi)
+			}
+		})
+	} else if word {
+		ic.interpolateWordRange(st, words, out, coefT, 0, m)
 	} else {
 		ic.interpolateRange(st, words, out, coefT, 0, m)
 	}
@@ -242,12 +266,22 @@ func (ic *Interleaved) checkSurplus(st *subsetTabs, words [][]gf.Sym) bool {
 	if len(words) == ic.C.K {
 		return true
 	}
+	word := ic.wordsOK(ic.M)
 	if !parallelLanes(ic.M) {
+		if word {
+			return ic.checkWordRange(st, words, nil, 0, ic.M)
+		}
 		return ic.checkRange(st, words, nil, 0, ic.M)
 	}
 	var bad atomic.Bool
 	forLanes(ic.M, func(lo, hi int) {
-		if !ic.checkRange(st, words, &bad, lo, hi) {
+		ok := false
+		if word {
+			ok = ic.checkWordRange(st, words, &bad, lo, hi)
+		} else {
+			ok = ic.checkRange(st, words, &bad, lo, hi)
+		}
+		if !ok {
 			bad.Store(true)
 		}
 	})

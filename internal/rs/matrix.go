@@ -40,15 +40,22 @@ const maxMatrixN = 64
 // forces graph churn gets the cache reset, never unbounded growth.
 const maxSubsets = 256
 
-// subsetTabs holds the cached matrices of one present-position set.
+// subsetTabs holds the cached matrices of one present-position set. Every
+// matrix entry is cached in two table forms: the gf.MulTab split/full tables
+// swept over []gf.Sym slabs (narrow stripes), and the gf.WordTab word-sliced
+// tables swept over packed []uint64 lanes (wide stripes, see word.go). Both
+// are built once per subset — subsets recur since the trust graph changes at
+// most t(t+1) times — so the per-generation hot path only ever sweeps.
 type subsetTabs struct {
 	// dec[i*K+m] maps the value at the m-th chosen position onto coefficient
 	// i: coeffs[i] = Σ_m dec[i*K+m]·vals[m]. It is the inverse of the K×K
 	// Vandermonde submatrix of the first K present positions.
-	dec []gf.MulTab
+	dec  []gf.MulTab
+	decW []gf.WordTab
 	// chk[si*K+m] maps the K chosen values directly onto the expected value
 	// at the si-th surplus position: expected = Σ_m chk[si*K+m]·vals[m].
-	chk []gf.MulTab
+	chk  []gf.MulTab
+	chkW []gf.WordTab
 }
 
 // buildEncTabs constructs the K×N encode-matrix tables. Entries with i = 0
@@ -60,9 +67,12 @@ func (c *Code) buildEncTabs() {
 		return
 	}
 	c.enc = make([]gf.MulTab, c.K*c.N)
+	c.encW = make([]gf.WordTab, c.K*c.N)
 	for i := 1; i < c.K; i++ {
 		for j := 1; j < c.N; j++ {
-			c.enc[i*c.N+j] = c.F.TabFull(c.F.Exp(i * j)) // x_j^i = alpha^(i·j)
+			y := c.F.Exp(i * j) // x_j^i = alpha^(i·j)
+			c.enc[i*c.N+j] = c.F.TabFull(y)
+			c.encW[i*c.N+j] = c.F.WordTabFull(y)
 		}
 	}
 }
@@ -153,19 +163,23 @@ func (c *Code) buildSubset(positions []int) *subsetTabs {
 		cols[m] = col
 	}
 
-	st := &subsetTabs{dec: make([]gf.MulTab, k*k)}
+	st := &subsetTabs{dec: make([]gf.MulTab, k*k), decW: make([]gf.WordTab, k*k)}
 	for i := 0; i < k; i++ {
 		for m := 0; m < k; m++ {
 			st.dec[i*k+m] = f.TabFull(cols[m][i])
+			st.decW[i*k+m] = f.WordTabFull(cols[m][i])
 		}
 	}
 	surplus := positions[k:]
 	st.chk = make([]gf.MulTab, len(surplus)*k)
+	st.chkW = make([]gf.WordTab, len(surplus)*k)
 	for si, p := range surplus {
 		xp := c.xs[p]
 		for m := 0; m < k; m++ {
 			// Expected value at x_p from chosen value m: L_m(x_p).
-			st.chk[si*k+m] = f.TabFull(f.EvalPoly(cols[m], xp))
+			y := f.EvalPoly(cols[m], xp)
+			st.chk[si*k+m] = f.TabFull(y)
+			st.chkW[si*k+m] = f.WordTabFull(y)
 		}
 	}
 	return st

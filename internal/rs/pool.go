@@ -15,20 +15,52 @@ import (
 // tests can lower it to drive the parallel path with small stripes.
 var laneChunk = 4096
 
-// laneWorkers bounds the pool. The pool is lazy: no goroutines exist until
-// the first oversized stripe.
-var laneWorkers = min(runtime.GOMAXPROCS(0), 8)
+// maxLaneWorkers caps the pool: beyond a handful of workers the sweeps are
+// memory-bound and extra goroutines only add completion-wait latency.
+const maxLaneWorkers = 8
 
-var (
-	laneOnce sync.Once
-	laneJobs chan func()
-)
+// laneWorkers resolves the usable pool width at call time, not package init:
+// programs (and tests under -cpu) adjust GOMAXPROCS after package load, and a
+// width captured at init would either leave cores idle or oversubscribe a
+// shrunken P count for the process's whole lifetime.
+func laneWorkers() int {
+	return min(runtime.GOMAXPROCS(0), maxLaneWorkers)
+}
+
+// lanePool is the grow-only worker set behind forLanes. Workers are started
+// lazily up to the current laneWorkers() width; if GOMAXPROCS grows later,
+// the next oversized stripe starts the difference. Idle excess workers after
+// a GOMAXPROCS shrink just block on the channel — the scheduler keeps at
+// most P of them runnable, and forLanes fans out at most laneWorkers()
+// chunks anyway.
+var lanePool struct {
+	mu      sync.Mutex
+	started int
+	jobs    chan func()
+}
+
+// ensureLaneWorkers brings the started worker count up to want.
+func ensureLaneWorkers(want int) chan func() {
+	lanePool.mu.Lock()
+	defer lanePool.mu.Unlock()
+	if lanePool.jobs == nil {
+		lanePool.jobs = make(chan func(), maxLaneWorkers)
+	}
+	for ; lanePool.started < want; lanePool.started++ {
+		go func() {
+			for job := range lanePool.jobs {
+				job()
+			}
+		}()
+	}
+	return lanePool.jobs
+}
 
 // parallelLanes reports whether a stripe of m lanes is worth fanning out.
 // Callers use it to run narrow stripes through straight-line range methods
 // (no closure allocation on the per-generation hot path).
 func parallelLanes(m int) bool {
-	return m >= 2*laneChunk && laneWorkers >= 2
+	return m >= 2*laneChunk && laneWorkers() >= 2
 }
 
 // forLanes runs fn over [0, m) — inline when the stripe is small or the pool
@@ -39,17 +71,9 @@ func forLanes(m int, fn func(lo, hi int)) {
 		fn(0, m)
 		return
 	}
-	laneOnce.Do(func() {
-		laneJobs = make(chan func(), laneWorkers)
-		for i := 0; i < laneWorkers; i++ {
-			go func() {
-				for job := range laneJobs {
-					job()
-				}
-			}()
-		}
-	})
-	chunks := min((m+laneChunk-1)/laneChunk, laneWorkers)
+	workers := laneWorkers()
+	jobs := ensureLaneWorkers(workers)
+	chunks := min((m+laneChunk-1)/laneChunk, workers)
 	per := (m + chunks - 1) / chunks
 	var wg sync.WaitGroup
 	for lo := 0; lo < m; lo += per {
@@ -60,7 +84,7 @@ func forLanes(m int, fn func(lo, hi int)) {
 			fn(lo, hi)
 		}
 		select {
-		case laneJobs <- job:
+		case jobs <- job:
 		default:
 			job() // pool saturated: run inline rather than queue behind it
 		}

@@ -1,0 +1,48 @@
+package rs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestLaneWorkersTracksGOMAXPROCS pins the call-time resolution of the pool
+// width: programs (and the -cpu test matrix) adjust GOMAXPROCS after package
+// init, and the fan-out decision must follow. Not parallel: it rebinds
+// GOMAXPROCS.
+func TestLaneWorkersTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	if got := laneWorkers(); got != 1 {
+		t.Fatalf("laneWorkers() = %d at GOMAXPROCS=1, want 1", got)
+	}
+	if parallelLanes(4 * laneChunk) {
+		t.Fatal("parallelLanes fanned out on a single-P process")
+	}
+
+	runtime.GOMAXPROCS(4)
+	if got := laneWorkers(); got != 4 {
+		t.Fatalf("laneWorkers() = %d at GOMAXPROCS=4, want 4", got)
+	}
+	if !parallelLanes(4 * laneChunk) {
+		t.Fatal("parallelLanes stayed inline for a wide stripe at GOMAXPROCS=4")
+	}
+
+	// The pool itself must work at the new width: a fan-out wide enough to
+	// need every worker, after the width change.
+	oldChunk := laneChunk
+	laneChunk = 8
+	defer func() { laneChunk = oldChunk }()
+	seen := make([]bool, 64)
+	forLanes(64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("lane %d not covered after GOMAXPROCS change", i)
+		}
+	}
+}

@@ -38,8 +38,10 @@ type Code struct {
 	xs []gf.Sym // evaluation points, xs[j] = alpha^j
 
 	// enc holds the K×N encode-matrix tables (nil for codes longer than
-	// maxMatrixN, which stay on the scalar path).
-	enc []gf.MulTab
+	// maxMatrixN, which stay on the scalar path); encW is the same matrix in
+	// word-sliced form for the packed-lane sweeps of wide stripes (word.go).
+	enc  []gf.MulTab
+	encW []gf.WordTab
 	// subs caches the interpolation/check matrices per present-position
 	// bitmask (see matrix.go).
 	subMu sync.RWMutex

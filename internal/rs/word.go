@@ -1,0 +1,141 @@
+package rs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"byzcons/internal/gf"
+)
+
+// This file runs the matrix-form sweeps of interleaved.go on the word-sliced
+// kernel tier (gf/word.go): lane slabs are packed into []uint64 words — 8
+// symbols per word for c <= 8, 4 for c <= 16 — swept with the cached
+// per-scalar word tables, and unpacked at the stripe boundary. The packing
+// passes are linear and amortize over the K sweeps every packed slab
+// receives (the encode matrix sweeps each coefficient slab N times, the
+// interpolation matrix K times), so for the protocol's wide stripes the word
+// tier moves 4-8x less memory per sweep than the gf.MulTab path, which
+// stays as the narrow-stripe path and — together with the scalar log/exp
+// lane decode — as the correctness oracle (FuzzMatrixVsScalar exercises all
+// three tiers against each other).
+
+// wordMinLanes is the narrowest stripe the word tier accepts: below it the
+// pack/unpack boundary costs more than the sweeps save. A var so tests can
+// force the word path onto tiny stripes.
+var wordMinLanes = 16
+
+// wordsOK reports whether the word tier applies to an m-lane operation.
+func (ic *Interleaved) wordsOK(m int) bool {
+	return m >= wordMinLanes
+}
+
+// wordPool recycles the packed-lane workspaces of the word-tier sweeps.
+var wordPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// getWords returns a pooled slice of n lane words (contents undefined).
+func getWords(n int) *[]uint64 {
+	p := wordPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// encodeWordRange runs the matrix-form encode over the lane sub-range
+// [lo, hi) in the packed word domain: transpose the lane-major data into
+// coefficient-major slabs, pack each slab once, sweep the word-table encode
+// matrix per position, and unpack each position's row into the stripe.
+// Chunks are self-contained (chunk-local packing), so parallel lane ranges
+// need no word-boundary alignment.
+func (ic *Interleaved) encodeWordRange(data, stripe, coefT []gf.Sym, lo, hi int) {
+	k, n, m, c := ic.C.K, ic.C.N, ic.M, ic.C.F.C()
+	for l := lo; l < hi; l++ {
+		for i := 0; i < k; i++ {
+			coefT[i*m+l] = data[l*k+i]
+		}
+	}
+	mw := gf.PackedLen(c, hi-lo)
+	wsp := getWords((k + 1) * mw)
+	defer wordPool.Put(wsp)
+	ws := *wsp
+	pc, row := ws[:k*mw], ws[k*mw:]
+	for i := 0; i < k; i++ {
+		gf.Pack(c, coefT[i*m+lo:i*m+hi], pc[i*mw:(i+1)*mw])
+	}
+	for j := 0; j < n; j++ {
+		copy(row, pc[:mw]) // coefficient 0: weight x_j^0 = 1
+		if j == 0 {
+			for i := 1; i < k; i++ {
+				gf.AddWords(pc[i*mw:(i+1)*mw], row) // x_0 = 1
+			}
+		} else {
+			for i := 1; i < k; i++ {
+				ic.C.encW[i*n+j].MulWordsXor(pc[i*mw:(i+1)*mw], row)
+			}
+		}
+		gf.Unpack(c, row, stripe[j*m+lo:j*m+hi])
+	}
+}
+
+// interpolateWordRange runs the K×K interpolation over the lane sub-range
+// [lo, hi) in the packed word domain and transposes the recovered
+// coefficient slabs back into lane-major order.
+func (ic *Interleaved) interpolateWordRange(st *subsetTabs, words [][]gf.Sym, out, coefT []gf.Sym, lo, hi int) {
+	k, m, c := ic.C.K, ic.M, ic.C.F.C()
+	mw := gf.PackedLen(c, hi-lo)
+	wsp := getWords((k + 1) * mw)
+	defer wordPool.Put(wsp)
+	ws := *wsp
+	pw, row := ws[:k*mw], ws[k*mw:]
+	for mi := 0; mi < k; mi++ {
+		gf.Pack(c, words[mi][lo:hi], pw[mi*mw:(mi+1)*mw])
+	}
+	for i := 0; i < k; i++ {
+		st.decW[i*k].MulWords(pw[:mw], row)
+		for mi := 1; mi < k; mi++ {
+			st.decW[i*k+mi].MulWordsXor(pw[mi*mw:(mi+1)*mw], row)
+		}
+		gf.Unpack(c, row, coefT[i*m+lo:i*m+hi])
+	}
+	for l := lo; l < hi; l++ {
+		for i := 0; i < k; i++ {
+			out[l*k+i] = coefT[i*m+l]
+		}
+	}
+}
+
+// checkWordRange verifies the surplus rows over the lane sub-range [lo, hi)
+// in the packed word domain: the K chosen words pack once, each surplus
+// position's prediction is swept packed, and the comparison runs word
+// against word (both sides zero-pad their tails identically, so padded
+// words compare equal). stop, when non-nil, lets parallel chunks
+// short-circuit on a peer's mismatch.
+func (ic *Interleaved) checkWordRange(st *subsetTabs, words [][]gf.Sym, stop *atomic.Bool, lo, hi int) bool {
+	k, c := ic.C.K, ic.C.F.C()
+	surplus := len(words) - k
+	mw := gf.PackedLen(c, hi-lo)
+	wsp := getWords((k + 2) * mw)
+	defer wordPool.Put(wsp)
+	ws := *wsp
+	pw, pred, got := ws[:k*mw], ws[k*mw:(k+1)*mw], ws[(k+1)*mw:]
+	for mi := 0; mi < k; mi++ {
+		gf.Pack(c, words[mi][lo:hi], pw[mi*mw:(mi+1)*mw])
+	}
+	for si := 0; si < surplus; si++ {
+		if stop != nil && stop.Load() {
+			return false
+		}
+		st.chkW[si*k].MulWords(pw[:mw], pred)
+		for mi := 1; mi < k; mi++ {
+			st.chkW[si*k+mi].MulWordsXor(pw[mi*mw:(mi+1)*mw], pred)
+		}
+		gf.Pack(c, words[k+si][lo:hi], got)
+		for w := range pred {
+			if pred[w] != got[w] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"byzcons/internal/gf"
+)
+
+// TestWordPathMatchesScalar forces the word-sliced tier onto tiny stripes
+// (wordMinLanes = 1) across field widths and lane counts — including counts
+// that straddle a packed-word boundary — and checks encode, decode and the
+// consistency test symbol-for-symbol against the scalar per-lane oracle,
+// clean and corrupted. Not parallel: it rebinds the word-tier threshold.
+func TestWordPathMatchesScalar(t *testing.T) {
+	oldMin := wordMinLanes
+	wordMinLanes = 1
+	defer func() { wordMinLanes = oldMin }()
+
+	r := rand.New(rand.NewSource(8))
+	for _, c := range []uint{3, 4, 7, 8, 9, 12, 16} {
+		field, err := gf.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := New(field, 7, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33} {
+			ic, err := NewInterleaved(code, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]gf.Sym, ic.DataSyms())
+			for i := range data {
+				data[i] = gf.Sym(r.Intn(field.Order()))
+			}
+			stripe := ic.EncodeStripe(data, make([]gf.Sym, 7*m))
+			ref := make([]gf.Sym, 7*m)
+			ic.encodeScalar(data, ref)
+			for i := range stripe {
+				if stripe[i] != ref[i] {
+					t.Fatalf("c=%d m=%d: word encode stripe[%d] = %#x, scalar %#x", c, m, i, stripe[i], ref[i])
+				}
+			}
+
+			pos := []int{0, 2, 3, 5, 6} // K=3 chosen + 2 surplus rows
+			words := make([][]gf.Sym, len(pos))
+			for i, p := range pos {
+				words[i] = stripe[p*m : (p+1)*m]
+			}
+			out := make([]gf.Sym, ic.DataSyms())
+			if err := ic.DecodeInto(pos, words, out); err != nil {
+				t.Fatalf("c=%d m=%d: word decode: %v", c, m, err)
+			}
+			for i := range data {
+				if out[i] != data[i] {
+					t.Fatalf("c=%d m=%d: word decode mismatch at %d", c, m, i)
+				}
+			}
+			if !ic.Consistent(pos, words) {
+				t.Fatalf("c=%d m=%d: word consistent rejected a clean stripe", c, m)
+			}
+
+			// Corrupt the last lane of a surplus word — the ragged packed
+			// tail — and the first lane of a chosen word.
+			for _, tc := range []struct{ wi, lane int }{{4, m - 1}, {1, 0}} {
+				tampered := append([]gf.Sym(nil), words[tc.wi]...)
+				tampered[tc.lane] ^= 1
+				saved := words[tc.wi]
+				words[tc.wi] = tampered
+				if ic.Consistent(pos, words) {
+					t.Fatalf("c=%d m=%d: word consistent missed corruption in word %d lane %d", c, m, tc.wi, tc.lane)
+				}
+				if err := ic.DecodeInto(pos, words, out); err != ErrInconsistent {
+					t.Fatalf("c=%d m=%d: word decode of corrupted stripe: got %v, want ErrInconsistent", c, m, err)
+				}
+				words[tc.wi] = saved
+			}
+		}
+	}
+}
+
+// TestWordPathParallelLanes combines the word tier with the lane worker pool
+// (chunk threshold shrunk so ranges fan out) and checks chunked word results
+// against the scalar oracle — chunk-local packing must keep ragged chunk
+// boundaries exact.
+func TestWordPathParallelLanes(t *testing.T) {
+	oldMin, oldChunk := wordMinLanes, laneChunk
+	wordMinLanes, laneChunk = 1, 8
+	defer func() { wordMinLanes, laneChunk = oldMin, oldChunk }()
+
+	field, err := gf.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := New(field, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 101 // parallel chunks of 8 lanes with a ragged final chunk
+	ic, err := NewInterleaved(code, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(88))
+	data := make([]gf.Sym, ic.DataSyms())
+	for i := range data {
+		data[i] = gf.Sym(r.Intn(field.Order()))
+	}
+	stripe := ic.EncodeStripe(data, make([]gf.Sym, 7*m))
+	ref := make([]gf.Sym, 7*m)
+	ic.encodeScalar(data, ref)
+	for i := range stripe {
+		if stripe[i] != ref[i] {
+			t.Fatalf("parallel word encode diverges from scalar at %d", i)
+		}
+	}
+	pos := []int{1, 2, 4, 5, 6}
+	words := make([][]gf.Sym, len(pos))
+	for i, p := range pos {
+		words[i] = stripe[p*m : (p+1)*m]
+	}
+	out := make([]gf.Sym, ic.DataSyms())
+	if err := ic.DecodeInto(pos, words, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("parallel word decode mismatch at %d", i)
+		}
+	}
+	tampered := append([]gf.Sym(nil), words[3]...)
+	tampered[m-1] ^= 0x40
+	words[3] = tampered
+	if ic.Consistent(pos, words) {
+		t.Fatal("parallel word consistent missed a corrupted lane")
+	}
+}

@@ -43,10 +43,10 @@ type TCPOptions struct {
 	// The zero value enables recovery with defaults; Retry.Disabled restores
 	// the old any-loss-is-permanent behaviour.
 	Retry RetryPolicy
-	// Obs, when set, receives sampled write timing: every 16th frame's
-	// synchronous socket write lands in the transport_write_ns histogram.
-	// Sampling keeps the hot send path to one counter increment per frame;
-	// nil disables timing entirely.
+	// Obs, when set, receives sampled write timing: every 16th batch's
+	// synchronous vectored socket write lands in the transport_write_ns
+	// histogram. Sampling keeps the hot send path to one counter increment
+	// per batch; nil disables timing entirely.
 	Obs *obs.Registry
 }
 
@@ -64,11 +64,35 @@ func (o TCPOptions) setupTimeout() time.Duration {
 	return o.SetupTimeout
 }
 
-// writeBuf is a pooled length-prefixed write buffer; Send copies every frame
-// through one, so the hot path allocates nothing once the pool is warm.
-type writeBuf struct{ b []byte }
+// sendBatch is one vectored write's worth of frames to a single peer: the
+// wire slices (length prefix already back-filled in place) of every frame
+// that coalesced while the previous batch was on the socket. The flusher
+// writes the whole batch with one writev and closes done; every sender whose
+// frame rode in the batch reads the shared outcome after the close.
+type sendBatch struct {
+	bufs      net.Buffers
+	bytes     int64
+	frames    int64
+	done      chan struct{}
+	err       error
+	transient bool
+}
 
-var writeBufPool = sync.Pool{New: func() any { return new(writeBuf) }}
+// peerOut is one peer's write combiner. Concurrent senders to the same peer
+// (pipelined instances, a window of speculative fibers) append their frames
+// to the current batch under mu; the first of them becomes the flusher and
+// loops batch swaps through the socket, so the others pay one channel wait
+// instead of queueing on a write lock — and the kernel sees one writev per
+// batch instead of one write per frame. The single-flusher invariant also
+// serializes socket writes per peer, replacing the old per-peer write mutex.
+// The trailing pad keeps adjacent peers' combiners off one cache line:
+// senders to different peers are independent and must not false-share.
+type peerOut struct {
+	mu       sync.Mutex
+	cur      *sendBatch
+	flushing bool
+	_        [64]byte
+}
 
 // ConnDropper is implemented by endpoints whose live peer connections can be
 // severed on demand — the fault-injection hook chaos tests use to simulate a
@@ -100,8 +124,8 @@ type peerLife struct {
 
 // tcpEndpoint is one node's end of a fully connected TCP mesh: one
 // connection per peer, a reader goroutine per connection feeding the shared
-// receive queue, and per-peer write locks so pipelined instances can send
-// concurrently. With recovery enabled the endpoint also keeps its listener
+// receive queue, and a per-peer write combiner that coalesces pipelined
+// instances' concurrent frames into vectored writes. With recovery enabled the endpoint also keeps its listener
 // open for the mesh's whole life: the dialing side of a dropped pair
 // re-dials with backoff, the accepting side re-handshakes fresh dials, and
 // the slot's atomic connection box makes the swap safe against the old
@@ -119,7 +143,7 @@ type tcpEndpoint struct {
 	// the recv queue (see PushCapable).
 	sink   atomic.Value
 	conns  []atomic.Pointer[connBox] // indexed by peer id; nil slot = down (or self)
-	wmu    []sync.Mutex
+	out    []peerOut                 // per-peer write combiners (see peerOut)
 	closed atomic.Bool
 	stop   chan struct{} // closed by Close; interrupts re-dial backoff sleeps
 
@@ -150,51 +174,118 @@ func (ep *tcpEndpoint) SetSink(s Sink) { ep.sink.Store(&s) }
 func (ep *tcpEndpoint) NodeID() int { return ep.id }
 func (ep *tcpEndpoint) N() int      { return ep.n }
 
-// Retains implements Endpoint: Send copies data into its prefixed write
-// buffer before returning, so callers may recycle the slice.
+// Retains implements Endpoint: both send paths complete their socket write
+// (or copy, for plain Send) before returning, so callers may recycle the
+// slice.
 func (ep *tcpEndpoint) Retains() bool { return false }
 
 func (ep *tcpEndpoint) Send(to int, data []byte) error {
+	if err := ep.checkDest(to); err != nil {
+		return err
+	}
+	// Plain Send owns no headroom, so the frame is copied once into a pooled
+	// prefixed buffer and rides the same combiner as SendPrefixed. The write
+	// completes before sendPrefixed returns, freeing the buffer immediately.
+	buf := append(GetPrefixedBuf(), data...)
+	err := ep.sendPrefixed(to, buf)
+	PutBuf(buf)
+	return err
+}
+
+// SendPrefixed implements PrefixedSender: data[SendHeadroom:] goes on the
+// wire as one frame with its uvarint length back-filled into the headroom —
+// the caller's encode buffer is the wire image, no assembly copy. The call
+// returns once the frame's batch has been written, so the buffer is the
+// caller's again (broadcasters reuse one buffer across peers).
+func (ep *tcpEndpoint) SendPrefixed(to int, data []byte) error {
+	if err := ep.checkDest(to); err != nil {
+		return err
+	}
+	if len(data) < SendHeadroom {
+		return fmt.Errorf("transport: prefixed buffer %d bytes, below %d-byte headroom", len(data), SendHeadroom)
+	}
+	return ep.sendPrefixed(to, data)
+}
+
+func (ep *tcpEndpoint) checkDest(to int) error {
 	if ep.closed.Load() {
 		return ErrClosed
 	}
 	if to < 0 || to >= ep.n || to == ep.id {
 		return fmt.Errorf("transport: bad destination %d from node %d", to, ep.id)
 	}
-	// One buffered write per frame: uvarint length prefix + frame bytes.
-	// The write buffer is pooled — the socket write below is synchronous,
-	// so the buffer is free again as soon as Write returns.
-	wb := writeBufPool.Get().(*writeBuf)
-	buf := binary.AppendUvarint(wb.b[:0], uint64(len(data)))
-	buf = append(buf, data...)
+	return nil
+}
+
+// sendPrefixed back-fills the length prefix and runs the frame through the
+// peer's write combiner: the frame joins the batch currently accumulating,
+// and the caller either becomes the flusher (first in) or waits for the
+// batch's shared write outcome.
+func (ep *tcpEndpoint) sendPrefixed(to int, data []byte) error {
+	size := uint64(len(data) - SendHeadroom)
+	start := SendHeadroom - uvarintLen(size)
+	binary.PutUvarint(data[start:], size)
+	wire := data[start:]
+
+	po := &ep.out[to]
+	po.mu.Lock()
+	b := po.cur
+	if b == nil {
+		b = &sendBatch{done: make(chan struct{})}
+		po.cur = b
+	}
+	b.bufs = append(b.bufs, wire)
+	b.bytes += int64(len(wire))
+	b.frames++
+	if po.flushing {
+		// A flusher is on the socket; it will pick this batch up next.
+		po.mu.Unlock()
+		<-b.done
+	} else {
+		po.flushing = true
+		for po.cur != nil {
+			cur := po.cur
+			po.cur = nil
+			po.mu.Unlock()
+			ep.writeBatch(to, cur)
+			po.mu.Lock()
+		}
+		po.flushing = false
+		po.mu.Unlock()
+	}
+	if b.err != nil {
+		if ep.closed.Load() {
+			return ErrClosed
+		}
+		return &PeerError{Peer: to, Err: b.err, Transient: b.transient}
+	}
+	return nil
+}
+
+// writeBatch puts one coalesced batch on the peer's socket with a single
+// vectored write and publishes the shared outcome. Only the peer's single
+// flusher calls it, so writes stay serialized per connection.
+func (ep *tcpEndpoint) writeBatch(to int, b *sendBatch) {
+	defer close(b.done)
+	box := ep.conns[to].Load()
+	if box == nil {
+		b.err, b.transient = ep.downErr(to)
+		return
+	}
 	timed := ep.writeLat != nil && ep.sendSeq.Add(1)&15 == 0
 	var t0 time.Time
 	if timed {
 		t0 = time.Now()
 	}
-	ep.wmu[to].Lock()
-	var err error
-	transient := true
-	if box := ep.conns[to].Load(); box != nil {
-		_, err = box.c.Write(buf)
-	} else {
-		err, transient = ep.downErr(to)
+	if _, err := b.bufs.WriteTo(box.c); err != nil {
+		b.err, b.transient = err, true
+		return
 	}
-	ep.wmu[to].Unlock()
-	if timed && err == nil {
+	if timed {
 		ep.writeLat.Record(int64(time.Since(t0)))
 	}
-	wb.b = buf
-	writeBufPool.Put(wb)
-	if err != nil {
-		if ep.closed.Load() {
-			return ErrClosed
-		}
-		return &PeerError{Peer: to, Err: err, Transient: transient}
-	}
-	ep.framesSent.Add(1)
-	ep.bytesSent.Add(int64(len(buf)))
-	return nil
+	ep.framesSent.Add(b.frames)
+	ep.bytesSent.Add(b.bytes)
 }
 
 // downErr returns the recorded failure behind an empty connection slot and
@@ -237,9 +328,10 @@ func (ep *tcpEndpoint) Close() error {
 	if ep.ln != nil {
 		ep.ln.Close()
 	}
-	// Connections are closed without taking the write locks: a Send blocked
-	// in a socket write holds its peer's lock, and closing the socket is
-	// exactly what unblocks it. The atomic slot swap keeps this race-clean.
+	// Connections are closed without going through the write combiners: a
+	// flusher blocked in a vectored write is unblocked exactly by the socket
+	// close, after which it publishes the failure to its batch's waiters.
+	// The atomic slot swap keeps this race-clean.
 	for i := range ep.conns {
 		if box := ep.conns[i].Swap(nil); box != nil {
 			box.c.Close()
@@ -513,7 +605,7 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 			id: i, n: n, opt: opt, addrs: addrs,
 			recv:     newQueue(),
 			conns:    make([]atomic.Pointer[connBox], n),
-			wmu:      make([]sync.Mutex, n),
+			out:      make([]peerOut, n),
 			peers:    make([]peerLife, n),
 			stop:     make(chan struct{}),
 			writeLat: opt.Obs.Histogram("transport_write_ns"),

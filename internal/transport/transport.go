@@ -22,6 +22,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -162,6 +163,37 @@ type RecoverySink interface {
 // at teardown.
 type PushCapable interface {
 	SetSink(s Sink)
+}
+
+// SendHeadroom is the number of bytes a prefixed send buffer reserves ahead
+// of the frame for the transport's length prefix (the largest uvarint). A
+// sender that encodes its frame into a GetPrefixedBuf buffer lets a
+// PrefixedSender back-fill the prefix into the headroom and hand the single
+// buffer to the socket — no second copy to assemble prefix+frame.
+const SendHeadroom = binary.MaxVarintLen64
+
+// PrefixedSender is the zero-copy write path implemented by endpoints that
+// frame with a length prefix (the TCP mesh). SendPrefixed transmits
+// data[SendHeadroom:] as one frame, back-filling the uvarint length into the
+// headroom so the caller's buffer is the wire image. The call is synchronous:
+// when it returns the bytes have been written (possibly coalesced with other
+// concurrent frames to the same peer into one vectored write), so the caller
+// may recycle or reuse the buffer — including sending the same buffer to
+// several peers in turn, the broadcast fast path. The headroom bytes are
+// clobbered by the prefix; everything from SendHeadroom on is read-only.
+//
+// Transports that move frames by reference (the bus) cannot offer this
+// contract and simply do not implement the interface; capability detection
+// at the consumer falls back to Send.
+type PrefixedSender interface {
+	SendPrefixed(to int, data []byte) error
+}
+
+// GetPrefixedBuf returns a pooled buffer whose first SendHeadroom bytes are
+// reserved for a PrefixedSender's length prefix; append frame bytes after
+// them. Return it with PutBuf when done.
+func GetPrefixedBuf() []byte {
+	return append(GetBuf(), make([]byte, SendHeadroom)...)
 }
 
 // bufPool recycles frame byte buffers across the send and receive sides of
