@@ -1,0 +1,195 @@
+package byzcons_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"byzcons"
+)
+
+// chaosWaves opens a session under the given chaos spec and drives exactly
+// one flush cycle per wave (manual policy, Drain per wave), returning the
+// decisions in proposal order, the per-cycle reports in commit order, and
+// the fired fault log.
+func chaosWaves(t *testing.T, spec string, waves, perWave int) ([]byzcons.Decision, []byzcons.FlushReport, []byzcons.ChaosRecord) {
+	t.Helper()
+	var mu sync.Mutex
+	var reports []byzcons.FlushReport
+	s, err := byzcons.Open(byzcons.SessionConfig{
+		Config:      byzcons.Config{N: 4, T: 1, Seed: 33},
+		Transport:   byzcons.TransportBus,
+		Chaos:       spec,
+		BatchValues: perWave,
+		Policy:      manualPolicy(),
+		OnFlush: func(rep byzcons.FlushReport) {
+			mu.Lock()
+			reports = append(reports, rep)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var decisions []byzcons.Decision
+	for w := 0; w < waves; w++ {
+		pendings := make([]*byzcons.Pending, perWave)
+		for i := range pendings {
+			val := bytes.Repeat([]byte{byte(0x40 + w), byte(i)}, 8)
+			if pendings[i], err = s.ProposeAsync(ctx, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+		for i, p := range pendings {
+			d := p.Wait(ctx)
+			if d.Err != nil {
+				t.Fatalf("wave %d decision %d: %v", w, i, d.Err)
+			}
+			decisions = append(decisions, d)
+		}
+	}
+	log := s.ChaosLog()
+	mu.Lock()
+	defer mu.Unlock()
+	return decisions, slices.Clone(reports), log
+}
+
+// TestSessionChaosReplayableTimeline is the determinism acceptance test for
+// the chaos layer: two sessions opened with the same (seed, schedule) and
+// the same workload fire identical fault logs and decide identical bits.
+// The schedule isolates node 3 for exactly cycle 1 — that cycle completes
+// degraded with the isolation attributed, and the surrounding cycles are
+// clean.
+func TestSessionChaosReplayableTimeline(t *testing.T) {
+	t.Parallel()
+	const spec = "7:partition(3)@c1;healall@c2"
+	const waves, perWave = 3, 4
+
+	dec1, reps1, log1 := chaosWaves(t, spec, waves, perWave)
+	dec2, reps2, log2 := chaosWaves(t, spec, waves, perWave)
+
+	if len(log1) != 2 {
+		t.Fatalf("fired %d chaos events, want the full schedule (2): %+v", len(log1), log1)
+	}
+	for _, rec := range log1 {
+		if rec.Err != "" {
+			t.Errorf("chaos event %q failed: %s", rec.Event, rec.Err)
+		}
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Errorf("same (seed, schedule) fired different fault logs:\n  %+v\n  %+v", log1, log2)
+	}
+
+	if len(dec1) != len(dec2) {
+		t.Fatalf("decision counts diverge: %d vs %d", len(dec1), len(dec2))
+	}
+	for i := range dec1 {
+		if !bytes.Equal(dec1[i].Value, dec2[i].Value) || dec1[i].Batch != dec2[i].Batch ||
+			dec1[i].Defaulted != dec2[i].Defaulted {
+			t.Errorf("decision %d diverges across replays: %+v vs %+v", i, dec1[i], dec2[i])
+		}
+	}
+
+	if len(reps1) != waves {
+		t.Fatalf("got %d per-cycle reports, want %d", len(reps1), waves)
+	}
+	for w, rep := range reps1 {
+		if rep.Err != nil {
+			t.Fatalf("cycle %d failed under chaos: %v", w, rep.Err)
+		}
+		if w == 1 {
+			if !rep.Degraded || !slices.Contains(rep.DegradedPeers, 3) {
+				t.Errorf("cycle 1 report = Degraded %v / peers %v, want the isolated node 3 attributed",
+					rep.Degraded, rep.DegradedPeers)
+			}
+			if !slices.Contains(rep.PeersDown, 3) {
+				t.Errorf("cycle 1 PeersDown = %v, want node 3", rep.PeersDown)
+			}
+		} else {
+			if rep.Degraded || len(rep.DegradedPeers) != 0 || len(rep.PeersDown) != 0 {
+				t.Errorf("cycle %d should be clean, got Degraded %v / degraded %v / down %v",
+					w, rep.Degraded, rep.DegradedPeers, rep.PeersDown)
+			}
+		}
+	}
+	if !reflect.DeepEqual(reps1[1].PeersDown, reps2[1].PeersDown) ||
+		!reflect.DeepEqual(reps1[1].DegradedPeers, reps2[1].DegradedPeers) {
+		t.Errorf("degraded-cycle attribution diverges across replays: %+v vs %+v", reps1[1], reps2[1])
+	}
+}
+
+// TestSessionChaosRotatingFlapPeersDown pins FlushReport.PeersDown across
+// consecutive cycles under a rotating flap schedule: each cycle's report
+// names exactly the pair cut for that cycle, and — the failure-latch
+// regression — a peer healed before a cycle began never bleeds into that
+// cycle's report.
+func TestSessionChaosRotatingFlapPeersDown(t *testing.T) {
+	t.Parallel()
+	const spec = "5:cut(0,1)@c1;heal(0,1)@c2;cut(1,2)@c2;heal(1,2)@c3;cut(2,3)@c3;heal(2,3)@c4"
+	const waves, perWave = 5, 2
+
+	_, reps, log := chaosWaves(t, spec, waves, perWave)
+	if len(log) != 6 {
+		t.Fatalf("fired %d chaos events, want the full schedule (6): %+v", len(log), log)
+	}
+	want := [][]int{
+		0: nil,
+		1: {0, 1},
+		2: {1, 2},
+		3: {2, 3},
+		4: nil,
+	}
+	if len(reps) != waves {
+		t.Fatalf("got %d per-cycle reports, want %d", len(reps), waves)
+	}
+	for w, rep := range reps {
+		if rep.Err != nil {
+			t.Fatalf("cycle %d failed under the flap schedule: %v", w, rep.Err)
+		}
+		if !slices.Equal(rep.PeersDown, want[w]) {
+			t.Errorf("cycle %d PeersDown = %v, want %v", w, rep.PeersDown, want[w])
+		}
+		if wantDeg := want[w] != nil; rep.Degraded != wantDeg {
+			t.Errorf("cycle %d Degraded = %v, want %v", w, rep.Degraded, wantDeg)
+		}
+	}
+}
+
+// TestSessionChaosConfigValidation: chaos specs are vetted at Open — the
+// simulator backend, malformed schedules and out-of-range nodes are all
+// rejected up front.
+func TestSessionChaosConfigValidation(t *testing.T) {
+	t.Parallel()
+	base := byzcons.SessionConfig{Config: byzcons.Config{N: 4, T: 1}}
+	for name, mut := range map[string]func(*byzcons.SessionConfig){
+		"chaos on the simulator": func(c *byzcons.SessionConfig) {
+			c.Chaos = "1:cut(0,1)@c1" // Transport defaults to TransportSim
+		},
+		"malformed spec": func(c *byzcons.SessionConfig) {
+			c.Transport, c.Chaos = byzcons.TransportBus, "not-a-schedule"
+		},
+		"node out of range": func(c *byzcons.SessionConfig) {
+			c.Transport, c.Chaos = byzcons.TransportBus, "1:cut(0,9)@c1"
+		},
+	} {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+		if _, err := byzcons.Open(cfg); err == nil {
+			t.Errorf("%s: Open accepted", name)
+		}
+	}
+}

@@ -23,6 +23,17 @@
 //	byzcons -mode serve -n 7 -t 2 -values 64 -sweep
 //	byzcons -mode serve -n 7 -t 2 -values 64 -transport tcp -maxdelay 2ms
 //
+// With -chaos the serve run executes under a deterministic fault schedule —
+// cuts, partitions, delay storms and crash-restarts firing at flush-cycle
+// boundaries (@cN) or wall-clock offsets (@150ms) against the live mesh.
+// The seed before the colon drives all injected jitter, so one
+// (seed, schedule) pair replays one fault timeline; faulted cycles complete
+// with attributed defaults (the degraded=[...] column) instead of failing,
+// and the fired fault log prints with the summary:
+//
+//	byzcons -mode serve -n 4 -t 1 -values 64 -transport bus -chaos '7:cut(1,3)@c1;heal(1,3)@c2'
+//	byzcons -mode serve -n 4 -t 1 -values 64 -transport tcp -chaos '3:partition(3)@c1;healall@c3;crash(2)@c4;restart(2)@c6'
+//
 // The cluster mode spawns one networked node per processor over a real
 // transport (loopback TCP by default), runs a consensus workload end to end,
 // and cross-checks the decision and metered traffic against a simulator
@@ -103,6 +114,7 @@ func run() error {
 		peerMaxFlaps = flag.Int("peermaxflaps", 0, "serve: transient losses per peer channel before permanent demotion (0 = 64, negative = unlimited)")
 		stallTimeout = flag.Duration("stalltimeout", 0, "serve: isolate a peer silent this long while a round waits on it (0 = 20s, negative = disabled)")
 		noRetry      = flag.Bool("noretry", false, "serve: disable peer reconnects (the first connection loss fails the channel for good)")
+	chaosSpec    = flag.String("chaos", "", "serve: deterministic fault schedule as seed:events, e.g. 7:cut(1,3)@c1;heal(1,3)@c2;crash(2)@c3 (networked transports only; implies graceful degradation)")
 
 		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
 
@@ -196,6 +208,7 @@ func run() error {
 			values: *values, valBytes: *valBytes, batch: *batch, instances: *instances,
 			ingest: *ingest, maxDelay: *maxDelay, sweep: *sweep,
 			debugAddr: *debugAddr, traceFile: *traceFile, linger: *linger,
+			chaos: *chaosSpec,
 		}
 		return serve(os.Stdout, cfg, sc, tk, retry, opts)
 	case "tracefmt":
@@ -318,6 +331,10 @@ type serveOpts struct {
 	// linger keeps the process (and the debug endpoint) alive this long
 	// after the workload drains, so scrapers get a stable target.
 	linger time.Duration
+	// chaos, when non-empty, runs the session under a deterministic fault
+	// schedule (SessionConfig.Chaos); the fired fault log prints with the
+	// summary. Requires a networked transport and implies Degrade.
+	chaos string
 }
 
 // serve drives the streaming Session over a synthetic ingest workload:
@@ -370,6 +387,7 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 		Scenario:    sc,
 		Transport:   tk,
 		PeerRetry:   retry,
+		Chaos:       opts.chaos,
 		BatchValues: opts.batch,
 		Instances:   opts.instances,
 		Policy:      byzcons.FlushPolicy{MaxValues: opts.batch * opts.instances, MaxDelay: opts.maxDelay},
@@ -428,6 +446,9 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 			if len(rep.PeersDown) > 0 {
 				line += fmt.Sprintf("  peersDown=%v", rep.PeersDown)
 			}
+			if rep.Degraded {
+				line += fmt.Sprintf("  degraded=%v", rep.DegradedPeers)
+			}
 			lines <- line
 		}
 	}()
@@ -474,8 +495,20 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 	ws := s.WireStats()
 	dials := s.MeshDials()
 	snap := s.Snapshot()
+	chaosLog := s.ChaosLog()
 	s.Close() // retire the Reports stream before the summary
 	reports.Wait()
+
+	for _, rec := range chaosLog {
+		line := fmt.Sprintf("chaos[%d] %s fired@c%d", rec.Index, rec.Event, rec.Cycle)
+		if rec.Cycle < 0 {
+			line = fmt.Sprintf("chaos[%d] %s fired@wall", rec.Index, rec.Event)
+		}
+		if rec.Err != "" {
+			line += " err=" + rec.Err
+		}
+		printf("%s", line)
+	}
 
 	printf("decided=%d defaulted=%d batches=%d cycles=%d meshDials=%d",
 		st.Decided, st.Defaulted, st.Batches, st.Cycles, dials)

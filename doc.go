@@ -127,6 +127,34 @@
 // channels on first loss — and FlushReport.PeersDown names the peers each
 // cycle ran without (WireStats().Reconnects and PeerFlaps count the churn).
 //
+// # Robustness under sustained faults
+//
+// Two session knobs harden a networked deployment beyond self-healing:
+//
+// SessionConfig.Degrade enables graceful degradation: a cycle whose rounds
+// miss frames only from peers with broken channels keeps completing — up to
+// T peers degrade to attributed ⊥ contributions (a legal Byzantine behavior,
+// so agreement among the live processors is untouched) instead of failing
+// the cycle. FlushReport.Degraded/DegradedPeers carry the attribution, and
+// the decision cross-check tolerates up to T missing honest outputs while
+// still requiring unanimity of the outputs that exist.
+//
+// SessionConfig.Chaos runs the session under a deterministic fault schedule
+// (implying Degrade): a "seed:events" spec such as
+//
+//	"7:cut(1,3)@c1;heal(1,3)@c2;partition(3)@c3;healall@c4;crash(2)@c5;restart(2)@c7"
+//
+// fires cuts, partitions, delay storms (delay/delayall with seeded jitter,
+// which postpones but never reorders a channel against itself) and
+// crash-restarts against the live mesh, at flush-cycle boundaries (@cN) or
+// wall-clock offsets (@150ms). Cycle-anchored schedules are replayable:
+// one (seed, schedule) pair yields one fault timeline — Session.ChaosLog
+// returns the fired-event log — and bit-identical decisions across runs.
+// A crashed node stops participating (its channels fall silent, exactly the
+// paper's view of a faulty processor) and rejoins at the epoch boundary
+// after its restart event. The serve mode of cmd/byzcons drives all of it
+// against a live ingest workload via -chaos.
+//
 // # Pipelined generations
 //
 // Algorithm 1 splits an L-bit value into independent generations; the

@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeInjector records injection calls as canonical strings.
+type fakeInjector struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (f *fakeInjector) record(s string) {
+	f.mu.Lock()
+	f.calls = append(f.calls, s)
+	f.mu.Unlock()
+}
+
+func (f *fakeInjector) CutPair(i, j int)  { f.record(fmt.Sprintf("cut(%d,%d)", i, j)) }
+func (f *fakeInjector) HealPair(i, j int) { f.record(fmt.Sprintf("heal(%d,%d)", i, j)) }
+func (f *fakeInjector) Partition(groups ...[]int) error {
+	f.record(fmt.Sprintf("partition%v", groups))
+	return nil
+}
+func (f *fakeInjector) HealAll() { f.record("healall") }
+func (f *fakeInjector) DelayPair(i, j int, d, jitter time.Duration) {
+	f.record(fmt.Sprintf("delay(%d,%d,%s,%s)", i, j, d, jitter))
+}
+func (f *fakeInjector) DelayAll(d, jitter time.Duration) {
+	f.record(fmt.Sprintf("delayall(%s,%s)", d, jitter))
+}
+func (f *fakeInjector) HealDelays() { f.record("healdelays") }
+
+func (f *fakeInjector) snapshot() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.calls...)
+}
+
+// fakeCrasher records Kill/Restart calls.
+type fakeCrasher struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (f *fakeCrasher) Kill(node int) error {
+	f.mu.Lock()
+	f.calls = append(f.calls, fmt.Sprintf("kill(%d)", node))
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeCrasher) Restart(node int) error {
+	f.mu.Lock()
+	f.calls = append(f.calls, fmt.Sprintf("restart(%d)", node))
+	f.mu.Unlock()
+	return nil
+}
+
+// TestParseRoundTrip pins the schedule spec syntax: every event form parses,
+// and rendering the parsed schedule reproduces a spec that parses to the same
+// schedule (the canonical round-trip).
+func TestParseRoundTrip(t *testing.T) {
+	spec := "7:cut(1,3)@c2;heal(1,3)@c3;partition(0,1|2,3)@c1;healall@c4;" +
+		"delay(0,2,5ms,2ms)@c1;delayall(5ms,2ms)@150ms;healdelays@c3;crash(2);restart(2)@c5"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 {
+		t.Errorf("Seed = %d, want 7", s.Seed)
+	}
+	if len(s.Events) != 9 {
+		t.Fatalf("parsed %d events, want 9", len(s.Events))
+	}
+	if e := s.Events[0]; e.Action != ActCut || e.A != 1 || e.B != 3 || e.Cycle != 2 {
+		t.Errorf("event 0 = %+v, want cut(1,3)@c2", e)
+	}
+	if e := s.Events[2]; e.Action != ActPartition || !reflect.DeepEqual(e.Groups, [][]int{{0, 1}, {2, 3}}) {
+		t.Errorf("event 2 = %+v, want partition(0,1|2,3)", e)
+	}
+	if e := s.Events[5]; e.Cycle != -1 || e.At != 150*time.Millisecond {
+		t.Errorf("event 5 = %+v, want a wall-clock anchor at 150ms", e)
+	}
+	if e := s.Events[7]; e.Action != ActCrash || e.A != 2 || e.Cycle != 0 {
+		t.Errorf("event 7 = %+v, want crash(2) defaulting to @c0", e)
+	}
+
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parsing the rendered schedule %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("round-trip drifted:\n  first:  %+v\n  second: %+v", s, s2)
+	}
+}
+
+// TestParseErrors pins the rejection of malformed specs with clear messages.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ spec, want string }{
+		{"cut(1,3)@c1", "seed:events"},
+		{"x:cut(1,3)", "bad seed"},
+		{"7:", "no events"},
+		{"7:cut(1)", "wants (i,j)"},
+		{"7:cut(1,3)@c-2", "bad cycle anchor"},
+		{"7:cut(1,3)@banana", "bad wall-clock anchor"},
+		{"7:explode(1)", "unknown action"},
+		{"7:delay(0,1,5ms)", "wants (i,j,delay,jitter)"},
+		{"7:cut(1,3", "unbalanced"},
+		{"7:partition()", "at least one group"},
+	} {
+		if _, err := Parse(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %v, want an error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestScheduleValidate pins the deployment-size check.
+func TestScheduleValidate(t *testing.T) {
+	s, err := Parse("1:cut(1,3)@c1;crash(2)@c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Errorf("Validate(4) = %v, want nil", err)
+	}
+	if err := s.Validate(3); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Validate(3) = %v, want an out-of-range error", err)
+	}
+	if s, err := Parse("1:cut(2,2)@c1"); err == nil {
+		if err := s.Validate(4); err == nil {
+			t.Error("Validate accepted a self-channel cut")
+		}
+	}
+}
+
+// TestEngineCycleDeterminism pins the replayability contract for
+// cycle-anchored schedules: two engines over the same schedule, driven
+// through the same cycle boundaries, fire the same events in the same order
+// and produce identical fault logs.
+func TestEngineCycleDeterminism(t *testing.T) {
+	sched, err := Parse("3:partition(3)@c1;crash(2)@c1;restart(2)@c2;healall@c3;delayall(1ms,1ms)@c3;healdelays@c4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]string, []string, []Record) {
+		inj, cr := &fakeInjector{}, &fakeCrasher{}
+		e := New(sched, inj, cr, nil)
+		e.Start()
+		for cycle := 0; cycle < 6; cycle++ {
+			e.OnCycle(cycle)
+		}
+		e.Stop()
+		return inj.snapshot(), cr.calls, e.Log()
+	}
+	inj1, cr1, log1 := run()
+	inj2, cr2, log2 := run()
+	if !reflect.DeepEqual(inj1, inj2) || !reflect.DeepEqual(cr1, cr2) {
+		t.Errorf("two runs of the same schedule diverged:\n  %v %v\n  %v %v", inj1, cr1, inj2, cr2)
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Errorf("fault logs diverged:\n  %v\n  %v", log1, log2)
+	}
+	if len(log1) != len(sched.Events) {
+		t.Fatalf("fired %d events, want all %d", len(log1), len(sched.Events))
+	}
+	for i, rec := range log1 {
+		if rec.Index != i {
+			t.Errorf("log[%d].Index = %d, want schedule order", i, rec.Index)
+		}
+		if rec.Err != "" {
+			t.Errorf("event %q failed: %s", rec.Event, rec.Err)
+		}
+	}
+	// Cycle anchors fire before their cycle: the partition and crash at c1
+	// must land after cycle 0 completed, not at Start.
+	if got := log1[0].Cycle; got != 1 {
+		t.Errorf("first event anchored at cycle %d, want 1", got)
+	}
+}
+
+// TestEngineWallClockAndStop covers wall-anchored events (fired by timers
+// after Start) and Stop cancelling what has not fired yet.
+func TestEngineWallClockAndStop(t *testing.T) {
+	sched, err := Parse("1:cut(0,1)@1ms;heal(0,1)@10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &fakeInjector{}
+	e := New(sched, inj, nil, nil)
+	e.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.Log()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("wall-clock event did not fire")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	if log := e.Log(); len(log) != 1 || log[0].Event != "cut(0,1)@1ms" || log[0].Cycle != -1 {
+		t.Errorf("log after Stop = %+v, want just the fired 1ms cut", log)
+	}
+	if calls := inj.snapshot(); !reflect.DeepEqual(calls, []string{"cut(0,1)"}) {
+		t.Errorf("injections = %v, want just the cut (the 10s heal was cancelled)", calls)
+	}
+}
+
+// TestEngineNoCrasher pins the graceful failure of crash events without a
+// wired Crasher: the event is logged with an error instead of panicking.
+func TestEngineNoCrasher(t *testing.T) {
+	sched, err := Parse("1:crash(0)@c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sched, &fakeInjector{}, nil, nil)
+	e.Start()
+	e.Stop()
+	log := e.Log()
+	if len(log) != 1 || !strings.Contains(log[0].Err, "no crasher") {
+		t.Errorf("log = %+v, want one record carrying a no-crasher error", log)
+	}
+}

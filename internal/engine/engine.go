@@ -95,6 +95,14 @@ type Config struct {
 	Faulty []int
 	// Adversary injects Byzantine deviations; nil means fail-free execution.
 	Adversary sim.Adversary
+	// Degrade enables graceful degradation on a networked runner: a cycle
+	// whose rounds miss frames only from peers with broken channels keeps
+	// completing (the missing contributions degrade to ⊥, attributed in the
+	// report) for up to Consensus.T such peers, instead of failing the
+	// cycle's instances. The decision cross-check then tolerates up to T
+	// missing honest outputs — agreement is still required of every output
+	// that exists. No effect on the simulator runner.
+	Degrade bool
 	// BatchValues caps how many client values are coalesced into one
 	// consensus instance (0 = 64).
 	BatchValues int
@@ -232,6 +240,13 @@ type Report struct {
 	// one cycle and absent from the next recovered and rejoined at the epoch
 	// boundary; always empty on the simulator backend.
 	PeersDown []int
+	// Degraded reports that some round of the covered cycles completed
+	// against synthesized ⊥ contributions under Config.Degrade — the cycle's
+	// decisions stand, but fewer than n processors produced them.
+	Degraded bool
+	// DegradedPeers lists (sorted, deduplicated) the peers whose silence the
+	// covered cycles degraded around: the fault-attribution view of Degraded.
+	DegradedPeers []int
 	// Timing is the cycle's wall-clock breakdown: total duration, the
 	// per-phase partition of the consensus work, and exact decision-latency
 	// percentiles for the values the cycle resolved. Zeroed when the
@@ -290,6 +305,8 @@ func (r *Report) merge(c Report) {
 	r.Bits += c.Bits
 	r.Rounds += c.Rounds
 	r.PeersDown = mergePeers(r.PeersDown, c.PeersDown)
+	r.Degraded = r.Degraded || c.Degraded
+	r.DegradedPeers = mergePeers(r.DegradedPeers, c.DegradedPeers)
 	r.Timing.merge(c.Timing)
 	if r.Err == nil {
 		r.Err = c.Err
@@ -804,17 +821,23 @@ func (e *Engine) runCycle(cycleID int, batchIDs []int, cycle [][]submission) Rep
 			}
 		}
 	}
+	degrade := 0
+	if e.cfg.Degrade {
+		degrade = par.T
+	}
 	res := e.cfg.Runner.RunBatch(sim.BatchConfig{
-		N:         par.N,
-		Faulty:    e.cfg.Faulty,
-		Adversary: e.cfg.Adversary,
-		Seed:      e.cfg.Seed + int64(cycleID)*0x2545F4914F6CDD1D,
-		Instances: len(cycle),
+		N:            par.N,
+		Faulty:       e.cfg.Faulty,
+		Adversary:    e.cfg.Adversary,
+		Seed:         e.cfg.Seed + int64(cycleID)*0x2545F4914F6CDD1D,
+		Instances:    len(cycle),
+		DegradePeers: degrade,
 	}, func(inst int, p *sim.Proc) any {
 		return consensus.Run(p, par, inputs[inst], len(inputs[inst])*8)
 	})
 
-	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits, PeersDown: res.PeersDown}
+	rep := Report{Cycle: cycleID, Rounds: res.Rounds, Bits: res.Bits, PeersDown: res.PeersDown,
+		Degraded: len(res.DegradedPeers) > 0, DegradedPeers: res.DegradedPeers}
 	var decisionLats []time.Duration
 	if e.met.enabled {
 		decisionLats = make([]time.Duration, 0, len(batchIDs)*e.cfg.BatchValues)
@@ -958,12 +981,20 @@ func (e *Engine) agreedOutput(values []any) (*consensus.Output, error) {
 		isFaulty[f] = true
 	}
 	var ref *consensus.Output
+	missing := 0
 	for i, v := range values {
 		if isFaulty[i] {
 			continue
 		}
 		out, ok := v.(*consensus.Output)
 		if !ok {
+			// Under graceful degradation up to T honest outputs may be
+			// missing — nodes whose runs ended on broken peer channels. The
+			// outputs that exist must still agree unanimously.
+			if e.cfg.Degrade && missing < e.cfg.Consensus.T {
+				missing++
+				continue
+			}
 			return nil, fmt.Errorf("honest processor %d produced no output", i)
 		}
 		if ref == nil {

@@ -54,6 +54,7 @@ type Cluster struct {
 	mu          sync.Mutex
 	eps         []transport.Endpoint
 	routers     []*nodeRouter
+	dead        []bool // nodes hard-killed by Kill, not yet Restarted
 	n           int
 	nextInst    int // next global instance id (the epoch tag high-water mark)
 	meshDials   int
@@ -119,8 +120,88 @@ func (c *Cluster) connectLocked(n int) error {
 		}(eps[i], routers[i])
 	}
 	c.eps, c.routers, c.n = eps, routers, n
+	c.dead = make([]bool, n)
 	c.meshDials++
 	return nil
+}
+
+// nodeIsolator is the transport capability Kill/Restart need: cutting one
+// node off from every peer and restoring it. transport.FaultyFactory
+// implements it; a cluster over a bare factory cannot crash nodes.
+type nodeIsolator interface {
+	IsolateNode(i int)
+	HealNode(i int)
+}
+
+// Kill hard-crashes one node: its endpoint is isolated from every peer (sends
+// fail, deliveries blackhole, peers observe a transient channel loss) and its
+// in-memory protocol state is dropped — the runtimes of the cycle in flight,
+// if any, fail with a peer-attributed fault, and no body runs at the node in
+// later cycles until Restart. The mesh itself stays up: the paper's model
+// has no notion of a vanished processor, only one whose channels fell silent,
+// and that is exactly what the surviving nodes observe.
+func (c *Cluster) Kill(node int) error {
+	c.mu.Lock()
+	iso, router, err := c.crashTargetLocked("Kill", node)
+	if err == nil && c.dead[node] {
+		err = fmt.Errorf("node: Kill(%d): node is already dead", node)
+	}
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.dead[node] = true
+	c.mu.Unlock()
+	iso.IsolateNode(node)
+	// Drop the node's in-memory state: whatever cycle it is executing fails
+	// at the node with a peer-attributed fault (tolerated under graceful
+	// degradation; the other nodes resolve the cycle against its silence).
+	if ep := router.epoch.Load(); ep != nil {
+		err := &peerFault{fmt.Errorf("node %d killed (crash injection)", node)}
+		for _, rt := range ep.rts {
+			rt.Fail(err)
+		}
+	}
+	return nil
+}
+
+// Restart brings a killed node back: its channels are restored (both ends
+// observe the recovery), and — per the resync-at-epoch-boundary rule — it
+// rejoins as a clean member from the next cycle, with fresh per-cycle state.
+// Restarting a node that is not dead is an error.
+func (c *Cluster) Restart(node int) error {
+	c.mu.Lock()
+	iso, _, err := c.crashTargetLocked("Restart", node)
+	if err == nil && !c.dead[node] {
+		err = fmt.Errorf("node: Restart(%d): node is not dead", node)
+	}
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.dead[node] = false
+	c.mu.Unlock()
+	iso.HealNode(node)
+	return nil
+}
+
+// crashTargetLocked validates a Kill/Restart target and resolves the
+// transport's isolation capability. Caller holds c.mu.
+func (c *Cluster) crashTargetLocked(op string, node int) (nodeIsolator, *nodeRouter, error) {
+	if c.closed {
+		return nil, nil, fmt.Errorf("node: %s(%d): cluster closed", op, node)
+	}
+	if c.eps == nil {
+		return nil, nil, fmt.Errorf("node: %s(%d): no mesh dialed", op, node)
+	}
+	if node < 0 || node >= c.n {
+		return nil, nil, fmt.Errorf("node: %s(%d): node out of range [0,%d)", op, node, c.n)
+	}
+	iso, ok := c.factory.(nodeIsolator)
+	if !ok {
+		return nil, nil, fmt.Errorf("node: %s(%d): transport %q cannot isolate nodes (wrap it in a transport.FaultyFactory)", op, node, c.factory.Kind())
+	}
+	return iso, c.routers[node], nil
 }
 
 // MeshDials reports how many times the cluster built a transport mesh — the
@@ -234,6 +315,12 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		adv = sim.LockAdversary(cfg.Adversary)
 	}
 
+	// Graceful-degradation bound: at most n-1 peers can ever be defaulted.
+	degrade := cfg.DegradePeers
+	if degrade >= cfg.N {
+		degrade = cfg.N - 1
+	}
+
 	c.mu.Lock()
 	if err := c.connectLocked(cfg.N); err != nil {
 		c.mu.Unlock()
@@ -242,6 +329,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	base := c.nextInst
 	c.nextInst += b
 	eps, routers := c.eps, c.routers
+	dead := append([]bool(nil), c.dead...)
 	c.mu.Unlock()
 
 	// One runtime per (instance, node); the persistent endpoint and router of
@@ -283,6 +371,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 				stepTimeout:     c.StepTimeout,
 				stallTimeout:    c.StallTimeout,
 				onStall:         router.observeStall,
+				degrade:         degrade,
 				send:            eps[i].Send,
 				sendPrefixed:    sendPref[i],
 				recycleSendBufs: !eps[i].Retains(),
@@ -319,6 +408,11 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	var bodies sync.WaitGroup
 	for k := 0; k < b; k++ {
 		for i := 0; i < cfg.N; i++ {
+			if dead[i] {
+				// A hard-killed node runs nothing: its value stays missing and
+				// the surviving nodes resolve the cycle against its silence.
+				continue
+			}
 			bodies.Add(1)
 			k, i := k, i
 			go func() {
@@ -326,6 +420,13 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 				v, err := runtimes[k][i].run(func(p *sim.Proc) any { return body(k, p) })
 				res.Instances[k].Values[i] = v
 				if err != nil {
+					if degrade > 0 && isPeerFault(err) {
+						// The node's run failed on a broken peer channel (or
+						// the node itself was killed): under graceful
+						// degradation its value goes missing instead of
+						// latching the failure instance-wide.
+						return
+					}
 					instMu.Lock()
 					if instErrs[k] == nil {
 						instErrs[k] = err
@@ -342,15 +443,36 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	// failed run left in flight is dropped by the next epoch's base check.
 	// Each router also reports which peers it observed down during the cycle;
 	// the union is the cycle's membership gap.
+	// Nodes killed during the cycle are excluded as observers: a dead node's
+	// router saw every channel sever at once, which says nothing about the
+	// surviving membership.
+	c.mu.Lock()
+	deadNow := append([]bool(nil), c.dead...)
+	c.mu.Unlock()
 	downSet := make([]bool, cfg.N)
+	degradedSet := make([]bool, cfg.N)
 	for i := range routers {
-		for _, peer := range routers[i].end() {
+		down := routers[i].end()
+		if dead[i] || deadNow[i] {
+			continue
+		}
+		for _, peer := range down {
 			downSet[peer] = true
+		}
+		for k := 0; k < b; k++ {
+			for _, peer := range runtimes[k][i].inbox.degradedPeers() {
+				degradedSet[peer] = true
+			}
 		}
 	}
 	for peer, d := range downSet {
 		if d {
 			res.PeersDown = append(res.PeersDown, peer)
+		}
+	}
+	for peer, d := range degradedSet {
+		if d {
+			res.DegradedPeers = append(res.DegradedPeers, peer)
 		}
 	}
 

@@ -97,7 +97,13 @@ type options struct {
 	// detector isolates (used for the cycle's membership report).
 	stallTimeout time.Duration
 	onStall      func(peer int)
-	send         func(to int, data []byte) error
+	// degrade, when > 0, is the graceful-degradation bound: a round missing
+	// frames only from peers whose channels are known down completes with
+	// synthesized ⊥ frames for up to degrade distinct peers, and transient
+	// send failures are tolerated (the frame dies on the severed wire) instead
+	// of aborting the run. 0 keeps the strict fail-fast behaviour.
+	degrade int
+	send    func(to int, data []byte) error
 	// sendPrefixed, when non-nil, is the transport's zero-copy write path
 	// (transport.PrefixedSender): frames are encoded once into a headroomed
 	// buffer that becomes the wire image, with the length prefix back-filled
@@ -145,6 +151,7 @@ func newRuntime(opts options) *runtime {
 	ib := newInbox(opts.n, opts.id)
 	ib.stallTimeout = opts.stallTimeout
 	ib.onStall = opts.onStall
+	ib.degrade = opts.degrade
 	if opts.countRounds {
 		ib.depth = opts.inboxDepth
 	}
@@ -324,7 +331,7 @@ func (rt *runtime) Sync(p, stream int, step sim.StepID, val any, bits int64, tag
 		}
 		for j := 0; j < o.n; j++ {
 			if j != o.id {
-				if err := o.sendPrefixed(j, tmpl); err != nil {
+				if err := o.sendPrefixed(j, tmpl); err != nil && !rt.sendTolerated(err) {
 					rt.abortf("step %q: send to node %d: %v", step, j, err)
 				}
 			}
@@ -427,7 +434,7 @@ func (rt *runtime) sendFrame(to int, step sim.StepID, f *wire.Frame) {
 		}
 		err = rt.opts.sendPrefixed(to, data)
 		transport.PutBuf(data)
-		if err != nil {
+		if err != nil && !rt.sendTolerated(err) {
 			rt.abortf("step %q: send to node %d: %v", step, to, err)
 		}
 		return
@@ -446,9 +453,17 @@ func (rt *runtime) sendRaw(to int, step sim.StepID, data []byte) {
 	if rt.opts.recycleSendBufs {
 		transport.PutBuf(data)
 	}
-	if err != nil {
+	if err != nil && !rt.sendTolerated(err) {
 		rt.abortf("step %q: send to node %d: %v", step, to, err)
 	}
+}
+
+// sendTolerated reports whether a send failure is absorbed under graceful
+// degradation: a transient channel loss means the frame died on the severed
+// wire — the receiver's round synchronizer attributes the gap to the channel
+// — so the sender keeps running instead of aborting its own run.
+func (rt *runtime) sendTolerated(err error) bool {
+	return rt.opts.degrade > 0 && transport.Transient(err)
 }
 
 // await runs the round synchronizer and converts its failures into aborts —
@@ -460,7 +475,7 @@ func (rt *runtime) await(stream int, step sim.StepID, kind wire.StepKind, sum ui
 		panic(sim.Squashed{Stream: stream})
 	}
 	if err != nil {
-		rt.Fail(rt.errf("step %q: %v", step, err))
+		rt.Fail(rt.errf("step %q: %w", step, err))
 		rt.mu.Lock()
 		failed := rt.failed
 		rt.mu.Unlock()
@@ -472,6 +487,23 @@ func (rt *runtime) await(stream int, step sim.StepID, kind wire.StepKind, sum ui
 // errSquashed is the inbox's internal signal that an await lost its stream
 // to a local squash; the runtime converts it into a sim.Squashed panic.
 var errSquashed = errors.New("node: stream squashed")
+
+// peerFault marks a run failure attributable to a broken peer channel rather
+// than to this node's own protocol execution — a round that could not
+// complete because a peer went down, a degrade bound exceeded, a node killed
+// by chaos injection. Under graceful degradation the cluster tolerates
+// peer-attributed failures (the node's value goes missing; the instance's
+// other nodes keep running) instead of latching them instance-wide.
+type peerFault struct{ err error }
+
+func (e *peerFault) Error() string { return e.err.Error() }
+func (e *peerFault) Unwrap() error { return e.err }
+
+// isPeerFault reports whether err carries a peerFault anywhere in its chain.
+func isPeerFault(err error) bool {
+	var pf *peerFault
+	return errors.As(err, &pf)
+}
 
 // inbox is the runtime's receive side: one FIFO of decoded frames per
 // (peer, stream), fed by the transport's delivery context (the sender's
@@ -535,6 +567,16 @@ type inbox struct {
 	// depth, if non-nil, gauges the frames currently buffered across the
 	// inbox's streams (options.inboxDepth; nil-safe).
 	depth *obs.Gauge
+	// Graceful degradation (options.degrade): a round missing frames only
+	// from down peers synthesizes ⊥ frames for them instead of failing, for
+	// up to degrade distinct peers. degradedSet/nDegraded track the distinct
+	// peers defaulted anywhere in this inbox (the bound and the cycle's
+	// attribution report); per-(stream, peer) defaulting lives in
+	// streamQueues so frames a peer delivered before breaking still complete
+	// their rounds.
+	degrade     int
+	degradedSet []bool
+	nDegraded   int
 }
 
 // streamQueues holds one stream's per-peer FIFO queues and the stream's
@@ -559,6 +601,14 @@ type streamQueues struct {
 	// pendingCounted marks entries counted in inbox.pending (created by
 	// push before any await attached).
 	pendingCounted bool
+	// defaulted marks peers this stream completes rounds against with
+	// synthesized ⊥ frames (graceful degradation). Defaulting is per stream —
+	// a down peer's frames buffered on another stream are real traffic and
+	// still win — and permanent for the stream: once a round was synthesized
+	// at ordinal r, a late frame from the peer would land at the wrong round
+	// identity, so push discards the peer's frames for this stream.
+	defaulted  []bool
+	nDefaulted int
 }
 
 // maxPendingStreams bounds how many distinct streams may hold buffered
@@ -625,11 +675,17 @@ func (ib *inbox) push(from, stream int, f *wire.Frame) bool {
 		sq = ib.get(stream)
 		sq.pendingCounted = true
 	}
+	if sq.defaulted != nil && sq.defaulted[from] {
+		// The stream already synthesized rounds for this peer; a late frame
+		// would land at the wrong round ordinal, so it is discarded like a
+		// squashed stream's.
+		return true
+	}
 	sq.fifo[from] = append(sq.fifo[from], f)
 	ib.depth.Add(1)
 	if len(sq.fifo[from]) == 1 {
 		sq.nonEmpty++
-		if sq.nonEmpty == ib.n-1 {
+		if sq.nonEmpty == ib.n-1-sq.nDefaulted {
 			// The head row is complete: wake the stream's fiber — one
 			// wakeup per completed round.
 			sq.cond.Broadcast()
@@ -753,15 +809,23 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 		if ib.dead[stream] {
 			return nil, errSquashed
 		}
-		if sq.nonEmpty == ib.n-1 {
+		if sq.nonEmpty == ib.n-1-sq.nDefaulted {
 			ib.delivered++
-			ib.depth.Add(-int64(ib.n - 1))
+			ib.depth.Add(-int64(ib.n - 1 - sq.nDefaulted))
 			if sq.heads == nil {
 				sq.heads = make([]*wire.Frame, ib.n)
 			}
 			heads := sq.heads
 			for j := 0; j < ib.n; j++ {
 				if j == ib.me {
+					continue
+				}
+				if sq.defaulted != nil && sq.defaulted[j] {
+					// A defaulted peer contributes a synthesized payload-free
+					// frame: the exact wire image of ⊥ (Sync sees no single
+					// payload, Exchange sees no messages), aligned with the
+					// round by construction.
+					heads[j] = &wire.Frame{Kind: kind, StepSum: sum}
 					continue
 				}
 				f := sq.fifo[j][0]
@@ -781,15 +845,41 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 		if ib.err != nil {
 			return nil, ib.err
 		}
+		downMissing, liveMissing := false, false
+		var cause error
 		for j := 0; j < ib.n; j++ {
-			if j != ib.me && len(sq.fifo[j]) == 0 && ib.down[j] != nil {
-				return nil, fmt.Errorf("round cannot complete: %w", ib.down[j])
+			if j == ib.me || len(sq.fifo[j]) > 0 || (sq.defaulted != nil && sq.defaulted[j]) {
+				continue
+			}
+			if ib.down[j] != nil {
+				downMissing = true
+				if cause == nil {
+					cause = ib.down[j]
+				}
+			} else {
+				liveMissing = true
+			}
+		}
+		if downMissing {
+			if ib.degrade <= 0 {
+				return nil, &peerFault{fmt.Errorf("round cannot complete: %w", cause)}
+			}
+			// Graceful degradation: default the down peers for this stream —
+			// their rounds complete with synthesized ⊥ frames from here on —
+			// unless that would exceed the degrade bound. Frames they
+			// delivered before breaking were consumed by earlier rounds, so
+			// the synthesis starts exactly where their real traffic ended.
+			if !ib.defaultDownLocked(sq) {
+				return nil, &peerFault{fmt.Errorf("degrade bound %d exceeded: %w", ib.degrade, cause)}
+			}
+			if !liveMissing {
+				continue // the head row is complete now; take the pop path
 			}
 		}
 		if ib.timedOut {
 			var missing []int
 			for j := 0; j < ib.n; j++ {
-				if j != ib.me && len(sq.fifo[j]) == 0 {
+				if j != ib.me && len(sq.fifo[j]) == 0 && (sq.defaulted == nil || !sq.defaulted[j]) {
 					missing = append(missing, j)
 				}
 			}
@@ -805,6 +895,66 @@ func (ib *inbox) await(stream int, kind wire.StepKind, sum uint16, timeout time.
 		}
 		sq.cond.Wait()
 	}
+}
+
+// defaultDownLocked marks every down peer the stream's head row is missing
+// as defaulted for this stream, so its rounds complete with synthesized ⊥
+// frames. It reports false — without marking further peers — when defaulting
+// would push the count of distinct degraded peers past the bound. Caller
+// holds ib.mu.
+func (ib *inbox) defaultDownLocked(sq *streamQueues) bool {
+	// Check the bound before marking anything: a failed degrade must leave
+	// the attribution set untouched (partial marks would misattribute).
+	newDistinct := 0
+	for j := 0; j < ib.n; j++ {
+		if j == ib.me || ib.down[j] == nil || len(sq.fifo[j]) > 0 {
+			continue
+		}
+		if sq.defaulted != nil && sq.defaulted[j] {
+			continue
+		}
+		if ib.degradedSet == nil || !ib.degradedSet[j] {
+			newDistinct++
+		}
+	}
+	if ib.nDegraded+newDistinct > ib.degrade {
+		return false
+	}
+	for j := 0; j < ib.n; j++ {
+		if j == ib.me || ib.down[j] == nil || len(sq.fifo[j]) > 0 {
+			continue
+		}
+		if sq.defaulted != nil && sq.defaulted[j] {
+			continue
+		}
+		if ib.degradedSet == nil {
+			ib.degradedSet = make([]bool, ib.n)
+		}
+		if !ib.degradedSet[j] {
+			ib.degradedSet[j] = true
+			ib.nDegraded++
+		}
+		if sq.defaulted == nil {
+			sq.defaulted = make([]bool, ib.n)
+		}
+		sq.defaulted[j] = true
+		sq.nDefaulted++
+	}
+	return true
+}
+
+// degradedPeers returns the distinct peers this inbox completed rounds
+// against with synthesized ⊥ frames (the cycle's fault-attribution report).
+func (ib *inbox) degradedPeers() []int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	var peers []int
+	for j, d := range ib.degradedSet {
+		if d {
+			peers = append(peers, j)
+		}
+	}
+	return peers
 }
 
 // armTimerLocked (re)arms the node-wide progress timer. With the stall
@@ -892,7 +1042,7 @@ func (ib *inbox) timerFire() {
 func (ib *inbox) stallCheckLocked(now time.Time) []int {
 	var stalled []int
 	for _, sq := range ib.streams {
-		if sq.waiting == 0 || sq.nonEmpty == ib.n-1 {
+		if sq.waiting == 0 || sq.nonEmpty == ib.n-1-sq.nDefaulted {
 			continue
 		}
 		for j := 0; j < ib.n; j++ {

@@ -23,6 +23,14 @@ type BatchConfig struct {
 	Adversary Adversary // shared across instances; calls are serialized
 	Seed      int64     // per-instance seeds are derived deterministically
 	Instances int       // number of concurrent instances (0 or 1 = single)
+	// DegradePeers, when > 0, enables graceful degradation in backends with
+	// real channels (internal/node): a round missing frames only from peers
+	// whose channels are known down completes with synthesized ⊥ frames, and a
+	// node whose own run fails on a peer-attributed fault yields a missing
+	// value instead of failing the whole instance — for up to DegradePeers
+	// distinct peers per node. The simulator's shared-memory barrier has no
+	// channels to lose, so it ignores the field.
+	DegradePeers int
 }
 
 // InstanceResult is the outcome of one instance of a batched execution.
@@ -49,6 +57,11 @@ type BatchResult struct {
 	// cluster backend (internal/node); the simulator's shared-memory barrier
 	// has no channels to lose, so it leaves the list empty.
 	PeersDown []int
+	// DegradedPeers lists (sorted, deduplicated) the peers whose missing
+	// frames some round completed against with synthesized ⊥ values under
+	// BatchConfig.DegradePeers. Filled by the networked cluster backend; empty
+	// under the simulator.
+	DegradedPeers []int
 	// Err is the first per-instance error, if any instance failed.
 	Err error
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -146,6 +147,13 @@ type tcpEndpoint struct {
 	out    []peerOut                 // per-peer write combiners (see peerOut)
 	closed atomic.Bool
 	stop   chan struct{} // closed by Close; interrupts re-dial backoff sleeps
+	// dialCtx is canceled by Close so a re-dial blocked inside connect(2)
+	// aborts immediately — without it, Close during an active backoff window
+	// would return promptly but leave the dial goroutine waiting out its
+	// timeout. redials tracks those goroutines so Close can wait them out.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	redials    sync.WaitGroup
 
 	mu    sync.Mutex
 	peers []peerLife
@@ -325,6 +333,7 @@ func (ep *tcpEndpoint) Close() error {
 		return nil
 	}
 	close(ep.stop)
+	ep.dialCancel()
 	if ep.ln != nil {
 		ep.ln.Close()
 	}
@@ -338,6 +347,10 @@ func (ep *tcpEndpoint) Close() error {
 		}
 	}
 	ep.recv.close()
+	// Re-dial loops exit promptly: the stop channel interrupts backoff
+	// sleeps and the canceled dial context aborts an in-flight connect, so
+	// this wait bounds Close by a goroutine handoff, not a retry budget.
+	ep.redials.Wait()
 	return nil
 }
 
@@ -436,7 +449,11 @@ func (ep *tcpEndpoint) connLost(peer int, box *connBox, err error, transient boo
 	ep.mu.Unlock()
 	ep.notifyDown(peer, err, transient)
 	if redial {
-		go ep.redial(peer)
+		ep.redials.Add(1)
+		go func() {
+			defer ep.redials.Done()
+			ep.redial(peer)
+		}()
 	}
 }
 
@@ -521,7 +538,11 @@ func (ep *tcpEndpoint) redial(peer int) {
 		if ep.closed.Load() {
 			return
 		}
-		conn, err := net.DialTimeout("tcp", ep.addrs[peer], ep.opt.setupTimeout())
+		// DialContext, not DialTimeout: the endpoint's dial context is
+		// canceled by Close, so a Session teardown mid-attempt aborts the
+		// connect instead of waiting out the setup timeout.
+		dialer := net.Dialer{Timeout: ep.opt.setupTimeout()}
+		conn, err := dialer.DialContext(ep.dialCtx, "tcp", ep.addrs[peer])
 		if err == nil {
 			err = writeHello(conn, ep.n, ep.id, time.Now().Add(ep.opt.setupTimeout()))
 			if err == nil {
@@ -601,14 +622,17 @@ func NewTCPMesh(n int, opt TCPOptions) ([]Endpoint, error) {
 
 	eps := make([]*tcpEndpoint, n)
 	for i := range eps {
+		dialCtx, dialCancel := context.WithCancel(context.Background())
 		eps[i] = &tcpEndpoint{
 			id: i, n: n, opt: opt, addrs: addrs,
-			recv:     newQueue(),
-			conns:    make([]atomic.Pointer[connBox], n),
-			out:      make([]peerOut, n),
-			peers:    make([]peerLife, n),
-			stop:     make(chan struct{}),
-			writeLat: opt.Obs.Histogram("transport_write_ns"),
+			recv:       newQueue(),
+			conns:      make([]atomic.Pointer[connBox], n),
+			out:        make([]peerOut, n),
+			peers:      make([]peerLife, n),
+			stop:       make(chan struct{}),
+			dialCtx:    dialCtx,
+			dialCancel: dialCancel,
+			writeLat:   opt.Obs.Histogram("transport_write_ns"),
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"byzcons/internal/chaos"
 	"byzcons/internal/engine"
 	"byzcons/internal/node"
 	"byzcons/internal/obs"
@@ -153,6 +154,22 @@ type SessionConfig struct {
 	// and the stall detector (see PeerRetry). The zero value enables
 	// recovery with defaults; ignored by TransportSim.
 	PeerRetry PeerRetry
+	// Chaos, when non-empty, runs the session under a deterministic fault
+	// schedule: a "seed:events" spec (see internal/chaos.Parse, e.g.
+	// "7:cut(1,3)@c1;heal(1,3)@c2" or "7:partition(3)@c1;crash(2)@c2") whose
+	// events — cuts, partitions, delay storms, crash-restarts — fire at
+	// flush-cycle boundaries or wall-clock offsets against the session's
+	// mesh. The seed drives all injected jitter, so one (seed, schedule)
+	// replays one fault timeline (Session.ChaosLog returns the fired-event
+	// log). Requires a networked transport, and implies Degrade so faulted
+	// cycles complete with attributed defaults instead of failing.
+	Chaos string
+	// Degrade enables graceful degradation on a networked transport: cycles
+	// whose rounds miss frames only from peers with broken channels keep
+	// completing — up to T peers degrade to attributed ⊥ contributions
+	// (FlushReport.Degraded/DegradedPeers) — instead of failing the cycle.
+	// Implied by Chaos; no effect on TransportSim.
+	Degrade bool
 	// BatchValues caps how many proposals are coalesced into one consensus
 	// instance (0 = 64). Bigger batches mean longer inputs and fewer
 	// amortized bits per value — the paper's large-L regime.
@@ -237,6 +254,18 @@ func (cfg SessionConfig) Validate() error {
 	if cfg.TraceRing < 0 {
 		return fmt.Errorf("byzcons: TraceRing must be >= 0, got %d", cfg.TraceRing)
 	}
+	if cfg.Chaos != "" {
+		if factory, _ := cfg.Transport.factory(); factory == nil {
+			return fmt.Errorf("byzcons: Chaos requires a networked transport (the simulator has no channels to fault)")
+		}
+		sched, err := chaos.Parse(cfg.Chaos)
+		if err != nil {
+			return fmt.Errorf("byzcons: %w", err)
+		}
+		if err := sched.Validate(cfg.N); err != nil {
+			return fmt.Errorf("byzcons: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -258,7 +287,8 @@ type Session struct {
 	eng     *engine.Engine
 	cluster *node.Cluster // nil when backed by the simulator
 	reg     *obs.Registry
-	tracer  *obs.Tracer // nil unless tracing was configured
+	tracer  *obs.Tracer   // nil unless tracing was configured
+	chaos   *chaos.Engine // nil unless a chaos schedule was configured
 }
 
 // Open validates cfg, dials the transport mesh (networked backends dial
@@ -284,6 +314,18 @@ func Open(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The chaos layer wraps the transport factory before the mesh is dialed:
+	// the schedule's events drive the wrapper's injection surface (and the
+	// cluster's crash API), and its seed drives every injected jitter stream.
+	var sched chaos.Schedule
+	var faulty *transport.FaultyFactory
+	if cfg.Chaos != "" {
+		if sched, err = chaos.Parse(cfg.Chaos); err != nil {
+			return nil, fmt.Errorf("byzcons: %w", err)
+		}
+		faulty = &transport.FaultyFactory{Inner: factory, Seed: sched.Seed}
+		factory = faulty
+	}
 	var cluster *node.Cluster
 	var runner engine.Runner
 	if factory != nil {
@@ -303,18 +345,34 @@ func Open(cfg SessionConfig) (*Session, error) {
 		reg.Func("transport_frames_sent", func() int64 { return cluster.WireStats().FramesSent })
 		reg.Func("transport_bytes_sent", func() int64 { return cluster.WireStats().BytesSent })
 	}
+	// FlushReport = engine.Report, so the OnFlush hook passes through; with a
+	// chaos schedule the cycle clock chains behind it — the user sees the
+	// cycle's report before the next cycle's faults fire.
+	onCycle := cfg.OnFlush
+	var chaosEng *chaos.Engine
+	if faulty != nil {
+		chaosEng = chaos.New(sched, faulty, cluster, tracer)
+		user := cfg.OnFlush
+		onCycle = func(r FlushReport) {
+			if user != nil {
+				user(r)
+			}
+			chaosEng.OnCycle(r.Cycle)
+		}
+	}
 	eng, err := engine.New(engine.Config{
 		Consensus:    cfg.consensusParams(),
 		Runner:       runner,
 		Seed:         cfg.Seed,
 		Faulty:       cfg.Scenario.Faulty,
 		Adversary:    cfg.Scenario.Behavior,
+		Degrade:      cfg.Degrade || chaosEng != nil,
 		BatchValues:  cfg.BatchValues,
 		BatchBytes:   cfg.BatchBytes,
 		Instances:    cfg.Instances,
 		Policy:       cfg.Policy.normalized(cfg.BatchValues, cfg.Instances),
 		ReportBuffer: cfg.ReportBuffer,
-		OnCycle:      cfg.OnFlush, // FlushReport = engine.Report, so the hook passes through
+		OnCycle:      onCycle,
 		Metrics:      reg,
 		Tracer:       tracer,
 	})
@@ -324,7 +382,10 @@ func Open(cfg SessionConfig) (*Session, error) {
 		}
 		return nil, err
 	}
-	return &Session{eng: eng, cluster: cluster, reg: reg, tracer: tracer}, nil
+	if chaosEng != nil {
+		chaosEng.Start()
+	}
+	return &Session{eng: eng, cluster: cluster, reg: reg, tracer: tracer, chaos: chaosEng}, nil
 }
 
 // Propose submits one value and blocks until its consensus decision is
@@ -371,6 +432,11 @@ func (s *Session) Drain(ctx context.Context) error { return s.eng.Drain(ctx) }
 // transport mesh is torn down. Close is idempotent. Callers that want
 // queued work decided instead of failed should Drain first.
 func (s *Session) Close() error {
+	if s.chaos != nil {
+		// Stop injecting before tearing anything down: a wall-clock fault
+		// firing into a closing mesh would register as teardown noise.
+		s.chaos.Stop()
+	}
 	err := s.eng.Close()
 	if s.cluster != nil {
 		if cErr := s.cluster.Close(); err == nil {
@@ -436,6 +502,23 @@ func (s *Session) MeshDials() int {
 	}
 	return s.cluster.MeshDials()
 }
+
+// ChaosLog returns the fired fault events of the session's chaos schedule in
+// schedule order — the replayable fault log: two sessions opened with the
+// same (seed, schedule) that fired the same events produce equal logs. Nil
+// when no chaos schedule was configured.
+func (s *Session) ChaosLog() []ChaosRecord {
+	if s.chaos == nil {
+		return nil
+	}
+	return s.chaos.Log()
+}
+
+// ChaosRecord is one fired event of a session's chaos schedule (see
+// Session.ChaosLog): the event's position in the schedule, its canonical
+// spec string, the cycle anchor it fired at (-1 for wall-clock events), and
+// the injection error, if any.
+type ChaosRecord = chaos.Record
 
 // SessionStats is the session's cumulative accounting.
 type SessionStats = engine.Stats
