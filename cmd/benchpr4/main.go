@@ -14,6 +14,19 @@
 //	go run ./cmd/benchpr4 -out BENCH_PR8.json
 //	go run ./cmd/benchpr4 -smoke -cpus 1,2   # CI: window + core-scaling gates
 //
+// With -shards the command instead runs the fleet shard grid and emits
+// BENCH_PR10.json: the same keyed ingest workload served by a Fleet at each
+// shard count, recording aggregate values/s, per-shard cycle statistics and
+// the measured peak number of concurrently-running flush cycles (two shards'
+// cycle windows overlapping in wall-clock is the direct evidence that shards
+// flush concurrently over the one mesh). Shard scaling is a cores story:
+// every row records its gomaxprocs and the report the host's NumCPU, and the
+// -smoke scaling gate only enforces a speedup when the host has cores to
+// scale onto:
+//
+//	go run ./cmd/benchpr4 -shards 1,2,4,8 -out BENCH_PR10.json
+//	go run ./cmd/benchpr4 -smoke -shards 1,4   # CI: print-only on 1 CPU
+//
 // Round and bit figures are deterministic (fixed seeds, fault-free);
 // values/s depends on the host. Each throughput point runs -reps times and
 // reports the best run, damping scheduler and neighbor noise on shared
@@ -28,8 +41,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,23 +146,41 @@ func main() {
 	out := flag.String("out", "BENCH_PR8.json", "output path")
 	reps := flag.Int("reps", 5, "throughput runs per grid point (best is reported)")
 	cpusFlag := flag.String("cpus", "1,2,4", "comma-separated GOMAXPROCS values to sweep")
-	smoke := flag.Bool("smoke", false, "CI smoke: assert Window=4 values/s >= 0.9x Window=1 on the bus at n=4 and n=7, plus the -cpus core-scaling gate, print, and exit")
+	shardsFlag := flag.String("shards", "", "comma-separated fleet shard counts; when set, run the shard grid (BENCH_PR10) instead of the window/core grid")
+	smoke := flag.Bool("smoke", false, "CI smoke: assert Window=4 values/s >= 0.9x Window=1 on the bus at n=4 and n=7, plus the -cpus core-scaling gate (or, with -shards, the fleet shard-scaling gate), print, and exit")
 	flag.Parse()
-	cpus, err := parseCpus(*cpusFlag)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchpr4:", err)
 		os.Exit(1)
 	}
+	if *shardsFlag != "" {
+		grid, err := parseCpus(*shardsFlag)
+		if err != nil {
+			fail(fmt.Errorf("-shards: %w", err))
+		}
+		if *smoke {
+			if err := runShardSmoke(*reps, grid); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if err := runShardGrid(*out, *reps, grid); err != nil {
+			fail(err)
+		}
+		return
+	}
+	cpus, err := parseCpus(*cpusFlag)
+	if err != nil {
+		fail(err)
+	}
 	if *smoke {
 		if err := runSmoke(*reps, cpus); err != nil {
-			fmt.Fprintln(os.Stderr, "benchpr4:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	if err := run(*out, *reps, cpus); err != nil {
-		fmt.Fprintln(os.Stderr, "benchpr4:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 
@@ -524,4 +557,251 @@ func smokePoint(n, t, reps int) (bool, error) {
 	}
 	fmt.Printf("smoke n=%d: window=1 %.0f values/s, window=4 %.0f values/s\n", n, w1.ValuesPerSec, w4.ValuesPerSec)
 	return w4.ValuesPerSec >= 0.9*w1.ValuesPerSec, nil
+}
+
+// The fleet shard grid's workload shape: enough values that every shard
+// count still triggers multiple policy-driven cycles (at S=8 each shard
+// draws ~16 of the 128 keys, two full cycles of 8).
+const (
+	shardValues    = 128
+	shardBatch     = 4
+	shardInstances = 2
+)
+
+// ShardStats is one shard's share of a fleet grid row.
+type ShardStats struct {
+	Shard   int   `json:"shard"`
+	Decided int   `json:"decided"`
+	Batches int   `json:"batches"`
+	Cycles  int   `json:"cycles"`
+	Bits    int64 `json:"bits"`
+}
+
+// ShardRow is one shard-count grid point of the fleet benchmark.
+type ShardRow struct {
+	Shards     int `json:"shards"`
+	N          int `json:"n"`
+	T          int `json:"t"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// AggValuesPerSec is the fleet-wide throughput of the best run: all
+	// values proposed by key, drained across every shard.
+	AggValuesPerSec float64 `json:"aggValuesPerSec"`
+	// MaxConcurrentFlushes is the peak number of flush cycles whose
+	// wall-clock windows overlapped during the best run. One shard's cycles
+	// never overlap (the engine serializes its own flushes), so any value
+	// >= 2 is direct evidence of distinct shards flushing concurrently over
+	// the shared mesh.
+	MaxConcurrentFlushes int          `json:"maxConcurrentFlushes"`
+	TotalBits            int64        `json:"totalBits"`
+	TotalCycles          int          `json:"totalCycles"`
+	PerShard             []ShardStats `json:"perShard"`
+}
+
+// ShardGridReport is the BENCH_PR10.json document.
+type ShardGridReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"goVersion,omitempty"`
+	// NumCPU and GoMaxProcs qualify every throughput figure: shard scaling
+	// is a cores story, and rows measured on a single-CPU host record
+	// concurrency (overlapping cycles) without a speedup to show for it.
+	NumCPU      int        `json:"numCPU"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Transport   string     `json:"transport"`
+	Values      int        `json:"values"`
+	ValueBytes  int        `json:"valueBytes"`
+	Batch       int        `json:"batchValues"`
+	Instances   int        `json:"instances"`
+	Reps        int        `json:"reps"`
+	ShardCounts []int      `json:"shardCounts"`
+	Rows        []ShardRow `json:"rows"`
+}
+
+// flushWindow is one flush cycle's wall-clock extent, reconstructed from the
+// synchronous OnFlush hook (fires at cycle end, reports the cycle duration).
+type flushWindow struct{ start, end time.Time }
+
+// maxOverlap sweeps the cycle windows and returns the peak number running at
+// any instant. Ends sort before starts at equal times, so touching windows
+// don't count as overlapping.
+func maxOverlap(ws []flushWindow) int {
+	type ev struct {
+		at    time.Time
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(ws))
+	for _, w := range ws {
+		evs = append(evs, ev{w.start, +1}, ev{w.end, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at.Equal(evs[j].at) {
+			return evs[i].delta < evs[j].delta
+		}
+		return evs[i].at.Before(evs[j].at)
+	})
+	peak, cur := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// shardOnce runs the keyed fleet workload once at one shard count, returning
+// the aggregate throughput and filling the row's stats if it is the best run.
+func shardOnce(row *ShardRow) (float64, error) {
+	var (
+		mu      sync.Mutex
+		windows []flushWindow
+	)
+	f, err := byzcons.OpenFleet(byzcons.FleetConfig{
+		SessionConfig: byzcons.SessionConfig{
+			Config:      byzcons.Config{N: row.N, T: row.T, Seed: 1},
+			Transport:   byzcons.TransportBus,
+			BatchValues: shardBatch,
+			Instances:   shardInstances,
+			Policy:      byzcons.FlushPolicy{MaxValues: shardBatch * shardInstances, MaxBytes: -1, MaxDelay: -1},
+			OnFlush: func(rep byzcons.FlushReport) {
+				end := time.Now()
+				mu.Lock()
+				windows = append(windows, flushWindow{end.Add(-rep.Timing.Cycle), end})
+				mu.Unlock()
+			},
+		},
+		Shards: row.Shards,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	ctx := context.Background()
+	val := make([]byte, valueBytes)
+	for i := range val {
+		val[i] = byte(0x41 + i%26)
+	}
+	pendings := make([]*byzcons.Pending, shardValues)
+	start := time.Now()
+	for i := range pendings {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if pendings[i], err = f.ProposeAsync(ctx, key, val); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.Drain(ctx); err != nil {
+		return 0, err
+	}
+	for i, p := range pendings {
+		if d := p.Wait(ctx); d.Err != nil {
+			return 0, fmt.Errorf("value %d: %w", i, d.Err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	vps := float64(shardValues) / elapsed.Seconds()
+	if vps > row.AggValuesPerSec {
+		row.AggValuesPerSec = vps
+		mu.Lock()
+		row.MaxConcurrentFlushes = maxOverlap(windows)
+		mu.Unlock()
+		st := f.Stats()
+		row.TotalBits = st.Aggregate.Bits
+		row.TotalCycles = st.Aggregate.Cycles
+		row.PerShard = row.PerShard[:0]
+		for s, ss := range st.PerShard {
+			row.PerShard = append(row.PerShard, ShardStats{
+				Shard: s, Decided: ss.Decided, Batches: ss.Batches, Cycles: ss.Cycles, Bits: ss.Bits,
+			})
+		}
+	}
+	return vps, nil
+}
+
+// shardBest repeats the fleet workload and keeps the best run's stats.
+func shardBest(row *ShardRow, reps int) error {
+	for i := 0; i < reps; i++ {
+		if _, err := shardOnce(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShardGrid measures the fleet at every shard count and writes the
+// BENCH_PR10.json document.
+func runShardGrid(out string, reps int, grid []int) error {
+	rep := &ShardGridReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Transport:   byzcons.TransportBus.String(),
+		Values:      shardValues,
+		ValueBytes:  valueBytes,
+		Batch:       shardBatch,
+		Instances:   shardInstances,
+		Reps:        reps,
+		ShardCounts: grid,
+	}
+	for _, s := range grid {
+		row := ShardRow{Shards: s, N: 4, T: 1, GoMaxProcs: runtime.GOMAXPROCS(0)}
+		if err := shardBest(&row, reps); err != nil {
+			return fmt.Errorf("shards=%d: %w", s, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("shards=%d n=%d: %.0f values/s aggregate (best of %d), %d cycles, peak %d concurrent flushes\n",
+			s, row.N, row.AggValuesPerSec, reps, row.TotalCycles, row.MaxConcurrentFlushes)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// runShardSmoke is the CI gate for the fleet: at the widest shard count the
+// fleet must still decide every value (correctness always enforced), and on
+// a host with at least two CPUs aggregate throughput must scale to 1.2x the
+// single-shard figure — on one CPU the shards time-slice a single core, so
+// the ratio is printed but not enforced, exactly like the core-scaling gate.
+func runShardSmoke(reps int, grid []int) error {
+	lo, hi := grid[0], grid[0]
+	for _, s := range grid {
+		lo, hi = min(lo, s), max(hi, s)
+	}
+	enforce := runtime.NumCPU() >= 2 && lo < hi
+	if !enforce {
+		fmt.Println("smoke shards: single-CPU host or degenerate grid, printing throughput without enforcing the ratio")
+	}
+	point := func() (bool, error) {
+		narrow := ShardRow{Shards: lo, N: 4, T: 1, GoMaxProcs: runtime.GOMAXPROCS(0)}
+		wide := ShardRow{Shards: hi, N: 4, T: 1, GoMaxProcs: runtime.GOMAXPROCS(0)}
+		for r := 0; r < reps; r++ {
+			if err := shardBest(&narrow, 1); err != nil {
+				return false, err
+			}
+			if err := shardBest(&wide, 1); err != nil {
+				return false, err
+			}
+		}
+		fmt.Printf("smoke shards: S=%d %.0f values/s, S=%d %.0f values/s (%.2fx), peak %d concurrent flushes at S=%d\n",
+			lo, narrow.AggValuesPerSec, hi, wide.AggValuesPerSec,
+			wide.AggValuesPerSec/narrow.AggValuesPerSec, wide.MaxConcurrentFlushes, hi)
+		return wide.AggValuesPerSec >= 1.2*narrow.AggValuesPerSec, nil
+	}
+	ok, err := point()
+	if err != nil {
+		return err
+	}
+	if ok || !enforce {
+		return nil
+	}
+	fmt.Printf("smoke shards: below threshold, retrying once\n")
+	if ok, err = point(); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("aggregate throughput at %d shards below 1.2x %d shard(s) in both measurements", hi, lo)
+	}
+	return nil
 }

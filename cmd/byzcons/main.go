@@ -114,7 +114,8 @@ func run() error {
 		peerMaxFlaps = flag.Int("peermaxflaps", 0, "serve: transient losses per peer channel before permanent demotion (0 = 64, negative = unlimited)")
 		stallTimeout = flag.Duration("stalltimeout", 0, "serve: isolate a peer silent this long while a round waits on it (0 = 20s, negative = disabled)")
 		noRetry      = flag.Bool("noretry", false, "serve: disable peer reconnects (the first connection loss fails the channel for good)")
-	chaosSpec    = flag.String("chaos", "", "serve: deterministic fault schedule as seed:events, e.g. 7:cut(1,3)@c1;heal(1,3)@c2;crash(2)@c3 (networked transports only; implies graceful degradation)")
+		chaosSpec    = flag.String("chaos", "", "serve: deterministic fault schedule as seed:events, e.g. 7:cut(1,3)@c1;heal(1,3)@c2;crash(2)@c3 (networked transports only; implies graceful degradation)")
+		shards       = flag.Int("shards", 1, "serve: consensus groups sharing the one mesh (>1 runs a key-partitioned fleet; each shard batches and flushes independently)")
 
 		transportStr = flag.String("transport", "", "cluster/serve: deployment backend: sim | bus | tcp (default: tcp for cluster, sim for serve)")
 
@@ -208,7 +209,7 @@ func run() error {
 			values: *values, valBytes: *valBytes, batch: *batch, instances: *instances,
 			ingest: *ingest, maxDelay: *maxDelay, sweep: *sweep,
 			debugAddr: *debugAddr, traceFile: *traceFile, linger: *linger,
-			chaos: *chaosSpec,
+			chaos: *chaosSpec, shards: *shards,
 		}
 		return serve(os.Stdout, cfg, sc, tk, retry, opts)
 	case "tracefmt":
@@ -335,6 +336,10 @@ type serveOpts struct {
 	// schedule (SessionConfig.Chaos); the fired fault log prints with the
 	// summary. Requires a networked transport and implies Degrade.
 	chaos string
+	// shards, when > 1, serves a key-partitioned Fleet instead of a single
+	// Session: values route to shards by key hash and each shard's flush
+	// cycles run concurrently over the one shared mesh.
+	shards int
 }
 
 // serve drives the streaming Session over a synthetic ingest workload:
@@ -374,6 +379,20 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 	}()
 	printf := func(format string, a ...any) { lines <- fmt.Sprintf(format, a...) }
 	defer func() { close(lines); <-printed }()
+
+	if opts.shards > 1 {
+		printf("mode=serve transport=%v n=%d t=%d shards=%d workload=%d values x %d bytes ingest=%d",
+			tk, cfg.N, cfg.T, opts.shards, opts.values, opts.valBytes, opts.ingest)
+		switch {
+		case opts.sweep:
+			return fmt.Errorf("serve: -sweep and -shards are mutually exclusive")
+		case opts.chaos != "":
+			return fmt.Errorf("serve: -chaos schedules are cycle-anchored and ambiguous across shards; use it without -shards")
+		case opts.debugAddr != "":
+			return fmt.Errorf("serve: the debug endpoint is per-session; use it without -shards")
+		}
+		return serveFleet(lines, printf, cfg, sc, tk, retry, opts, workload)
+	}
 
 	printf("mode=serve transport=%v n=%d t=%d workload=%d values x %d bytes ingest=%d",
 		tk, cfg.N, cfg.T, opts.values, opts.valBytes, opts.ingest)
@@ -516,6 +535,126 @@ func serve(w io.Writer, cfg byzcons.Config, sc byzcons.Scenario, tk byzcons.Tran
 		st.Rounds, st.Bits, float64(st.Bits)/float64(opts.values))
 	if d := snap.Histograms["engine_decision_ns"]; d.Count > 0 {
 		printf("decision latency: p50=%v p99=%v max=%v over %d decisions",
+			time.Duration(d.P50), time.Duration(d.P99), time.Duration(d.Max), d.Count)
+	}
+	if ws.BytesSent > 0 {
+		printf("wire: frames=%d conns=%d encodedBytes=%d encoded=%.1f bytes/value reconnects=%d peerFlaps=%d",
+			ws.FramesSent, ws.Conns, ws.BytesSent, float64(ws.BytesSent)/float64(opts.values), ws.Reconnects, ws.PeerFlaps)
+	}
+	return nil
+}
+
+// serveFleet drives a sharded Fleet over the same synthetic ingest workload:
+// every value carries a key, keys hash-partition across the shards, and each
+// shard's flush cycles trigger independently — so the per-cycle report
+// stream shows cycles from different shards interleaving over the one mesh.
+func serveFleet(lines chan string, printf func(string, ...any), cfg byzcons.Config, sc byzcons.Scenario,
+	tk byzcons.TransportKind, retry byzcons.PeerRetry, opts serveOpts, workload func(int) []byte) error {
+	fcfg := byzcons.FleetConfig{
+		SessionConfig: byzcons.SessionConfig{
+			Config:      cfg,
+			Scenario:    sc,
+			Transport:   tk,
+			PeerRetry:   retry,
+			BatchValues: opts.batch,
+			Instances:   opts.instances,
+			Policy:      byzcons.FlushPolicy{MaxValues: opts.batch * opts.instances, MaxDelay: opts.maxDelay},
+		},
+		Shards: opts.shards,
+	}
+	var traceOut *os.File
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
+		if err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		traceOut = f
+		defer traceOut.Close()
+		fcfg.TraceSink = traceOut
+	}
+	f, err := byzcons.OpenFleet(fcfg)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Live per-cycle reporting, shard-tagged: each line names the shard whose
+	// policy fired the cycle.
+	var reports sync.WaitGroup
+	reports.Add(1)
+	go func() {
+		defer reports.Done()
+		printf("%6s %6s %8s %8s %10s %12s %10s",
+			"shard", "cycle", "batches", "values", "bits", "bits/value", "cycleMs")
+		for rep := range f.Reports() {
+			perValue := 0.0
+			if rep.Values > 0 {
+				perValue = float64(rep.Bits) / float64(rep.Values)
+			}
+			line := fmt.Sprintf("%6d %6d %8d %8d %10d %12.1f %10.2f",
+				rep.Shard, rep.Cycle, len(rep.Batches), rep.Values, rep.Bits, perValue,
+				float64(rep.Timing.Cycle)/float64(time.Millisecond))
+			if len(rep.PeersDown) > 0 {
+				line += fmt.Sprintf("  peersDown=%v", rep.PeersDown)
+			}
+			if rep.Degraded {
+				line += fmt.Sprintf("  degraded=%v", rep.DegradedPeers)
+			}
+			lines <- line
+		}
+	}()
+	defer reports.Wait()
+	defer f.Close()
+
+	// Keyed ingest: value i proposes under key "key-i", so the value→shard
+	// mapping is the partitioner's, not the client's.
+	ctx := context.Background()
+	errs := make(chan error, opts.ingest)
+	var clients sync.WaitGroup
+	for g := 0; g < opts.ingest; g++ {
+		clients.Add(1)
+		go func(g int) {
+			defer clients.Done()
+			for i := g; i < opts.values; i += opts.ingest {
+				val := workload(i)
+				key := []byte(fmt.Sprintf("key-%d", i))
+				d, err := f.Propose(ctx, key, val)
+				if err != nil {
+					errs <- fmt.Errorf("serve: value %d: %w", i, err)
+					return
+				}
+				if !bytes.Equal(d.Value, val) {
+					errs <- fmt.Errorf("serve: value %d decided %x, want %x", i, d.Value, val)
+					return
+				}
+			}
+		}(g)
+	}
+	clients.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	if err := f.Drain(ctx); err != nil {
+		return err
+	}
+	st := f.Stats()
+	ws := f.WireStats()
+	dials := f.MeshDials()
+	snap := f.Snapshot()
+	f.Close() // retire the Reports stream before the summary
+	reports.Wait()
+
+	agg := st.Aggregate
+	printf("decided=%d defaulted=%d batches=%d cycles=%d shards=%d meshDials=%d",
+		agg.Decided, agg.Defaulted, agg.Batches, agg.Cycles, st.Shards, dials)
+	for s, ss := range st.PerShard {
+		printf("shard %d: decided=%d batches=%d cycles=%d bits=%d", s, ss.Decided, ss.Batches, ss.Cycles, ss.Bits)
+	}
+	printf("pipelined rounds=%d totalBits=%d amortized=%.1f bits/value",
+		agg.Rounds, agg.Bits, float64(agg.Bits)/float64(opts.values))
+	if d := snap.Histograms["engine_decision_ns"]; d.Count > 0 {
+		printf("decision latency: p50=%v p99=%v max=%v over %d decisions (worst shard percentiles)",
 			time.Duration(d.P50), time.Duration(d.P99), time.Duration(d.Max), d.Count)
 	}
 	if ws.BytesSent > 0 {

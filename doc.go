@@ -155,6 +155,50 @@
 // after its restart event. The serve mode of cmd/byzcons drives all of it
 // against a live ingest workload via -chaos.
 //
+// # Sharded fleet
+//
+// One Session is one consensus group. A Fleet scales past that: OpenFleet
+// runs S independent groups — each with its own engine, flush policy and
+// decision stream — over ONE shared transport mesh (n(n-1) connections
+// total, not S times that; Fleet.MeshDials stays 1). Proposals carry a key
+// and hash-partition across the shards via ShardOf, a pure function of
+// (key bytes, S) that is stable across runs and processes, so the same key
+// always lands on the same shard. Shards flush concurrently: frames from
+// different shards' cycles interleave on the mesh and are demultiplexed by
+// a (shard, epoch) tag composed into the existing frame headers — at
+// Shards=1 the encoding is byte-identical to a Session's, and a one-shard
+// Fleet decides bit-identically to a Session with the same config:
+//
+//	f, err := byzcons.OpenFleet(byzcons.FleetConfig{
+//		SessionConfig: byzcons.SessionConfig{
+//			Config:      byzcons.Config{N: 7, T: 2},
+//			Transport:   byzcons.TransportTCP,
+//			BatchValues: 32,
+//			Instances:   4,
+//		},
+//		Shards: 8,
+//	})
+//	d, err := f.Propose(ctx, []byte("user:17"), []byte("one command"))
+//	// d is the decision of shard ShardOf([]byte("user:17"), 8).
+//	for rep := range f.Reports() { ... } // shard-tagged FlushReports
+//	st := f.Stats()                      // per-shard rows + aggregate
+//	f.Drain(ctx)
+//	f.Close()
+//
+// Observability aggregates across the fleet: Fleet.Snapshot merges every
+// shard's registry (counters and gauges sum; histogram quantiles take the
+// worst shard) over the shared transport metrics, ShardSnapshot(s) returns
+// one shard's view, and FleetStats carries both the per-shard and summed
+// engine stats. Peer failures are physical and shared — a dead channel is
+// dead for every shard — but attribution is per shard: each shard's
+// FlushReports name only the failures its own cycles observed, so a fault
+// injected while one shard flushes degrades that shard's cycle alone.
+// Degrade and PeerRetry compose with fleets; Chaos schedules do not
+// (cycle anchors are ambiguous across S independent cycle clocks) and are
+// rejected at OpenFleet. The serve mode of cmd/byzcons drives a keyed
+// ingest workload across a fleet via -shards; cmd/benchpr4 -shards
+// measures the shard grid into BENCH_PR10.json.
+//
 // # Pipelined generations
 //
 // Algorithm 1 splits an L-bit value into independent generations; the

@@ -26,10 +26,23 @@ import (
 // range, per-node routers attach the run's runtimes for exactly those ids,
 // and a frame whose id predates the current range is a stale leftover of an
 // earlier (possibly aborted) cycle and is dropped by tag instead of being
-// fenced off by a mesh teardown. Runs serialize on the cluster: one epoch
-// owns the mesh at a time.
+// fenced off by a mesh teardown.
+//
+// Sharding generalizes the epoch tag to (shard, epoch): a cluster configured
+// with Shards > 1 partitions its instance-id space into per-shard lanes
+// (wire.ComposeInstance packs the shard into the id's low bits), each shard
+// has its own run serialization, epoch pointer, instance high-water mark and
+// observed-down set, and ShardRunner(k) is shard k's runner handle. Runs
+// serialize per shard — one epoch per shard owns that shard's id lane at a
+// time — while different shards' epochs run concurrently over the one mesh.
+// The unsharded cluster is the Shards=1 special case: zero shard bits, so
+// its frames are byte-identical to the pre-shard wire format.
 type Cluster struct {
 	factory transport.Factory
+	// Shards is the number of independent shard lanes the cluster routes
+	// (0 = 1). Set before Connect or the first run; the mesh resolves it
+	// once, like n.
+	Shards int
 	// StepTimeout bounds each barrier step (0 = DefaultStepTimeout).
 	StepTimeout time.Duration
 	// StallTimeout bounds how long a peer may stay silent while a round
@@ -48,19 +61,26 @@ type Cluster struct {
 	// (down, up, stall) from the per-node routers. Set before Connect.
 	Tracer *obs.Tracer
 
-	// runMu serializes runs: the persistent mesh carries one epoch at a time.
-	runMu sync.Mutex
-
 	mu          sync.Mutex
 	eps         []transport.Endpoint
 	routers     []*nodeRouter
 	dead        []bool // nodes hard-killed by Kill, not yet Restarted
 	n           int
-	nextInst    int // next global instance id (the epoch tag high-water mark)
+	shards      int        // resolved shard count (>= 1 once the mesh is up)
+	shardBits   uint       // wire.ShardBits(shards)
+	runs        []shardRun // per-shard run serialization and id high-water
 	meshDials   int
 	retired     transport.Stats // accounting of the mesh after Close
 	closed      bool
 	dispatchers sync.WaitGroup // fallback Recv loops of non-push endpoints
+}
+
+// shardRun is one shard's run state: runs within a shard serialize on mu
+// (one epoch per shard owns the shard's id lane at a time), and nextInst is
+// the shard-local instance-id high-water mark the next epoch claims from.
+type shardRun struct {
+	mu       sync.Mutex
+	nextInst int
 }
 
 // NewCluster returns a Cluster building its mesh from the given factory.
@@ -95,13 +115,22 @@ func (c *Cluster) connectLocked(n int) error {
 	if n < 1 {
 		return fmt.Errorf("node: mesh needs n >= 1, got %d", n)
 	}
+	shards := c.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || shards > wire.MaxShards {
+		return fmt.Errorf("node: shard count %d out of range [1,%d]", shards, wire.MaxShards)
+	}
 	eps, err := c.factory.Mesh(n)
 	if err != nil {
 		return fmt.Errorf("node: building %s mesh: %w", c.factory.Kind(), err)
 	}
+	c.shards, c.shardBits = shards, wire.ShardBits(shards)
+	c.runs = make([]shardRun, shards)
 	routers := make([]*nodeRouter, n)
 	for i := range routers {
-		routers[i] = newNodeRouter(i, n)
+		routers[i] = newNodeRouter(i, n, shards, c.shardBits)
 		routers[i].tracer = c.Tracer
 		// Receive routing: push-capable transports deliver frames
 		// synchronously in their own delivery context (the sender's goroutine
@@ -153,13 +182,17 @@ func (c *Cluster) Kill(node int) error {
 	c.dead[node] = true
 	c.mu.Unlock()
 	iso.IsolateNode(node)
-	// Drop the node's in-memory state: whatever cycle it is executing fails
-	// at the node with a peer-attributed fault (tolerated under graceful
-	// degradation; the other nodes resolve the cycle against its silence).
-	if ep := router.epoch.Load(); ep != nil {
-		err := &peerFault{fmt.Errorf("node %d killed (crash injection)", node)}
-		for _, rt := range ep.rts {
-			rt.Fail(err)
+	// Drop the node's in-memory state: whatever cycles it is executing —
+	// one per shard with an epoch in flight — fail at the node with a
+	// peer-attributed fault (tolerated under graceful degradation; the other
+	// nodes resolve each shard's cycle against its silence, and each shard's
+	// report attributes the crash independently).
+	fault := &peerFault{fmt.Errorf("node %d killed (crash injection)", node)}
+	for s := range router.epochs {
+		if ep := router.epochs[s].Load(); ep != nil {
+			for _, rt := range ep.rts {
+				rt.Fail(fault)
+			}
 		}
 	}
 	return nil
@@ -264,24 +297,40 @@ func (c *Cluster) WireStats() transport.Stats {
 // Run executes body at each of cfg.N processors over the persistent mesh,
 // one networked node per processor — the Cluster analogue of sim.Run.
 func (c *Cluster) Run(cfg sim.RunConfig, body func(p *sim.Proc) any) *sim.RunResult {
-	br := c.runBatch(sim.BatchConfig{
+	br := c.runBatch(0, sim.BatchConfig{
 		N: cfg.N, Faulty: cfg.Faulty, Adversary: cfg.Adversary, Seed: cfg.Seed, Instances: 1,
 	}, false, func(_ int, p *sim.Proc) any { return body(p) })
 	ir := br.Instances[0]
 	return &sim.RunResult{Values: ir.Values, Meter: ir.Meter, Err: ir.Err}
 }
 
-// RunBatch executes cfg.Instances pipelined instances as one epoch over the
-// persistent mesh — the Cluster analogue of sim.RunBatch and the engine's
-// Runner entry point.
+// RunBatch executes cfg.Instances pipelined instances as one epoch of shard
+// 0 over the persistent mesh — the Cluster analogue of sim.RunBatch and the
+// engine's Runner entry point for an unsharded deployment.
 func (c *Cluster) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
-	return c.runBatch(cfg, true, body)
+	return c.runBatch(0, cfg, true, body)
 }
 
-func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
-	c.runMu.Lock()
-	defer c.runMu.Unlock()
+// ShardRunner is one shard's runner handle: an engine drives its cycles
+// through it, and every cycle runs as an epoch of that shard's id lane.
+// Handles of different shards run concurrently over the shared mesh.
+type ShardRunner struct {
+	c     *Cluster
+	shard int
+}
 
+// ShardRunner returns the runner handle of shard k (0 <= k < Shards; range
+// errors surface as run failures, like every other deployment fault).
+func (c *Cluster) ShardRunner(k int) *ShardRunner {
+	return &ShardRunner{c: c, shard: k}
+}
+
+// RunBatch executes one epoch on the handle's shard.
+func (r *ShardRunner) RunBatch(cfg sim.BatchConfig, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
+	return r.c.runBatch(r.shard, cfg, true, body)
+}
+
+func (c *Cluster) runBatch(shard int, cfg sim.BatchConfig, tagged bool, body func(inst int, p *sim.Proc) any) *sim.BatchResult {
 	b := cfg.Instances
 	if b < 1 {
 		b = 1
@@ -326,8 +375,26 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		c.mu.Unlock()
 		return failAll(err)
 	}
-	base := c.nextInst
-	c.nextInst += b
+	if shard < 0 || shard >= c.shards {
+		c.mu.Unlock()
+		return failAll(fmt.Errorf("node: shard %d out of range [0,%d)", shard, c.shards))
+	}
+	sr := &c.runs[shard]
+	shardBits := c.shardBits
+	c.mu.Unlock()
+
+	// Per-shard run serialization: one epoch at a time owns this shard's id
+	// lane, while other shards' epochs proceed concurrently on the same mesh.
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return failAll(errors.New("node: cluster closed"))
+	}
+	base := sr.nextInst
+	sr.nextInst += b
 	eps, routers := c.eps, c.routers
 	dead := append([]bool(nil), c.dead...)
 	c.mu.Unlock()
@@ -361,16 +428,18 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		for i := 0; i < cfg.N; i++ {
 			router := routers[i]
 			runtimes[k][i] = newRuntime(options{
-				id: i, n: cfg.N, instTag: instTag, wireInst: base + k,
-				faulty: faulty, adv: adv,
-				procSeed:        sim.ProcSeed(instSeed, i),
-				procRand:        sim.LazyRand(sim.ProcSeed(instSeed, i)),
-				advRand:         sim.LazyRand(sim.ProcSeed(instSeed^0x5DEECE66D, i)),
-				meter:           res.Instances[k].Meter,
-				countRounds:     i == 0,
-				stepTimeout:     c.StepTimeout,
-				stallTimeout:    c.StallTimeout,
-				onStall:         router.observeStall,
+				id: i, n: cfg.N, instTag: instTag,
+				wireInst: wire.ComposeInstance(base+k, shard, shardBits),
+				faulty:   faulty, adv: adv,
+				procSeed:     sim.ProcSeed(instSeed, i),
+				procRand:     sim.LazyRand(sim.ProcSeed(instSeed, i)),
+				advRand:      sim.LazyRand(sim.ProcSeed(instSeed^0x5DEECE66D, i)),
+				meter:        res.Instances[k].Meter,
+				countRounds:  i == 0,
+				stepTimeout:  c.StepTimeout,
+				stallTimeout: c.StallTimeout,
+				// Stalls are attributed to the shard whose cycle observed them.
+				onStall:         func(peer int) { router.observeStall(shard, peer) },
 				degrade:         degrade,
 				send:            eps[i].Send,
 				sendPrefixed:    sendPref[i],
@@ -400,7 +469,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 		for k := 0; k < b; k++ {
 			rts[k] = runtimes[k][i]
 		}
-		routers[i].begin(base, rts)
+		routers[i].begin(shard, base, rts)
 	}
 
 	var instErrs = make([]error, b)
@@ -452,7 +521,7 @@ func (c *Cluster) runBatch(cfg sim.BatchConfig, tagged bool, body func(inst int,
 	downSet := make([]bool, cfg.N)
 	degradedSet := make([]bool, cfg.N)
 	for i := range routers {
-		down := routers[i].end()
+		down := routers[i].end(shard)
 		if dead[i] || deadNow[i] {
 			continue
 		}
@@ -532,39 +601,59 @@ type peerState struct {
 // rejoining peer participates only from the next instance-id base — there is
 // no mid-generation rejoin, preserving the synchronous-round model within
 // each epoch.
+//
+// Shard scoping: epoch attachment, the observed-down set and the stale-frame
+// base check are per shard — shard k's epoch routes only frames whose
+// composed instance id names shard k, and a fault observed while only shard
+// k has a cycle in flight appears in shard k's report alone. The peer
+// failure state itself is physical (one channel per peer, shared by every
+// shard riding the mesh), so a standing failure replays into whichever
+// shard's epoch begins next — each shard attributing the same physical fault
+// independently — and a recovery heals it for all shards' future epochs at
+// once.
 type nodeRouter struct {
-	node   int
-	n      int
-	epoch  atomic.Pointer[routerEpoch] // nil between runs
-	tracer *obs.Tracer                 // peer lifecycle events; nil-safe
+	node      int
+	n         int
+	shardBits uint
+	epochs    []atomic.Pointer[routerEpoch] // one per shard; nil between runs
+	tracer    *obs.Tracer                   // peer lifecycle events; nil-safe
 
 	mu       sync.Mutex
 	peers    []peerState
-	fatal    error  // first mesh-fatal (non-peer-attributable) receive failure
-	observed []bool // peers seen down during the current epoch (reset at begin)
-	closed   bool   // cluster teardown: suppress further lifecycle events
+	fatal    error    // first mesh-fatal (non-peer-attributable) receive failure
+	observed [][]bool // [shard][peer] seen down during the shard's current epoch
+	closed   bool     // cluster teardown: suppress further lifecycle events
 }
 
-func newNodeRouter(node, n int) *nodeRouter {
-	return &nodeRouter{node: node, n: n, peers: make([]peerState, n), observed: make([]bool, n)}
+func newNodeRouter(node, n, shards int, shardBits uint) *nodeRouter {
+	r := &nodeRouter{
+		node: node, n: n, shardBits: shardBits,
+		epochs: make([]atomic.Pointer[routerEpoch], shards),
+		peers:  make([]peerState, n),
+	}
+	r.observed = make([][]bool, shards)
+	for s := range r.observed {
+		r.observed[s] = make([]bool, n)
+	}
+	return r
 }
 
-// begin attaches a run's runtimes to the router and replays the currently
-// standing failure state into their fresh inboxes. The epoch is published
-// before the failure state is snapshotted: a PeerDown racing begin then
-// either lands in the snapshot (replayed below) or sees the stored epoch and
-// delivers live — possibly both, which inbox.peerDown's first-failure-wins
-// makes idempotent. Snapshot-first would lose a failure arriving in between
-// to neither path. The per-epoch observation set starts as exactly the
-// replayed failures: a peer healed before the epoch began is a clean member
-// of this cycle.
-func (r *nodeRouter) begin(base int, rts []*runtime) {
-	r.epoch.Store(&routerEpoch{base: base, rts: rts})
+// begin attaches a run's runtimes to one shard of the router and replays the
+// currently standing failure state into their fresh inboxes. The epoch is
+// published before the failure state is snapshotted: a PeerDown racing begin
+// then either lands in the snapshot (replayed below) or sees the stored
+// epoch and delivers live — possibly both, which inbox.peerDown's
+// first-failure-wins makes idempotent. Snapshot-first would lose a failure
+// arriving in between to neither path. The shard's per-epoch observation set
+// starts as exactly the replayed failures: a peer healed before the epoch
+// began is a clean member of this cycle.
+func (r *nodeRouter) begin(shard, base int, rts []*runtime) {
+	r.epochs[shard].Store(&routerEpoch{base: base, rts: rts})
 	r.mu.Lock()
 	down := make([]error, r.n)
 	for peer := range r.peers {
 		down[peer] = r.peers[peer].err
-		r.observed[peer] = down[peer] != nil
+		r.observed[shard][peer] = down[peer] != nil
 	}
 	fatal := r.fatal
 	r.mu.Unlock()
@@ -583,15 +672,16 @@ func (r *nodeRouter) begin(base int, rts []*runtime) {
 	}
 }
 
-// end detaches the current epoch and returns the peers observed down during
-// it (for the cycle's membership report); frames arriving until the next
-// begin are stale by definition and dropped.
-func (r *nodeRouter) end() []int {
-	r.epoch.Store(nil)
+// end detaches one shard's current epoch and returns the peers that shard
+// observed down during it (for the cycle's membership report); frames
+// arriving for the shard until its next begin are stale by definition and
+// dropped.
+func (r *nodeRouter) end(shard int) []int {
+	r.epochs[shard].Store(nil)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var down []int
-	for peer, seen := range r.observed {
+	for peer, seen := range r.observed[shard] {
 		if seen {
 			down = append(down, peer)
 		}
@@ -634,7 +724,12 @@ func (r *nodeRouter) PeerDown(peer int, err error) {
 	default:
 		err = st.err // the epoch keeps seeing the first failure
 	}
-	r.observed[peer] = true
+	// The fault is physical, so every shard with a cycle in flight observes
+	// it (their inboxes receive it below); idle shards' marks are reset from
+	// the then-standing failure state when their next epoch begins.
+	for s := range r.observed {
+		r.observed[s][peer] = true
+	}
 	r.mu.Unlock()
 	if r.tracer.Enabled() {
 		kind := "transient"
@@ -644,9 +739,11 @@ func (r *nodeRouter) PeerDown(peer int, err error) {
 		r.tracer.Emit(obs.Event{Cat: "peer", Name: "down", Node: peer,
 			Detail: fmt.Sprintf("at=%d %s: %v", r.node, kind, err)})
 	}
-	if ep := r.epoch.Load(); ep != nil {
-		for _, rt := range ep.rts {
-			rt.inbox.peerDown(peer, err)
+	for s := range r.epochs {
+		if ep := r.epochs[s].Load(); ep != nil {
+			for _, rt := range ep.rts {
+				rt.inbox.peerDown(peer, err)
+			}
 		}
 	}
 }
@@ -672,18 +769,19 @@ func (r *nodeRouter) PeerUp(peer int) {
 	}
 }
 
-// observeStall records a stall-detector isolation for the cycle's membership
-// report. The stall is scoped to the inbox that detected it (inherently
-// per-cycle), so unlike PeerDown nothing latches in the router: the peer
-// starts the next epoch clean unless its channel actually broke.
-func (r *nodeRouter) observeStall(peer int) {
+// observeStall records a stall-detector isolation for one shard's cycle
+// membership report. The stall is scoped to the inbox that detected it
+// (inherently per-cycle, hence per-shard), so unlike PeerDown nothing
+// latches in the router: the peer starts the next epoch clean unless its
+// channel actually broke.
+func (r *nodeRouter) observeStall(shard, peer int) {
 	if peer < 0 || peer >= r.n {
 		return
 	}
 	r.mu.Lock()
 	stalled := !r.closed
 	if stalled {
-		r.observed[peer] = true
+		r.observed[shard][peer] = true
 	}
 	r.mu.Unlock()
 	if stalled && r.tracer.Enabled() {
@@ -693,7 +791,8 @@ func (r *nodeRouter) observeStall(peer int) {
 }
 
 // runFail records a mesh-fatal receive failure not attributable to one peer
-// and fails the current (and, via begin, every future) epoch's runtimes.
+// and fails every shard's current (and, via begin, every future) epoch
+// runtimes: a broken mesh is broken for all shards riding it.
 func (r *nodeRouter) runFail(err error) {
 	err = fmt.Errorf("node %d: %w", r.node, err)
 	r.mu.Lock()
@@ -703,9 +802,11 @@ func (r *nodeRouter) runFail(err error) {
 		err = r.fatal
 	}
 	r.mu.Unlock()
-	if ep := r.epoch.Load(); ep != nil {
-		for _, rt := range ep.rts {
-			rt.Fail(err)
+	for s := range r.epochs {
+		if ep := r.epochs[s].Load(); ep != nil {
+			for _, rt := range ep.rts {
+				rt.Fail(err)
+			}
 		}
 	}
 }
@@ -726,18 +827,27 @@ func (r *nodeRouter) Deliver(fr transport.Frame) {
 		f = hdr
 	}
 	transport.PutBuf(fr.Data)
-	ep := r.epoch.Load()
-	if ep == nil || f.Instance < ep.base {
-		// Stale: the frame belongs to an earlier epoch (an aborted run's
-		// leftovers, or delivery racing a cycle's teardown). The persistent
-		// mesh replaces the old fresh-mesh-per-run fence with this tag check.
+	inst, shard := wire.SplitInstance(f.Instance, r.shardBits)
+	if shard >= len(r.epochs) {
+		// The shard field decodes but names no configured shard: a protocol
+		// violation by the sender, convicted like an unknown instance id.
+		wire.PutFrame(f)
+		r.PeerDown(fr.From, fmt.Errorf("frame from node %d for unknown shard %d", fr.From, shard))
+		return
+	}
+	ep := r.epochs[shard].Load()
+	if ep == nil || inst < ep.base {
+		// Stale: the frame belongs to an earlier epoch of its shard (an
+		// aborted run's leftovers, or delivery racing a cycle's teardown).
+		// The persistent mesh replaces the old fresh-mesh-per-run fence with
+		// this per-shard tag check.
 		wire.PutFrame(f)
 		return
 	}
-	k := f.Instance - ep.base
+	k := inst - ep.base
 	if k >= len(ep.rts) {
 		wire.PutFrame(f)
-		r.PeerDown(fr.From, fmt.Errorf("frame from node %d for unknown instance %d", fr.From, f.Instance))
+		r.PeerDown(fr.From, fmt.Errorf("frame from node %d for unknown instance %d (shard %d)", fr.From, f.Instance, shard))
 		return
 	}
 	if !ep.rts[k].inbox.push(fr.From, f.Stream, f) {

@@ -306,7 +306,45 @@ func (r *Registry) Snapshot() Snapshot {
 // exposition: one "name value" line per scalar, histograms expanded to
 // name_count / name_sum / name_max / name_p50 / name_p90 / name_p99.
 func (r *Registry) WriteText(w io.Writer) error {
-	snap := r.Snapshot()
+	return r.Snapshot().WriteText(w)
+}
+
+// Merge folds other into s: counters and gauges sum, histogram counts and
+// sums add, and max and the quantile estimates keep the larger value —
+// quantiles do not compose across histograms, so the worst source is the
+// honest summary (the same convention engine.Timing.merge uses across
+// cycles). Merging lets a sharded service aggregate its per-shard
+// registries into one view.
+func (s Snapshot) Merge(other Snapshot) {
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, h := range other.Histograms {
+		d := s.Histograms[k]
+		d.Count += h.Count
+		d.Sum += h.Sum
+		d.Max = maxI64(d.Max, h.Max)
+		d.P50 = maxI64(d.P50, h.P50)
+		d.P90 = maxI64(d.P90, h.P90)
+		d.P99 = maxI64(d.P99, h.P99)
+		s.Histograms[k] = d
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteText writes the snapshot in the registry's text exposition format:
+// one "name value" line per metric, sorted by name.
+func (s Snapshot) WriteText(w io.Writer) error {
+	snap := s
 	lines := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+6*len(snap.Histograms))
 	for k, v := range snap.Counters {
 		lines = append(lines, fmt.Sprintf("%s %d", k, v))

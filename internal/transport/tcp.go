@@ -347,6 +347,12 @@ func (ep *tcpEndpoint) Close() error {
 		}
 	}
 	ep.recv.close()
+	// Flush any connLost critical section in flight: once this mutex cycles,
+	// every later loss sees closed and registers no redial, so the Wait
+	// below can race with no Add (a redial decided before the cycle already
+	// added inside its critical section).
+	ep.mu.Lock()
+	ep.mu.Unlock() //nolint:staticcheck // empty section is the point: a barrier
 	// Re-dial loops exit promptly: the stop channel interrupts backoff
 	// sleeps and the canceled dial context aborts an in-flight connect, so
 	// this wait bounds Close by a goroutine handoff, not a retry budget.
@@ -442,14 +448,18 @@ func (ep *tcpEndpoint) connLost(peer int, box *connBox, err error, transient boo
 	}
 	pl.down = err
 	pl.permanent = !transient
-	redial := transient && !retry.Disabled && peer < ep.id && !pl.redialing
+	// The redial is registered on the WaitGroup inside the critical section,
+	// re-checking closed there: Close sets closed and then passes through
+	// this mutex before it waits, so a loss that slipped past the earlier
+	// closed check can never Add against a Wait already in progress.
+	redial := transient && !retry.Disabled && peer < ep.id && !pl.redialing && !ep.closed.Load()
 	if redial {
 		pl.redialing = true
+		ep.redials.Add(1)
 	}
 	ep.mu.Unlock()
 	ep.notifyDown(peer, err, transient)
 	if redial {
-		ep.redials.Add(1)
 		go func() {
 			defer ep.redials.Done()
 			ep.redial(peer)

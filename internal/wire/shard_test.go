@@ -1,0 +1,60 @@
+package wire
+
+import "testing"
+
+func TestShardBits(t *testing.T) {
+	cases := []struct {
+		shards int
+		bits   uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{MaxShards, MaxShardBits},
+	}
+	for _, c := range cases {
+		if got := ShardBits(c.shards); got != c.bits {
+			t.Errorf("ShardBits(%d) = %d, want %d", c.shards, got, c.bits)
+		}
+	}
+}
+
+func TestComposeSplitInstance(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8, 100, MaxShards} {
+		bits := ShardBits(shards)
+		for _, inst := range []int{0, 1, 7, 1000, 1 << 20} {
+			for shard := 0; shard < shards; shard += 1 + shards/7 {
+				id := ComposeInstance(inst, shard, bits)
+				gotInst, gotShard := SplitInstance(id, bits)
+				if gotInst != inst || gotShard != shard {
+					t.Fatalf("shards=%d: split(compose(%d,%d)) = (%d,%d)", shards, inst, shard, gotInst, gotShard)
+				}
+				if bits == 0 && id != inst {
+					t.Fatalf("one shard must compose to the plain instance id: got %d for %d", id, inst)
+				}
+			}
+		}
+	}
+}
+
+// TestComposeInstanceDecodes pins the routing headroom: the composed id of
+// the widest shard field and a large per-shard instance still round-trips
+// through the frame codec (whose decoder bounds instance ids).
+func TestComposeInstanceDecodes(t *testing.T) {
+	id := ComposeInstance(1<<20, MaxShards-1, MaxShardBits)
+	f := &Frame{Kind: StepSync, Instance: id, Payloads: []any{[]byte{1}}}
+	buf, err := f.Append(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	g, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	defer PutFrame(g)
+	if g.Instance != id {
+		t.Fatalf("instance %d round-tripped to %d", id, g.Instance)
+	}
+	inst, shard := SplitInstance(g.Instance, MaxShardBits)
+	if inst != 1<<20 || shard != MaxShards-1 {
+		t.Fatalf("split = (%d,%d)", inst, shard)
+	}
+}
